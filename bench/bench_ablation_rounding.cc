@@ -1,0 +1,82 @@
+// A1 — ablation of DESIGN.md decision ✦3: integer share rounding.
+//
+// The share LP's fractional optimum must be rounded to integer shares with
+// product <= p. We compare floor+greedy-repair against exhaustive search
+// (and against the fractional LP bound) across queries, sizes, and p.
+
+#include "bench/bench_util.h"
+#include "mpc/cluster.h"
+#include "multiway/hypercube.h"
+#include "query/hypergraph_lp.h"
+#include "workload/generator.h"
+
+namespace mpcqp {
+namespace {
+
+using bench::Fmt;
+using bench::FmtInt;
+using bench::Table;
+
+std::string SharesString(const std::vector<int>& shares) {
+  std::string s;
+  for (size_t v = 0; v < shares.size(); ++v) {
+    if (v > 0) s += "x";
+    s += std::to_string(shares[v]);
+  }
+  return s;
+}
+
+void Run() {
+  bench::Banner(
+      "A1: share rounding — floor+greedy vs exhaustive vs fractional LP");
+  Table table({"query", "sizes", "p", "LP load", "greedy shares",
+               "greedy load", "exact shares", "exact load",
+               "greedy/exact"});
+
+  struct Case {
+    const char* name;
+    ConjunctiveQuery query;
+    std::vector<int64_t> sizes;
+  };
+  const Case cases[] = {
+      {"triangle", ConjunctiveQuery::Triangle(), {10000, 10000, 10000}},
+      {"triangle", ConjunctiveQuery::Triangle(), {500, 20000, 20000}},
+      {"2-way", ConjunctiveQuery::TwoWayJoin(), {30000, 3000}},
+      {"path-4", ConjunctiveQuery::Path(4), {8000, 8000, 8000, 8000}},
+      {"star-3", ConjunctiveQuery::Star(3), {9000, 9000, 9000}},
+  };
+  for (const Case& c : cases) {
+    for (const int p : {8, 27, 50, 100}) {
+      const auto lp = OptimalShareExponents(c.query, c.sizes, p);
+      const IntegerShares greedy =
+          ComputeShares(c.query, c.sizes, p, ShareRounding::kFloorGreedy);
+      const IntegerShares exact =
+          ComputeShares(c.query, c.sizes, p, ShareRounding::kExhaustive);
+      std::string sizes;
+      for (size_t j = 0; j < c.sizes.size(); ++j) {
+        if (j > 0) sizes += ",";
+        sizes += std::to_string(c.sizes[j]);
+      }
+      table.AddRow(
+          {c.name, sizes, FmtInt(p),
+           Fmt(lp.ok() ? lp->predicted_load : -1, 0),
+           SharesString(greedy.shares), Fmt(greedy.predicted_load, 0),
+           SharesString(exact.shares), Fmt(exact.predicted_load, 0),
+           Fmt(greedy.predicted_load / exact.predicted_load, 3)});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nTakeaway: greedy matches exhaustive search on nearly every "
+      "instance (ratio 1.0); integer rounding itself costs up to ~2x over "
+      "the fractional LP at awkward p (non-perfect powers), which is the "
+      "staircase seen in the slide-45 speedup curve.\n");
+}
+
+}  // namespace
+}  // namespace mpcqp
+
+int main() {
+  mpcqp::Run();
+  return 0;
+}

@@ -1,0 +1,86 @@
+// A2 — ablation of DESIGN.md decision ✦4: the heavy-hitter threshold.
+//
+// Theory sets the threshold at IN/p. We sweep the factor on Zipf data for
+// the skew-aware 2-way join and for SkewHC on the triangle: too high
+// leaves skew untreated (hash-join-like loads), too low declares
+// everything heavy (grid/replication overhead).
+
+#include "bench/bench_util.h"
+#include "join/skew_join.h"
+#include "mpc/cluster.h"
+#include "multiway/skew_hc.h"
+#include "workload/generator.h"
+
+namespace mpcqp {
+namespace {
+
+using bench::Fmt;
+using bench::FmtInt;
+using bench::Table;
+
+void TwoWay() {
+  bench::Banner(
+      "A2a: skew-aware join threshold factor sweep, Zipf(1.3), N=20000, "
+      "p=64");
+  const int p = 64;
+  const int64_t n = 20000;
+  Rng data_rng(181);
+  const Relation left = GenerateZipf(data_rng, n, 2, 1 << 14, 1, 1.3);
+  const Relation right = GenerateZipf(data_rng, n, 2, 1 << 14, 0, 1.3);
+  Table table({"threshold factor", "measured L", "rounds"});
+  for (const double factor : {0.125, 0.25, 0.5, 1.0, 2.0, 8.0, 64.0}) {
+    Cluster cluster(p, 7);
+    Rng rng(191);
+    SkewJoinOptions options;
+    options.threshold_factor = factor;
+    SkewAwareJoin(cluster, DistRelation::Scatter(left, p),
+                  DistRelation::Scatter(right, p), 1, 0, rng, options);
+    table.AddRow({Fmt(factor, 3),
+                  FmtInt(cluster.cost_report().MaxLoadTuples()),
+                  FmtInt(cluster.cost_report().num_rounds())});
+  }
+  table.Print();
+}
+
+void Triangle() {
+  bench::Banner(
+      "A2b: SkewHC threshold factor sweep, triangle with Zipf(1.2) "
+      "columns, N=3000, p=27");
+  const int p = 27;
+  const int64_t n = 3000;
+  Rng data_rng(193);
+  std::vector<Relation> atoms;
+  for (int j = 0; j < 3; ++j) {
+    atoms.push_back(GenerateZipf(data_rng, n, 2, 800, j % 2, 1.2));
+  }
+  std::vector<DistRelation> dist;
+  for (const Relation& r : atoms) dist.push_back(DistRelation::Scatter(r, p));
+  Table table(
+      {"threshold factor", "residual queries run", "measured L", "rounds"});
+  for (const double factor : {0.25, 0.5, 1.0, 2.0, 8.0, 1000.0}) {
+    Cluster cluster(p, 7);
+    SkewHcOptions options;
+    options.threshold_factor = factor;
+    const SkewHcResult result =
+        SkewHcJoin(cluster, ConjunctiveQuery::Triangle(), dist, options);
+    table.AddRow({Fmt(factor, 2),
+                  FmtInt(static_cast<int64_t>(result.residuals.size())),
+                  FmtInt(cluster.cost_report().MaxLoadTuples()),
+                  FmtInt(cluster.cost_report().num_rounds())});
+  }
+  table.Print();
+  std::printf(
+      "\nTakeaway: the theory's IN/p factor (1.0) sits at or near the "
+      "load minimum; very large factors degenerate to the skew-blind "
+      "algorithm, very small ones multiply residual classes without "
+      "improving the max load.\n");
+}
+
+}  // namespace
+}  // namespace mpcqp
+
+int main() {
+  mpcqp::TwoWay();
+  mpcqp::Triangle();
+  return 0;
+}

@@ -1,0 +1,124 @@
+// A3 — ablation: the local evaluator inside each server.
+//
+// The binary-join local evaluator can materialize an intermediate of size
+// ~N²/D even when the output is empty (deck slide 63 / the AGM discussion
+// of slides 55-56); the worst-case-optimal Generic Join never exceeds
+// IN^{ρ*}. We time both on the same instances (set semantics for both:
+// inputs are deduplicated).
+
+#include <chrono>
+
+#include "bench/bench_util.h"
+#include "query/generic_join.h"
+#include "query/local_eval.h"
+#include "relation/relation_ops.h"
+#include "workload/generator.h"
+
+namespace mpcqp {
+namespace {
+
+using bench::Fmt;
+using bench::FmtInt;
+using bench::Table;
+
+double MillisOf(const std::function<Relation()>& fn, int64_t* out_size) {
+  const auto start = std::chrono::steady_clock::now();
+  const Relation result = fn();
+  const auto end = std::chrono::steady_clock::now();
+  *out_size = result.size();
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+void Run() {
+  bench::Banner(
+      "A3: local evaluator — binary join plan vs Generic Join (WCOJ), "
+      "set semantics");
+  Table table({"instance", "|OUT|", "binary ms", "wcoj ms",
+               "binary intermediate"});
+
+  // Instance 1: benign uniform triangle.
+  {
+    Rng rng(1);
+    const ConjunctiveQuery q = ConjunctiveQuery::Triangle();
+    std::vector<Relation> atoms;
+    for (int j = 0; j < 3; ++j) {
+      atoms.push_back(Dedup(GenerateUniform(rng, 3000, 2, 1200)));
+    }
+    int64_t out_binary = 0;
+    int64_t out_wcoj = 0;
+    const double binary_ms =
+        MillisOf([&] { return Dedup(EvalJoinLocal(q, atoms)); }, &out_binary);
+    const double wcoj_ms =
+        MillisOf([&] { return EvalJoinWcoj(q, atoms); }, &out_wcoj);
+    const Relation i1 = HashJoinLocal(atoms[0], atoms[1], {1}, {0});
+    table.AddRow({"uniform triangle N=3000", FmtInt(out_wcoj),
+                  Fmt(binary_ms, 1), Fmt(wcoj_ms, 1), FmtInt(i1.size())});
+    if (out_binary != out_wcoj) std::printf("MISMATCH!\n");
+  }
+
+  // Instance 2: slide-63 adversarial path-3 — R1 ⋈ R2 is ~N²/D ≈ 2.4M
+  // tuples while the final output is empty (R3 lives on a disjoint
+  // domain).
+  {
+    Rng rng(2);
+    const ConjunctiveQuery q = ConjunctiveQuery::Path(3);
+    const Relation r1 = Dedup(GenerateUniform(rng, 12000, 2, 60));
+    const Relation r2 = Dedup(GenerateUniform(rng, 12000, 2, 60));
+    Relation r3(2);
+    for (int i = 0; i < 12000; ++i) {
+      r3.AppendRow({1000000 + static_cast<Value>(i), 0});
+    }
+    std::vector<Relation> atoms = {r1, r2, r3};
+    int64_t out_binary = 0;
+    int64_t out_wcoj = 0;
+    const double binary_ms =
+        MillisOf([&] { return Dedup(EvalJoinLocal(q, atoms)); }, &out_binary);
+    const double wcoj_ms =
+        MillisOf([&] { return EvalJoinWcoj(q, atoms); }, &out_wcoj);
+    const Relation i1 = HashJoinLocal(r1, r2, {1}, {0});
+    table.AddRow({"adversarial path-3 (empty OUT)", FmtInt(out_wcoj),
+                  Fmt(binary_ms, 1), Fmt(wcoj_ms, 1), FmtInt(i1.size())});
+    if (out_binary != out_wcoj) std::printf("MISMATCH!\n");
+  }
+
+  // Instance 3: skewed triangle (one hub vertex).
+  {
+    Rng rng(3);
+    const ConjunctiveQuery q = ConjunctiveQuery::Triangle();
+    Relation edges = GenerateRandomGraph(rng, 1500, 20000);
+    // A hub connected to everyone.
+    for (Value v = 0; v < 1500; ++v) {
+      edges.AppendRow({999999, v});
+      edges.AppendRow({v, 999999});
+    }
+    std::vector<Relation> atoms = {edges, edges, edges};
+    int64_t out_binary = 0;
+    int64_t out_wcoj = 0;
+    const double binary_ms =
+        MillisOf([&] { return Dedup(EvalJoinLocal(q, atoms)); }, &out_binary);
+    const double wcoj_ms =
+        MillisOf([&] { return EvalJoinWcoj(q, atoms); }, &out_wcoj);
+    const Relation i1 = HashJoinLocal(edges, edges, {1}, {0});
+    table.AddRow({"hub triangle", FmtInt(out_wcoj), Fmt(binary_ms, 1),
+                  Fmt(wcoj_ms, 1), FmtInt(i1.size())});
+    if (out_binary != out_wcoj) std::printf("MISMATCH!\n");
+  }
+
+  table.Print();
+  std::printf(
+      "\nTakeaway: the binary plan's cost follows its intermediate column "
+      "(~N^2/D on the adversarial instance, hub-squared paths on the "
+      "skewed graph) while Generic Join's work is bounded by IN^{rho*} "
+      "and it skips dead branches outright. On benign instances the "
+      "hash-join pipeline wins on constant factors (this Generic Join is "
+      "a reference implementation without trie indexes) — the classic "
+      "robustness-vs-raw-speed tradeoff.\n");
+}
+
+}  // namespace
+}  // namespace mpcqp
+
+int main() {
+  mpcqp::Run();
+  return 0;
+}

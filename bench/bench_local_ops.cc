@@ -1,0 +1,105 @@
+// Microbenchmarks (google-benchmark) for the single-node operators that
+// every distributed algorithm runs after its shuffle: local joins, sorts,
+// semijoins, and the generic multiway evaluator. These are wall-clock
+// benchmarks (the MPC model treats local compute as free; here we verify
+// it is also cheap in practice).
+
+#include <benchmark/benchmark.h>
+
+#include "query/local_eval.h"
+#include "relation/relation_ops.h"
+#include "workload/generator.h"
+
+namespace mpcqp {
+namespace {
+
+Relation MakeInput(int64_t rows, uint64_t domain, uint64_t seed) {
+  Rng rng(seed);
+  return GenerateUniform(rng, rows, 2, domain);
+}
+
+void BM_HashJoinLocal(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const Relation left = MakeInput(n, n, 1);
+  const Relation right = MakeInput(n, n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HashJoinLocal(left, right, {1}, {0}));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n);
+}
+BENCHMARK(BM_HashJoinLocal)->Arg(1 << 10)->Arg(1 << 13)->Arg(1 << 16);
+
+void BM_SortMergeJoinLocal(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const Relation left = MakeInput(n, n, 1);
+  const Relation right = MakeInput(n, n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SortMergeJoinLocal(left, right, {1}, {0}));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n);
+}
+BENCHMARK(BM_SortMergeJoinLocal)->Arg(1 << 10)->Arg(1 << 13)->Arg(1 << 16);
+
+void BM_SemijoinLocal(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const Relation left = MakeInput(n, n, 1);
+  const Relation right = MakeInput(n / 4, n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SemijoinLocal(left, right, {1}, {0}));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SemijoinLocal)->Arg(1 << 10)->Arg(1 << 16);
+
+void BM_SortRows(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const Relation input = MakeInput(n, 1u << 31, 3);
+  for (auto _ : state) {
+    Relation copy = input;
+    copy.SortRowsBy({0});
+    benchmark::DoNotOptimize(copy);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SortRows)->Arg(1 << 10)->Arg(1 << 16);
+
+void BM_Dedup(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const Relation input = MakeInput(n, 64, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Dedup(input));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Dedup)->Arg(1 << 10)->Arg(1 << 16);
+
+void BM_EvalTriangleLocal(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const ConjunctiveQuery q = ConjunctiveQuery::Triangle();
+  Rng rng(5);
+  std::vector<Relation> atoms;
+  for (int j = 0; j < 3; ++j) {
+    atoms.push_back(GenerateUniform(
+        rng, n, 2, static_cast<uint64_t>(n)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvalJoinLocal(q, atoms));
+  }
+  state.SetItemsProcessed(state.iterations() * 3 * n);
+}
+BENCHMARK(BM_EvalTriangleLocal)->Arg(1 << 8)->Arg(1 << 11);
+
+void BM_GroupBySum(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const Relation input = MakeInput(n, 256, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GroupBySum(input, {0}, 1));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_GroupBySum)->Arg(1 << 10)->Arg(1 << 16);
+
+}  // namespace
+}  // namespace mpcqp
+
+BENCHMARK_MAIN();

@@ -1,0 +1,107 @@
+// E19 — deck conclusions (slides 129-131): "minimize communication,
+// minimize rounds" — the planner's scenario table. For each workload the
+// planner ranks every strategy; we then execute ALL feasible strategies
+// and check the planner's pick against the measured loads.
+
+#include <string>
+
+#include "bench/bench_util.h"
+#include "mpc/cluster.h"
+#include "planner/planner.h"
+#include "relation/relation_ops.h"
+#include "workload/generator.h"
+
+namespace mpcqp {
+namespace {
+
+using bench::Fmt;
+using bench::FmtInt;
+using bench::Table;
+
+std::vector<DistRelation> Scatter(const std::vector<Relation>& atoms, int p) {
+  std::vector<DistRelation> out;
+  for (const Relation& r : atoms) out.push_back(DistRelation::Scatter(r, p));
+  return out;
+}
+
+void RunScenario(const std::string& name, const ConjunctiveQuery& q,
+                 const std::vector<Relation>& atoms, int p,
+                 double round_cost) {
+  PlannerOptions options;
+  options.round_cost_tuples = round_cost;
+  const PlanChoice choice = ChoosePlan(q, Scatter(atoms, p), p, options);
+
+  bench::Banner("E19: " + name + "  (p=" + std::to_string(p) +
+                ", round cost " + Fmt(round_cost, 0) + " tuples, skewed: " +
+                (choice.input_is_skewed ? "yes" : "no") + ")");
+  Table table({"algorithm", "feasible", "est L", "est r", "measured L",
+               "measured r", "chosen"});
+  for (const CandidatePlan& plan : choice.candidates) {
+    std::string measured_load = "-";
+    std::string measured_rounds = "-";
+    if (plan.feasible) {
+      PlanChoice forced = choice;
+      forced.chosen = plan;
+      Cluster cluster(p, 7);
+      Rng rng(11);
+      ExecutePlan(cluster, q, Scatter(atoms, p), forced, rng);
+      measured_load = FmtInt(cluster.cost_report().MaxLoadTuples());
+      measured_rounds = FmtInt(cluster.cost_report().num_rounds());
+    }
+    table.AddRow({PlanAlgorithmName(plan.algorithm),
+                  plan.feasible ? "yes" : "no",
+                  plan.feasible ? Fmt(plan.estimated_load, 0) : "-",
+                  plan.feasible ? FmtInt(plan.estimated_rounds) : "-",
+                  measured_load, measured_rounds,
+                  plan.algorithm == choice.chosen.algorithm ? "<=" : ""});
+  }
+  table.Print();
+}
+
+void Run() {
+  const int p = 27;
+  {
+    Rng rng(1);
+    std::vector<Relation> atoms;
+    for (int j = 0; j < 3; ++j) {
+      atoms.push_back(Dedup(GenerateUniform(rng, 8000, 2, 1 << 14)));
+    }
+    RunScenario("skew-free triangle, rounds expensive",
+                ConjunctiveQuery::Triangle(), atoms, p, 5000);
+    RunScenario("skew-free triangle, rounds free",
+                ConjunctiveQuery::Triangle(), atoms, p, 0);
+  }
+  {
+    Rng rng(2);
+    std::vector<Relation> atoms = {
+        Dedup(GenerateUniform(rng, 6000, 2, 1 << 14)),
+        GenerateConstantColumn(6000, 1, 7),
+        GenerateConstantColumn(6000, 0, 7),
+    };
+    RunScenario("heavy-z triangle, rounds expensive",
+                ConjunctiveQuery::Triangle(), atoms, p, 5000);
+  }
+  {
+    Rng rng(3);
+    std::vector<Relation> atoms;
+    for (int j = 0; j < 4; ++j) {
+      atoms.push_back(GenerateMatchingDegree(rng, 6000, 1));
+    }
+    RunScenario("sparse acyclic star-4, rounds free",
+                ConjunctiveQuery::Star(4), atoms, p, 0);
+  }
+  std::printf(
+      "\nShape check (slides 129-131): expensive rounds push the planner "
+      "to 1-round plans (HyperCube / SkewHC by skew); free rounds favor "
+      "multi-round plans whose loads approach IN/p; acyclic + small OUT "
+      "goes to GYM. The 'chosen' row should sit at or near the best "
+      "measured (L, r) combination for the given round price.\n");
+}
+
+}  // namespace
+}  // namespace mpcqp
+
+int main() {
+  mpcqp::Run();
+  return 0;
+}

@@ -1,0 +1,112 @@
+// E5 — deck slides 27-31: two-way joins under skew.
+//
+// Plain hash join vs skew-aware join (hash + heavy-hitter grids) vs
+// sort-based join on (a) Zipf inputs of varying skew and (b) the extreme
+// one-value instance. The skew-resilient algorithms should track
+// O(sqrt(OUT/p) + IN/p) while the plain hash join degrades to the max
+// degree.
+
+#include <cmath>
+
+#include "bench/bench_util.h"
+#include "join/hash_join.h"
+#include "join/skew_join.h"
+#include "join/sort_join.h"
+#include "mpc/cluster.h"
+#include "workload/generator.h"
+
+namespace mpcqp {
+namespace {
+
+using bench::Fmt;
+using bench::FmtInt;
+using bench::Table;
+
+struct Measured {
+  int64_t load = 0;
+  int rounds = 0;
+  int64_t out = 0;
+};
+
+Measured MeasureHash(const Relation& l, const Relation& r, int p) {
+  Cluster cluster(p, 7);
+  const DistRelation out =
+      ParallelHashJoin(cluster, DistRelation::Scatter(l, p),
+                       DistRelation::Scatter(r, p), {1}, {0});
+  return {cluster.cost_report().MaxLoadTuples(),
+          cluster.cost_report().num_rounds(), out.TotalSize()};
+}
+
+Measured MeasureSkewAware(const Relation& l, const Relation& r, int p) {
+  Cluster cluster(p, 7);
+  Rng rng(31);
+  const DistRelation out =
+      SkewAwareJoin(cluster, DistRelation::Scatter(l, p),
+                    DistRelation::Scatter(r, p), 1, 0, rng);
+  return {cluster.cost_report().MaxLoadTuples(),
+          cluster.cost_report().num_rounds(), out.TotalSize()};
+}
+
+Measured MeasureSort(const Relation& l, const Relation& r, int p) {
+  Cluster cluster(p, 7);
+  Rng rng(37);
+  const DistRelation out =
+      ParallelSortJoin(cluster, DistRelation::Scatter(l, p),
+                       DistRelation::Scatter(r, p), 1, 0, rng);
+  return {cluster.cost_report().MaxLoadTuples(),
+          cluster.cost_report().num_rounds(), out.TotalSize()};
+}
+
+void Run() {
+  const int p = 64;
+  const int64_t n = 20000;
+
+  bench::Banner(
+      "E5 (slides 29-31): join load under Zipf skew, |R|=|S|=20000, p=64");
+  Table table({"zipf s", "OUT", "hash L", "skew-aware L", "sort L",
+               "sqrt(OUT/p)+IN/p", "hash r", "skew r", "sort r"});
+  Rng data_rng(41);
+  for (const double skew : {0.0, 0.5, 1.0, 1.5, 2.0}) {
+    const Relation left = GenerateZipf(data_rng, n, 2, 1 << 14, 1, skew);
+    const Relation right = GenerateZipf(data_rng, n, 2, 1 << 14, 0, skew);
+    const Measured hash = MeasureHash(left, right, p);
+    const Measured skew_aware = MeasureSkewAware(left, right, p);
+    const Measured sorted = MeasureSort(left, right, p);
+    const double target =
+        std::sqrt(static_cast<double>(hash.out) / p) + 2.0 * n / p;
+    table.AddRow({Fmt(skew, 1), FmtInt(hash.out), FmtInt(hash.load),
+                  FmtInt(skew_aware.load), FmtInt(sorted.load),
+                  Fmt(target, 0), FmtInt(hash.rounds),
+                  FmtInt(skew_aware.rounds), FmtInt(sorted.rounds)});
+  }
+  table.Print();
+
+  bench::Banner(
+      "E5 (slide 27): extreme skew — every tuple shares one join value");
+  Table extreme({"IN per side", "OUT", "hash L", "skew-aware L", "sort L",
+                 "2 sqrt(OUT/p)"});
+  for (const int64_t side : {2000, 8000}) {
+    const Relation left = GenerateConstantColumn(side, 1, 7);
+    const Relation right = GenerateConstantColumn(side, 0, 7);
+    const Measured hash = MeasureHash(left, right, p);
+    const Measured skew_aware = MeasureSkewAware(left, right, p);
+    const Measured sorted = MeasureSort(left, right, p);
+    extreme.AddRow({FmtInt(side), FmtInt(hash.out), FmtInt(hash.load),
+                    FmtInt(skew_aware.load), FmtInt(sorted.load),
+                    Fmt(2.0 * std::sqrt(static_cast<double>(hash.out) / p),
+                        0)});
+  }
+  extreme.Print();
+  std::printf(
+      "\nShape check: the hash join's load equals the whole heavy value "
+      "(2*IN_side) while the skew-aware and sort joins stay near "
+      "2 sqrt(OUT/p); who-wins matches slides 29-31.\n");
+}
+
+}  // namespace
+}  // namespace mpcqp
+
+int main() {
+  mpcqp::Run();
+  return 0;
+}

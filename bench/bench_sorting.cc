@@ -1,0 +1,174 @@
+// E15 — deck slides 99-106: distributed sorting.
+//
+// (a) Slide 102: PSRS load ~ N/p while p << N^{1/3}; the p^2 sample term
+//     takes over past that (measured sweep).
+// (b) Slide 102: regular sampling vs random sampling splitter quality.
+// (c) Slides 103-105: multi-round sort — rounds vs per-round load as the
+//     fan-out shrinks, against the Ω(log_L N) round lower bound.
+// (d) Slide 106: the "sorting in practice" table re-cast over our own
+//     implementations (splitter-based, coarse-grained).
+
+#include <cmath>
+
+#include "bench/bench_util.h"
+#include "mpc/cluster.h"
+#include "sort/multi_round_sort.h"
+#include "sort/psrs.h"
+#include "workload/generator.h"
+
+namespace mpcqp {
+namespace {
+
+using bench::Fmt;
+using bench::FmtInt;
+using bench::Table;
+
+void PsrsSweep() {
+  bench::Banner("E15a (slide 102): PSRS load vs p, N=65536");
+  const int64_t n = 1 << 16;
+  Rng data_rng(137);
+  const Relation input = GenerateUniform(data_rng, n, 1, 1u << 31);
+  Table table({"p", "measured L", "N/p", "p^2 (sample term)",
+               "L / (N/p + p^2)", "balanced?"});
+  for (const int p : {2, 4, 8, 16, 32, 64}) {
+    Cluster cluster(p, 7);
+    PsrsOptions options;
+    options.key_cols = {0};
+    const PsrsResult result =
+        PsrsSort(cluster, DistRelation::Scatter(input, p), options);
+    const int64_t load = cluster.cost_report().MaxLoadTuples();
+    const double denom = static_cast<double>(n) / p +
+                         static_cast<double>(p) * p;
+    table.AddRow({FmtInt(p), FmtInt(load), FmtInt(n / p),
+                  FmtInt(static_cast<int64_t>(p) * p),
+                  Fmt(static_cast<double>(load) / denom, 2),
+                  IsGloballySorted(result.sorted, {0}) ? "sorted" : "NO"});
+  }
+  table.Print();
+}
+
+void SplitterQuality() {
+  bench::Banner(
+      "E15b (slide 102): splitter quality — regular sample vs random "
+      "sampling, N=65536, p=16");
+  const int64_t n = 1 << 16;
+  const int p = 16;
+  Rng data_rng(139);
+  const Relation input = GenerateUniform(data_rng, n, 1, 1u << 31);
+  Table table({"splitter mode", "max fragment", "ideal N/p",
+               "imbalance max/ideal"});
+  {
+    Cluster cluster(p, 7);
+    PsrsOptions options;
+    options.key_cols = {0};
+    const PsrsResult result =
+        PsrsSort(cluster, DistRelation::Scatter(input, p), options);
+    table.AddRow({"regular sample (p-1/server)",
+                  FmtInt(result.sorted.MaxFragmentSize()), FmtInt(n / p),
+                  Fmt(static_cast<double>(result.sorted.MaxFragmentSize()) /
+                          (n / p),
+                      3)});
+  }
+  for (const int samples : {4, 16, 64}) {
+    Cluster cluster(p, 7);
+    Rng rng(141);
+    PsrsOptions options;
+    options.key_cols = {0};
+    options.use_sampling = true;
+    options.samples_per_server = samples;
+    const PsrsResult result =
+        PsrsSort(cluster, DistRelation::Scatter(input, p), options, &rng);
+    table.AddRow({"random sampling (" + std::to_string(samples) + "/server)",
+                  FmtInt(result.sorted.MaxFragmentSize()), FmtInt(n / p),
+                  Fmt(static_cast<double>(result.sorted.MaxFragmentSize()) /
+                          (n / p),
+                      3)});
+  }
+  table.Print();
+}
+
+void MultiRoundTradeoff() {
+  bench::Banner(
+      "E15c (slides 103-105): multi-round sort — rounds vs load, N=32768, "
+      "p=64");
+  const int64_t n = 1 << 15;
+  const int p = 64;
+  Rng data_rng(149);
+  const Relation input = GenerateUniform(data_rng, n, 1, 1u << 31);
+  Table table({"fan-out f", "rounds", "measured L", "log_L(N) lower bound"});
+  for (const int fan_out : {2, 4, 8, 64}) {
+    Cluster cluster(p, 7);
+    Rng rng(151);
+    const MultiRoundSortResult result = MultiRoundSort(
+        cluster, DistRelation::Scatter(input, p), 0, fan_out, rng);
+    const int64_t load = cluster.cost_report().MaxLoadTuples();
+    const double lb = std::log(static_cast<double>(n)) /
+                      std::log(std::max<double>(2.0,
+                                                static_cast<double>(load)));
+    table.AddRow({FmtInt(fan_out), FmtInt(result.rounds), FmtInt(load),
+                  Fmt(lb, 2)});
+  }
+  table.Print();
+  std::printf(
+      "\nShape check (slide 105): fewer rounds require higher per-round "
+      "load; every (r, L) point respects r >= log_L N.\n");
+}
+
+void PracticeTable() {
+  bench::Banner(
+      "E15d (slide 106 recast): our sort implementations, N=65536, p=16 — "
+      "all practical sorts are splitter-based with p << N");
+  const int64_t n = 1 << 16;
+  const int p = 16;
+  Rng data_rng(157);
+  const Relation input = GenerateUniform(data_rng, n, 1, 1u << 31);
+  Table table({"algorithm", "rounds", "L", "total comm", "notes"});
+  {
+    Cluster cluster(p, 7);
+    PsrsOptions options;
+    options.key_cols = {0};
+    PsrsSort(cluster, DistRelation::Scatter(input, p), options);
+    table.AddRow({"PSRS (regular sampling)",
+                  FmtInt(cluster.cost_report().num_rounds()),
+                  FmtInt(cluster.cost_report().MaxLoadTuples()),
+                  FmtInt(cluster.cost_report().TotalCommTuples()),
+                  "the textbook 2-round sort"});
+  }
+  {
+    Cluster cluster(p, 7);
+    Rng rng(163);
+    PsrsOptions options;
+    options.key_cols = {0};
+    options.use_sampling = true;
+    options.samples_per_server = 32;
+    PsrsSort(cluster, DistRelation::Scatter(input, p), options, &rng);
+    table.AddRow({"sample-sort (random splitters)",
+                  FmtInt(cluster.cost_report().num_rounds()),
+                  FmtInt(cluster.cost_report().MaxLoadTuples()),
+                  FmtInt(cluster.cost_report().TotalCommTuples()),
+                  "what modern systems do (slide 102)"});
+  }
+  {
+    Cluster cluster(p, 7);
+    Rng rng(167);
+    const auto result = MultiRoundSort(
+        cluster, DistRelation::Scatter(input, p), 0, 4, rng);
+    table.AddRow({"multi-round distribution sort (f=4)",
+                  FmtInt(result.rounds),
+                  FmtInt(cluster.cost_report().MaxLoadTuples()),
+                  FmtInt(cluster.cost_report().TotalCommTuples()),
+                  "Goodrich-style regime, fine-grained p"});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace mpcqp
+
+int main() {
+  mpcqp::PsrsSweep();
+  mpcqp::SplitterQuality();
+  mpcqp::MultiRoundTradeoff();
+  mpcqp::PracticeTable();
+  return 0;
+}

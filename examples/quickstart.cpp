@@ -1,0 +1,51 @@
+// Quickstart: simulate a 16-server MPC cluster, distribute two relations,
+// run a parallel hash join, and read the communication meter.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "join/hash_join.h"
+#include "mpc/cluster.h"
+#include "mpc/dist_relation.h"
+#include "workload/generator.h"
+
+int main() {
+  using namespace mpcqp;
+
+  // A cluster is p simulated shared-nothing servers plus a communication
+  // meter. All randomness is seeded: runs are reproducible.
+  const int p = 16;
+  Cluster cluster(p, /*seed=*/42);
+
+  // Synthesize two relations R(x, y) and S(y, z), 100k rows each.
+  Rng rng(7);
+  const Relation r = GenerateUniform(rng, 100000, 2, /*domain=*/50000);
+  const Relation s = GenerateUniform(rng, 100000, 2, /*domain=*/50000);
+
+  // Inputs start block-partitioned across the servers (that initial
+  // placement is free - the MPC model assumes data begins spread out).
+  const DistRelation r_dist = DistRelation::Scatter(r, p);
+  const DistRelation s_dist = DistRelation::Scatter(s, p);
+
+  // One round: both relations are re-partitioned by hash of the join key
+  // (R.y == S.y), then every server joins its fragments locally.
+  const DistRelation joined =
+      ParallelHashJoin(cluster, r_dist, s_dist, /*left_keys=*/{1},
+                       /*right_keys=*/{0});
+
+  std::printf("query: R(x,y) JOIN S(y,z) ON R.y = S.y\n");
+  std::printf("|R| = %lld, |S| = %lld, |OUT| = %lld\n",
+              static_cast<long long>(r.size()),
+              static_cast<long long>(s.size()),
+              static_cast<long long>(joined.TotalSize()));
+  std::printf("\ncost report:\n%s\n",
+              cluster.cost_report().ToString().c_str());
+  std::printf(
+      "\nideal load IN/p = %lld tuples; the hash join should be within a "
+      "few percent of it on this skew-free input.\n",
+      static_cast<long long>((r.size() + s.size()) / p));
+  return 0;
+}

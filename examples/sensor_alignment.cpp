@@ -1,0 +1,54 @@
+// Similarity (band) join: align two sensor streams on timestamps that
+// differ by at most epsilon ticks — one of the deck's motivating
+// applications of distributed sorting (slide 99).
+//
+//   ./build/examples/sensor_alignment
+
+#include <cstdio>
+
+#include "mpc/cluster.h"
+#include "sort/band_join.h"
+#include "workload/generator.h"
+
+int main() {
+  using namespace mpcqp;
+
+  const int p = 16;
+  const Value epsilon = 5;  // Clock skew tolerance, in ticks.
+  Rng rng(77);
+
+  // Stream A: (timestamp, reading); stream B: (timestamp, reading).
+  // B's clock drifts a little against A's.
+  Relation stream_a(2);
+  Relation stream_b(2);
+  Value clock = 0;
+  for (int i = 0; i < 30000; ++i) {
+    clock += 1 + rng.Uniform(6);
+    stream_a.AppendRow({clock, rng.Uniform(1000)});
+    if (rng.Uniform(3) == 0) {
+      const Value drift = rng.Uniform(2 * epsilon + 1);
+      stream_b.AppendRow({clock + drift - epsilon, rng.Uniform(1000)});
+    }
+  }
+
+  Cluster cluster(p, 9);
+  const DistRelation pairs =
+      BandJoin(cluster, DistRelation::Scatter(stream_a, p),
+               DistRelation::Scatter(stream_b, p), /*left_col=*/0,
+               /*right_col=*/0, epsilon);
+
+  std::printf("stream A: %lld readings, stream B: %lld readings\n",
+              static_cast<long long>(stream_a.size()),
+              static_cast<long long>(stream_b.size()));
+  std::printf("aligned pairs within %llu ticks: %lld\n",
+              static_cast<unsigned long long>(epsilon),
+              static_cast<long long>(pairs.TotalSize()));
+  std::printf("\ncost report:\n%s\n",
+              cluster.cost_report().ToString().c_str());
+  std::printf(
+      "\nthe 3 rounds are: PSRS sample broadcast, PSRS range partition, "
+      "and the epsilon-window replication of stream A — load stays near "
+      "IN/p because few readings sit within epsilon of a partition "
+      "boundary.\n");
+  return 0;
+}

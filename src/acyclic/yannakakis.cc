@@ -1,0 +1,123 @@
+#include "acyclic/yannakakis.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "query/local_eval.h"
+#include "relation/relation_ops.h"
+
+namespace mpcqp {
+
+Relation MaterializeBag(const ConjunctiveQuery& q, const GhdNode& node,
+                        const std::vector<Relation>& atoms) {
+  MPCQP_CHECK(!node.atoms.empty());
+  // Sub-query over the bag's vars (already sorted ascending by Ghd).
+  std::vector<int> index_of_var(q.num_vars(), -1);
+  std::vector<std::string> names;
+  for (size_t i = 0; i < node.vars.size(); ++i) {
+    index_of_var[node.vars[i]] = static_cast<int>(i);
+    names.push_back(q.var_name(node.vars[i]));
+  }
+  std::vector<Atom> sub_atoms;
+  std::vector<Relation> sub_rels;
+  for (int a : node.atoms) {
+    Atom atom = q.atom(a);
+    for (int& v : atom.vars) v = index_of_var[v];
+    sub_atoms.push_back(std::move(atom));
+    sub_rels.push_back(atoms[a]);
+  }
+  const ConjunctiveQuery sub = ConjunctiveQuery::Make(names, sub_atoms);
+  return EvalJoinLocal(sub, sub_rels);
+}
+
+namespace {
+
+// Key columns of the shared variables between two var lists.
+void SharedKeyCols(const std::vector<int>& left_vars,
+                   const std::vector<int>& right_vars,
+                   std::vector<int>* left_keys, std::vector<int>* right_keys) {
+  left_keys->clear();
+  right_keys->clear();
+  for (size_t i = 0; i < left_vars.size(); ++i) {
+    const auto it =
+        std::find(right_vars.begin(), right_vars.end(), left_vars[i]);
+    if (it != right_vars.end()) {
+      left_keys->push_back(static_cast<int>(i));
+      right_keys->push_back(static_cast<int>(it - right_vars.begin()));
+    }
+  }
+}
+
+}  // namespace
+
+Relation YannakakisSerial(const ConjunctiveQuery& q, const Ghd& ghd,
+                          const std::vector<Relation>& atoms) {
+  MPCQP_CHECK_EQ(static_cast<int>(atoms.size()), q.num_atoms());
+  const Status valid = ghd.Validate(q);
+  MPCQP_CHECK(valid.ok()) << valid;
+
+  // Bags (columns = bag vars ascending).
+  std::vector<Relation> bags;
+  for (int n = 0; n < ghd.num_nodes(); ++n) {
+    bags.push_back(MaterializeBag(q, ghd.node(n), atoms));
+  }
+
+  const std::vector<std::vector<int>> levels = ghd.LevelsFromRoot();
+
+  // Upward semijoin phase: deepest level first, parent ⋉ child.
+  std::vector<int> lk;
+  std::vector<int> rk;
+  for (auto level = levels.rbegin(); level != levels.rend(); ++level) {
+    for (int n : *level) {
+      const int parent = ghd.node(n).parent;
+      if (parent < 0) continue;
+      SharedKeyCols(ghd.node(parent).vars, ghd.node(n).vars, &lk, &rk);
+      bags[parent] = SemijoinLocal(bags[parent], bags[n], lk, rk);
+    }
+  }
+  // Downward semijoin phase: child ⋉ parent, top level first.
+  for (const std::vector<int>& level : levels) {
+    for (int n : level) {
+      const int parent = ghd.node(n).parent;
+      if (parent < 0) continue;
+      SharedKeyCols(ghd.node(n).vars, ghd.node(parent).vars, &lk, &rk);
+      bags[n] = SemijoinLocal(bags[n], bags[parent], lk, rk);
+    }
+  }
+
+  // Join phase: bottom-up; child results fold into their parents.
+  std::vector<Relation> results = bags;
+  std::vector<std::vector<int>> result_vars;
+  for (int n = 0; n < ghd.num_nodes(); ++n) {
+    result_vars.push_back(ghd.node(n).vars);
+  }
+  for (auto level = levels.rbegin(); level != levels.rend(); ++level) {
+    for (int n : *level) {
+      const int parent = ghd.node(n).parent;
+      if (parent < 0) continue;
+      SharedKeyCols(result_vars[parent], result_vars[n], &lk, &rk);
+      results[parent] = HashJoinLocal(results[parent], results[n], lk, rk);
+      // Output: parent vars then child's non-key vars.
+      for (size_t c = 0; c < result_vars[n].size(); ++c) {
+        if (std::find(rk.begin(), rk.end(), static_cast<int>(c)) ==
+            rk.end()) {
+          result_vars[parent].push_back(result_vars[n][c]);
+        }
+      }
+    }
+  }
+
+  // Project the root result to variable-id order.
+  const int root = ghd.root();
+  MPCQP_CHECK_EQ(static_cast<int>(result_vars[root].size()), q.num_vars());
+  std::vector<int> cols(q.num_vars());
+  for (int v = 0; v < q.num_vars(); ++v) {
+    const auto it =
+        std::find(result_vars[root].begin(), result_vars[root].end(), v);
+    MPCQP_CHECK(it != result_vars[root].end());
+    cols[v] = static_cast<int>(it - result_vars[root].begin());
+  }
+  return Project(results[root], cols);
+}
+
+}  // namespace mpcqp

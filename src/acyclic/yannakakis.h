@@ -1,0 +1,29 @@
+#ifndef MPCQP_ACYCLIC_YANNAKAKIS_H_
+#define MPCQP_ACYCLIC_YANNAKAKIS_H_
+
+#include <vector>
+
+#include "query/ghd.h"
+#include "query/query.h"
+#include "relation/relation.h"
+
+namespace mpcqp {
+
+// The serial Yannakakis algorithm over a decomposition (deck slides
+// 64-77): materialize each bag, run the upward then downward semijoin
+// phases (the full reducer), then join bottom-up. After reduction every
+// intermediate is bounded by OUT, giving O(IN + OUT) data complexity.
+//
+// Used as the reference implementation for GYM and in its own right as a
+// single-node operator. Output columns = query variables in id order.
+Relation YannakakisSerial(const ConjunctiveQuery& q, const Ghd& ghd,
+                          const std::vector<Relation>& atoms);
+
+// Materializes one bag: the join of its atoms, columns = bag vars in id
+// order (helper shared with GYM; exposed for tests).
+Relation MaterializeBag(const ConjunctiveQuery& q, const GhdNode& node,
+                        const std::vector<Relation>& atoms);
+
+}  // namespace mpcqp
+
+#endif  // MPCQP_ACYCLIC_YANNAKAKIS_H_

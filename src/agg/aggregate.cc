@@ -1,0 +1,109 @@
+#include "agg/aggregate.h"
+
+#include "common/check.h"
+#include "mpc/exchange.h"
+#include "relation/relation_ops.h"
+
+namespace mpcqp {
+
+DistRelation DistributedGroupBySum(Cluster& cluster, const DistRelation& rel,
+                                   const std::vector<int>& group_cols,
+                                   int value_col,
+                                   const GroupByOptions& options) {
+  return DistributedGroupByAggregate(cluster, rel, group_cols, value_col,
+                                     AggregateOp::kSum, options);
+}
+
+DistRelation DistributedGroupByAggregate(Cluster& cluster,
+                                         const DistRelation& rel,
+                                         const std::vector<int>& group_cols,
+                                         int value_col, AggregateOp op,
+                                         const GroupByOptions& options) {
+  MPCQP_CHECK(!group_cols.empty());
+  MPCQP_CHECK_GE(value_col, 0);
+  MPCQP_CHECK_LT(value_col, rel.arity());
+  const int p = cluster.num_servers();
+  MPCQP_CHECK_EQ(rel.num_servers(), p);
+
+  // How partials re-aggregate: COUNT partials are summed, the rest are
+  // idempotent under their own op.
+  const AggregateOp merge_op =
+      op == AggregateOp::kCount ? AggregateOp::kSum : op;
+
+  // Optional local pre-aggregation (free compute).
+  DistRelation staged(static_cast<int>(group_cols.size()) + 1, p);
+  if (options.use_combiners) {
+    for (int s = 0; s < p; ++s) {
+      staged.fragment(s) =
+          GroupByAggregate(rel.fragment(s), group_cols, value_col, op);
+    }
+  } else {
+    // Project to (group..., value) so both paths shuffle the same shape.
+    std::vector<int> cols = group_cols;
+    cols.push_back(value_col);
+    for (int s = 0; s < p; ++s) {
+      staged.fragment(s) = Project(rel.fragment(s), cols);
+    }
+  }
+
+  // One round: each group's partials meet at its hash owner.
+  std::vector<int> staged_group_cols(group_cols.size());
+  for (size_t i = 0; i < group_cols.size(); ++i) {
+    staged_group_cols[i] = static_cast<int>(i);
+  }
+  const HashFunction hash = cluster.NewHashFunction();
+  const DistRelation routed = HashPartition(
+      cluster, staged, staged_group_cols, hash, "group-by shuffle");
+
+  DistRelation result(static_cast<int>(group_cols.size()) + 1, p);
+  const int value_pos = static_cast<int>(group_cols.size());
+  for (int s = 0; s < p; ++s) {
+    result.fragment(s) =
+        GroupByAggregate(routed.fragment(s), staged_group_cols, value_pos,
+                         options.use_combiners ? merge_op : op);
+  }
+  return result;
+}
+
+ScalarAggregateResult DistributedSum(Cluster& cluster,
+                                     const DistRelation& rel, int value_col,
+                                     int fan_in) {
+  MPCQP_CHECK_GE(fan_in, 2);
+  MPCQP_CHECK_GE(value_col, 0);
+  MPCQP_CHECK_LT(value_col, rel.arity());
+  const int p = cluster.num_servers();
+  MPCQP_CHECK_EQ(rel.num_servers(), p);
+
+  // Local partials (free compute).
+  std::vector<Value> partial(p, 0);
+  for (int s = 0; s < p; ++s) {
+    const Relation& frag = rel.fragment(s);
+    for (int64_t i = 0; i < frag.size(); ++i) {
+      partial[s] += frag.at(i, value_col);
+    }
+  }
+
+  // Aggregation tree: each round, server s with s % stride != 0 sends its
+  // partial to its group leader s - (s % stride).
+  int rounds = 0;
+  int active = p;  // Partials live on servers 0, stride, 2*stride, ...
+  int stride = 1;
+  while (active > 1) {
+    ++rounds;
+    cluster.BeginRound("sum tree round " + std::to_string(rounds));
+    const int next_stride = stride * fan_in;
+    for (int s = 0; s < p; s += stride) {
+      if (s % next_stride == 0) continue;
+      const int leader = s - (s % next_stride);
+      cluster.RecordMessage(s, leader, 1, 1);
+      partial[leader] += partial[s];
+      partial[s] = 0;
+    }
+    cluster.EndRound();
+    stride = next_stride;
+    active = (p + stride - 1) / stride;
+  }
+  return {partial[0], rounds};
+}
+
+}  // namespace mpcqp

@@ -1,0 +1,55 @@
+#ifndef MPCQP_AGG_AGGREGATE_H_
+#define MPCQP_AGG_AGGREGATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mpc/cluster.h"
+#include "mpc/dist_relation.h"
+#include "relation/relation_ops.h"
+
+namespace mpcqp {
+
+// Distributed aggregation (the deck's slide-52 query: SELECT keys,
+// SUM(...) GROUP BY keys — "queries are typically executed in multiple
+// rounds" because a join round feeds an aggregation round).
+
+struct GroupByOptions {
+  // Pre-aggregate locally before the shuffle (the standard combiner
+  // optimization). Off, the shuffle moves every input tuple and a heavy
+  // group concentrates its entire weight on one server; on, each server
+  // contributes at most one partial per group.
+  bool use_combiners = true;
+};
+
+// SELECT group_cols..., SUM(value_col) GROUP BY group_cols in one round:
+// shuffle by hash of the group key, aggregate locally. Output columns:
+// group columns then the sum; each group on exactly one server.
+DistRelation DistributedGroupBySum(Cluster& cluster, const DistRelation& rel,
+                                   const std::vector<int>& group_cols,
+                                   int value_col,
+                                   const GroupByOptions& options = {});
+
+// General algebraic aggregates (SUM / COUNT / MIN / MAX): same round
+// structure; combiner partials are merged with the op's re-aggregation
+// (partial COUNTs are SUMmed, MIN of MINs, ...).
+DistRelation DistributedGroupByAggregate(Cluster& cluster,
+                                         const DistRelation& rel,
+                                         const std::vector<int>& group_cols,
+                                         int value_col, AggregateOp op,
+                                         const GroupByOptions& options = {});
+
+// Global SUM(value_col) (no grouping) via a fan_in-ary aggregation tree:
+// ceil(log_fan_in(p)) rounds, O(fan_in) load per round. This is the
+// log_L(N) round structure behind the slide-105/125 aggregation lower
+// bounds.
+struct ScalarAggregateResult {
+  Value sum = 0;
+  int rounds = 0;
+};
+ScalarAggregateResult DistributedSum(Cluster& cluster, const DistRelation& rel,
+                                     int value_col, int fan_in = 2);
+
+}  // namespace mpcqp
+
+#endif  // MPCQP_AGG_AGGREGATE_H_

@@ -1,0 +1,64 @@
+#ifndef MPCQP_COMMON_CHECK_H_
+#define MPCQP_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace mpcqp {
+namespace internal_check {
+
+// Accumulates a failure message and aborts the process when destroyed.
+// Used only via the MPCQP_CHECK* macros below; invariant violations are
+// programmer errors and terminate immediately (no exceptions).
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* condition, const char* file, int line) {
+    stream_ << "CHECK failed: " << condition << " at " << file << ":" << line
+            << " ";
+  }
+
+  CheckFailureStream(const CheckFailureStream&) = delete;
+  CheckFailureStream& operator=(const CheckFailureStream&) = delete;
+
+  ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Turns the streamed expression into void so the macro can sit in the
+// false branch of a ternary. operator& binds looser than operator<<.
+struct Voidify {
+  void operator&(CheckFailureStream&&) {}
+  void operator&(CheckFailureStream&) {}
+};
+
+}  // namespace internal_check
+}  // namespace mpcqp
+
+// Aborts with a message if `condition` is false. Additional context can be
+// streamed: MPCQP_CHECK(x > 0) << "x=" << x;
+#define MPCQP_CHECK(condition)                               \
+  (condition) ? (void)0                                      \
+              : ::mpcqp::internal_check::Voidify() &         \
+                    ::mpcqp::internal_check::CheckFailureStream( \
+                        #condition, __FILE__, __LINE__)
+
+#define MPCQP_CHECK_EQ(a, b) MPCQP_CHECK((a) == (b))
+#define MPCQP_CHECK_NE(a, b) MPCQP_CHECK((a) != (b))
+#define MPCQP_CHECK_LT(a, b) MPCQP_CHECK((a) < (b))
+#define MPCQP_CHECK_LE(a, b) MPCQP_CHECK((a) <= (b))
+#define MPCQP_CHECK_GT(a, b) MPCQP_CHECK((a) > (b))
+#define MPCQP_CHECK_GE(a, b) MPCQP_CHECK((a) >= (b))
+
+#endif  // MPCQP_COMMON_CHECK_H_

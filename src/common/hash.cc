@@ -1,0 +1,55 @@
+#include "common/hash.h"
+
+#include "common/check.h"
+
+namespace mpcqp {
+
+namespace {
+
+// splitmix64 finalizer; full-avalanche 64-bit mixer.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+HashFunction::HashFunction(uint64_t seed)
+    : seed_(seed), xor_(Mix64(seed ^ 0xa0761d6478bd642fULL)) {}
+
+uint64_t HashFunction::Hash(uint64_t value) const {
+  return Mix64(value ^ xor_);
+}
+
+int HashFunction::Bucket(uint64_t value, int num_buckets) const {
+  MPCQP_CHECK_GT(num_buckets, 0);
+  // Multiply-shift range reduction avoids modulo bias on small ranges.
+  return static_cast<int>(
+      (static_cast<unsigned __int128>(Hash(value)) * num_buckets) >> 64);
+}
+
+uint64_t HashFunction::HashSpan(const uint64_t* values, int count) const {
+  uint64_t acc = xor_;
+  for (int i = 0; i < count; ++i) {
+    acc = Mix64(acc ^ values[i]);
+  }
+  return acc;
+}
+
+HashFamily::HashFamily(uint64_t base_seed, int count) {
+  MPCQP_CHECK_GE(count, 0);
+  functions_.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    functions_.emplace_back(Mix64(base_seed + 0x9e3779b97f4a7c15ULL * (i + 1)));
+  }
+}
+
+const HashFunction& HashFamily::at(int index) const {
+  MPCQP_CHECK_GE(index, 0);
+  MPCQP_CHECK_LT(index, size());
+  return functions_[index];
+}
+
+}  // namespace mpcqp

@@ -1,0 +1,52 @@
+#ifndef MPCQP_COMMON_HASH_H_
+#define MPCQP_COMMON_HASH_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace mpcqp {
+
+// A seeded family of 64-bit hash functions over 64-bit values, used to
+// partition tuples across servers. Different seeds give (empirically)
+// independent functions, which the HyperCube algorithm requires, one per
+// query variable.
+//
+// The mixer is the splitmix64 finalizer, which has full avalanche; keys are
+// first xored with a seed-derived constant so distinct seeds decorrelate.
+class HashFunction {
+ public:
+  explicit HashFunction(uint64_t seed);
+
+  // Hashes a single value.
+  uint64_t Hash(uint64_t value) const;
+
+  // Hashes a value into a bucket in [0, num_buckets). num_buckets > 0.
+  int Bucket(uint64_t value, int num_buckets) const;
+
+  // Hashes a composite key (e.g. a multi-attribute join key).
+  uint64_t HashSpan(const uint64_t* values, int count) const;
+
+  uint64_t seed() const { return seed_; }
+
+ private:
+  uint64_t seed_;
+  uint64_t xor_;  // Seed-derived whitening constant.
+};
+
+// A family of independent hash functions indexed by dimension; HyperCube
+// uses function i for query variable i.
+class HashFamily {
+ public:
+  // Creates `count` functions derived from `base_seed`.
+  HashFamily(uint64_t base_seed, int count);
+
+  const HashFunction& at(int index) const;
+  int size() const { return static_cast<int>(functions_.size()); }
+
+ private:
+  std::vector<HashFunction> functions_;
+};
+
+}  // namespace mpcqp
+
+#endif  // MPCQP_COMMON_HASH_H_

@@ -1,0 +1,33 @@
+#ifndef MPCQP_COMMON_RANDOM_H_
+#define MPCQP_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace mpcqp {
+
+// Deterministic, seedable PRNG (xoshiro256**). All randomized components of
+// the library draw from an explicit Rng so that simulations and tests are
+// reproducible; nothing reads global entropy.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform over all 64-bit values.
+  uint64_t Next();
+
+  // Uniform in [0, bound). bound > 0.
+  uint64_t Uniform(uint64_t bound);
+
+  // Uniform in [lo, hi]. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Uniform in [0, 1).
+  double NextDouble();
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace mpcqp
+
+#endif  // MPCQP_COMMON_RANDOM_H_

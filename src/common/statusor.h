@@ -1,0 +1,75 @@
+#ifndef MPCQP_COMMON_STATUSOR_H_
+#define MPCQP_COMMON_STATUSOR_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace mpcqp {
+
+// Holds either a value of type T or a non-OK Status explaining why the value
+// is absent. Accessing the value of a non-OK StatusOr aborts the process
+// (the library does not use exceptions).
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit, so functions can `return value;` or
+  // `return SomeError(...)`, matching absl::StatusOr ergonomics.
+  StatusOr(const T& value) : value_(value) {}          // NOLINT
+  StatusOr(T&& value) : value_(std::move(value)) {}    // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    MPCQP_CHECK(!status_.ok()) << "StatusOr constructed from OK status";
+  }
+
+  StatusOr(const StatusOr&) = default;
+  StatusOr& operator=(const StatusOr&) = default;
+  StatusOr(StatusOr&&) = default;
+  StatusOr& operator=(StatusOr&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    MPCQP_CHECK(ok()) << "StatusOr::value on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    MPCQP_CHECK(ok()) << "StatusOr::value on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    MPCQP_CHECK(ok()) << "StatusOr::value on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;  // OK iff value_ has a value.
+  std::optional<T> value_;
+};
+
+}  // namespace mpcqp
+
+// Assigns the value of `rexpr` (a StatusOr expression) to `lhs`, or returns
+// its status from the enclosing function.
+#define MPCQP_ASSIGN_OR_RETURN(lhs, rexpr)                       \
+  MPCQP_ASSIGN_OR_RETURN_IMPL_(                                  \
+      MPCQP_STATUS_MACROS_CONCAT_(_statusor, __LINE__), lhs, rexpr)
+
+#define MPCQP_ASSIGN_OR_RETURN_IMPL_(statusor, lhs, rexpr) \
+  auto statusor = (rexpr);                                 \
+  if (!statusor.ok()) return statusor.status();            \
+  lhs = std::move(statusor).value()
+
+#define MPCQP_STATUS_MACROS_CONCAT_(x, y) MPCQP_STATUS_MACROS_CONCAT_IMPL_(x, y)
+#define MPCQP_STATUS_MACROS_CONCAT_IMPL_(x, y) x##y
+
+#endif  // MPCQP_COMMON_STATUSOR_H_

@@ -1,0 +1,28 @@
+#include "join/broadcast_join.h"
+
+#include "common/check.h"
+#include "mpc/exchange.h"
+
+namespace mpcqp {
+
+DistRelation BroadcastJoin(Cluster& cluster, const DistRelation& left,
+                           const DistRelation& right,
+                           const std::vector<int>& left_keys,
+                           const std::vector<int>& right_keys,
+                           LocalJoinAlgorithm local) {
+  MPCQP_CHECK_EQ(left_keys.size(), right_keys.size());
+  const int p = cluster.num_servers();
+
+  DistRelation replicated =
+      Broadcast(cluster, right, "broadcast join: replicate small side");
+
+  std::vector<Relation> outputs;
+  outputs.reserve(p);
+  for (int s = 0; s < p; ++s) {
+    outputs.push_back(RunLocalJoin(left.fragment(s), replicated.fragment(s),
+                                   left_keys, right_keys, local));
+  }
+  return DistRelation::FromFragments(std::move(outputs));
+}
+
+}  // namespace mpcqp

@@ -1,0 +1,109 @@
+#include "join/cartesian.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "mpc/exchange.h"
+#include "relation/relation_ops.h"
+
+namespace mpcqp {
+
+std::pair<int, int> OptimalGridShape(int64_t left_size, int64_t right_size,
+                                     int p) {
+  MPCQP_CHECK_GE(p, 1);
+  // Exact search: for each row count, use the largest column count that
+  // fits. Loads use ceil-free real division; sizes 0 behave (load 0).
+  int best_rows = 1;
+  int best_cols = p;
+  double best_load = -1.0;
+  for (int rows = 1; rows <= p; ++rows) {
+    const int cols = p / rows;
+    if (cols < 1) break;
+    const double load = static_cast<double>(left_size) / rows +
+                        static_cast<double>(right_size) / cols;
+    if (best_load < 0 || load < best_load) {
+      best_load = load;
+      best_rows = rows;
+      best_cols = cols;
+    }
+  }
+  return {best_rows, best_cols};
+}
+
+void ScatterForProduct(Cluster& cluster, const DistRelation& left,
+                       const DistRelation& right,
+                       const std::vector<int>& servers, int rows, int cols,
+                       Rng& rng, DistRelation* left_out,
+                       DistRelation* right_out) {
+  MPCQP_CHECK_GE(rows, 1);
+  MPCQP_CHECK_GE(cols, 1);
+  MPCQP_CHECK_LE(static_cast<size_t>(rows) * cols, servers.size());
+  MPCQP_CHECK(left_out != nullptr && right_out != nullptr);
+  MPCQP_CHECK_EQ(left_out->num_servers(), cluster.num_servers());
+  MPCQP_CHECK_EQ(right_out->num_servers(), cluster.num_servers());
+
+  RoundScope scope(cluster, "cartesian product scatter");
+
+  // Left tuple -> one random row slice, replicated across that row.
+  {
+    DistRelation routed = Route(
+        cluster, left,
+        [&](const Value*, std::vector<int>& dests) {
+          const int r = static_cast<int>(rng.Uniform(rows));
+          for (int c = 0; c < cols; ++c) {
+            dests.push_back(servers[r * cols + c]);
+          }
+        },
+        "");
+    for (int s = 0; s < cluster.num_servers(); ++s) {
+      const Relation& frag = routed.fragment(s);
+      for (int64_t i = 0; i < frag.size(); ++i) {
+        left_out->fragment(s).AppendRowFrom(frag, i);
+      }
+    }
+  }
+  // Right tuple -> one random column slice, replicated down that column.
+  {
+    DistRelation routed = Route(
+        cluster, right,
+        [&](const Value*, std::vector<int>& dests) {
+          const int c = static_cast<int>(rng.Uniform(cols));
+          for (int r = 0; r < rows; ++r) {
+            dests.push_back(servers[r * cols + c]);
+          }
+        },
+        "");
+    for (int s = 0; s < cluster.num_servers(); ++s) {
+      const Relation& frag = routed.fragment(s);
+      for (int64_t i = 0; i < frag.size(); ++i) {
+        right_out->fragment(s).AppendRowFrom(frag, i);
+      }
+    }
+  }
+}
+
+DistRelation CartesianProduct(Cluster& cluster, const DistRelation& left,
+                              const DistRelation& right, Rng& rng) {
+  const int p = cluster.num_servers();
+  const auto [rows, cols] =
+      OptimalGridShape(left.TotalSize(), right.TotalSize(), p);
+  std::vector<int> servers(p);
+  for (int s = 0; s < p; ++s) servers[s] = s;
+
+  DistRelation left_parts(left.arity(), p);
+  DistRelation right_parts(right.arity(), p);
+  ScatterForProduct(cluster, left, right, servers, rows, cols, rng,
+                    &left_parts, &right_parts);
+
+  std::vector<Relation> outputs;
+  outputs.reserve(p);
+  for (int s = 0; s < p; ++s) {
+    // Empty key list: a pure cross product per server.
+    outputs.push_back(
+        HashJoinLocal(left_parts.fragment(s), right_parts.fragment(s),
+                      /*left_keys=*/{}, /*right_keys=*/{}));
+  }
+  return DistRelation::FromFragments(std::move(outputs));
+}
+
+}  // namespace mpcqp

@@ -1,0 +1,49 @@
+#ifndef MPCQP_JOIN_CARTESIAN_H_
+#define MPCQP_JOIN_CARTESIAN_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "mpc/cluster.h"
+#include "mpc/dist_relation.h"
+
+namespace mpcqp {
+
+// The one-round Cartesian product algorithm of deck slide 28: arrange
+// servers in a rows × cols grid; each left tuple goes to one random row
+// (replicated across that row's servers), each right tuple to one random
+// column. Every (l, r) pair meets at exactly one server.
+//
+// With the optimal grid shape the load is 2·sqrt(|R||S|/p), which is
+// optimal; when |R| << |S| the shape degenerates to 1 × p, i.e. a
+// broadcast of R.
+
+// Grid shape minimizing |left_size|/rows + |right_size|/cols over integer
+// grids with rows*cols <= p.
+std::pair<int, int> OptimalGridShape(int64_t left_size, int64_t right_size,
+                                     int p);
+
+// Full product on all servers with the optimal grid. Output columns: left
+// then right (all columns of both).
+DistRelation CartesianProduct(Cluster& cluster, const DistRelation& left,
+                              const DistRelation& right, Rng& rng);
+
+// Product on an explicit server subset with an explicit grid; the grid
+// occupies servers[0 .. rows*cols). Used by the skew-aware joins, which
+// give each heavy hitter an exclusive slice of the cluster. The exchange
+// merges into the caller's open round, if any.
+//
+// Rather than materializing output rows here, each grid server's received
+// fragments are returned so the caller can run its own local join (the
+// fragments land on the global DistRelations `left_out`/`right_out`).
+void ScatterForProduct(Cluster& cluster, const DistRelation& left,
+                       const DistRelation& right,
+                       const std::vector<int>& servers, int rows, int cols,
+                       Rng& rng, DistRelation* left_out,
+                       DistRelation* right_out);
+
+}  // namespace mpcqp
+
+#endif  // MPCQP_JOIN_CARTESIAN_H_

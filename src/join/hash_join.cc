@@ -1,0 +1,54 @@
+#include "join/hash_join.h"
+
+#include "common/check.h"
+#include "mpc/exchange.h"
+#include "relation/relation_ops.h"
+
+namespace mpcqp {
+
+Relation RunLocalJoin(const Relation& left, const Relation& right,
+                      const std::vector<int>& left_keys,
+                      const std::vector<int>& right_keys,
+                      LocalJoinAlgorithm local) {
+  switch (local) {
+    case LocalJoinAlgorithm::kHash:
+      return HashJoinLocal(left, right, left_keys, right_keys);
+    case LocalJoinAlgorithm::kSortMerge:
+      return SortMergeJoinLocal(left, right, left_keys, right_keys);
+    case LocalJoinAlgorithm::kNestedLoop:
+      return NestedLoopJoinLocal(left, right, left_keys, right_keys);
+  }
+  MPCQP_CHECK(false) << "unknown local join algorithm";
+  return Relation(0);
+}
+
+DistRelation ParallelHashJoin(Cluster& cluster, const DistRelation& left,
+                              const DistRelation& right,
+                              const std::vector<int>& left_keys,
+                              const std::vector<int>& right_keys,
+                              LocalJoinAlgorithm local) {
+  MPCQP_CHECK_EQ(left_keys.size(), right_keys.size());
+  MPCQP_CHECK(!left_keys.empty());
+  const int p = cluster.num_servers();
+
+  // Both shuffles share one hash function (same key, same server) and one
+  // MPC round.
+  const HashFunction hash = cluster.NewHashFunction();
+  cluster.BeginRound("parallel hash join: shuffle");
+  DistRelation left_parts =
+      HashPartition(cluster, left, left_keys, hash, "");
+  DistRelation right_parts =
+      HashPartition(cluster, right, right_keys, hash, "");
+  cluster.EndRound();
+
+  std::vector<Relation> outputs;
+  outputs.reserve(p);
+  for (int s = 0; s < p; ++s) {
+    outputs.push_back(RunLocalJoin(left_parts.fragment(s),
+                                   right_parts.fragment(s), left_keys,
+                                   right_keys, local));
+  }
+  return DistRelation::FromFragments(std::move(outputs));
+}
+
+}  // namespace mpcqp

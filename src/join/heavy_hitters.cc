@@ -1,0 +1,38 @@
+#include "join/heavy_hitters.h"
+
+#include <map>
+
+#include "common/check.h"
+
+namespace mpcqp {
+
+std::vector<HeavyHitter> FindHeavyHitters(const DistRelation& rel, int col,
+                                          int64_t threshold) {
+  MPCQP_CHECK_GE(col, 0);
+  MPCQP_CHECK_LT(col, rel.arity());
+  std::map<Value, int64_t> counts;
+  for (int s = 0; s < rel.num_servers(); ++s) {
+    const Relation& frag = rel.fragment(s);
+    for (int64_t i = 0; i < frag.size(); ++i) ++counts[frag.at(i, col)];
+  }
+  std::vector<HeavyHitter> result;
+  for (const auto& [value, count] : counts) {
+    if (count > threshold) result.push_back({value, count});
+  }
+  return result;
+}
+
+int64_t CountValue(const DistRelation& rel, int col, Value value) {
+  MPCQP_CHECK_GE(col, 0);
+  MPCQP_CHECK_LT(col, rel.arity());
+  int64_t count = 0;
+  for (int s = 0; s < rel.num_servers(); ++s) {
+    const Relation& frag = rel.fragment(s);
+    for (int64_t i = 0; i < frag.size(); ++i) {
+      if (frag.at(i, col) == value) ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace mpcqp

@@ -1,0 +1,37 @@
+#ifndef MPCQP_JOIN_HEAVY_HITTERS_H_
+#define MPCQP_JOIN_HEAVY_HITTERS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mpc/dist_relation.h"
+
+namespace mpcqp {
+
+// A join value and its frequency in a relation column.
+struct HeavyHitter {
+  Value value = 0;
+  int64_t count = 0;
+
+  friend bool operator==(const HeavyHitter& a, const HeavyHitter& b) {
+    return a.value == b.value && a.count == b.count;
+  }
+};
+
+// Values of column `col` with frequency STRICTLY greater than `threshold`,
+// sorted by value. The deck's threshold is IN/p (slide 29).
+//
+// Degree detection is exact here. In a deployment it is one cheap extra
+// round (per-server partial counts of candidate values, each server
+// holding at most p candidates above IN/p locally); the simulator computes
+// it directly and the algorithms treat it as free statistics, matching the
+// theory's assumption that degrees are known.
+std::vector<HeavyHitter> FindHeavyHitters(const DistRelation& rel, int col,
+                                          int64_t threshold);
+
+// Frequency of one value in a column (exact, across all fragments).
+int64_t CountValue(const DistRelation& rel, int col, Value value);
+
+}  // namespace mpcqp
+
+#endif  // MPCQP_JOIN_HEAVY_HITTERS_H_

@@ -1,0 +1,39 @@
+#ifndef MPCQP_JOIN_SEMI_JOIN_H_
+#define MPCQP_JOIN_SEMI_JOIN_H_
+
+#include <vector>
+
+#include "mpc/cluster.h"
+#include "mpc/dist_relation.h"
+
+namespace mpcqp {
+
+// Distributed semijoin left ⋉ right and antijoin left ▷ right: one round
+// (both sides hash-partitioned on the key), local filter. The building
+// block of Yannakakis/GYM (deck slides 58, 64-95): it removes dangling
+// tuples without ever growing the data, so L = O(IN/p) regardless of how
+// large the corresponding join would be.
+//
+// Output: the surviving tuples of `left` (arity unchanged), partitioned by
+// the key hash.
+DistRelation DistributedSemijoin(Cluster& cluster, const DistRelation& left,
+                                 const DistRelation& right,
+                                 const std::vector<int>& left_keys,
+                                 const std::vector<int>& right_keys);
+
+DistRelation DistributedAntijoin(Cluster& cluster, const DistRelation& left,
+                                 const DistRelation& right,
+                                 const std::vector<int>& left_keys,
+                                 const std::vector<int>& right_keys);
+
+// Broadcast variant: `right` is replicated instead of co-partitioned, so
+// `left` does not move at all. One round of load |right| per server —
+// preferable when the filter side is small (the broadcast-join analogue).
+DistRelation BroadcastSemijoin(Cluster& cluster, const DistRelation& left,
+                               const DistRelation& right,
+                               const std::vector<int>& left_keys,
+                               const std::vector<int>& right_keys);
+
+}  // namespace mpcqp
+
+#endif  // MPCQP_JOIN_SEMI_JOIN_H_

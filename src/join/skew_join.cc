@@ -1,0 +1,152 @@
+#include "join/skew_join.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "join/cartesian.h"
+#include "join/hash_join.h"
+#include "join/heavy_hitters.h"
+#include "mpc/stats.h"
+#include "mpc/exchange.h"
+
+namespace mpcqp {
+
+namespace {
+
+// Placement of one heavy hitter's exclusive Cartesian grid: servers
+// (start + i) mod p for i in [0, rows*cols).
+struct HeavyGrid {
+  int start = 0;
+  int rows = 1;
+  int cols = 1;
+};
+
+}  // namespace
+
+DistRelation SkewAwareJoin(Cluster& cluster, const DistRelation& left,
+                           const DistRelation& right, int left_key,
+                           int right_key, Rng& rng,
+                           const SkewJoinOptions& options) {
+  const int p = cluster.num_servers();
+  MPCQP_CHECK_GE(left_key, 0);
+  MPCQP_CHECK_LT(left_key, left.arity());
+  MPCQP_CHECK_GE(right_key, 0);
+  MPCQP_CHECK_LT(right_key, right.arity());
+
+  const int64_t in = left.TotalSize() + right.TotalSize();
+  const int64_t threshold = std::max<int64_t>(
+      1, static_cast<int64_t>(options.threshold_factor *
+                              static_cast<double>(in) / p));
+
+  // Degrees of every value that is heavy on either side.
+  std::unordered_map<Value, std::pair<int64_t, int64_t>> heavy_degrees;
+  if (options.metered_statistics) {
+    for (const DistributedHeavyHitter& h :
+         DetectHeavyHittersDistributed(cluster, left, left_key, threshold)) {
+      heavy_degrees[h.value].first = h.count;
+    }
+    for (const DistributedHeavyHitter& h : DetectHeavyHittersDistributed(
+             cluster, right, right_key, threshold)) {
+      heavy_degrees[h.value].second = h.count;
+    }
+  } else {
+    for (const HeavyHitter& h :
+         FindHeavyHitters(left, left_key, threshold)) {
+      heavy_degrees[h.value].first = h.count;
+    }
+    for (const HeavyHitter& h :
+         FindHeavyHitters(right, right_key, threshold)) {
+      heavy_degrees[h.value].second = h.count;
+    }
+  }
+  for (auto& [value, degrees] : heavy_degrees) {
+    if (degrees.first == 0) {
+      degrees.first = CountValue(left, left_key, value);
+    }
+    if (degrees.second == 0) {
+      degrees.second = CountValue(right, right_key, value);
+    }
+  }
+
+  // Allocate exclusive server slices proportional to each hitter's share
+  // of the output, sqrt(dL * dR). Hitters with no partner side produce no
+  // output; the degree statistics let us drop their tuples outright.
+  std::unordered_map<Value, HeavyGrid> grids;
+  {
+    double total_weight = 0.0;
+    for (const auto& [value, degrees] : heavy_degrees) {
+      total_weight += std::sqrt(static_cast<double>(degrees.first) *
+                                static_cast<double>(degrees.second));
+    }
+    int cursor = 0;
+    for (const auto& [value, degrees] : heavy_degrees) {
+      const auto [dl, dr] = degrees;
+      if (dl == 0 || dr == 0) continue;
+      const double weight =
+          std::sqrt(static_cast<double>(dl) * static_cast<double>(dr));
+      int budget = total_weight > 0
+                       ? static_cast<int>(p * weight / total_weight)
+                       : 1;
+      budget = std::max(1, std::min(budget, p));
+      HeavyGrid grid;
+      grid.start = cursor;
+      std::tie(grid.rows, grid.cols) = OptimalGridShape(dl, dr, budget);
+      cursor = (cursor + grid.rows * grid.cols) % p;
+      grids[value] = grid;
+    }
+  }
+
+  const HashFunction hash = cluster.NewHashFunction();
+  auto light_dest = [&](Value key) {
+    return hash.Bucket(key, p);
+  };
+
+  cluster.BeginRound("skew-aware join: shuffle");
+  DistRelation left_parts = Route(
+      cluster, left,
+      [&](const Value* row, std::vector<int>& dests) {
+        const Value key = row[left_key];
+        const auto it = grids.find(key);
+        if (it == grids.end()) {
+          if (heavy_degrees.count(key) == 0) dests.push_back(light_dest(key));
+          // Heavy but partnerless: dropped (cannot contribute output).
+          return;
+        }
+        const HeavyGrid& g = it->second;
+        const int r = static_cast<int>(rng.Uniform(g.rows));
+        for (int c = 0; c < g.cols; ++c) {
+          dests.push_back((g.start + r * g.cols + c) % p);
+        }
+      },
+      "");
+  DistRelation right_parts = Route(
+      cluster, right,
+      [&](const Value* row, std::vector<int>& dests) {
+        const Value key = row[right_key];
+        const auto it = grids.find(key);
+        if (it == grids.end()) {
+          if (heavy_degrees.count(key) == 0) dests.push_back(light_dest(key));
+          return;
+        }
+        const HeavyGrid& g = it->second;
+        const int c = static_cast<int>(rng.Uniform(g.cols));
+        for (int r = 0; r < g.rows; ++r) {
+          dests.push_back((g.start + r * g.cols + c) % p);
+        }
+      },
+      "");
+  cluster.EndRound();
+
+  std::vector<Relation> outputs;
+  outputs.reserve(p);
+  for (int s = 0; s < p; ++s) {
+    outputs.push_back(RunLocalJoin(left_parts.fragment(s),
+                                   right_parts.fragment(s), {left_key},
+                                   {right_key}, LocalJoinAlgorithm::kHash));
+  }
+  return DistRelation::FromFragments(std::move(outputs));
+}
+
+}  // namespace mpcqp

@@ -1,0 +1,29 @@
+#ifndef MPCQP_JOIN_SORT_JOIN_H_
+#define MPCQP_JOIN_SORT_JOIN_H_
+
+#include "common/random.h"
+#include "mpc/cluster.h"
+#include "mpc/dist_relation.h"
+
+namespace mpcqp {
+
+// The parallel sort-based join of deck slide 31 (Hu et al. '17 style):
+//
+//   1. Tag and union the two inputs, then PSRS-sort the union by
+//      (join key, unique tiebreaker) — so runs of one key may split
+//      across adjacent servers.
+//   2. Keys entirely inside one server join locally.
+//   3. Keys crossing a server boundary (at most p-1 of them) are re-routed
+//      to per-key Cartesian grids, exactly like the heavy hitters of the
+//      skew-aware join.
+//
+// Three rounds total (two for PSRS, one for the crossing keys); load
+// O(sqrt(OUT/p) + IN/p) like the skew-aware hash join, with sortedness as
+// a bonus. Single-column keys; output contract matches ParallelHashJoin.
+DistRelation ParallelSortJoin(Cluster& cluster, const DistRelation& left,
+                              const DistRelation& right, int left_key,
+                              int right_key, Rng& rng);
+
+}  // namespace mpcqp
+
+#endif  // MPCQP_JOIN_SORT_JOIN_H_

@@ -1,0 +1,245 @@
+#include "lp/simplex.h"
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "common/check.h"
+
+namespace mpcqp {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+// Dense simplex tableau. Columns: structural vars, then slack/surplus vars,
+// then artificial vars, then RHS. One row per constraint plus an objective
+// row (kept as the last row, in "maximize" orientation: we store z-row
+// coefficients as reduced costs and pivot until none is positive).
+class Tableau {
+ public:
+  Tableau(int rows, int cols) : rows_(rows), cols_(cols),
+                                cells_(static_cast<size_t>(rows) * cols, 0.0) {}
+
+  double& At(int r, int c) {
+    return cells_[static_cast<size_t>(r) * cols_ + c];
+  }
+  double At(int r, int c) const {
+    return cells_[static_cast<size_t>(r) * cols_ + c];
+  }
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  // Gauss-Jordan pivot on (pivot_row, pivot_col).
+  void Pivot(int pivot_row, int pivot_col) {
+    const double pivot = At(pivot_row, pivot_col);
+    MPCQP_CHECK(std::fabs(pivot) > kEps);
+    for (int c = 0; c < cols_; ++c) At(pivot_row, c) /= pivot;
+    for (int r = 0; r < rows_; ++r) {
+      if (r == pivot_row) continue;
+      const double factor = At(r, pivot_col);
+      if (std::fabs(factor) < kEps) continue;
+      for (int c = 0; c < cols_; ++c) {
+        At(r, c) -= factor * At(pivot_row, c);
+      }
+    }
+  }
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<double> cells_;
+};
+
+// Runs primal simplex on `t` (objective in the last row, maximizing) over
+// the allowed columns [0, usable_cols). Uses Bland's rule. Returns false if
+// the LP is unbounded.
+bool RunSimplex(Tableau& t, std::vector<int>& basis, int usable_cols) {
+  const int m = t.rows() - 1;       // Constraint rows.
+  const int obj = t.rows() - 1;     // Objective row index.
+  const int rhs = t.cols() - 1;     // RHS column index.
+  while (true) {
+    // Bland: entering variable = smallest index with positive reduced cost.
+    int enter = -1;
+    for (int c = 0; c < usable_cols; ++c) {
+      if (t.At(obj, c) > kEps) {
+        enter = c;
+        break;
+      }
+    }
+    if (enter < 0) return true;  // Optimal.
+
+    // Ratio test; Bland tie-break on smallest basis variable index.
+    int leave = -1;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (int r = 0; r < m; ++r) {
+      const double a = t.At(r, enter);
+      if (a > kEps) {
+        const double ratio = t.At(r, rhs) / a;
+        if (ratio < best_ratio - kEps ||
+            (ratio < best_ratio + kEps &&
+             (leave < 0 || basis[r] < basis[leave]))) {
+          best_ratio = ratio;
+          leave = r;
+        }
+      }
+    }
+    if (leave < 0) return false;  // Unbounded direction.
+
+    t.Pivot(leave, enter);
+    basis[leave] = enter;
+  }
+}
+
+}  // namespace
+
+StatusOr<LpSolution> SolveLp(const LpProblem& problem) {
+  const int n = problem.num_vars;
+  const int m = static_cast<int>(problem.constraints.size());
+  if (n <= 0) return InvalidArgumentError("LP must have at least one variable");
+  if (static_cast<int>(problem.objective.size()) != n) {
+    return InvalidArgumentError("objective size != num_vars");
+  }
+  for (const LpConstraint& c : problem.constraints) {
+    if (static_cast<int>(c.coeffs.size()) != n) {
+      return InvalidArgumentError("constraint size != num_vars");
+    }
+  }
+
+  // Normalized rows: coeffs * x (op) rhs with rhs >= 0.
+  std::vector<std::vector<double>> rows(m);
+  std::vector<LpConstraintOp> ops(m);
+  std::vector<double> rhs(m);
+  for (int i = 0; i < m; ++i) {
+    rows[i] = problem.constraints[i].coeffs;
+    ops[i] = problem.constraints[i].op;
+    rhs[i] = problem.constraints[i].rhs;
+    if (rhs[i] < 0) {
+      for (double& v : rows[i]) v = -v;
+      rhs[i] = -rhs[i];
+      if (ops[i] == LpConstraintOp::kLessEq) {
+        ops[i] = LpConstraintOp::kGreaterEq;
+      } else if (ops[i] == LpConstraintOp::kGreaterEq) {
+        ops[i] = LpConstraintOp::kLessEq;
+      }
+    }
+  }
+
+  // Column layout: [0,n) structural; slack/surplus next; artificials last.
+  int num_slack = 0;
+  int num_artificial = 0;
+  for (int i = 0; i < m; ++i) {
+    if (ops[i] != LpConstraintOp::kEqual) ++num_slack;
+    if (ops[i] != LpConstraintOp::kLessEq) ++num_artificial;
+  }
+  const int slack_base = n;
+  const int art_base = n + num_slack;
+  const int total_cols = n + num_slack + num_artificial + 1;  // +RHS.
+  const int rhs_col = total_cols - 1;
+
+  Tableau t(m + 1, total_cols);
+  std::vector<int> basis(m, -1);
+  {
+    int next_slack = slack_base;
+    int next_art = art_base;
+    for (int i = 0; i < m; ++i) {
+      for (int j = 0; j < n; ++j) t.At(i, j) = rows[i][j];
+      t.At(i, rhs_col) = rhs[i];
+      switch (ops[i]) {
+        case LpConstraintOp::kLessEq:
+          t.At(i, next_slack) = 1.0;
+          basis[i] = next_slack++;
+          break;
+        case LpConstraintOp::kGreaterEq:
+          t.At(i, next_slack) = -1.0;
+          ++next_slack;
+          t.At(i, next_art) = 1.0;
+          basis[i] = next_art++;
+          break;
+        case LpConstraintOp::kEqual:
+          t.At(i, next_art) = 1.0;
+          basis[i] = next_art++;
+          break;
+      }
+    }
+  }
+
+  const int obj_row = m;
+
+  if (num_artificial > 0) {
+    // Phase 1: maximize -(sum of artificials). Objective row must be
+    // expressed in terms of non-basic variables: add each artificial row.
+    for (int c = art_base; c < art_base + num_artificial; ++c) {
+      t.At(obj_row, c) = -1.0;
+    }
+    for (int i = 0; i < m; ++i) {
+      if (basis[i] >= art_base) {
+        for (int c = 0; c < total_cols; ++c) {
+          t.At(obj_row, c) += t.At(i, c);
+        }
+      }
+    }
+    if (!RunSimplex(t, basis, art_base)) {
+      return InternalError("phase-1 LP unbounded (should be impossible)");
+    }
+    // With the basic artificial rows folded into the objective row, the
+    // row's RHS tracks the (non-negative) sum of artificial values; a
+    // positive residue at optimality means no feasible point exists.
+    if (t.At(obj_row, rhs_col) > 1e-7) {
+      return FailedPreconditionError("LP infeasible");
+    }
+    // Drive any artificial still in the basis (at value 0) out of it.
+    for (int i = 0; i < m; ++i) {
+      if (basis[i] < art_base) continue;
+      int pivot_col = -1;
+      for (int c = 0; c < art_base; ++c) {
+        if (std::fabs(t.At(i, c)) > kEps) {
+          pivot_col = c;
+          break;
+        }
+      }
+      if (pivot_col >= 0) {
+        t.Pivot(i, pivot_col);
+        basis[i] = pivot_col;
+      }
+      // Else the row is redundant; the artificial stays basic at zero and
+      // its column is excluded from phase 2 below.
+    }
+    // Reset objective row for phase 2.
+    for (int c = 0; c < total_cols; ++c) t.At(obj_row, c) = 0.0;
+  }
+
+  // Phase 2 objective (in maximize orientation).
+  const double sign = problem.sense == LpObjective::kMaximize ? 1.0 : -1.0;
+  for (int j = 0; j < n; ++j) t.At(obj_row, j) = sign * problem.objective[j];
+  // Express the objective in terms of non-basic variables.
+  for (int i = 0; i < m; ++i) {
+    const int b = basis[i];
+    if (b < art_base) {
+      const double coeff = t.At(obj_row, b);
+      if (std::fabs(coeff) > kEps) {
+        for (int c = 0; c < total_cols; ++c) {
+          t.At(obj_row, c) -= coeff * t.At(i, c);
+        }
+      }
+    }
+  }
+
+  if (!RunSimplex(t, basis, art_base)) {
+    return OutOfRangeError("LP unbounded");
+  }
+
+  LpSolution solution;
+  solution.x.assign(n, 0.0);
+  for (int i = 0; i < m; ++i) {
+    if (basis[i] < n) solution.x[basis[i]] = t.At(i, rhs_col);
+  }
+  double value = 0.0;
+  for (int j = 0; j < n; ++j) value += problem.objective[j] * solution.x[j];
+  solution.objective_value = value;
+  return solution;
+}
+
+}  // namespace mpcqp

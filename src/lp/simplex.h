@@ -1,0 +1,56 @@
+#ifndef MPCQP_LP_SIMPLEX_H_
+#define MPCQP_LP_SIMPLEX_H_
+
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace mpcqp {
+
+// A small dense linear-programming solver.
+//
+// Query hypergraphs are tiny (tens of variables/atoms), so an exact
+// two-phase primal simplex with Bland's anti-cycling rule is simple,
+// dependency-free, and fast enough for every LP in this library
+// (fractional edge packing / cover, vertex cover, HyperCube shares).
+
+enum class LpConstraintOp {
+  kLessEq,
+  kGreaterEq,
+  kEqual,
+};
+
+struct LpConstraint {
+  std::vector<double> coeffs;  // One per variable.
+  LpConstraintOp op = LpConstraintOp::kLessEq;
+  double rhs = 0.0;
+};
+
+enum class LpObjective {
+  kMaximize,
+  kMinimize,
+};
+
+// maximize/minimize objective . x  subject to the constraints and x >= 0.
+struct LpProblem {
+  int num_vars = 0;
+  LpObjective sense = LpObjective::kMaximize;
+  std::vector<double> objective;  // Size num_vars.
+  std::vector<LpConstraint> constraints;
+};
+
+struct LpSolution {
+  double objective_value = 0.0;
+  std::vector<double> x;  // Size num_vars.
+};
+
+// Solves `problem`. Returns:
+//  - the optimum on success,
+//  - FAILED_PRECONDITION if infeasible,
+//  - OUT_OF_RANGE if unbounded,
+//  - INVALID_ARGUMENT on malformed input (dimension mismatches).
+StatusOr<LpSolution> SolveLp(const LpProblem& problem);
+
+}  // namespace mpcqp
+
+#endif  // MPCQP_LP_SIMPLEX_H_

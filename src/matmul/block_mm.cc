@@ -1,0 +1,155 @@
+#include "matmul/block_mm.h"
+
+#include <cmath>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace mpcqp {
+
+OneRoundMmResult RectangleBlockMm(Cluster& cluster, const Matrix& a,
+                                  const Matrix& b) {
+  MPCQP_CHECK_EQ(a.cols(), b.rows());
+  MPCQP_CHECK_EQ(a.rows(), a.cols());
+  MPCQP_CHECK_EQ(b.rows(), b.cols());
+  const int n = a.rows();
+  const int p = cluster.num_servers();
+  const int grid = std::max(1, static_cast<int>(std::sqrt(
+                                   static_cast<double>(p)) +
+                               1e-9));
+
+  // Initial placement (not communication): row r of A and column c of B
+  // live on server floor(idx * p / n).
+  const auto owner = [&](int idx) {
+    return static_cast<int>(static_cast<int64_t>(idx) * p / n);
+  };
+
+  cluster.BeginRound("rectangle-block MM");
+  Matrix c(n, n);
+  for (int gi = 0; gi < grid; ++gi) {
+    for (int gj = 0; gj < grid; ++gj) {
+      const int dst = gi * grid + gj;
+      const int r0 = gi * n / grid;
+      const int r1 = (gi + 1) * n / grid;
+      const int c0 = gj * n / grid;
+      const int c1 = (gj + 1) * n / grid;
+
+      // Meter: the server receives rows [r0, r1) of A and columns
+      // [c0, c1) of B in full.
+      std::map<int, int64_t> recv_from;
+      for (int r = r0; r < r1; ++r) recv_from[owner(r)] += n;
+      for (int col = c0; col < c1; ++col) recv_from[owner(col)] += n;
+      for (const auto& [src, count] : recv_from) {
+        cluster.RecordMessage(src, dst, count, count);
+      }
+
+      // Local compute: the (r1-r0) x (c1-c0) output panel.
+      for (int r = r0; r < r1; ++r) {
+        for (int col = c0; col < c1; ++col) {
+          int64_t sum = 0;
+          for (int k = 0; k < n; ++k) sum += a.at(r, k) * b.at(k, col);
+          c.at(r, col) = sum;
+        }
+      }
+    }
+  }
+  cluster.EndRound();
+  return OneRoundMmResult{std::move(c), grid};
+}
+
+SquareBlockMmResult SquareBlockMm(Cluster& cluster, const Matrix& a,
+                                  const Matrix& b, int block_dim) {
+  MPCQP_CHECK_EQ(a.cols(), b.rows());
+  MPCQP_CHECK_EQ(a.rows(), a.cols());
+  MPCQP_CHECK_EQ(b.rows(), b.cols());
+  const int n = a.rows();
+  const int h = block_dim;
+  MPCQP_CHECK_GE(h, 1);
+  MPCQP_CHECK_EQ(n % h, 0);
+  const int p = cluster.num_servers();
+  const int64_t block_elems =
+      static_cast<int64_t>(n / h) * (n / h);
+
+  // Initial placement: A block (i,j) on server (i*h+j) mod p; likewise B.
+  const auto a_owner = [&](int i, int j) { return (i * h + j) % p; };
+  const auto b_owner = [&](int j, int k) { return (j * h + k) % p; };
+
+  // Per-server partial sums, keyed by output block (i, k).
+  std::vector<std::map<std::pair<int, int>, Matrix>> partials(p);
+
+  const int64_t total_products = static_cast<int64_t>(h) * h * h;
+  int rounds = 0;
+  for (int64_t first = 0; first < total_products;
+       first += p) {
+    ++rounds;
+    cluster.BeginRound("square-block MM: compute round " +
+                       std::to_string(rounds));
+    const int64_t last = std::min<int64_t>(first + p, total_products);
+    for (int64_t g = first; g < last; ++g) {
+      const int z = static_cast<int>(g / (h * h));
+      const int w = static_cast<int>(g % (h * h));
+      const int i = w / h;
+      const int k = w % h;
+      const int j = (i + k + z) % h;
+      const int server = static_cast<int>(g % p);
+
+      cluster.RecordMessage(a_owner(i, j), server, block_elems, block_elems);
+      cluster.RecordMessage(b_owner(j, k), server, block_elems, block_elems);
+
+      const Matrix a_block = ExtractBlock(a, h, i, j);
+      const Matrix b_block = ExtractBlock(b, h, j, k);
+      auto [it, inserted] =
+          partials[server].try_emplace({i, k}, Matrix(n / h, n / h));
+      MultiplyAccumulate(a_block, b_block, &it->second);
+    }
+    cluster.EndRound();
+  }
+
+  // Does any output block have partials on more than one server?
+  std::map<std::pair<int, int>, std::vector<int>> holders;
+  for (int s = 0; s < p; ++s) {
+    for (const auto& [block, partial] : partials[s]) {
+      holders[block].push_back(s);
+    }
+  }
+  bool need_aggregation = false;
+  for (const auto& [block, servers] : holders) {
+    if (servers.size() > 1) need_aggregation = true;
+  }
+
+  Matrix c(n, n);
+  const auto c_owner = [&](int i, int k) { return (i * h + k) % p; };
+  if (need_aggregation) {
+    ++rounds;
+    cluster.BeginRound("square-block MM: aggregate partials");
+    for (const auto& [block, servers] : holders) {
+      const int dst = c_owner(block.first, block.second);
+      for (int src : servers) {
+        cluster.RecordMessage(src, dst, block_elems, block_elems);
+      }
+    }
+    cluster.EndRound();
+  }
+  for (const auto& [block, servers] : holders) {
+    const auto [i, k] = block;
+    Matrix sum(n / h, n / h);
+    for (int src : servers) {
+      const Matrix& part = partials[src].at(block);
+      for (int r = 0; r < sum.rows(); ++r) {
+        for (int col = 0; col < sum.cols(); ++col) {
+          sum.at(r, col) += part.at(r, col);
+        }
+      }
+    }
+    for (int r = 0; r < sum.rows(); ++r) {
+      for (int col = 0; col < sum.cols(); ++col) {
+        c.at(i * (n / h) + r, k * (n / h) + col) = sum.at(r, col);
+      }
+    }
+  }
+  return SquareBlockMmResult{std::move(c), rounds};
+}
+
+}  // namespace mpcqp

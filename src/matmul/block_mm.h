@@ -1,0 +1,43 @@
+#ifndef MPCQP_MATMUL_BLOCK_MM_H_
+#define MPCQP_MATMUL_BLOCK_MM_H_
+
+#include "matmul/matrix.h"
+#include "mpc/cluster.h"
+
+namespace mpcqp {
+
+// Distributed conventional (all n^3 products) matrix multiplication in the
+// MPC model (deck slides 107-126). Communication is metered in scalar
+// elements: tuples = values = element count per message.
+//
+// Inputs start block-partitioned across servers (initial placement is not
+// communication, as with relations).
+
+// One-round rectangle-block algorithm (slides 109-110): K = floor(sqrt(p))
+// row groups of A and column groups of B; server (i, j) receives row-group
+// i and column-group j whole and computes its n/K × n/K output block.
+// Load 2n²/K per server; total communication C = Θ(n⁴ / L).
+struct OneRoundMmResult {
+  Matrix c;
+  int grid_dim = 0;  // K.
+};
+OneRoundMmResult RectangleBlockMm(Cluster& cluster, const Matrix& a,
+                                  const Matrix& b);
+
+// Multi-round square-block algorithm (slides 111-121): H × H blocking,
+// the H³ block products split into H groups G_z = {(i,j,k) : j = (i+k+z)
+// mod H}, each group touching every C block exactly once. With p servers,
+// ceil(H³/p) compute rounds run p block products each; a final aggregation
+// round combines partial sums per C block (skipped when each C block's
+// partials already sit on one server, e.g. p = H²).
+// Load per round 2(n/H)²; total C = Θ(n³ / sqrt(L)).
+struct SquareBlockMmResult {
+  Matrix c;
+  int rounds = 0;  // Compute rounds + aggregation round (if any).
+};
+SquareBlockMmResult SquareBlockMm(Cluster& cluster, const Matrix& a,
+                                  const Matrix& b, int block_dim);
+
+}  // namespace mpcqp
+
+#endif  // MPCQP_MATMUL_BLOCK_MM_H_

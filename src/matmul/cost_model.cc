@@ -1,0 +1,54 @@
+#include "matmul/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace mpcqp {
+
+double RectBlockComm(int64_t n, int64_t p) {
+  MPCQP_CHECK_GT(n, 0);
+  MPCQP_CHECK_GT(p, 0);
+  const double k = std::sqrt(static_cast<double>(p));
+  return static_cast<double>(p) * 2.0 * static_cast<double>(n) *
+         static_cast<double>(n) / k;
+}
+
+double SquareBlockComm(int64_t n, int64_t load) {
+  MPCQP_CHECK_GT(n, 0);
+  MPCQP_CHECK_GT(load, 0);
+  // L = 2 (n/H)^2  =>  H = n sqrt(2/L); C = H^3 * 2 (n/H)^2 = 2 n^2 H.
+  const double h = static_cast<double>(n) *
+                   std::sqrt(2.0 / static_cast<double>(load));
+  return 2.0 * static_cast<double>(n) * static_cast<double>(n) *
+         std::max(1.0, h);
+}
+
+double CommLowerBound(int64_t n, int64_t load) {
+  MPCQP_CHECK_GT(n, 0);
+  MPCQP_CHECK_GT(load, 0);
+  const double dn = static_cast<double>(n);
+  return dn * dn * dn / std::sqrt(static_cast<double>(load));
+}
+
+double OneRoundCommLowerBound(int64_t n, int64_t load) {
+  MPCQP_CHECK_GT(n, 0);
+  MPCQP_CHECK_GT(load, 0);
+  const double dn = static_cast<double>(n);
+  return dn * dn * dn * dn / static_cast<double>(load);
+}
+
+double RoundsLowerBound(int64_t n, int64_t p, int64_t load) {
+  MPCQP_CHECK_GT(n, 0);
+  MPCQP_CHECK_GT(p, 0);
+  MPCQP_CHECK_GT(load, 1);
+  const double dn = static_cast<double>(n);
+  const double dl = static_cast<double>(load);
+  const double join_bound = dn * dn * dn / (static_cast<double>(p) *
+                                            dl * std::sqrt(dl));
+  const double agg_bound = std::log(dn) / std::log(dl);
+  return std::max(join_bound, agg_bound);
+}
+
+}  // namespace mpcqp

@@ -1,0 +1,33 @@
+#ifndef MPCQP_MATMUL_COST_MODEL_H_
+#define MPCQP_MATMUL_COST_MODEL_H_
+
+#include <cstdint>
+
+namespace mpcqp {
+
+// Closed-form cost/lower-bound calculators for conventional n×n matrix
+// multiplication in MPC (deck slides 122-126). All quantities are in
+// scalar elements.
+
+// One-round rectangle-block algorithm: total communication with p = K²
+// servers is C = p · 2n²/K ≈ 2 n⁴ / L for load L = 2n²/K.
+double RectBlockComm(int64_t n, int64_t p);
+
+// Multi-round square-block algorithm: C = r·p·L ≈ 2 n³ / sqrt(L/2) for
+// per-round load L = 2(n/H)².
+double SquareBlockComm(int64_t n, int64_t load);
+
+// Round-independent communication lower bound (Irony-Toledo-Tiskin / AGM
+// with τ* = 3/2): C = Ω(n³ / sqrt(L)) — with L elements a server performs
+// at most O(L^{3/2}) elementary products (slides 123-124).
+double CommLowerBound(int64_t n, int64_t load);
+
+// One-round lower bound: C = Ω(n⁴ / L) (slide 126).
+double OneRoundCommLowerBound(int64_t n, int64_t load);
+
+// Round lower bound r = Ω(max(n³/(p·L^{3/2}), log_L n)) (slide 125).
+double RoundsLowerBound(int64_t n, int64_t p, int64_t load);
+
+}  // namespace mpcqp
+
+#endif  // MPCQP_MATMUL_COST_MODEL_H_

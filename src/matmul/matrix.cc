@@ -1,0 +1,110 @@
+#include "matmul/matrix.h"
+
+#include "common/check.h"
+
+namespace mpcqp {
+
+Matrix::Matrix(int rows, int cols)
+    : rows_(rows),
+      cols_(cols),
+      cells_(static_cast<size_t>(rows) * cols, 0) {
+  MPCQP_CHECK_GE(rows, 0);
+  MPCQP_CHECK_GE(cols, 0);
+}
+
+int64_t& Matrix::at(int r, int c) {
+  MPCQP_CHECK_GE(r, 0);
+  MPCQP_CHECK_LT(r, rows_);
+  MPCQP_CHECK_GE(c, 0);
+  MPCQP_CHECK_LT(c, cols_);
+  return cells_[static_cast<size_t>(r) * cols_ + c];
+}
+
+int64_t Matrix::at(int r, int c) const {
+  MPCQP_CHECK_GE(r, 0);
+  MPCQP_CHECK_LT(r, rows_);
+  MPCQP_CHECK_GE(c, 0);
+  MPCQP_CHECK_LT(c, cols_);
+  return cells_[static_cast<size_t>(r) * cols_ + c];
+}
+
+Matrix MultiplySerial(const Matrix& a, const Matrix& b) {
+  MPCQP_CHECK_EQ(a.cols(), b.rows());
+  Matrix c(a.rows(), b.cols());
+  MultiplyAccumulate(a, b, &c);
+  return c;
+}
+
+void MultiplyAccumulate(const Matrix& a, const Matrix& b, Matrix* c) {
+  MPCQP_CHECK(c != nullptr);
+  MPCQP_CHECK_EQ(a.cols(), b.rows());
+  MPCQP_CHECK_EQ(c->rows(), a.rows());
+  MPCQP_CHECK_EQ(c->cols(), b.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int k = 0; k < a.cols(); ++k) {
+      const int64_t aik = a.at(i, k);
+      if (aik == 0) continue;
+      for (int j = 0; j < b.cols(); ++j) {
+        c->at(i, j) += aik * b.at(k, j);
+      }
+    }
+  }
+}
+
+Matrix RandomMatrix(Rng& rng, int rows, int cols, int64_t bound) {
+  MPCQP_CHECK_GT(bound, 0);
+  Matrix m(rows, cols);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      m.at(r, c) = static_cast<int64_t>(
+          rng.Uniform(static_cast<uint64_t>(bound)));
+    }
+  }
+  return m;
+}
+
+Matrix ExtractBlock(const Matrix& m, int block_dim, int bi, int bj) {
+  MPCQP_CHECK_GT(block_dim, 0);
+  MPCQP_CHECK_EQ(m.rows() % block_dim, 0);
+  MPCQP_CHECK_EQ(m.cols() % block_dim, 0);
+  const int br = m.rows() / block_dim;
+  const int bc = m.cols() / block_dim;
+  MPCQP_CHECK_GE(bi, 0);
+  MPCQP_CHECK_LT(bi, block_dim);
+  MPCQP_CHECK_GE(bj, 0);
+  MPCQP_CHECK_LT(bj, block_dim);
+  Matrix block(br, bc);
+  for (int r = 0; r < br; ++r) {
+    for (int c = 0; c < bc; ++c) {
+      block.at(r, c) = m.at(bi * br + r, bj * bc + c);
+    }
+  }
+  return block;
+}
+
+Relation MatrixToRelation(const Matrix& m) {
+  Relation rel(3);
+  for (int r = 0; r < m.rows(); ++r) {
+    for (int c = 0; c < m.cols(); ++c) {
+      const int64_t v = m.at(r, c);
+      if (v == 0) continue;
+      MPCQP_CHECK_GE(v, 0) << "relational view needs non-negative entries";
+      rel.AppendRow({static_cast<Value>(r), static_cast<Value>(c),
+                     static_cast<Value>(v)});
+    }
+  }
+  return rel;
+}
+
+Matrix RelationToMatrix(const Relation& rel, int rows, int cols) {
+  MPCQP_CHECK_EQ(rel.arity(), 3);
+  Matrix m(rows, cols);
+  for (int64_t i = 0; i < rel.size(); ++i) {
+    const Value* row = rel.row(i);
+    m.at(static_cast<int>(row[0]), static_cast<int>(row[1])) +=
+        static_cast<int64_t>(row[2]);
+  }
+  return m;
+}
+
+}  // namespace mpcqp

@@ -1,0 +1,61 @@
+#ifndef MPCQP_MATMUL_MATRIX_H_
+#define MPCQP_MATMUL_MATRIX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "relation/relation.h"
+
+namespace mpcqp {
+
+// A dense integer matrix. Integer entries keep the simulated distributed
+// algorithms exactly comparable with the serial reference (no floating-
+// point drift); the MPC cost analysis is element-count based and agnostic
+// to the scalar type.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(int rows, int cols);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  int64_t& at(int r, int c);
+  int64_t at(int r, int c) const;
+
+  // Number of scalar elements (the MM theory's communication unit).
+  int64_t NumElements() const { return static_cast<int64_t>(rows_) * cols_; }
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.cells_ == b.cells_;
+  }
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<int64_t> cells_;
+};
+
+// C = A * B, conventional n^3 serial reference.
+Matrix MultiplySerial(const Matrix& a, const Matrix& b);
+
+// C += A * B into a block accumulator.
+void MultiplyAccumulate(const Matrix& a, const Matrix& b, Matrix* c);
+
+// Random matrix with entries in [0, bound).
+Matrix RandomMatrix(Rng& rng, int rows, int cols, int64_t bound);
+
+// The (rows x cols) sub-block at block coordinates (bi, bj) of an H x H
+// blocking of `m` (m.rows and m.cols divisible by H).
+Matrix ExtractBlock(const Matrix& m, int block_dim, int bi, int bj);
+
+// Sparse relational view: one (i, j, v) tuple per nonzero entry — the
+// slide-108 SQL formulation. Values must be non-negative (they are stored
+// in unsigned tuple fields).
+Relation MatrixToRelation(const Matrix& m);
+Matrix RelationToMatrix(const Relation& rel, int rows, int cols);
+
+}  // namespace mpcqp
+
+#endif  // MPCQP_MATMUL_MATRIX_H_

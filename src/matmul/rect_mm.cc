@@ -1,0 +1,64 @@
+#include "matmul/rect_mm.h"
+
+#include <map>
+
+#include "common/check.h"
+#include "join/cartesian.h"
+
+namespace mpcqp {
+
+RectMmResult GeneralRectangleMm(Cluster& cluster, const Matrix& a,
+                                const Matrix& b) {
+  MPCQP_CHECK_EQ(a.cols(), b.rows());
+  const int m = a.rows();
+  const int k = a.cols();
+  const int n = b.cols();
+  const int p = cluster.num_servers();
+
+  // Grid minimizing m·k/g1 + k·n/g2 (reuse the Cartesian grid optimizer),
+  // clamped so no dimension exceeds its extent.
+  auto [g1, g2] = OptimalGridShape(static_cast<int64_t>(m) * k,
+                                   static_cast<int64_t>(k) * n, p);
+  g1 = std::min(g1, std::max(1, m));
+  g2 = std::min(g2, std::max(1, n));
+
+  // Initial placement: row r of A on server r*p/m; column c of B on
+  // server c*p/n (not communication).
+  const auto a_owner = [&](int row) {
+    return static_cast<int>(static_cast<int64_t>(row) * p / std::max(1, m));
+  };
+  const auto b_owner = [&](int col) {
+    return static_cast<int>(static_cast<int64_t>(col) * p / std::max(1, n));
+  };
+
+  cluster.BeginRound("general rectangle MM");
+  Matrix c(m, n);
+  for (int gi = 0; gi < g1; ++gi) {
+    for (int gj = 0; gj < g2; ++gj) {
+      const int dst = gi * g2 + gj;
+      const int r0 = gi * m / g1;
+      const int r1 = (gi + 1) * m / g1;
+      const int c0 = gj * n / g2;
+      const int c1 = (gj + 1) * n / g2;
+
+      std::map<int, int64_t> recv_from;
+      for (int r = r0; r < r1; ++r) recv_from[a_owner(r)] += k;
+      for (int col = c0; col < c1; ++col) recv_from[b_owner(col)] += k;
+      for (const auto& [src, count] : recv_from) {
+        cluster.RecordMessage(src, dst, count, count);
+      }
+
+      for (int r = r0; r < r1; ++r) {
+        for (int col = c0; col < c1; ++col) {
+          int64_t sum = 0;
+          for (int kk = 0; kk < k; ++kk) sum += a.at(r, kk) * b.at(kk, col);
+          c.at(r, col) = sum;
+        }
+      }
+    }
+  }
+  cluster.EndRound();
+  return RectMmResult{std::move(c), g1, g2};
+}
+
+}  // namespace mpcqp

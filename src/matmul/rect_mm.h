@@ -1,0 +1,28 @@
+#ifndef MPCQP_MATMUL_RECT_MM_H_
+#define MPCQP_MATMUL_RECT_MM_H_
+
+#include "matmul/matrix.h"
+#include "mpc/cluster.h"
+
+namespace mpcqp {
+
+// Non-square matrix multiplication (slide 127's "other results"):
+// C (m × n) = A (m × k) · B (k × n) in one round.
+//
+// The output is tiled by a g1 × g2 server grid; server (i, j) receives its
+// m/g1 rows of A (each k wide) and n/g2 columns of B. The optimal grid
+// balances m·k/g1 + k·n/g2 subject to g1·g2 <= p — the same optimization
+// as the Cartesian-product grid, with |R| = mk and |S| = kn. For m = n it
+// degenerates to RectangleBlockMm.
+struct RectMmResult {
+  Matrix c;
+  int grid_rows = 0;
+  int grid_cols = 0;
+};
+
+RectMmResult GeneralRectangleMm(Cluster& cluster, const Matrix& a,
+                                const Matrix& b);
+
+}  // namespace mpcqp
+
+#endif  // MPCQP_MATMUL_RECT_MM_H_

@@ -1,0 +1,63 @@
+#include "matmul/sql_mm.h"
+
+#include <map>
+
+#include "common/check.h"
+#include "mpc/exchange.h"
+#include "relation/relation_ops.h"
+
+namespace mpcqp {
+
+DistRelation SqlMatrixMultiply(Cluster& cluster, const DistRelation& a,
+                               const DistRelation& b) {
+  MPCQP_CHECK_EQ(a.arity(), 3);
+  MPCQP_CHECK_EQ(b.arity(), 3);
+  const int p = cluster.num_servers();
+
+  // Round 1: hash join on j (A.j is column 1, B.j is column 0).
+  const HashFunction hash = cluster.NewHashFunction();
+  cluster.BeginRound("sql MM: join on j");
+  DistRelation a_parts = HashPartition(cluster, a, {1}, hash, "");
+  DistRelation b_parts = HashPartition(cluster, b, {0}, hash, "");
+  cluster.EndRound();
+
+  // Local compute: partial products, pre-aggregated per (i, k) before the
+  // shuffle (the standard combiner optimization).
+  DistRelation partials(3, p);
+  for (int s = 0; s < p; ++s) {
+    const Relation joined =
+        HashJoinLocal(a_parts.fragment(s), b_parts.fragment(s), {1}, {0});
+    // joined columns: (i, j, vA, k, vB).
+    std::map<std::pair<Value, Value>, Value> sums;
+    for (int64_t t = 0; t < joined.size(); ++t) {
+      const Value* row = joined.row(t);
+      sums[{row[0], row[3]}] += row[2] * row[4];
+    }
+    for (const auto& [ik, sum] : sums) {
+      partials.fragment(s).AppendRow({ik.first, ik.second, sum});
+    }
+  }
+
+  // Round 2: re-partition partials by (i, k), then final aggregation.
+  const HashFunction hash2 = cluster.NewHashFunction();
+  DistRelation routed =
+      HashPartition(cluster, partials, {0, 1}, hash2, "sql MM: aggregate");
+
+  DistRelation result(3, p);
+  for (int s = 0; s < p; ++s) {
+    const Relation& frag = routed.fragment(s);
+    std::map<std::pair<Value, Value>, Value> sums;
+    for (int64_t t = 0; t < frag.size(); ++t) {
+      const Value* row = frag.row(t);
+      sums[{row[0], row[1]}] += row[2];
+    }
+    for (const auto& [ik, sum] : sums) {
+      if (sum != 0) {
+        result.fragment(s).AppendRow({ik.first, ik.second, sum});
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace mpcqp

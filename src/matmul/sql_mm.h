@@ -1,0 +1,26 @@
+#ifndef MPCQP_MATMUL_SQL_MM_H_
+#define MPCQP_MATMUL_SQL_MM_H_
+
+#include "matmul/matrix.h"
+#include "mpc/cluster.h"
+#include "mpc/dist_relation.h"
+
+namespace mpcqp {
+
+// Matrix multiplication as the SQL query of deck slide 108:
+//
+//   SELECT A.i, B.k, SUM(A.v * B.v)
+//   FROM A, B WHERE A.j = B.j GROUP BY A.i, B.k
+//
+// over sparse (i, j, v) relations. Two rounds: a parallel hash join on j,
+// then a re-partition by (i, k) for the aggregation. The workhorse of the
+// "MM is a join + group-by" connection the deck draws (and the reason the
+// AGM machinery applies: τ* of the underlying join is 3/2).
+//
+// Result relation: (i, k, sum) with zero-sum groups dropped.
+DistRelation SqlMatrixMultiply(Cluster& cluster, const DistRelation& a,
+                               const DistRelation& b);
+
+}  // namespace mpcqp
+
+#endif  // MPCQP_MATMUL_SQL_MM_H_

@@ -1,0 +1,35 @@
+#include "mpc/bsp_time.h"
+
+#include <sstream>
+
+namespace mpcqp {
+
+double EstimateBspSeconds(const CostReport& report,
+                          const BspParameters& params) {
+  double total = 0.0;
+  for (const RoundCost& round : report.rounds()) {
+    total += static_cast<double>(round.MaxTuplesReceived()) *
+                 params.seconds_per_tuple +
+             params.round_latency_seconds;
+  }
+  return total;
+}
+
+std::string BspBreakdown(const CostReport& report,
+                         const BspParameters& params) {
+  std::ostringstream os;
+  os << "estimated BSP time: " << EstimateBspSeconds(report, params)
+     << "s (g=" << params.seconds_per_tuple
+     << " s/tuple, latency=" << params.round_latency_seconds << "s)";
+  for (int i = 0; i < report.num_rounds(); ++i) {
+    const RoundCost& round = report.rounds()[i];
+    os << "\n  round " << (i + 1) << ": "
+       << static_cast<double>(round.MaxTuplesReceived()) *
+                  params.seconds_per_tuple +
+              params.round_latency_seconds
+       << "s [" << round.label << "]";
+  }
+  return os.str();
+}
+
+}  // namespace mpcqp

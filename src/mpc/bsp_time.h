@@ -1,0 +1,37 @@
+#ifndef MPCQP_MPC_BSP_TIME_H_
+#define MPCQP_MPC_BSP_TIME_H_
+
+#include <string>
+
+#include "mpc/cost.h"
+
+namespace mpcqp {
+
+// BSP-style wall-clock estimation (deck slide 19: MPC is simplified BSP).
+//
+// The MPC model keeps only (L, r); BSP charges each superstep its
+// communication time plus a synchronization latency:
+//
+//   T = Σ_rounds ( max-load_r · g + ℓ )
+//
+// with g = seconds per tuple of per-server bandwidth and ℓ = per-round
+// barrier latency. This converts a CostReport into the quantity real
+// systems race on, and makes the 1-round-vs-multi-round tradeoffs
+// numerically comparable (a large ℓ is exactly the planner's
+// round_cost_tuples = ℓ/g).
+struct BspParameters {
+  double seconds_per_tuple = 1e-7;  // ~10M tuples/s per server.
+  double round_latency_seconds = 0.1;
+};
+
+// Estimated wall-clock seconds for the metered execution.
+double EstimateBspSeconds(const CostReport& report,
+                          const BspParameters& params = {});
+
+// Per-round breakdown, e.g. for printing next to a cost report.
+std::string BspBreakdown(const CostReport& report,
+                         const BspParameters& params = {});
+
+}  // namespace mpcqp
+
+#endif  // MPCQP_MPC_BSP_TIME_H_

@@ -1,0 +1,59 @@
+#include "mpc/cluster.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace mpcqp {
+
+Cluster::Cluster(int num_servers, uint64_t seed)
+    : num_servers_(num_servers), next_seed_(seed) {
+  MPCQP_CHECK_GT(num_servers, 0);
+}
+
+HashFunction Cluster::NewHashFunction() {
+  // Stride the seed space; HashFunction whitens the seed again.
+  next_seed_ += 0x9e3779b97f4a7c15ULL;
+  return HashFunction(next_seed_);
+}
+
+void Cluster::BeginRound(std::string label) {
+  MPCQP_CHECK(!in_round_) << "BeginRound while a round is open";
+  in_round_ = true;
+  current_round_ = RoundCost(num_servers_, std::move(label));
+}
+
+void Cluster::EndRound() {
+  MPCQP_CHECK(in_round_) << "EndRound without an open round";
+  in_round_ = false;
+  report_.AddRound(std::move(current_round_));
+  current_round_ = RoundCost(0);
+}
+
+void Cluster::RecordMessage(int src, int dst, int64_t tuples, int64_t values) {
+  MPCQP_CHECK(in_round_) << "RecordMessage outside a round";
+  MPCQP_CHECK_GE(src, 0);
+  MPCQP_CHECK_LT(src, num_servers_);
+  MPCQP_CHECK_GE(dst, 0);
+  MPCQP_CHECK_LT(dst, num_servers_);
+  current_round_.tuples_sent[src] += tuples;
+  current_round_.values_sent[src] += values;
+  current_round_.tuples_received[dst] += tuples;
+  current_round_.values_received[dst] += values;
+}
+
+void Cluster::ResetCosts() {
+  MPCQP_CHECK(!in_round_) << "ResetCosts during a round";
+  report_.Clear();
+}
+
+RoundScope::RoundScope(Cluster& cluster, std::string label)
+    : cluster_(cluster), owns_round_(!cluster.in_round()) {
+  if (owns_round_) cluster_.BeginRound(std::move(label));
+}
+
+RoundScope::~RoundScope() {
+  if (owns_round_) cluster_.EndRound();
+}
+
+}  // namespace mpcqp

@@ -1,0 +1,78 @@
+#ifndef MPCQP_MPC_CLUSTER_H_
+#define MPCQP_MPC_CLUSTER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/hash.h"
+#include "mpc/cost.h"
+
+namespace mpcqp {
+
+// A simulated shared-nothing MPC cluster of p servers.
+//
+// The cluster does not own data (DistRelation does); it owns the round
+// structure and the communication meter. Exchange primitives (exchange.h)
+// record every tuple they move via RecordMessage while a round is open.
+//
+// Round semantics: by default each exchange primitive opens and closes its
+// own round. An algorithm that performs several exchanges in one logical
+// MPC round (e.g. repartitioning both join inputs) brackets them with
+// BeginRound/EndRound; the costs then accumulate into a single RoundCost.
+class Cluster {
+ public:
+  // `seed` derives all hash functions handed out by NewHashFunction, so a
+  // run is reproducible given (p, seed).
+  Cluster(int num_servers, uint64_t seed);
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  int num_servers() const { return num_servers_; }
+
+  // A fresh hash function, independent (by seed) from previous ones.
+  HashFunction NewHashFunction();
+
+  // Opens a round. It is an error to open a round while one is open.
+  void BeginRound(std::string label);
+  // Closes the current round and appends its cost to the report.
+  void EndRound();
+  bool in_round() const { return in_round_; }
+
+  // Meters `tuples` tuples (`values` values total) moving src -> dst in the
+  // current round. Self-messages (src == dst) are counted too: MPC load
+  // bounds measure data a server must hold for the round, regardless of
+  // origin. Requires an open round.
+  void RecordMessage(int src, int dst, int64_t tuples, int64_t values);
+
+  const CostReport& cost_report() const { return report_; }
+  // Forgets all recorded rounds (e.g. between benchmark repetitions).
+  void ResetCosts();
+
+ private:
+  int num_servers_;
+  uint64_t next_seed_;
+  bool in_round_ = false;
+  RoundCost current_round_{0};
+  CostReport report_;
+};
+
+// Opens a round on construction (unless one is already open) and closes it
+// on destruction if it opened one. Lets exchange primitives run standalone
+// or merged into a caller's round with no duplicated logic.
+class RoundScope {
+ public:
+  RoundScope(Cluster& cluster, std::string label);
+  ~RoundScope();
+
+  RoundScope(const RoundScope&) = delete;
+  RoundScope& operator=(const RoundScope&) = delete;
+
+ private:
+  Cluster& cluster_;
+  bool owns_round_;
+};
+
+}  // namespace mpcqp
+
+#endif  // MPCQP_MPC_CLUSTER_H_

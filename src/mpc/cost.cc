@@ -1,0 +1,75 @@
+#include "mpc/cost.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+namespace mpcqp {
+
+RoundCost::RoundCost(int num_servers, std::string label_text)
+    : label(std::move(label_text)),
+      tuples_received(num_servers, 0),
+      values_received(num_servers, 0),
+      tuples_sent(num_servers, 0),
+      values_sent(num_servers, 0) {}
+
+namespace {
+int64_t MaxOf(const std::vector<int64_t>& v) {
+  return v.empty() ? 0 : *std::max_element(v.begin(), v.end());
+}
+int64_t SumOf(const std::vector<int64_t>& v) {
+  return std::accumulate(v.begin(), v.end(), int64_t{0});
+}
+}  // namespace
+
+int64_t RoundCost::MaxTuplesReceived() const { return MaxOf(tuples_received); }
+int64_t RoundCost::MaxValuesReceived() const { return MaxOf(values_received); }
+int64_t RoundCost::TotalTuplesReceived() const {
+  return SumOf(tuples_received);
+}
+int64_t RoundCost::TotalValuesReceived() const {
+  return SumOf(values_received);
+}
+
+int64_t CostReport::MaxLoadTuples() const {
+  int64_t best = 0;
+  for (const RoundCost& r : rounds_) {
+    best = std::max(best, r.MaxTuplesReceived());
+  }
+  return best;
+}
+
+int64_t CostReport::MaxLoadValues() const {
+  int64_t best = 0;
+  for (const RoundCost& r : rounds_) {
+    best = std::max(best, r.MaxValuesReceived());
+  }
+  return best;
+}
+
+int64_t CostReport::TotalCommTuples() const {
+  int64_t total = 0;
+  for (const RoundCost& r : rounds_) total += r.TotalTuplesReceived();
+  return total;
+}
+
+int64_t CostReport::TotalCommValues() const {
+  int64_t total = 0;
+  for (const RoundCost& r : rounds_) total += r.TotalValuesReceived();
+  return total;
+}
+
+std::string CostReport::ToString() const {
+  std::ostringstream os;
+  os << "rounds=" << num_rounds() << " L(tuples)=" << MaxLoadTuples()
+     << " C(tuples)=" << TotalCommTuples();
+  for (int i = 0; i < num_rounds(); ++i) {
+    const RoundCost& r = rounds_[i];
+    os << "\n  round " << (i + 1) << " [" << r.label
+       << "]: max_recv=" << r.MaxTuplesReceived()
+       << " total_recv=" << r.TotalTuplesReceived();
+  }
+  return os.str();
+}
+
+}  // namespace mpcqp

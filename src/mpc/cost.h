@@ -1,0 +1,60 @@
+#ifndef MPCQP_MPC_COST_H_
+#define MPCQP_MPC_COST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mpcqp {
+
+// Communication incurred during one MPC round, per server.
+//
+// The MPC model's two cost parameters (deck slides 12-20) are
+//   L = max over rounds and servers of data received in a round, and
+//   r = number of rounds.
+// We meter both tuples and values (tuple-count × arity); join theory states
+// bounds in tuples, matrix-multiplication theory in elements.
+struct RoundCost {
+  std::string label;
+  std::vector<int64_t> tuples_received;
+  std::vector<int64_t> values_received;
+  std::vector<int64_t> tuples_sent;
+  std::vector<int64_t> values_sent;
+
+  explicit RoundCost(int num_servers, std::string label_text = "");
+
+  int64_t MaxTuplesReceived() const;
+  int64_t MaxValuesReceived() const;
+  int64_t TotalTuplesReceived() const;
+  int64_t TotalValuesReceived() const;
+};
+
+// Aggregated cost of an algorithm run: one RoundCost per round.
+class CostReport {
+ public:
+  CostReport() = default;
+
+  void AddRound(RoundCost cost) { rounds_.push_back(std::move(cost)); }
+  void Clear() { rounds_.clear(); }
+
+  int num_rounds() const { return static_cast<int>(rounds_.size()); }
+  const std::vector<RoundCost>& rounds() const { return rounds_; }
+
+  // L in tuples: max over rounds and servers of tuples received.
+  int64_t MaxLoadTuples() const;
+  // L in values (tuples × arity).
+  int64_t MaxLoadValues() const;
+  // C in tuples: total tuples communicated across all rounds and servers.
+  int64_t TotalCommTuples() const;
+  int64_t TotalCommValues() const;
+
+  // Multi-line table: one row per round with its max/total loads.
+  std::string ToString() const;
+
+ private:
+  std::vector<RoundCost> rounds_;
+};
+
+}  // namespace mpcqp
+
+#endif  // MPCQP_MPC_COST_H_

@@ -1,0 +1,74 @@
+#include "mpc/dist_relation.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace mpcqp {
+
+DistRelation::DistRelation(int arity, int num_servers) : arity_(arity) {
+  MPCQP_CHECK_GT(num_servers, 0);
+  fragments_.assign(num_servers, Relation(arity));
+}
+
+DistRelation::DistRelation(std::vector<Relation> fragments)
+    : arity_(fragments.front().arity()), fragments_(std::move(fragments)) {}
+
+DistRelation DistRelation::FromFragments(std::vector<Relation> fragments) {
+  MPCQP_CHECK(!fragments.empty());
+  for (const Relation& f : fragments) {
+    MPCQP_CHECK_EQ(f.arity(), fragments.front().arity());
+  }
+  return DistRelation(std::move(fragments));
+}
+
+DistRelation DistRelation::Scatter(const Relation& input, int num_servers) {
+  MPCQP_CHECK_GT(num_servers, 0);
+  DistRelation out(input.arity(), num_servers);
+  const int64_t n = input.size();
+  for (int s = 0; s < num_servers; ++s) {
+    // Server s gets rows [s*n/p, (s+1)*n/p).
+    const int64_t begin = s * n / num_servers;
+    const int64_t end = (s + 1) * n / num_servers;
+    out.fragments_[s].Reserve(end - begin);
+    for (int64_t i = begin; i < end; ++i) {
+      out.fragments_[s].AppendRowFrom(input, i);
+    }
+  }
+  return out;
+}
+
+int64_t DistRelation::TotalSize() const {
+  int64_t total = 0;
+  for (const Relation& f : fragments_) total += f.size();
+  return total;
+}
+
+int64_t DistRelation::MaxFragmentSize() const {
+  int64_t best = 0;
+  for (const Relation& f : fragments_) best = std::max(best, f.size());
+  return best;
+}
+
+Relation& DistRelation::fragment(int server) {
+  MPCQP_CHECK_GE(server, 0);
+  MPCQP_CHECK_LT(server, num_servers());
+  return fragments_[server];
+}
+
+const Relation& DistRelation::fragment(int server) const {
+  MPCQP_CHECK_GE(server, 0);
+  MPCQP_CHECK_LT(server, num_servers());
+  return fragments_[server];
+}
+
+Relation DistRelation::Collect() const {
+  Relation out(arity_);
+  out.Reserve(TotalSize());
+  for (const Relation& f : fragments_) {
+    for (int64_t i = 0; i < f.size(); ++i) out.AppendRowFrom(f, i);
+  }
+  return out;
+}
+
+}  // namespace mpcqp

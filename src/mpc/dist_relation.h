@@ -1,0 +1,50 @@
+#ifndef MPCQP_MPC_DIST_RELATION_H_
+#define MPCQP_MPC_DIST_RELATION_H_
+
+#include <vector>
+
+#include "relation/relation.h"
+
+namespace mpcqp {
+
+// A relation horizontally partitioned across the servers of a cluster:
+// fragment s lives on server s. The simulator's algorithms transform
+// DistRelations with exchange primitives (metered) and per-fragment local
+// computation (free, per the MPC model).
+class DistRelation {
+ public:
+  // An empty distributed relation with the given arity on `num_servers`.
+  DistRelation(int arity, int num_servers);
+
+  // Adopts existing fragments (all must share one arity; at least one).
+  static DistRelation FromFragments(std::vector<Relation> fragments);
+
+  // Initial placement of an input: block-partitions `input` evenly across
+  // servers (each gets ceil/floor of size/p contiguous rows). Initial
+  // placement is NOT communication: the MPC model assumes inputs start
+  // spread O(IN/p) per server (deck slide 6).
+  static DistRelation Scatter(const Relation& input, int num_servers);
+
+  int arity() const { return arity_; }
+  int num_servers() const { return static_cast<int>(fragments_.size()); }
+  int64_t TotalSize() const;
+  // Max fragment size: the current per-server storage in tuples.
+  int64_t MaxFragmentSize() const;
+
+  Relation& fragment(int server);
+  const Relation& fragment(int server) const;
+
+  // Concatenates all fragments into one local relation (test/verification
+  // helper; not metered).
+  Relation Collect() const;
+
+ private:
+  explicit DistRelation(std::vector<Relation> fragments);
+
+  int arity_;
+  std::vector<Relation> fragments_;
+};
+
+}  // namespace mpcqp
+
+#endif  // MPCQP_MPC_DIST_RELATION_H_

@@ -1,0 +1,123 @@
+#include "mpc/exchange.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace mpcqp {
+
+namespace {
+
+// Shared implementation: route each tuple of each source fragment to the
+// destinations chosen by `targets`, metering per (src, dst) pair.
+DistRelation RouteImpl(
+    Cluster& cluster, const DistRelation& rel,
+    const std::function<void(const Value* row, std::vector<int>& dests)>&
+        targets,
+    const std::string& label) {
+  const int p = cluster.num_servers();
+  MPCQP_CHECK_EQ(rel.num_servers(), p);
+  MPCQP_CHECK_GT(rel.arity(), 0) << "cannot route nullary relations";
+  RoundScope scope(cluster, label);
+
+  DistRelation out(rel.arity(), p);
+  // Meter with a per-source aggregation matrix to keep RecordMessage calls
+  // off the per-tuple path.
+  std::vector<int64_t> sent_to(p, 0);
+  std::vector<int> dests;
+  for (int src = 0; src < p; ++src) {
+    std::fill(sent_to.begin(), sent_to.end(), 0);
+    const Relation& frag = rel.fragment(src);
+    for (int64_t i = 0; i < frag.size(); ++i) {
+      const Value* row = frag.row(i);
+      dests.clear();
+      targets(row, dests);
+      for (int dst : dests) {
+        MPCQP_CHECK_GE(dst, 0);
+        MPCQP_CHECK_LT(dst, p);
+        out.fragment(dst).AppendRow(row);
+        ++sent_to[dst];
+      }
+    }
+    for (int dst = 0; dst < p; ++dst) {
+      if (sent_to[dst] > 0) {
+        cluster.RecordMessage(src, dst, sent_to[dst],
+                              sent_to[dst] * rel.arity());
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+DistRelation HashPartition(Cluster& cluster, const DistRelation& rel,
+                           const std::vector<int>& key_cols,
+                           const HashFunction& hash,
+                           const std::string& label) {
+  MPCQP_CHECK(!key_cols.empty());
+  for (int c : key_cols) {
+    MPCQP_CHECK_GE(c, 0);
+    MPCQP_CHECK_LT(c, rel.arity());
+  }
+  const int p = cluster.num_servers();
+  std::vector<Value> key(key_cols.size());
+  return RouteImpl(
+      cluster, rel,
+      [&](const Value* row, std::vector<int>& dests) {
+        for (size_t k = 0; k < key_cols.size(); ++k) key[k] = row[key_cols[k]];
+        const uint64_t h =
+            hash.HashSpan(key.data(), static_cast<int>(key.size()));
+        dests.push_back(static_cast<int>(
+            (static_cast<unsigned __int128>(h) * p) >> 64));
+      },
+      label);
+}
+
+DistRelation Broadcast(Cluster& cluster, const DistRelation& rel,
+                       const std::string& label) {
+  const int p = cluster.num_servers();
+  return RouteImpl(
+      cluster, rel,
+      [p](const Value*, std::vector<int>& dests) {
+        for (int s = 0; s < p; ++s) dests.push_back(s);
+      },
+      label);
+}
+
+DistRelation RangePartition(Cluster& cluster, const DistRelation& rel, int col,
+                            const std::vector<Value>& splitters,
+                            const std::string& label) {
+  MPCQP_CHECK_GE(col, 0);
+  MPCQP_CHECK_LT(col, rel.arity());
+  MPCQP_CHECK_EQ(static_cast<int>(splitters.size()) + 1,
+                 cluster.num_servers());
+  MPCQP_CHECK(std::is_sorted(splitters.begin(), splitters.end()));
+  return RouteImpl(
+      cluster, rel,
+      [&](const Value* row, std::vector<int>& dests) {
+        const auto it =
+            std::upper_bound(splitters.begin(), splitters.end(), row[col]);
+        dests.push_back(static_cast<int>(it - splitters.begin()));
+      },
+      label);
+}
+
+DistRelation Route(
+    Cluster& cluster, const DistRelation& rel,
+    const std::function<void(const Value* row, std::vector<int>& dests)>&
+        targets,
+    const std::string& label) {
+  return RouteImpl(cluster, rel, targets, label);
+}
+
+Relation GatherToServer(Cluster& cluster, const DistRelation& rel, int dst,
+                        const std::string& label) {
+  DistRelation gathered = RouteImpl(
+      cluster, rel,
+      [dst](const Value*, std::vector<int>& dests) { dests.push_back(dst); },
+      label);
+  return gathered.fragment(dst);
+}
+
+}  // namespace mpcqp

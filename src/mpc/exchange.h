@@ -1,0 +1,51 @@
+#ifndef MPCQP_MPC_EXCHANGE_H_
+#define MPCQP_MPC_EXCHANGE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "mpc/cluster.h"
+#include "mpc/dist_relation.h"
+
+namespace mpcqp {
+
+// Exchange (shuffle) primitives. Each moves a DistRelation's tuples to new
+// servers and meters every tuple via the cluster. Each call is one MPC
+// round unless the caller has a round open (RoundScope semantics), in which
+// case it merges into that round.
+
+// Re-partitions by hash of the key columns: tuple t goes to server
+// h(t[key_cols]) mod p.
+DistRelation HashPartition(Cluster& cluster, const DistRelation& rel,
+                           const std::vector<int>& key_cols,
+                           const HashFunction& hash, const std::string& label);
+
+// Every server receives a copy of the whole relation.
+DistRelation Broadcast(Cluster& cluster, const DistRelation& rel,
+                       const std::string& label);
+
+// Range-partitions by column `col`: tuple with value v goes to server i
+// where splitters[i-1] <= v < splitters[i] (splitters sorted, size p-1).
+DistRelation RangePartition(Cluster& cluster, const DistRelation& rel, int col,
+                            const std::vector<Value>& splitters,
+                            const std::string& label);
+
+// Fully general routing: `targets(row, &dests)` appends the destination
+// server ids for each tuple (possibly none or several — multicast). This is
+// what HyperCube partitioning and heavy-hitter Cartesian grids build on.
+DistRelation Route(
+    Cluster& cluster, const DistRelation& rel,
+    const std::function<void(const Value* row, std::vector<int>& dests)>&
+        targets,
+    const std::string& label);
+
+// Moves all tuples to server `dst` (e.g. collecting a sample to decide
+// splitters). Returns the collected relation.
+Relation GatherToServer(Cluster& cluster, const DistRelation& rel, int dst,
+                        const std::string& label);
+
+}  // namespace mpcqp
+
+#endif  // MPCQP_MPC_EXCHANGE_H_

@@ -1,0 +1,103 @@
+#include "mpc/set_ops.h"
+
+#include <vector>
+
+#include "common/check.h"
+#include "mpc/exchange.h"
+#include "relation/relation_ops.h"
+
+namespace mpcqp {
+
+namespace {
+
+std::vector<int> AllColumns(int arity) {
+  std::vector<int> cols(arity);
+  for (int c = 0; c < arity; ++c) cols[c] = c;
+  return cols;
+}
+
+// Co-partitions both inputs by whole-tuple hash and applies `combine` to
+// each server's pair of (locally deduplicated) fragments.
+template <typename Combine>
+DistRelation PartitionAndCombine(Cluster& cluster, const DistRelation& a,
+                                 const DistRelation& b, const char* label,
+                                 Combine combine) {
+  MPCQP_CHECK_EQ(a.arity(), b.arity());
+  MPCQP_CHECK_GT(a.arity(), 0);
+  const int p = cluster.num_servers();
+  const std::vector<int> cols = AllColumns(a.arity());
+  const HashFunction hash = cluster.NewHashFunction();
+  cluster.BeginRound(label);
+  // Local dedup first: at most one copy of each tuple leaves a server.
+  DistRelation a_local(a.arity(), p);
+  DistRelation b_local(b.arity(), p);
+  for (int s = 0; s < p; ++s) {
+    a_local.fragment(s) = Dedup(a.fragment(s));
+    b_local.fragment(s) = Dedup(b.fragment(s));
+  }
+  const DistRelation a_parts = HashPartition(cluster, a_local, cols, hash, "");
+  const DistRelation b_parts = HashPartition(cluster, b_local, cols, hash, "");
+  cluster.EndRound();
+
+  std::vector<Relation> outputs;
+  outputs.reserve(p);
+  for (int s = 0; s < p; ++s) {
+    outputs.push_back(
+        combine(Dedup(a_parts.fragment(s)), Dedup(b_parts.fragment(s))));
+  }
+  return DistRelation::FromFragments(std::move(outputs));
+}
+
+}  // namespace
+
+DistRelation DistributedDistinct(Cluster& cluster, const DistRelation& rel) {
+  MPCQP_CHECK_GT(rel.arity(), 0);
+  const int p = cluster.num_servers();
+  const std::vector<int> cols = AllColumns(rel.arity());
+  DistRelation local(rel.arity(), p);
+  for (int s = 0; s < p; ++s) {
+    local.fragment(s) = Dedup(rel.fragment(s));
+  }
+  const HashFunction hash = cluster.NewHashFunction();
+  const DistRelation parts =
+      HashPartition(cluster, local, cols, hash, "distributed distinct");
+  std::vector<Relation> outputs;
+  outputs.reserve(p);
+  for (int s = 0; s < p; ++s) {
+    outputs.push_back(Dedup(parts.fragment(s)));
+  }
+  return DistRelation::FromFragments(std::move(outputs));
+}
+
+DistRelation DistributedUnion(Cluster& cluster, const DistRelation& a,
+                              const DistRelation& b) {
+  return PartitionAndCombine(
+      cluster, a, b, "distributed union",
+      [](const Relation& x, const Relation& y) {
+        return Dedup(UnionAll(x, y));
+      });
+}
+
+DistRelation DistributedIntersect(Cluster& cluster, const DistRelation& a,
+                                  const DistRelation& b) {
+  return PartitionAndCombine(
+      cluster, a, b, "distributed intersect",
+      [](const Relation& x, const Relation& y) {
+        std::vector<int> cols(x.arity());
+        for (int c = 0; c < x.arity(); ++c) cols[c] = c;
+        return SemijoinLocal(x, y, cols, cols);
+      });
+}
+
+DistRelation DistributedDifference(Cluster& cluster, const DistRelation& a,
+                                   const DistRelation& b) {
+  return PartitionAndCombine(
+      cluster, a, b, "distributed difference",
+      [](const Relation& x, const Relation& y) {
+        std::vector<int> cols(x.arity());
+        for (int c = 0; c < x.arity(); ++c) cols[c] = c;
+        return AntijoinLocal(x, y, cols, cols);
+      });
+}
+
+}  // namespace mpcqp

@@ -1,0 +1,28 @@
+#ifndef MPCQP_MPC_SET_OPS_H_
+#define MPCQP_MPC_SET_OPS_H_
+
+#include "mpc/cluster.h"
+#include "mpc/dist_relation.h"
+
+namespace mpcqp {
+
+// Distributed set operations, each one MPC round (hash partition by the
+// whole tuple, then a local pass). They complete the relational algebra
+// the join algorithms live in; DISTINCT in particular is the post-pass a
+// projection query needs after any of the full-CQ joins.
+
+// Removes duplicates globally. Output partitioned by tuple hash.
+DistRelation DistributedDistinct(Cluster& cluster, const DistRelation& rel);
+
+// Set union / intersection / difference of two same-arity relations
+// (set semantics: inputs are deduplicated by the operation).
+DistRelation DistributedUnion(Cluster& cluster, const DistRelation& a,
+                              const DistRelation& b);
+DistRelation DistributedIntersect(Cluster& cluster, const DistRelation& a,
+                                  const DistRelation& b);
+DistRelation DistributedDifference(Cluster& cluster, const DistRelation& a,
+                                   const DistRelation& b);
+
+}  // namespace mpcqp
+
+#endif  // MPCQP_MPC_SET_OPS_H_

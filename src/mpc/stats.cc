@@ -1,0 +1,85 @@
+#include "mpc/stats.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/check.h"
+#include "mpc/exchange.h"
+#include "relation/relation_ops.h"
+
+namespace mpcqp {
+
+namespace {
+
+// Local pre-aggregation: fragment -> (value, count) partials.
+DistRelation LocalCounts(const DistRelation& rel, int col) {
+  DistRelation partials(2, rel.num_servers());
+  for (int s = 0; s < rel.num_servers(); ++s) {
+    std::map<Value, int64_t> counts;
+    const Relation& frag = rel.fragment(s);
+    for (int64_t i = 0; i < frag.size(); ++i) ++counts[frag.at(i, col)];
+    for (const auto& [value, count] : counts) {
+      partials.fragment(s).AppendRow({value, static_cast<Value>(count)});
+    }
+  }
+  return partials;
+}
+
+}  // namespace
+
+std::vector<DistributedHeavyHitter> DetectHeavyHittersDistributed(
+    Cluster& cluster, const DistRelation& rel, int col, int64_t threshold) {
+  MPCQP_CHECK_GE(col, 0);
+  MPCQP_CHECK_LT(col, rel.arity());
+  const int p = cluster.num_servers();
+  MPCQP_CHECK_EQ(rel.num_servers(), p);
+
+  // Round 1: partials to the value's owner.
+  const HashFunction hash = cluster.NewHashFunction();
+  const DistRelation routed = HashPartition(
+      cluster, LocalCounts(rel, col), {0}, hash, "stats: count shuffle");
+
+  // Local finalize: totals per owned value; keep the heavy survivors.
+  DistRelation survivors(2, p);
+  for (int s = 0; s < p; ++s) {
+    const Relation totals = GroupBySum(routed.fragment(s), {0}, 1);
+    for (int64_t i = 0; i < totals.size(); ++i) {
+      if (static_cast<int64_t>(totals.at(i, 1)) > threshold) {
+        survivors.fragment(s).AppendRowFrom(totals, i);
+      }
+    }
+  }
+
+  // Round 2: broadcast the (few) heavy values so every server knows them.
+  const DistRelation everywhere =
+      Broadcast(cluster, survivors, "stats: hitter broadcast");
+
+  Relation collected = everywhere.fragment(0);
+  collected.SortRowsBy({0});
+  std::vector<DistributedHeavyHitter> result;
+  result.reserve(collected.size());
+  for (int64_t i = 0; i < collected.size(); ++i) {
+    result.push_back({collected.at(i, 0),
+                      static_cast<int64_t>(collected.at(i, 1))});
+  }
+  return result;
+}
+
+Relation DistributedDegreeTable(Cluster& cluster, const DistRelation& rel,
+                                int col, int gather_to) {
+  MPCQP_CHECK_GE(col, 0);
+  MPCQP_CHECK_LT(col, rel.arity());
+  const HashFunction hash = cluster.NewHashFunction();
+  const DistRelation routed = HashPartition(
+      cluster, LocalCounts(rel, col), {0}, hash, "stats: count shuffle");
+  DistRelation totals(2, cluster.num_servers());
+  for (int s = 0; s < cluster.num_servers(); ++s) {
+    totals.fragment(s) = GroupBySum(routed.fragment(s), {0}, 1);
+  }
+  Relation gathered =
+      GatherToServer(cluster, totals, gather_to, "stats: gather degrees");
+  gathered.SortRowsBy({0});
+  return gathered;
+}
+
+}  // namespace mpcqp

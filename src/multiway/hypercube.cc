@@ -1,0 +1,152 @@
+#include "multiway/hypercube.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "mpc/exchange.h"
+#include "query/generic_join.h"
+#include "query/local_eval.h"
+#include "relation/relation_ops.h"
+
+namespace mpcqp {
+
+namespace {
+
+// Drops rows of an atom instance that violate intra-atom repeated
+// variables (they can never join; filtering locally is free and saves
+// communication).
+Relation PrefilterRepeats(const Atom& atom, const Relation& rel) {
+  bool has_repeats = false;
+  for (int c = 0; c < atom.arity(); ++c) {
+    for (int d = c + 1; d < atom.arity(); ++d) {
+      if (atom.vars[c] == atom.vars[d]) has_repeats = true;
+    }
+  }
+  if (!has_repeats) return rel;
+  return Filter(rel, [&](const Value* row) {
+    for (int c = 0; c < atom.arity(); ++c) {
+      for (int d = c + 1; d < atom.arity(); ++d) {
+        if (atom.vars[c] == atom.vars[d] && row[c] != row[d]) return false;
+      }
+    }
+    return true;
+  });
+}
+
+}  // namespace
+
+HyperCubeResult HyperCubeJoin(Cluster& cluster, const ConjunctiveQuery& q,
+                              const std::vector<DistRelation>& atoms,
+                              const HyperCubeOptions& options) {
+  const int p = cluster.num_servers();
+  const int k = q.num_vars();
+  MPCQP_CHECK_EQ(static_cast<int>(atoms.size()), q.num_atoms());
+  for (int j = 0; j < q.num_atoms(); ++j) {
+    MPCQP_CHECK_EQ(atoms[j].arity(), q.atom(j).arity());
+    MPCQP_CHECK_EQ(atoms[j].num_servers(), p);
+  }
+
+  // Shares: forced, or optimized for the observed sizes.
+  std::vector<int> shares;
+  if (!options.forced_shares.empty()) {
+    MPCQP_CHECK_EQ(static_cast<int>(options.forced_shares.size()), k);
+    shares = options.forced_shares;
+    int64_t product = 1;
+    for (int s : shares) {
+      MPCQP_CHECK_GE(s, 1);
+      product *= s;
+    }
+    MPCQP_CHECK_LE(product, p);
+  } else {
+    std::vector<int64_t> sizes;
+    sizes.reserve(q.num_atoms());
+    for (const DistRelation& a : atoms) sizes.push_back(a.TotalSize());
+    shares = ComputeShares(q, sizes, p, options.rounding).shares;
+  }
+
+  // Mixed-radix strides: coordinate c = (c_0..c_{k-1}) lives on server
+  // Σ c_i * stride_i; only the first Π shares servers are used.
+  std::vector<int64_t> strides(k, 1);
+  for (int v = 1; v < k; ++v) strides[v] = strides[v - 1] * shares[v - 1];
+
+  // One independent hash function per variable.
+  std::vector<HashFunction> hashes;
+  hashes.reserve(k);
+  for (int v = 0; v < k; ++v) hashes.push_back(cluster.NewHashFunction());
+
+  // Round 1 (the only round): multicast every atom.
+  cluster.BeginRound("hypercube: multicast");
+  std::vector<DistRelation> routed;
+  routed.reserve(q.num_atoms());
+  for (int j = 0; j < q.num_atoms(); ++j) {
+    const Atom& atom = q.atom(j);
+    // Fixed dimensions: first-occurrence column per distinct variable.
+    std::vector<std::pair<int, int>> var_cols;  // (var, column).
+    for (int c = 0; c < atom.arity(); ++c) {
+      const int v = atom.vars[c];
+      bool first = true;
+      for (int d = 0; d < c; ++d) {
+        if (atom.vars[d] == v) first = false;
+      }
+      if (first) var_cols.push_back({v, c});
+    }
+    std::vector<bool> is_fixed(k, false);
+    for (const auto& [v, c] : var_cols) is_fixed[v] = true;
+    std::vector<int> free_vars;
+    for (int v = 0; v < k; ++v) {
+      if (!is_fixed[v]) free_vars.push_back(v);
+    }
+
+    DistRelation prefiltered(atoms[j].arity(), p);
+    for (int s = 0; s < p; ++s) {
+      prefiltered.fragment(s) = PrefilterRepeats(atom, atoms[j].fragment(s));
+    }
+
+    routed.push_back(Route(
+        cluster, prefiltered,
+        [&, free_vars, var_cols](const Value* row, std::vector<int>& dests) {
+          int64_t base = 0;
+          for (const auto& [v, c] : var_cols) {
+            base += static_cast<int64_t>(
+                        hashes[v].Bucket(row[c], shares[v])) *
+                    strides[v];
+          }
+          // Enumerate all combinations of the free dimensions.
+          dests.push_back(static_cast<int>(base));
+          for (int v : free_vars) {
+            const size_t count = dests.size();
+            for (int coord = 1; coord < shares[v]; ++coord) {
+              for (size_t i = 0; i < count; ++i) {
+                dests.push_back(
+                    static_cast<int>(dests[i] + coord * strides[v]));
+              }
+            }
+          }
+        },
+        ""));
+  }
+  cluster.EndRound();
+
+  // Local evaluation on every (used) server.
+  std::vector<Relation> outputs;
+  outputs.reserve(p);
+  std::vector<Relation> local_atoms(q.num_atoms());
+  for (int s = 0; s < p; ++s) {
+    bool any = false;
+    for (int j = 0; j < q.num_atoms(); ++j) {
+      local_atoms[j] = routed[j].fragment(s);
+      if (!local_atoms[j].empty()) any = true;
+    }
+    if (any) {
+      outputs.push_back(options.local == LocalEvaluator::kBinaryJoins
+                            ? EvalJoinLocal(q, local_atoms)
+                            : EvalJoinWcoj(q, local_atoms));
+    } else {
+      outputs.push_back(Relation(k));
+    }
+  }
+  return HyperCubeResult{DistRelation::FromFragments(std::move(outputs)),
+                         std::move(shares)};
+}
+
+}  // namespace mpcqp

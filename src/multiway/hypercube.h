@@ -1,0 +1,58 @@
+#ifndef MPCQP_MULTIWAY_HYPERCUBE_H_
+#define MPCQP_MULTIWAY_HYPERCUBE_H_
+
+#include <vector>
+
+#include "mpc/cluster.h"
+#include "mpc/dist_relation.h"
+#include "multiway/shares.h"
+#include "query/query.h"
+
+namespace mpcqp {
+
+// The HyperCube / Shares algorithm (Afrati-Ullman '10, Beame et al. '13-'14;
+// deck slides 34-45): computes any full conjunctive query in ONE round.
+//
+// Servers are arranged in a p_1 × ... × p_k hypercube (one dimension per
+// query variable, Π p_i <= p). Each tuple of atom S_j is multicast to all
+// servers whose coordinates agree with h_i(t[x_i]) on the atom's variables;
+// each server then evaluates the query on what it received. Every output
+// tuple is produced at exactly one server (all its variables are hashed).
+//
+// Skew-free load: IN / p^{1/τ*} for equal-size atoms (τ* = fractional edge
+// packing number); N/p^{2/3} for the triangle. Degrades under skew — use
+// SkewHcJoin then.
+// Which local evaluator each server runs on its received fragments.
+enum class LocalEvaluator {
+  // Pairwise hash joins (EvalJoinLocal): SQL bag semantics.
+  kBinaryJoins,
+  // Worst-case optimal Generic Join (EvalJoinWcoj): SET semantics — input
+  // duplicates do not multiply. Robust against skewed fragments whose
+  // binary intermediates would explode (bench A3).
+  kGenericJoin,
+};
+
+struct HyperCubeOptions {
+  ShareRounding rounding = ShareRounding::kFloorGreedy;
+  LocalEvaluator local = LocalEvaluator::kBinaryJoins;
+  // If non-empty, overrides the share computation (one entry per query
+  // variable, product <= p). Used by benches reproducing specific rows of
+  // the deck's tables.
+  std::vector<int> forced_shares;
+};
+
+struct HyperCubeResult {
+  // Output columns = query variables in id order.
+  DistRelation output;
+  // The integer shares actually used.
+  std::vector<int> shares;
+};
+
+// atoms[j] instantiates q.atom(j) (arities must match).
+HyperCubeResult HyperCubeJoin(Cluster& cluster, const ConjunctiveQuery& q,
+                              const std::vector<DistRelation>& atoms,
+                              const HyperCubeOptions& options = {});
+
+}  // namespace mpcqp
+
+#endif  // MPCQP_MULTIWAY_HYPERCUBE_H_

@@ -1,0 +1,120 @@
+#include "multiway/join_order.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/check.h"
+#include "relation/relation_ops.h"
+
+namespace mpcqp {
+
+namespace {
+
+// distinct[j][v]: distinct values of variable v in atom j (0 if absent).
+std::vector<std::vector<int64_t>> DistinctCounts(
+    const ConjunctiveQuery& q, const std::vector<DistRelation>& atoms) {
+  std::vector<std::vector<int64_t>> distinct(
+      q.num_atoms(), std::vector<int64_t>(q.num_vars(), 0));
+  for (int j = 0; j < q.num_atoms(); ++j) {
+    const Relation whole = atoms[j].Collect();
+    std::set<int> seen;
+    for (int c = 0; c < q.atom(j).arity(); ++c) {
+      const int v = q.atom(j).vars[c];
+      if (!seen.insert(v).second) continue;
+      std::set<Value> values;
+      for (int64_t i = 0; i < whole.size(); ++i) {
+        values.insert(whole.at(i, c));
+      }
+      distinct[j][v] = static_cast<int64_t>(values.size());
+    }
+  }
+  return distinct;
+}
+
+// Estimated |acc ⋈ atom j| given |acc| and the bound variable set.
+double JoinFactor(const ConjunctiveQuery& q,
+                  const std::vector<std::vector<int64_t>>& distinct,
+                  int64_t atom_size, int j, const std::set<int>& bound) {
+  double factor = static_cast<double>(atom_size);
+  std::set<int> seen;
+  for (int v : q.atom(j).vars) {
+    if (!seen.insert(v).second) continue;
+    if (bound.count(v) > 0) {
+      factor /= std::max<int64_t>(1, distinct[j][v]);
+    }
+  }
+  return factor;
+}
+
+}  // namespace
+
+std::vector<int> GreedyJoinOrder(const ConjunctiveQuery& q,
+                                 const std::vector<DistRelation>& atoms) {
+  MPCQP_CHECK_EQ(static_cast<int>(atoms.size()), q.num_atoms());
+  const auto distinct = DistinctCounts(q, atoms);
+  std::vector<int64_t> sizes;
+  for (const DistRelation& a : atoms) sizes.push_back(a.TotalSize());
+
+  std::vector<int> order;
+  std::vector<bool> used(q.num_atoms(), false);
+  std::set<int> bound;
+
+  // Start from the smallest atom.
+  int first = 0;
+  for (int j = 1; j < q.num_atoms(); ++j) {
+    if (sizes[j] < sizes[first]) first = j;
+  }
+  order.push_back(first);
+  used[first] = true;
+  for (int v : q.atom(first).vars) bound.insert(v);
+
+  double acc = static_cast<double>(sizes[first]);
+  for (int step = 1; step < q.num_atoms(); ++step) {
+    int best = -1;
+    bool best_connected = false;
+    double best_estimate = 0.0;
+    for (int j = 0; j < q.num_atoms(); ++j) {
+      if (used[j]) continue;
+      bool connected = false;
+      for (int v : q.atom(j).vars) {
+        if (bound.count(v) > 0) connected = true;
+      }
+      const double estimate =
+          acc * JoinFactor(q, distinct, sizes[j], j, bound);
+      // Connected atoms always beat cross products; among equals, pick
+      // the smaller estimated intermediate.
+      if (best < 0 || (connected && !best_connected) ||
+          (connected == best_connected && estimate < best_estimate)) {
+        best = j;
+        best_connected = connected;
+        best_estimate = estimate;
+      }
+    }
+    order.push_back(best);
+    used[best] = true;
+    acc = best_estimate;
+    for (int v : q.atom(best).vars) bound.insert(v);
+  }
+  return order;
+}
+
+std::vector<double> EstimateIntermediates(
+    const ConjunctiveQuery& q, const std::vector<DistRelation>& atoms,
+    const std::vector<int>& order) {
+  MPCQP_CHECK_EQ(order.size(), atoms.size());
+  const auto distinct = DistinctCounts(q, atoms);
+  std::vector<double> estimates;
+  std::set<int> bound(q.atom(order[0]).vars.begin(),
+                      q.atom(order[0]).vars.end());
+  double acc = static_cast<double>(atoms[order[0]].TotalSize());
+  for (size_t step = 1; step < order.size(); ++step) {
+    const int j = order[step];
+    acc *= JoinFactor(q, distinct, atoms[j].TotalSize(), j, bound);
+    estimates.push_back(acc);
+    for (int v : q.atom(j).vars) bound.insert(v);
+  }
+  return estimates;
+}
+
+}  // namespace mpcqp

@@ -1,0 +1,32 @@
+#ifndef MPCQP_MULTIWAY_JOIN_ORDER_H_
+#define MPCQP_MULTIWAY_JOIN_ORDER_H_
+
+#include <vector>
+
+#include "mpc/dist_relation.h"
+#include "query/query.h"
+
+namespace mpcqp {
+
+// Greedy join-order selection for iterative binary plans (what a textbook
+// System-R-style optimizer contributes to the deck's "most systems run
+// iterative binary joins", slide 97): start from the smallest atom, then
+// repeatedly append the atom minimizing the estimated next intermediate
+// under independence assumptions
+//
+//   |acc ⋈ A| ≈ |acc| · |A| / Π_{v shared} distinct_A(v),
+//
+// preferring connected atoms (cross products only when forced). Returns
+// an atom order for BinaryPlanOptions::order.
+std::vector<int> GreedyJoinOrder(const ConjunctiveQuery& q,
+                                 const std::vector<DistRelation>& atoms);
+
+// Estimated intermediate sizes along `order` (the optimizer's own
+// predictions; exposed for tests and EXPLAIN-style output).
+std::vector<double> EstimateIntermediates(
+    const ConjunctiveQuery& q, const std::vector<DistRelation>& atoms,
+    const std::vector<int>& order);
+
+}  // namespace mpcqp
+
+#endif  // MPCQP_MULTIWAY_JOIN_ORDER_H_

@@ -1,0 +1,42 @@
+#ifndef MPCQP_MULTIWAY_SHARES_H_
+#define MPCQP_MULTIWAY_SHARES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "query/query.h"
+
+namespace mpcqp {
+
+// Integer HyperCube shares: p_1 × ... × p_k with Π p_i <= p.
+// The fractional optimum comes from the share LP
+// (OptimalShareExponents); these routines round it to integers.
+
+enum class ShareRounding {
+  // Floor each p^{e_i} (product stays <= p), then greedily bump the share
+  // that most reduces the predicted load while the product still fits.
+  kFloorGreedy,
+  // Exact search over all integer share vectors with product <= p.
+  // Exponential in num_vars; fine for the small queries of the deck and
+  // used as the ablation baseline (A1).
+  kExhaustive,
+};
+
+struct IntegerShares {
+  std::vector<int> shares;       // One per query variable; product <= p.
+  double predicted_load = 0.0;   // max_j |S_j| / Π_{i∈S_j} shares_i.
+};
+
+// Predicted per-server load for a given share vector.
+double PredictedLoad(const ConjunctiveQuery& q,
+                     const std::vector<int64_t>& sizes,
+                     const std::vector<int>& shares);
+
+// Computes integer shares for `q` with per-atom sizes on `p` servers.
+IntegerShares ComputeShares(const ConjunctiveQuery& q,
+                            const std::vector<int64_t>& sizes, int p,
+                            ShareRounding rounding = ShareRounding::kFloorGreedy);
+
+}  // namespace mpcqp
+
+#endif  // MPCQP_MULTIWAY_SHARES_H_

@@ -1,0 +1,375 @@
+#include "planner/planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "acyclic/gym.h"
+#include "common/check.h"
+#include "join/heavy_hitters.h"
+#include "multiway/bigjoin.h"
+#include "multiway/binary_plan.h"
+#include "multiway/hypercube.h"
+#include "multiway/join_order.h"
+#include "multiway/shares.h"
+#include "multiway/skew_hc.h"
+#include "query/ghd.h"
+#include "query/hypergraph_lp.h"
+#include "relation/relation_ops.h"
+
+namespace mpcqp {
+
+const char* PlanAlgorithmName(PlanAlgorithm algorithm) {
+  switch (algorithm) {
+    case PlanAlgorithm::kHyperCube:
+      return "hypercube";
+    case PlanAlgorithm::kSkewHc:
+      return "skew-hc";
+    case PlanAlgorithm::kBinaryPlan:
+      return "binary-plan";
+    case PlanAlgorithm::kGym:
+      return "gym";
+    case PlanAlgorithm::kBigJoin:
+      return "bigjoin";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// First-occurrence column of each distinct variable of an atom.
+std::vector<std::pair<int, int>> DistinctVarCols(const Atom& atom) {
+  std::vector<std::pair<int, int>> var_cols;
+  for (int c = 0; c < atom.arity(); ++c) {
+    const int v = atom.vars[c];
+    bool first = true;
+    for (int d = 0; d < c; ++d) {
+      if (atom.vars[d] == v) first = false;
+    }
+    if (first) var_cols.push_back({v, c});
+  }
+  return var_cols;
+}
+
+// Cheap catalog statistics, computed exactly (the model's free stats).
+struct Stats {
+  std::vector<int64_t> sizes;                    // Per atom.
+  std::vector<std::vector<int64_t>> distinct;    // distinct[j][v] or 0.
+  std::vector<bool> var_is_heavy;                // Per query variable.
+  std::vector<bool> atom_has_duplicates;         // Per atom.
+  int64_t total_in = 0;
+};
+
+Stats GatherStats(const ConjunctiveQuery& q,
+                  const std::vector<DistRelation>& atoms,
+                  int64_t heavy_threshold) {
+  Stats stats;
+  stats.distinct.assign(q.num_atoms(),
+                        std::vector<int64_t>(q.num_vars(), 0));
+  stats.var_is_heavy.assign(q.num_vars(), false);
+  for (int j = 0; j < q.num_atoms(); ++j) {
+    const int64_t size = atoms[j].TotalSize();
+    stats.sizes.push_back(size);
+    stats.total_in += size;
+    const Relation whole = atoms[j].Collect();
+    stats.atom_has_duplicates.push_back(Dedup(whole).size() != whole.size());
+    for (const auto& [v, c] : DistinctVarCols(q.atom(j))) {
+      const Relation degrees = DegreeCount(whole, c);
+      stats.distinct[j][v] = degrees.size();
+      for (int64_t i = 0; i < degrees.size(); ++i) {
+        if (static_cast<int64_t>(degrees.at(i, 1)) > heavy_threshold) {
+          stats.var_is_heavy[v] = true;
+        }
+      }
+    }
+  }
+  return stats;
+}
+
+// Estimated tuples a server receives under HyperCube with given shares:
+// Σ_j size_j / Π_{v ∈ vars(j)} shares_v.
+double HyperCubeLoadForShares(const ConjunctiveQuery& q,
+                              const std::vector<int64_t>& sizes,
+                              const std::vector<int>& shares) {
+  double total = 0.0;
+  for (int j = 0; j < q.num_atoms(); ++j) {
+    double denom = 1.0;
+    for (const auto& [v, c] : DistinctVarCols(q.atom(j))) denom *= shares[v];
+    total += static_cast<double>(sizes[j]) / denom;
+  }
+  return total;
+}
+
+CandidatePlan EstimateHyperCube(const ConjunctiveQuery& q, const Stats& stats,
+                                int p) {
+  CandidatePlan plan;
+  plan.algorithm = PlanAlgorithm::kHyperCube;
+  plan.estimated_rounds = 1;
+  const IntegerShares shares = ComputeShares(q, stats.sizes, p);
+  plan.estimated_load = HyperCubeLoadForShares(q, stats.sizes, shares.shares);
+  plan.rationale = "1 round at ~IN/p^{1/tau*} replication";
+  // Skew penalty: a heavy value's tuples collapse their dimension.
+  for (int v = 0; v < q.num_vars(); ++v) {
+    if (stats.var_is_heavy[v] && shares.shares[v] > 1) {
+      plan.estimated_load *= shares.shares[v];
+      plan.rationale += "; skewed " + q.var_name(v) +
+                        " collapses a grid dimension";
+      break;
+    }
+  }
+  return plan;
+}
+
+CandidatePlan EstimateSkewHc(const ConjunctiveQuery& q, const Stats& stats,
+                             int p) {
+  CandidatePlan plan;
+  plan.algorithm = PlanAlgorithm::kSkewHc;
+  plan.estimated_rounds = 1;
+  // ψ*: the worst residual's load over heavy/light combos of the heavy-
+  // capable variables (class sizes approximated by the full sizes).
+  uint32_t heavy_mask = 0;
+  for (int v = 0; v < q.num_vars(); ++v) {
+    if (stats.var_is_heavy[v]) heavy_mask |= (1u << v);
+  }
+  double worst = 0.0;
+  for (uint32_t combo = heavy_mask;; combo = (combo - 1) & heavy_mask) {
+    // Residual over light vars.
+    std::vector<int> light;
+    for (int v = 0; v < q.num_vars(); ++v) {
+      if ((combo & (1u << v)) == 0) light.push_back(v);
+    }
+    if (!light.empty()) {
+      std::vector<int> index(q.num_vars(), -1);
+      std::vector<std::string> names;
+      for (size_t i = 0; i < light.size(); ++i) {
+        index[light[i]] = static_cast<int>(i);
+        names.push_back(q.var_name(light[i]));
+      }
+      std::vector<Atom> residual_atoms;
+      std::vector<int64_t> residual_sizes;
+      for (int j = 0; j < q.num_atoms(); ++j) {
+        Atom atom;
+        atom.name = q.atom(j).name;
+        for (const auto& [v, c] : DistinctVarCols(q.atom(j))) {
+          if (index[v] >= 0) atom.vars.push_back(index[v]);
+        }
+        if (!atom.vars.empty()) {
+          residual_atoms.push_back(std::move(atom));
+          residual_sizes.push_back(stats.sizes[j]);
+        }
+      }
+      if (!residual_atoms.empty()) {
+        const ConjunctiveQuery residual =
+            ConjunctiveQuery::Make(names, residual_atoms);
+        const IntegerShares shares =
+            ComputeShares(residual, residual_sizes, p);
+        // Map shares back and account every atom (filters broadcast).
+        std::vector<int> full_shares(q.num_vars(), 1);
+        for (size_t i = 0; i < light.size(); ++i) {
+          full_shares[light[i]] = shares.shares[i];
+        }
+        worst = std::max(
+            worst, HyperCubeLoadForShares(q, stats.sizes, full_shares));
+      }
+    }
+    if (combo == 0) break;
+  }
+  plan.estimated_load = worst;
+  plan.rationale = "1 round, residual decomposition (worst combo bound)";
+  return plan;
+}
+
+// Expected number of matches in atom j for one binding of `var`.
+double AvgCandidates(const Stats& stats, int j, int v) {
+  const int64_t d = std::max<int64_t>(1, stats.distinct[j][v]);
+  return static_cast<double>(stats.sizes[j]) / static_cast<double>(d);
+}
+
+CandidatePlan EstimateBinaryPlan(const ConjunctiveQuery& q,
+                                 const Stats& stats, int p) {
+  CandidatePlan plan;
+  plan.algorithm = PlanAlgorithm::kBinaryPlan;
+  plan.estimated_rounds = q.num_atoms() - 1;
+  // Cascade with independence assumptions: joining the next atom on its
+  // shared vars multiplies by size_j / Π_v distinct_j(v).
+  std::set<int> bound(q.atom(0).vars.begin(), q.atom(0).vars.end());
+  double acc = static_cast<double>(stats.sizes[0]);
+  double worst_shuffle = acc;
+  for (int j = 1; j < q.num_atoms(); ++j) {
+    double factor = static_cast<double>(stats.sizes[j]);
+    for (const auto& [v, c] : DistinctVarCols(q.atom(j))) {
+      if (bound.count(v) > 0) {
+        factor /= std::max<int64_t>(1, stats.distinct[j][v]);
+      }
+      bound.insert(v);
+    }
+    worst_shuffle = std::max(
+        worst_shuffle, acc + static_cast<double>(stats.sizes[j]));
+    acc *= factor;
+    worst_shuffle = std::max(worst_shuffle, acc);
+  }
+  plan.estimated_load = worst_shuffle / p;
+  plan.rationale = std::to_string(q.num_atoms() - 1) +
+                   " rounds; max estimated intermediate " +
+                   std::to_string(static_cast<int64_t>(worst_shuffle));
+  return plan;
+}
+
+CandidatePlan EstimateGym(const ConjunctiveQuery& q, const Stats& stats,
+                          int p) {
+  CandidatePlan plan;
+  plan.algorithm = PlanAlgorithm::kGym;
+  if (!IsAcyclic(q)) {
+    plan.feasible = false;
+    plan.rationale = "query is cyclic";
+    return plan;
+  }
+  const auto tree = BuildJoinTree(q);
+  MPCQP_CHECK(tree.ok());
+  // Optimized GYM: <= 2 rounds per level up + 1 per level down + 1 join.
+  plan.estimated_rounds = 3 * tree->depth() + 1;
+  // OUT estimate via the binary cascade (post-reduction intermediates are
+  // bounded by OUT, so load ~ (IN + OUT)/p).
+  const CandidatePlan cascade = EstimateBinaryPlan(q, stats, p);
+  plan.estimated_load =
+      static_cast<double>(stats.total_in) / p + cascade.estimated_load;
+  plan.rationale = "acyclic; (IN+OUT)/p with OUT estimate";
+  return plan;
+}
+
+CandidatePlan EstimateBigJoin(const ConjunctiveQuery& q, const Stats& stats,
+                              int p) {
+  CandidatePlan plan;
+  plan.algorithm = PlanAlgorithm::kBigJoin;
+  for (int j = 0; j < q.num_atoms(); ++j) {
+    if (stats.atom_has_duplicates[j]) {
+      plan.feasible = false;
+      plan.rationale = "set semantics; atom " + q.atom(j).name +
+                       " has duplicate tuples";
+      return plan;
+    }
+  }
+  // Prefix cascade with the min-count proposer: each variable multiplies
+  // the prefix count by the smallest average candidate count among its
+  // atoms (capped below at 1 per the pruning filters).
+  double prefixes = 1.0;
+  double worst = 0.0;
+  std::set<int> bound;
+  int rounds = 0;
+  for (int v = 0; v < q.num_vars(); ++v) {
+    double best_factor = -1.0;
+    int involved = 0;
+    for (int j = 0; j < q.num_atoms(); ++j) {
+      if (!q.atom(j).ContainsVar(v)) continue;
+      ++involved;
+      const double factor = AvgCandidates(stats, j, v);
+      if (best_factor < 0 || factor < best_factor) best_factor = factor;
+    }
+    MPCQP_CHECK_GT(involved, 0);
+    prefixes *= std::max(1.0, best_factor);
+    worst = std::max(worst, prefixes);
+    rounds += bound.empty() ? 1 + (involved - 1)
+                            : 3 + involved;  // count+argmin+extend+filters.
+    bound.insert(v);
+  }
+  plan.estimated_rounds = rounds;
+  plan.estimated_load =
+      (static_cast<double>(stats.total_in) + worst) / p;
+  plan.rationale = "var-at-a-time; min-count proposer bounds prefixes";
+  return plan;
+}
+
+}  // namespace
+
+PlanChoice ChoosePlan(const ConjunctiveQuery& q,
+                      const std::vector<DistRelation>& atoms,
+                      int cluster_size, const PlannerOptions& options) {
+  MPCQP_CHECK_EQ(static_cast<int>(atoms.size()), q.num_atoms());
+  MPCQP_CHECK_GE(cluster_size, 1);
+  const int p = cluster_size;
+
+  int64_t total_in = 0;
+  for (const DistRelation& a : atoms) total_in += a.TotalSize();
+  const int64_t threshold = std::max<int64_t>(
+      1, static_cast<int64_t>(options.threshold_factor *
+                              static_cast<double>(total_in) / p));
+  const Stats stats = GatherStats(q, atoms, threshold);
+
+  PlanChoice choice;
+  for (bool heavy : stats.var_is_heavy) {
+    if (heavy) choice.input_is_skewed = true;
+  }
+
+  std::vector<PlanAlgorithm> allowed = options.allowed;
+  if (allowed.empty()) {
+    allowed = {PlanAlgorithm::kHyperCube, PlanAlgorithm::kSkewHc,
+               PlanAlgorithm::kBinaryPlan, PlanAlgorithm::kGym,
+               PlanAlgorithm::kBigJoin};
+  }
+  for (const PlanAlgorithm algorithm : allowed) {
+    CandidatePlan plan;
+    switch (algorithm) {
+      case PlanAlgorithm::kHyperCube:
+        plan = EstimateHyperCube(q, stats, p);
+        break;
+      case PlanAlgorithm::kSkewHc:
+        plan = EstimateSkewHc(q, stats, p);
+        break;
+      case PlanAlgorithm::kBinaryPlan:
+        plan = EstimateBinaryPlan(q, stats, p);
+        break;
+      case PlanAlgorithm::kGym:
+        plan = EstimateGym(q, stats, p);
+        break;
+      case PlanAlgorithm::kBigJoin:
+        plan = EstimateBigJoin(q, stats, p);
+        break;
+    }
+    plan.total_cost = plan.estimated_load +
+                      options.round_cost_tuples * plan.estimated_rounds;
+    choice.candidates.push_back(std::move(plan));
+  }
+
+  const CandidatePlan* best = nullptr;
+  for (const CandidatePlan& plan : choice.candidates) {
+    if (!plan.feasible) continue;
+    if (best == nullptr || plan.total_cost < best->total_cost ||
+        (plan.total_cost == best->total_cost &&
+         plan.estimated_rounds < best->estimated_rounds)) {
+      best = &plan;
+    }
+  }
+  MPCQP_CHECK(best != nullptr);
+  choice.chosen = *best;
+  return choice;
+}
+
+DistRelation ExecutePlan(Cluster& cluster, const ConjunctiveQuery& q,
+                         const std::vector<DistRelation>& atoms,
+                         const PlanChoice& choice, Rng& rng) {
+  switch (choice.chosen.algorithm) {
+    case PlanAlgorithm::kHyperCube:
+      return HyperCubeJoin(cluster, q, atoms).output;
+    case PlanAlgorithm::kSkewHc:
+      return SkewHcJoin(cluster, q, atoms).output;
+    case PlanAlgorithm::kBinaryPlan: {
+      BinaryPlanOptions options;
+      options.skew_aware = choice.input_is_skewed;
+      options.order = GreedyJoinOrder(q, atoms);
+      return IterativeBinaryJoin(cluster, q, atoms, rng, options).output;
+    }
+    case PlanAlgorithm::kGym: {
+      const auto tree = BuildJoinTree(q);
+      MPCQP_CHECK(tree.ok());
+      GymOptions options;
+      options.optimized = true;
+      return GymJoin(cluster, q, *tree, atoms, rng, options).output;
+    }
+    case PlanAlgorithm::kBigJoin:
+      return BigJoin(cluster, q, atoms).output;
+  }
+  MPCQP_CHECK(false) << "unknown algorithm";
+  return DistRelation(q.num_vars(), cluster.num_servers());
+}
+
+}  // namespace mpcqp

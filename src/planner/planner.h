@@ -1,0 +1,81 @@
+#ifndef MPCQP_PLANNER_PLANNER_H_
+#define MPCQP_PLANNER_PLANNER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "mpc/cluster.h"
+#include "mpc/dist_relation.h"
+#include "query/query.h"
+
+namespace mpcqp {
+
+// A cost-based chooser among the library's parallel join strategies,
+// operationalizing the deck's takeaways (slides 129-131):
+//
+//  - skew-free inputs: the 1-round optimum is IN/p^{1/τ*} (HyperCube);
+//    multi-round binary plans reach IN/p when intermediates do not grow;
+//  - skewed inputs: SkewHC's residual decomposition is worst-case optimal
+//    in one round;
+//  - acyclic queries with small output: GYM reaches (IN+OUT)/p in O(d)
+//    rounds;
+//  - skew with large outputs on cyclic queries: the BiGJoin-style
+//    variable-at-a-time plan bounds traffic by the true prefix counts.
+//
+// The planner estimates loads from cheap statistics (atom sizes, per-atom
+// distinct counts, heavy-hitter presence) and charges a configurable
+// fixed cost per round (the synchronization price that makes one-round
+// algorithms attractive in practice).
+
+enum class PlanAlgorithm {
+  kHyperCube,
+  kSkewHc,
+  kBinaryPlan,
+  kGym,
+  kBigJoin,
+};
+
+const char* PlanAlgorithmName(PlanAlgorithm algorithm);
+
+struct PlannerOptions {
+  // λ: tuples-equivalent charge per round (0 = rounds are free, pure
+  // load minimization; large = rounds dominate, one-round plans win).
+  double round_cost_tuples = 0.0;
+  // Heavy-hitter threshold factor over IN/p for the skew probe.
+  double threshold_factor = 1.0;
+  // Candidates the planner is allowed to pick from; empty = all.
+  std::vector<PlanAlgorithm> allowed;
+};
+
+struct CandidatePlan {
+  PlanAlgorithm algorithm = PlanAlgorithm::kHyperCube;
+  double estimated_load = 0.0;  // Tuples per server.
+  int estimated_rounds = 0;
+  double total_cost = 0.0;      // load + λ·rounds.
+  bool feasible = true;         // E.g. GYM needs acyclicity.
+  std::string rationale;
+};
+
+struct PlanChoice {
+  CandidatePlan chosen;
+  std::vector<CandidatePlan> candidates;  // All evaluated, feasible or not.
+  bool input_is_skewed = false;
+};
+
+// Inspects the data (free statistics, as the theory assumes) and ranks
+// the strategies for running `q` on `atoms` over `cluster_size` servers.
+PlanChoice ChoosePlan(const ConjunctiveQuery& q,
+                      const std::vector<DistRelation>& atoms,
+                      int cluster_size, const PlannerOptions& options = {});
+
+// Executes the chosen algorithm. Output columns = query variables in id
+// order; bag semantics except kBigJoin (set semantics — the planner only
+// proposes it when inputs are duplicate-free).
+DistRelation ExecutePlan(Cluster& cluster, const ConjunctiveQuery& q,
+                         const std::vector<DistRelation>& atoms,
+                         const PlanChoice& choice, Rng& rng);
+
+}  // namespace mpcqp
+
+#endif  // MPCQP_PLANNER_PLANNER_H_

@@ -1,0 +1,34 @@
+#ifndef MPCQP_QUERY_GENERIC_JOIN_H_
+#define MPCQP_QUERY_GENERIC_JOIN_H_
+
+#include <vector>
+
+#include "query/query.h"
+#include "relation/relation.h"
+
+namespace mpcqp {
+
+// Worst-case optimal "Generic Join" (NPRR / Leapfrog-Triejoin flavor):
+// variable-at-a-time backtracking, binding each variable to the
+// intersection of its atoms' candidate values, always enumerating from
+// the currently smallest atom.
+//
+// Motivation (deck slides 55-56): the AGM bound OUT <= IN^{ρ*} is attained
+// by such algorithms; a binary join plan can materialize intermediates of
+// size IN²/D on inputs whose final output is tiny, while Generic Join's
+// running time stays within O(IN^{ρ*}). It is the natural local evaluator
+// inside a HyperCube server when the received fragments are skewed.
+//
+// SET semantics: the output contains each satisfying assignment once
+// (duplicates in the inputs do not multiply). Use EvalJoinLocal for SQL
+// bag semantics. Output columns = query variables in id order.
+//
+// `var_order` optionally fixes the variable elimination order (a
+// permutation of 0..num_vars-1); empty picks variable id order.
+Relation EvalJoinWcoj(const ConjunctiveQuery& q,
+                      const std::vector<Relation>& atoms,
+                      const std::vector<int>& var_order = {});
+
+}  // namespace mpcqp
+
+#endif  // MPCQP_QUERY_GENERIC_JOIN_H_

@@ -1,0 +1,331 @@
+#include "query/ghd.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace mpcqp {
+
+namespace {
+
+std::vector<int> SortedVarUnion(const ConjunctiveQuery& q,
+                                const std::vector<int>& atom_indices) {
+  std::set<int> vars;
+  for (int a : atom_indices) {
+    for (int v : q.atom(a).vars) vars.insert(v);
+  }
+  return std::vector<int>(vars.begin(), vars.end());
+}
+
+}  // namespace
+
+Ghd Ghd::FromNodes(const ConjunctiveQuery& q, std::vector<GhdNode> nodes) {
+  Ghd ghd;
+  ghd.nodes_ = std::move(nodes);
+  MPCQP_CHECK(!ghd.nodes_.empty());
+  for (GhdNode& node : ghd.nodes_) {
+    node.vars = SortedVarUnion(q, node.atoms);
+    node.children.clear();
+  }
+  int root = -1;
+  for (int i = 0; i < ghd.num_nodes(); ++i) {
+    const int parent = ghd.nodes_[i].parent;
+    if (parent < 0) {
+      MPCQP_CHECK_EQ(root, -1) << "multiple roots";
+      root = i;
+    } else {
+      MPCQP_CHECK_LT(parent, ghd.num_nodes());
+      MPCQP_CHECK_NE(parent, i);
+      ghd.nodes_[parent].children.push_back(i);
+    }
+  }
+  MPCQP_CHECK_NE(root, -1) << "no root";
+  ghd.root_ = root;
+  // Reachability check (tree, no cycles).
+  std::vector<bool> seen(ghd.num_nodes(), false);
+  std::vector<int> stack{root};
+  int count = 0;
+  while (!stack.empty()) {
+    const int n = stack.back();
+    stack.pop_back();
+    MPCQP_CHECK(!seen[n]) << "cycle in GHD";
+    seen[n] = true;
+    ++count;
+    for (int c : ghd.nodes_[n].children) stack.push_back(c);
+  }
+  MPCQP_CHECK_EQ(count, ghd.num_nodes()) << "disconnected GHD";
+  return ghd;
+}
+
+const GhdNode& Ghd::node(int index) const {
+  MPCQP_CHECK_GE(index, 0);
+  MPCQP_CHECK_LT(index, num_nodes());
+  return nodes_[index];
+}
+
+int Ghd::width() const {
+  int w = 0;
+  for (const GhdNode& n : nodes_) {
+    w = std::max(w, static_cast<int>(n.atoms.size()));
+  }
+  return w;
+}
+
+int Ghd::depth() const {
+  // Longest root-to-leaf path, in nodes.
+  int best = 0;
+  std::vector<std::pair<int, int>> stack{{root_, 1}};
+  while (!stack.empty()) {
+    const auto [n, d] = stack.back();
+    stack.pop_back();
+    best = std::max(best, d);
+    for (int c : nodes_[n].children) stack.push_back({c, d + 1});
+  }
+  return best;
+}
+
+std::vector<std::vector<int>> Ghd::LevelsFromRoot() const {
+  std::vector<std::vector<int>> levels;
+  std::vector<int> frontier{root_};
+  while (!frontier.empty()) {
+    levels.push_back(frontier);
+    std::vector<int> next;
+    for (int n : frontier) {
+      for (int c : nodes_[n].children) next.push_back(c);
+    }
+    frontier = std::move(next);
+  }
+  return levels;
+}
+
+Status Ghd::Validate(const ConjunctiveQuery& q) const {
+  // Atom coverage: each atom in exactly one node.
+  std::vector<int> assigned(q.num_atoms(), 0);
+  for (const GhdNode& n : nodes_) {
+    for (int a : n.atoms) {
+      if (a < 0 || a >= q.num_atoms()) {
+        return InternalError("GHD references unknown atom");
+      }
+      ++assigned[a];
+    }
+  }
+  for (int a = 0; a < q.num_atoms(); ++a) {
+    if (assigned[a] != 1) {
+      return FailedPreconditionError("atom " + q.atom(a).name +
+                                     " assigned to " +
+                                     std::to_string(assigned[a]) + " bags");
+    }
+  }
+  // Vars are derived unions.
+  for (const GhdNode& n : nodes_) {
+    if (n.vars != SortedVarUnion(q, n.atoms)) {
+      return FailedPreconditionError("bag vars != union of atom vars");
+    }
+  }
+  // Running intersection: nodes containing each variable form a subtree.
+  for (int v = 0; v < q.num_vars(); ++v) {
+    std::vector<int> holders;
+    for (int i = 0; i < num_nodes(); ++i) {
+      if (std::binary_search(nodes_[i].vars.begin(), nodes_[i].vars.end(),
+                             v)) {
+        holders.push_back(i);
+      }
+    }
+    if (holders.empty()) continue;
+    // Connected iff every holder except one has a holder ancestor through
+    // holder-only nodes. Equivalent check: the holder set is connected in
+    // the tree. BFS within holders from holders.front().
+    std::set<int> holder_set(holders.begin(), holders.end());
+    std::set<int> visited;
+    std::vector<int> stack{holders.front()};
+    visited.insert(holders.front());
+    while (!stack.empty()) {
+      const int n = stack.back();
+      stack.pop_back();
+      std::vector<int> neighbors = nodes_[n].children;
+      if (nodes_[n].parent >= 0) neighbors.push_back(nodes_[n].parent);
+      for (int m : neighbors) {
+        if (holder_set.count(m) > 0 && visited.insert(m).second) {
+          stack.push_back(m);
+        }
+      }
+    }
+    if (visited.size() != holder_set.size()) {
+      return FailedPreconditionError(
+          "running intersection violated for variable " + q.var_name(v));
+    }
+  }
+  return OkStatus();
+}
+
+std::string Ghd::ToString(const ConjunctiveQuery& q) const {
+  std::ostringstream os;
+  os << "GHD(width=" << width() << ", depth=" << depth() << ")";
+  for (int i = 0; i < num_nodes(); ++i) {
+    const GhdNode& n = nodes_[i];
+    os << "\n  node " << i << " (parent " << n.parent << "): {";
+    for (size_t j = 0; j < n.atoms.size(); ++j) {
+      if (j > 0) os << ", ";
+      os << q.atom(n.atoms[j]).name;
+    }
+    os << "}";
+  }
+  return os.str();
+}
+
+namespace {
+
+// GYO ear removal. Returns parent assignment per atom (witness atom index,
+// or -1 for the last remaining atom = root), or nullopt-equivalent failure.
+bool GyoEarRemoval(const ConjunctiveQuery& q, std::vector<int>* parents) {
+  const int n = q.num_atoms();
+  parents->assign(n, -1);
+  std::vector<bool> alive(n, true);
+  int alive_count = n;
+  std::vector<int> removal_order;
+
+  while (alive_count > 1) {
+    bool removed = false;
+    for (int a = 0; a < n && !removed; ++a) {
+      if (!alive[a]) continue;
+      // Shared vars of `a`: vars also appearing in another alive atom.
+      std::set<int> shared;
+      for (int v : q.atom(a).vars) {
+        for (int b = 0; b < n; ++b) {
+          if (b != a && alive[b] && q.atom(b).ContainsVar(v)) {
+            shared.insert(v);
+            break;
+          }
+        }
+      }
+      // Witness: an alive atom b containing all shared vars.
+      for (int b = 0; b < n; ++b) {
+        if (b == a || !alive[b]) continue;
+        bool covers = true;
+        for (int v : shared) {
+          if (!q.atom(b).ContainsVar(v)) {
+            covers = false;
+            break;
+          }
+        }
+        if (covers) {
+          (*parents)[a] = b;
+          alive[a] = false;
+          --alive_count;
+          removed = true;
+          break;
+        }
+      }
+    }
+    if (!removed) return false;  // Cyclic.
+  }
+  return true;
+}
+
+}  // namespace
+
+bool IsAcyclic(const ConjunctiveQuery& q) {
+  std::vector<int> parents;
+  return GyoEarRemoval(q, &parents);
+}
+
+StatusOr<Ghd> BuildJoinTree(const ConjunctiveQuery& q) {
+  std::vector<int> parents;
+  if (!GyoEarRemoval(q, &parents)) {
+    return FailedPreconditionError("query is cyclic: " + q.ToString());
+  }
+  // One bag per atom; bag i's parent is the bag of its witness. Witness
+  // chains may point at removed atoms — that is fine, the parent pointers
+  // always form a tree rooted at the last surviving atom.
+  std::vector<GhdNode> nodes(q.num_atoms());
+  for (int a = 0; a < q.num_atoms(); ++a) {
+    nodes[a].atoms = {a};
+    nodes[a].parent = parents[a];
+  }
+  return Ghd::FromNodes(q, std::move(nodes));
+}
+
+Ghd ChainGhd(const ConjunctiveQuery& path_query) {
+  std::vector<GhdNode> nodes(path_query.num_atoms());
+  for (int a = 0; a < path_query.num_atoms(); ++a) {
+    nodes[a].atoms = {a};
+    nodes[a].parent = a == 0 ? -1 : a - 1;
+  }
+  return Ghd::FromNodes(path_query, std::move(nodes));
+}
+
+Ghd StarGhd(const ConjunctiveQuery& star_query) {
+  std::vector<GhdNode> nodes(star_query.num_atoms());
+  for (int a = 0; a < star_query.num_atoms(); ++a) {
+    nodes[a].atoms = {a};
+    nodes[a].parent = a == 0 ? -1 : 0;
+  }
+  return Ghd::FromNodes(star_query, std::move(nodes));
+}
+
+Ghd FlatGhd(const ConjunctiveQuery& q) {
+  GhdNode node;
+  for (int a = 0; a < q.num_atoms(); ++a) node.atoms.push_back(a);
+  node.parent = -1;
+  return Ghd::FromNodes(q, {std::move(node)});
+}
+
+namespace {
+
+// Recursively decomposes atoms [lo, hi] of a path query. Returns the index
+// of the created node in `nodes`.
+int BuildBalanced(int lo, int hi, int parent, std::vector<GhdNode>& nodes) {
+  MPCQP_CHECK_LE(lo, hi);
+  const int count = hi - lo + 1;
+  GhdNode node;
+  node.parent = parent;
+  if (count <= 3) {
+    for (int a = lo; a <= hi; ++a) node.atoms.push_back(a);
+    nodes.push_back(std::move(node));
+    return static_cast<int>(nodes.size()) - 1;
+  }
+  const int mid = (lo + hi) / 2;
+  node.atoms = {lo, mid, hi};
+  nodes.push_back(std::move(node));
+  const int self = static_cast<int>(nodes.size()) - 1;
+  if (mid - 1 >= lo + 1) BuildBalanced(lo + 1, mid - 1, self, nodes);
+  if (hi - 1 >= mid + 1) BuildBalanced(mid + 1, hi - 1, self, nodes);
+  return self;
+}
+
+}  // namespace
+
+Ghd GroupedPathGhd(const ConjunctiveQuery& path_query, int bag_width) {
+  MPCQP_CHECK_GE(bag_width, 1);
+  for (int a = 0; a < path_query.num_atoms(); ++a) {
+    MPCQP_CHECK_EQ(path_query.atom(a).arity(), 2);
+    MPCQP_CHECK_EQ(path_query.atom(a).vars[0], a);
+    MPCQP_CHECK_EQ(path_query.atom(a).vars[1], a + 1);
+  }
+  std::vector<GhdNode> nodes;
+  for (int start = 0; start < path_query.num_atoms(); start += bag_width) {
+    GhdNode node;
+    const int end =
+        std::min(start + bag_width, path_query.num_atoms());
+    for (int a = start; a < end; ++a) node.atoms.push_back(a);
+    node.parent = nodes.empty() ? -1 : static_cast<int>(nodes.size()) - 1;
+    nodes.push_back(std::move(node));
+  }
+  return Ghd::FromNodes(path_query, std::move(nodes));
+}
+
+Ghd BalancedPathGhd(const ConjunctiveQuery& path_query) {
+  // Sanity: atoms must look like a chain R_i(x_{i-1}, x_i).
+  for (int a = 0; a < path_query.num_atoms(); ++a) {
+    MPCQP_CHECK_EQ(path_query.atom(a).arity(), 2);
+    MPCQP_CHECK_EQ(path_query.atom(a).vars[0], a);
+    MPCQP_CHECK_EQ(path_query.atom(a).vars[1], a + 1);
+  }
+  std::vector<GhdNode> nodes;
+  BuildBalanced(0, path_query.num_atoms() - 1, -1, nodes);
+  return Ghd::FromNodes(path_query, std::move(nodes));
+}
+
+}  // namespace mpcqp

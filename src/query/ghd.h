@@ -1,0 +1,88 @@
+#ifndef MPCQP_QUERY_GHD_H_
+#define MPCQP_QUERY_GHD_H_
+
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "query/query.h"
+
+namespace mpcqp {
+
+// A node (bag) of a generalized hypertree decomposition. We use the
+// restricted but standard form where each bag is the set of variables of
+// the atoms assigned to it, and every atom is assigned to exactly one bag.
+// The width of a bag is the number of atoms assigned to it, so |bag
+// relation| <= IN^width after materialization — the IN^w of GYM's
+// L = O((IN^w + OUT)/p) (deck slide 95).
+struct GhdNode {
+  std::vector<int> atoms;     // Atom indices of the query.
+  std::vector<int> vars;      // Union of those atoms' variables (sorted).
+  int parent = -1;            // -1 for the root.
+  std::vector<int> children;  // Filled by Ghd::Finalize.
+};
+
+// A rooted decomposition tree over a query's atoms.
+class Ghd {
+ public:
+  // Builds from nodes with `atoms` and `parent` set; derives vars,
+  // children, and checks shape (single root, tree).
+  static Ghd FromNodes(const ConjunctiveQuery& q, std::vector<GhdNode> nodes);
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  const GhdNode& node(int index) const;
+  int root() const { return root_; }
+
+  // Max atoms per bag.
+  int width() const;
+  // Nodes on the longest root-to-leaf path.
+  int depth() const;
+
+  // Node indices grouped by level: result[0] = leaves' deepest level ...
+  // Actually: result[d] = nodes at distance d from the root.
+  std::vector<std::vector<int>> LevelsFromRoot() const;
+
+  // Verifies the decomposition against `q`:
+  //  - every atom assigned to exactly one node,
+  //  - each node's vars = union of its atoms' vars,
+  //  - running intersection property: for every variable, the nodes
+  //    containing it form a connected subtree.
+  Status Validate(const ConjunctiveQuery& q) const;
+
+  std::string ToString(const ConjunctiveQuery& q) const;
+
+ private:
+  std::vector<GhdNode> nodes_;
+  int root_ = -1;
+};
+
+// True iff `q` is α-acyclic (GYO ear-removal succeeds).
+bool IsAcyclic(const ConjunctiveQuery& q);
+
+// Builds a width-1 join tree for an acyclic query by GYO ear removal
+// (one atom per bag). Returns FAILED_PRECONDITION for cyclic queries.
+StatusOr<Ghd> BuildJoinTree(const ConjunctiveQuery& q);
+
+// Width-1 chain decomposition for Path(n): depth n (deck slide 79 "Path-n").
+Ghd ChainGhd(const ConjunctiveQuery& path_query);
+
+// Width-1 star decomposition for Star(n): root R1, all others children
+// (depth 2, slide 79 "Star-n").
+Ghd StarGhd(const ConjunctiveQuery& star_query);
+
+// Single-bag decomposition holding every atom: width = num_atoms, depth 1.
+Ghd FlatGhd(const ConjunctiveQuery& q);
+
+// Balanced decomposition for Path(n): width <= 3, depth O(log n)
+// (slide 95's w=3, d=log(n) point of the tradeoff).
+Ghd BalancedPathGhd(const ConjunctiveQuery& path_query);
+
+// Width-w chain decomposition for Path(n): consecutive atoms grouped
+// `bag_width` per bag, bags chained; depth = ceil(n / w). Sweeps the full
+// r-vs-L frontier of slide 95 between the chain (w=1) and flat (w=n)
+// extremes.
+Ghd GroupedPathGhd(const ConjunctiveQuery& path_query, int bag_width);
+
+}  // namespace mpcqp
+
+#endif  // MPCQP_QUERY_GHD_H_

@@ -1,0 +1,200 @@
+#include "query/hypergraph_lp.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "lp/simplex.h"
+
+namespace mpcqp {
+
+namespace {
+
+// One LP constraint row per query variable: Σ_{j: var ∈ S_j} u_j (op) 1.
+std::vector<LpConstraint> PerVarConstraints(const ConjunctiveQuery& q,
+                                            LpConstraintOp op) {
+  std::vector<LpConstraint> constraints;
+  for (int v = 0; v < q.num_vars(); ++v) {
+    LpConstraint c;
+    c.coeffs.assign(q.num_atoms(), 0.0);
+    for (int j = 0; j < q.num_atoms(); ++j) {
+      if (q.atom(j).ContainsVar(v)) c.coeffs[j] = 1.0;
+    }
+    c.op = op;
+    c.rhs = 1.0;
+    constraints.push_back(std::move(c));
+  }
+  return constraints;
+}
+
+}  // namespace
+
+StatusOr<WeightedSolution> FractionalEdgePacking(const ConjunctiveQuery& q) {
+  LpProblem lp;
+  lp.num_vars = q.num_atoms();
+  lp.sense = LpObjective::kMaximize;
+  lp.objective.assign(q.num_atoms(), 1.0);
+  lp.constraints = PerVarConstraints(q, LpConstraintOp::kLessEq);
+  MPCQP_ASSIGN_OR_RETURN(LpSolution sol, SolveLp(lp));
+  return WeightedSolution{sol.objective_value, std::move(sol.x)};
+}
+
+StatusOr<WeightedSolution> FractionalEdgeCover(const ConjunctiveQuery& q) {
+  LpProblem lp;
+  lp.num_vars = q.num_atoms();
+  lp.sense = LpObjective::kMinimize;
+  lp.objective.assign(q.num_atoms(), 1.0);
+  lp.constraints = PerVarConstraints(q, LpConstraintOp::kGreaterEq);
+  MPCQP_ASSIGN_OR_RETURN(LpSolution sol, SolveLp(lp));
+  return WeightedSolution{sol.objective_value, std::move(sol.x)};
+}
+
+StatusOr<WeightedSolution> FractionalVertexCover(const ConjunctiveQuery& q) {
+  LpProblem lp;
+  lp.num_vars = q.num_vars();
+  lp.sense = LpObjective::kMinimize;
+  lp.objective.assign(q.num_vars(), 1.0);
+  for (int j = 0; j < q.num_atoms(); ++j) {
+    LpConstraint c;
+    c.coeffs.assign(q.num_vars(), 0.0);
+    for (int v : q.atom(j).vars) c.coeffs[v] = 1.0;
+    c.op = LpConstraintOp::kGreaterEq;
+    c.rhs = 1.0;
+    lp.constraints.push_back(std::move(c));
+  }
+  MPCQP_ASSIGN_OR_RETURN(LpSolution sol, SolveLp(lp));
+  return WeightedSolution{sol.objective_value, std::move(sol.x)};
+}
+
+StatusOr<double> AgmBound(const ConjunctiveQuery& q,
+                          const std::vector<int64_t>& sizes) {
+  if (static_cast<int>(sizes.size()) != q.num_atoms()) {
+    return InvalidArgumentError("sizes.size() != num_atoms");
+  }
+  for (int64_t s : sizes) {
+    if (s < 0) return InvalidArgumentError("negative relation size");
+    if (s == 0) return 0.0;
+  }
+  // Minimize Σ w_j ln|S_j| over fractional edge covers w.
+  LpProblem lp;
+  lp.num_vars = q.num_atoms();
+  lp.sense = LpObjective::kMinimize;
+  lp.objective.resize(q.num_atoms());
+  for (int j = 0; j < q.num_atoms(); ++j) {
+    lp.objective[j] = std::log(static_cast<double>(sizes[j]));
+  }
+  lp.constraints = PerVarConstraints(q, LpConstraintOp::kGreaterEq);
+  MPCQP_ASSIGN_OR_RETURN(LpSolution sol, SolveLp(lp));
+  return std::exp(sol.objective_value);
+}
+
+StatusOr<ShareExponents> OptimalShareExponents(
+    const ConjunctiveQuery& q, const std::vector<int64_t>& sizes, int p) {
+  if (static_cast<int>(sizes.size()) != q.num_atoms()) {
+    return InvalidArgumentError("sizes.size() != num_atoms");
+  }
+  if (p < 1) return InvalidArgumentError("p must be >= 1");
+  for (int64_t s : sizes) {
+    if (s <= 0) return InvalidArgumentError("sizes must be positive");
+  }
+  const double logp = std::log(static_cast<double>(p));
+  const int k = q.num_vars();
+
+  // Variables: e_0..e_{k-1} (share exponents), t (log of load).
+  // minimize t
+  //   s.t. for each atom j:  ln|S_j| - logp * Σ_{i∈S_j} e_i <= t
+  //        Σ_i e_i <= 1,  e >= 0, t >= 0.
+  // (t >= 0 is harmless: a load below 1 tuple is not meaningful.)
+  LpProblem lp;
+  lp.num_vars = k + 1;
+  lp.sense = LpObjective::kMinimize;
+  lp.objective.assign(k + 1, 0.0);
+  lp.objective[k] = 1.0;
+  for (int j = 0; j < q.num_atoms(); ++j) {
+    LpConstraint c;
+    c.coeffs.assign(k + 1, 0.0);
+    for (int v : q.atom(j).vars) c.coeffs[v] = -logp;
+    c.coeffs[k] = -1.0;
+    c.op = LpConstraintOp::kLessEq;
+    c.rhs = -std::log(static_cast<double>(sizes[j]));
+    lp.constraints.push_back(std::move(c));
+  }
+  {
+    LpConstraint sum_c;
+    sum_c.coeffs.assign(k + 1, 0.0);
+    for (int v = 0; v < k; ++v) sum_c.coeffs[v] = 1.0;
+    sum_c.op = LpConstraintOp::kLessEq;
+    sum_c.rhs = 1.0;
+    lp.constraints.push_back(std::move(sum_c));
+  }
+  MPCQP_ASSIGN_OR_RETURN(LpSolution sol, SolveLp(lp));
+  ShareExponents result;
+  result.exponents.assign(sol.x.begin(), sol.x.begin() + k);
+  result.predicted_load = std::exp(sol.x[k]);
+  return result;
+}
+
+double LoadForPacking(const std::vector<double>& u,
+                      const std::vector<int64_t>& sizes, int p) {
+  MPCQP_CHECK_EQ(u.size(), sizes.size());
+  double sum_u = 0.0;
+  double log_num = 0.0;
+  for (size_t j = 0; j < u.size(); ++j) {
+    MPCQP_CHECK_GE(u[j], 0.0);
+    sum_u += u[j];
+    MPCQP_CHECK_GT(sizes[j], 0);
+    log_num += u[j] * std::log(static_cast<double>(sizes[j]));
+  }
+  MPCQP_CHECK_GT(sum_u, 0.0);
+  const double log_load =
+      (log_num - std::log(static_cast<double>(p))) / sum_u;
+  return std::exp(log_load);
+}
+
+StatusOr<double> MaxPackingLoad(const ConjunctiveQuery& q,
+                                const std::vector<int64_t>& sizes, int p) {
+  if (static_cast<int>(sizes.size()) != q.num_atoms()) {
+    return InvalidArgumentError("sizes.size() != num_atoms");
+  }
+  if (p < 1) return InvalidArgumentError("p must be >= 1");
+  for (int64_t s : sizes) {
+    if (s <= 0) return InvalidArgumentError("sizes must be positive");
+  }
+  const double logp = std::log(static_cast<double>(p));
+
+  // g(logL) = max over packings u of Σ_j u_j (ln|S_j| - logL).
+  // L* is the smallest L with g(logL) <= logp; g is non-increasing in logL,
+  // so bisection applies.
+  auto g = [&](double log_load) -> StatusOr<double> {
+    LpProblem lp;
+    lp.num_vars = q.num_atoms();
+    lp.sense = LpObjective::kMaximize;
+    lp.objective.resize(q.num_atoms());
+    for (int j = 0; j < q.num_atoms(); ++j) {
+      lp.objective[j] =
+          std::log(static_cast<double>(sizes[j])) - log_load;
+    }
+    lp.constraints = PerVarConstraints(q, LpConstraintOp::kLessEq);
+    MPCQP_ASSIGN_OR_RETURN(LpSolution sol, SolveLp(lp));
+    return sol.objective_value;
+  };
+
+  double lo = 0.0;  // L = 1.
+  double hi = 0.0;
+  for (int64_t s : sizes) {
+    hi = std::max(hi, std::log(static_cast<double>(s)));
+  }
+  // If even the largest size gives g <= logp, the load is bounded by 1...
+  // bisection still converges to the correct point within [lo, hi].
+  for (int iter = 0; iter < 100; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    MPCQP_ASSIGN_OR_RETURN(double gmid, g(mid));
+    if (gmid > logp) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return std::exp(hi);
+}
+
+}  // namespace mpcqp

@@ -1,0 +1,69 @@
+#ifndef MPCQP_QUERY_HYPERGRAPH_LP_H_
+#define MPCQP_QUERY_HYPERGRAPH_LP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/statusor.h"
+#include "query/query.h"
+
+namespace mpcqp {
+
+// Linear programs over a query's hypergraph (deck slides 39-44, 55).
+// Variables of the hypergraph are the query variables; hyperedges are the
+// atoms' variable sets.
+
+// An LP optimum together with its witness weights.
+struct WeightedSolution {
+  double value = 0.0;
+  std::vector<double> weights;
+};
+
+// Fractional edge packing number τ*: maximize Σ_j u_j subject to, for every
+// variable x, Σ_{j : x ∈ S_j} u_j <= 1, u >= 0. Governs the skew-free
+// one-round load L = IN/p^{1/τ*}.
+StatusOr<WeightedSolution> FractionalEdgePacking(const ConjunctiveQuery& q);
+
+// Fractional edge cover number ρ*: minimize Σ_j w_j subject to, for every
+// variable x, Σ_{j : x ∈ S_j} w_j >= 1, w >= 0. Governs the AGM output
+// bound OUT <= IN^{ρ*}.
+StatusOr<WeightedSolution> FractionalEdgeCover(const ConjunctiveQuery& q);
+
+// Fractional vertex cover: minimize Σ_i v_i subject to, for every atom S_j,
+// Σ_{i ∈ S_j} v_i >= 1, v >= 0. By LP duality its optimum equals τ*.
+StatusOr<WeightedSolution> FractionalVertexCover(const ConjunctiveQuery& q);
+
+// The AGM bound with per-atom sizes: the minimum over fractional edge
+// covers w of Π_j |S_j|^{w_j}. Atoms of size 0 force OUT = 0. Requires
+// sizes.size() == q.num_atoms().
+StatusOr<double> AgmBound(const ConjunctiveQuery& q,
+                          const std::vector<int64_t>& sizes);
+
+// Fractional HyperCube share exponents for `p` servers and per-atom sizes
+// (Beame et al. '14; deck slides 37-40): exponents e_i >= 0 with
+// Σ e_i <= 1 minimizing the max per-atom load |S_j| / p^{Σ_{i∈S_j} e_i}.
+struct ShareExponents {
+  std::vector<double> exponents;  // One per query variable.
+  // The minimized load max_j |S_j| / p^{Σ_{i∈S_j} e_i} (in tuples).
+  double predicted_load = 0.0;
+};
+StatusOr<ShareExponents> OptimalShareExponents(
+    const ConjunctiveQuery& q, const std::vector<int64_t>& sizes, int p);
+
+// The load lower-bound form of the same quantity: the maximum over
+// fractional edge packings u of (Π_j |S_j|^{u_j} / p)^{1 / Σ_j u_j}
+// (slide 40). Computed by bisection on log L, each step solving an LP over
+// the packing polytope. By duality this equals
+// OptimalShareExponents(...).predicted_load up to numerical tolerance —
+// asserted by tests.
+StatusOr<double> MaxPackingLoad(const ConjunctiveQuery& q,
+                                const std::vector<int64_t>& sizes, int p);
+
+// The load (Π_j |S_j|^{u_j} / p)^{1/Σu_j} attained by one explicit packing
+// `u` (rows of the slide-42 table). Σu must be > 0.
+double LoadForPacking(const std::vector<double>& u,
+                      const std::vector<int64_t>& sizes, int p);
+
+}  // namespace mpcqp
+
+#endif  // MPCQP_QUERY_HYPERGRAPH_LP_H_

@@ -1,0 +1,118 @@
+#include "query/local_eval.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "relation/relation_ops.h"
+
+namespace mpcqp {
+
+namespace {
+
+// Rewrites an atom instance so each variable appears in one column:
+// rows where repeated-variable columns disagree are dropped, duplicate
+// columns projected away. Returns the relation and its variable list.
+std::pair<Relation, std::vector<int>> NormalizeAtom(const Atom& atom,
+                                                    const Relation& rel) {
+  MPCQP_CHECK_EQ(rel.arity(), atom.arity());
+  std::vector<int> vars;
+  std::vector<int> keep_cols;
+  bool has_repeats = false;
+  for (int c = 0; c < atom.arity(); ++c) {
+    const int v = atom.vars[c];
+    if (std::find(vars.begin(), vars.end(), v) == vars.end()) {
+      vars.push_back(v);
+      keep_cols.push_back(c);
+    } else {
+      has_repeats = true;
+    }
+  }
+  if (!has_repeats) return {rel, vars};
+
+  Relation filtered = Filter(rel, [&](const Value* row) {
+    for (int c = 0; c < atom.arity(); ++c) {
+      for (int d = c + 1; d < atom.arity(); ++d) {
+        if (atom.vars[c] == atom.vars[d] && row[c] != row[d]) return false;
+      }
+    }
+    return true;
+  });
+  return {Project(filtered, keep_cols), vars};
+}
+
+}  // namespace
+
+Relation EvalJoinLocal(const ConjunctiveQuery& q,
+                       const std::vector<Relation>& atoms) {
+  MPCQP_CHECK_EQ(static_cast<int>(atoms.size()), q.num_atoms());
+
+  // Normalized atom instances with their variable lists.
+  std::vector<Relation> rels;
+  std::vector<std::vector<int>> rel_vars;
+  for (int j = 0; j < q.num_atoms(); ++j) {
+    auto [rel, vars] = NormalizeAtom(q.atom(j), atoms[j]);
+    rels.push_back(std::move(rel));
+    rel_vars.push_back(std::move(vars));
+  }
+
+  // Greedy join order: start from atom 0; repeatedly join an unused atom
+  // sharing a variable with the accumulated result (else any remaining —
+  // a genuine cross product).
+  std::vector<bool> used(q.num_atoms(), false);
+  Relation acc = rels[0];
+  std::vector<int> acc_vars = rel_vars[0];
+  used[0] = true;
+
+  for (int step = 1; step < q.num_atoms(); ++step) {
+    int pick = -1;
+    for (int j = 0; j < q.num_atoms(); ++j) {
+      if (used[j]) continue;
+      for (int v : rel_vars[j]) {
+        if (std::find(acc_vars.begin(), acc_vars.end(), v) !=
+            acc_vars.end()) {
+          pick = j;
+          break;
+        }
+      }
+      if (pick >= 0) break;
+    }
+    if (pick < 0) {
+      for (int j = 0; j < q.num_atoms() && pick < 0; ++j) {
+        if (!used[j]) pick = j;
+      }
+    }
+    used[pick] = true;
+
+    // Key columns: shared variables.
+    std::vector<int> left_keys;
+    std::vector<int> right_keys;
+    for (size_t c = 0; c < rel_vars[pick].size(); ++c) {
+      const auto it = std::find(acc_vars.begin(), acc_vars.end(),
+                                rel_vars[pick][c]);
+      if (it != acc_vars.end()) {
+        left_keys.push_back(static_cast<int>(it - acc_vars.begin()));
+        right_keys.push_back(static_cast<int>(c));
+      }
+    }
+    acc = HashJoinLocal(acc, rels[pick], left_keys, right_keys);
+    // HashJoinLocal output: acc columns, then non-key columns of pick.
+    for (size_t c = 0; c < rel_vars[pick].size(); ++c) {
+      if (std::find(right_keys.begin(), right_keys.end(),
+                    static_cast<int>(c)) == right_keys.end()) {
+        acc_vars.push_back(rel_vars[pick][c]);
+      }
+    }
+  }
+
+  // Project to variable-id order.
+  MPCQP_CHECK_EQ(static_cast<int>(acc_vars.size()), q.num_vars());
+  std::vector<int> cols(q.num_vars());
+  for (int v = 0; v < q.num_vars(); ++v) {
+    const auto it = std::find(acc_vars.begin(), acc_vars.end(), v);
+    MPCQP_CHECK(it != acc_vars.end());
+    cols[v] = static_cast<int>(it - acc_vars.begin());
+  }
+  return Project(acc, cols);
+}
+
+}  // namespace mpcqp

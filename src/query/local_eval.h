@@ -1,0 +1,27 @@
+#ifndef MPCQP_QUERY_LOCAL_EVAL_H_
+#define MPCQP_QUERY_LOCAL_EVAL_H_
+
+#include <vector>
+
+#include "query/query.h"
+#include "relation/relation.h"
+
+namespace mpcqp {
+
+// Evaluates the full conjunctive query `q` over the given atom instances
+// (atoms[j] instantiates q.atom(j); arities must match). Output columns are
+// the query variables in id order; bag (SQL) semantics — multiplicities
+// multiply across atoms.
+//
+// This is a single-node operator: the parallel algorithms run it per server
+// on partitioned fragments, and tests run it on whole inputs as the
+// reference answer. Atoms are joined greedily, always preferring an atom
+// sharing variables with the partial result (avoiding cross products when
+// the query is connected). Repeated variables within an atom become
+// selections.
+Relation EvalJoinLocal(const ConjunctiveQuery& q,
+                       const std::vector<Relation>& atoms);
+
+}  // namespace mpcqp
+
+#endif  // MPCQP_QUERY_LOCAL_EVAL_H_

@@ -1,0 +1,42 @@
+#include "query/lower_bounds.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "query/hypergraph_lp.h"
+
+namespace mpcqp {
+
+StatusOr<double> OneRoundLoadLowerBound(const ConjunctiveQuery& q,
+                                        const std::vector<int64_t>& sizes,
+                                        int p) {
+  return MaxPackingLoad(q, sizes, p);
+}
+
+StatusOr<double> MultiRoundLoadLowerBound(const ConjunctiveQuery& q,
+                                          int64_t out_size, int p,
+                                          int rounds) {
+  if (out_size < 0) return InvalidArgumentError("negative output size");
+  if (p < 1 || rounds < 1) {
+    return InvalidArgumentError("p and rounds must be >= 1");
+  }
+  if (out_size == 0) return 0.0;
+  MPCQP_ASSIGN_OR_RETURN(WeightedSolution cover, FractionalEdgeCover(q));
+  MPCQP_CHECK_GT(cover.value, 0.0);
+  const double per_server =
+      std::pow(static_cast<double>(out_size) / p, 1.0 / cover.value);
+  return per_server / rounds;
+}
+
+double SortRoundsLowerBound(int64_t n, int64_t load) {
+  MPCQP_CHECK_GT(n, 0);
+  MPCQP_CHECK_GT(load, 1);
+  return std::log(static_cast<double>(n)) /
+         std::log(static_cast<double>(load));
+}
+
+double SortCommLowerBound(int64_t n, int64_t load) {
+  return static_cast<double>(n) * SortRoundsLowerBound(n, load);
+}
+
+}  // namespace mpcqp

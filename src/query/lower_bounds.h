@@ -1,0 +1,38 @@
+#ifndef MPCQP_QUERY_LOWER_BOUNDS_H_
+#define MPCQP_QUERY_LOWER_BOUNDS_H_
+
+#include <cstdint>
+
+#include "common/statusor.h"
+#include "query/query.h"
+
+namespace mpcqp {
+
+// Communication lower bounds for conjunctive queries in MPC.
+
+// One-round lower bound on skew-free inputs (slide 36/40): every one-round
+// algorithm needs L >= max over fractional edge packings u of
+// (Π |S_j|^{u_j} / p)^{1/Σu} — equal to the HyperCube's load by LP
+// duality. (Thin wrapper over MaxPackingLoad, named for intent.)
+StatusOr<double> OneRoundLoadLowerBound(const ConjunctiveQuery& q,
+                                        const std::vector<int64_t>& sizes,
+                                        int p);
+
+// Multi-round counting lower bound (slide 56): a server that receives
+// r·L tuples over r rounds can emit at most (r·L)^{ρ*} output tuples
+// (AGM), so p·(rL)^{ρ*} >= OUT and
+//     L >= (OUT / p)^{1/ρ*} / r.
+// `out_size` is the output size the adversary can force (e.g. the AGM
+// bound of the instance family).
+StatusOr<double> MultiRoundLoadLowerBound(const ConjunctiveQuery& q,
+                                          int64_t out_size, int p,
+                                          int rounds);
+
+// Sorting bounds (slide 105): r >= log_L(N) rounds and C >= N·log_L(N)
+// total communication, independent of p.
+double SortRoundsLowerBound(int64_t n, int64_t load);
+double SortCommLowerBound(int64_t n, int64_t load);
+
+}  // namespace mpcqp
+
+#endif  // MPCQP_QUERY_LOWER_BOUNDS_H_

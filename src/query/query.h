@@ -1,0 +1,76 @@
+#ifndef MPCQP_QUERY_QUERY_H_
+#define MPCQP_QUERY_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace mpcqp {
+
+// One atom R(vars...) of a conjunctive query. Variables are integer ids
+// into ConjunctiveQuery's variable table; a variable may repeat within an
+// atom (self-join on a column).
+struct Atom {
+  std::string name;
+  std::vector<int> vars;
+
+  int arity() const { return static_cast<int>(vars.size()); }
+  bool ContainsVar(int var) const;
+};
+
+// A full conjunctive query Q(x1..xk) :- S1(...), ..., Sl(...), i.e. the
+// output contains every variable (the setting of the tutorial; slides
+// 34-51). Output column order is variable-id order.
+class ConjunctiveQuery {
+ public:
+  // Builds a query; every variable id in atoms must be in
+  // [0, var_names.size()), and every variable must appear in some atom.
+  static ConjunctiveQuery Make(std::vector<std::string> var_names,
+                               std::vector<Atom> atoms);
+
+  // Parses "Q(x,y,z) :- R(x,y), S(y,z), T(z,x)". The head is optional
+  // ("R(x,y), S(y,z)" works); when present it must list every variable
+  // exactly once and defines the variable order. Whitespace is free.
+  static StatusOr<ConjunctiveQuery> Parse(const std::string& text);
+
+  // --- Stock queries used throughout the deck ---
+  // Triangle: R(x,y), S(y,z), T(z,x).
+  static ConjunctiveQuery Triangle();
+  // Path/chain of `num_atoms` binary atoms: R1(x0,x1), ..., Rn(x_{n-1},x_n).
+  static ConjunctiveQuery Path(int num_atoms);
+  // Star: R1(x0,x1), R2(x0,x2), ..., Rn(x0,xn).
+  static ConjunctiveQuery Star(int num_atoms);
+  // Cycle of length n: R1(x0,x1), ..., Rn(x_{n-1},x0).
+  static ConjunctiveQuery Cycle(int num_atoms);
+  // Two-way join R(x,y), S(y,z).
+  static ConjunctiveQuery TwoWayJoin();
+  // Product with shared variable removed: R(x), S(y).
+  static ConjunctiveQuery CartesianProduct();
+  // Slide 53's R(x), S(x,y), T(y).
+  static ConjunctiveQuery Bowtie();
+
+  int num_vars() const { return static_cast<int>(var_names_.size()); }
+  int num_atoms() const { return static_cast<int>(atoms_.size()); }
+  const std::vector<Atom>& atoms() const { return atoms_; }
+  const Atom& atom(int index) const;
+  const std::string& var_name(int var) const;
+  const std::vector<std::string>& var_names() const { return var_names_; }
+
+  // Atom indices containing `var`.
+  std::vector<int> AtomsWithVar(int var) const;
+
+  // "Q(x,y,z) :- R(x,y), S(y,z), T(z,x)".
+  std::string ToString() const;
+
+ private:
+  ConjunctiveQuery(std::vector<std::string> var_names, std::vector<Atom> atoms)
+      : var_names_(std::move(var_names)), atoms_(std::move(atoms)) {}
+
+  std::vector<std::string> var_names_;
+  std::vector<Atom> atoms_;
+};
+
+}  // namespace mpcqp
+
+#endif  // MPCQP_QUERY_QUERY_H_

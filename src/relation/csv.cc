@@ -1,0 +1,104 @@
+#include "relation/csv.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace mpcqp {
+
+StatusOr<Relation> ParseCsvText(const std::string& text, int expected_arity) {
+  Relation result(std::max(expected_arity, 0));
+  bool arity_known = expected_arity >= 0;
+  std::vector<Value> row;
+  size_t line_no = 0;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    ++line_no;
+    // Trim trailing CR (Windows line endings) and skip blank lines.
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    bool blank = true;
+    for (char c : line) {
+      if (!std::isspace(static_cast<unsigned char>(c))) blank = false;
+    }
+    if (blank) continue;
+
+    row.clear();
+    size_t pos = 0;
+    while (pos <= line.size()) {
+      size_t comma = line.find(',', pos);
+      if (comma == std::string::npos) comma = line.size();
+      const std::string field = line.substr(pos, comma - pos);
+      Value value = 0;
+      // Manual parse: unsigned decimal only, with surrounding spaces.
+      size_t i = 0;
+      while (i < field.size() &&
+             std::isspace(static_cast<unsigned char>(field[i]))) {
+        ++i;
+      }
+      size_t digits = 0;
+      while (i < field.size() &&
+             std::isdigit(static_cast<unsigned char>(field[i]))) {
+        value = value * 10 + static_cast<Value>(field[i] - '0');
+        ++i;
+        ++digits;
+      }
+      while (i < field.size() &&
+             std::isspace(static_cast<unsigned char>(field[i]))) {
+        ++i;
+      }
+      if (digits == 0 || i != field.size()) {
+        return InvalidArgumentError("line " + std::to_string(line_no) +
+                                    ": bad field '" + field + "'");
+      }
+      row.push_back(value);
+      pos = comma + 1;
+      if (comma == line.size()) break;
+    }
+
+    if (!arity_known) {
+      result = Relation(static_cast<int>(row.size()));
+      arity_known = true;
+    }
+    if (static_cast<int>(row.size()) != result.arity()) {
+      return InvalidArgumentError(
+          "line " + std::to_string(line_no) + ": arity " +
+          std::to_string(row.size()) + " != " +
+          std::to_string(result.arity()));
+    }
+    result.AppendRow(row);
+  }
+  if (!arity_known) {
+    return InvalidArgumentError("empty CSV with unknown arity");
+  }
+  return result;
+}
+
+std::string ToCsvText(const Relation& rel) {
+  std::ostringstream os;
+  for (int64_t i = 0; i < rel.size(); ++i) {
+    for (int c = 0; c < rel.arity(); ++c) {
+      if (c > 0) os << ',';
+      os << rel.at(i, c);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+StatusOr<Relation> ReadCsvFile(const std::string& path, int expected_arity) {
+  std::ifstream in(path);
+  if (!in) return NotFoundError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseCsvText(buffer.str(), expected_arity);
+}
+
+Status WriteCsvFile(const Relation& rel, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return InternalError("cannot write " + path);
+  out << ToCsvText(rel);
+  return out ? OkStatus() : InternalError("write failed: " + path);
+}
+
+}  // namespace mpcqp

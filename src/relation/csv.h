@@ -1,0 +1,30 @@
+#ifndef MPCQP_RELATION_CSV_H_
+#define MPCQP_RELATION_CSV_H_
+
+#include <string>
+
+#include "common/statusor.h"
+#include "relation/relation.h"
+
+namespace mpcqp {
+
+// Minimal CSV support for unsigned-integer relations: one row per line,
+// comma-separated decimal values, no header, no quoting. Empty lines are
+// skipped. All rows must share one arity.
+
+// Parses CSV text. `expected_arity` >= 0 enforces the arity; -1 infers it
+// from the first row.
+StatusOr<Relation> ParseCsvText(const std::string& text,
+                                int expected_arity = -1);
+
+// Serializes a relation to CSV text.
+std::string ToCsvText(const Relation& rel);
+
+// File variants.
+StatusOr<Relation> ReadCsvFile(const std::string& path,
+                               int expected_arity = -1);
+Status WriteCsvFile(const Relation& rel, const std::string& path);
+
+}  // namespace mpcqp
+
+#endif  // MPCQP_RELATION_CSV_H_

@@ -1,0 +1,70 @@
+#include "relation/key_index.h"
+
+#include "common/check.h"
+#include "common/hash.h"
+
+namespace mpcqp {
+
+namespace {
+// A fixed seed: the index is an in-memory structure, not a partitioning
+// decision, so it does not need to vary across runs.
+constexpr uint64_t kIndexSeed = 0x1d8af066u;
+}  // namespace
+
+KeyIndex::KeyIndex(const Relation* relation, std::vector<int> key_cols)
+    : relation_(relation), key_cols_(std::move(key_cols)) {
+  MPCQP_CHECK(relation_ != nullptr);
+  for (int c : key_cols_) {
+    MPCQP_CHECK_GE(c, 0);
+    MPCQP_CHECK_LT(c, relation_->arity());
+  }
+  std::vector<Value> key(key_cols_.size());
+  for (int64_t r = 0; r < relation_->size(); ++r) {
+    const Value* row = relation_->row(r);
+    for (size_t i = 0; i < key_cols_.size(); ++i) key[i] = row[key_cols_[i]];
+    const uint64_t h = HashKey(key.data());
+    std::vector<std::vector<int64_t>>& groups = buckets_[h];
+    bool placed = false;
+    for (std::vector<int64_t>& group : groups) {
+      // Compare against the group's representative row by key columns.
+      const Value* rep = relation_->row(group.front());
+      bool same = true;
+      for (int c : key_cols_) {
+        if (rep[c] != row[c]) {
+          same = false;
+          break;
+        }
+      }
+      if (same) {
+        group.push_back(r);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) groups.push_back({r});
+  }
+}
+
+uint64_t KeyIndex::HashKey(const Value* key) const {
+  static const HashFunction kHash(kIndexSeed);
+  return kHash.HashSpan(key, static_cast<int>(key_cols_.size()));
+}
+
+bool KeyIndex::RowMatchesKey(int64_t row, const Value* key) const {
+  const Value* r = relation_->row(row);
+  for (size_t i = 0; i < key_cols_.size(); ++i) {
+    if (r[key_cols_[i]] != key[i]) return false;
+  }
+  return true;
+}
+
+const std::vector<int64_t>& KeyIndex::Lookup(const Value* key) const {
+  const auto it = buckets_.find(HashKey(key));
+  if (it == buckets_.end()) return empty_;
+  for (const std::vector<int64_t>& group : it->second) {
+    if (RowMatchesKey(group.front(), key)) return group;
+  }
+  return empty_;
+}
+
+}  // namespace mpcqp

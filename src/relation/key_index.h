@@ -1,0 +1,53 @@
+#ifndef MPCQP_RELATION_KEY_INDEX_H_
+#define MPCQP_RELATION_KEY_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "relation/relation.h"
+
+namespace mpcqp {
+
+// A hash index over a relation keyed by a subset of its columns. Probes
+// verify exact key equality (the 64-bit row hash only buckets).
+//
+// The index borrows the relation; the relation must outlive the index and
+// must not be modified while indexed.
+class KeyIndex {
+ public:
+  KeyIndex(const Relation* relation, std::vector<int> key_cols);
+
+  // Row indices whose key columns equal `key` (key_cols.size() values).
+  // The returned reference is invalidated by the next Lookup call only if
+  // probing missed; treat it as a transient view.
+  const std::vector<int64_t>& Lookup(const Value* key) const;
+
+  // True if some row matches `key`.
+  bool Contains(const Value* key) const { return !Lookup(key).empty(); }
+
+  int key_arity() const { return static_cast<int>(key_cols_.size()); }
+  const Relation& relation() const { return *relation_; }
+  const std::vector<int>& key_cols() const { return key_cols_; }
+
+  // Number of distinct key values present.
+  int64_t num_distinct_keys() const {
+    return static_cast<int64_t>(buckets_.size());
+  }
+
+ private:
+  uint64_t HashKey(const Value* key) const;
+  bool RowMatchesKey(int64_t row, const Value* key) const;
+
+  const Relation* relation_;
+  std::vector<int> key_cols_;
+  // Bucket hash -> list of (first-row, rows...) groups. To handle 64-bit
+  // hash collisions between distinct keys, each bucket stores groups of
+  // rows by exact key; see implementation.
+  std::unordered_map<uint64_t, std::vector<std::vector<int64_t>>> buckets_;
+  std::vector<int64_t> empty_;
+};
+
+}  // namespace mpcqp
+
+#endif  // MPCQP_RELATION_KEY_INDEX_H_

@@ -1,0 +1,166 @@
+#include "relation/relation.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace mpcqp {
+
+Schema::Schema(std::vector<std::string> attributes)
+    : attributes_(std::move(attributes)) {}
+
+const std::string& Schema::attribute(int index) const {
+  MPCQP_CHECK_GE(index, 0);
+  MPCQP_CHECK_LT(index, arity());
+  return attributes_[index];
+}
+
+int Schema::IndexOf(const std::string& name) const {
+  for (int i = 0; i < arity(); ++i) {
+    if (attributes_[i] == name) return i;
+  }
+  return -1;
+}
+
+Relation::Relation(int arity) : arity_(arity) { MPCQP_CHECK_GE(arity, 0); }
+
+Relation::Relation(int arity, std::vector<Value> data)
+    : arity_(arity), data_(std::move(data)) {
+  MPCQP_CHECK_GT(arity, 0);
+  MPCQP_CHECK_EQ(data_.size() % arity, 0u);
+}
+
+Relation Relation::FromRows(std::initializer_list<std::vector<Value>> rows) {
+  return FromRows(std::vector<std::vector<Value>>(rows));
+}
+
+Relation Relation::FromRows(const std::vector<std::vector<Value>>& rows) {
+  MPCQP_CHECK(!rows.empty()) << "use Relation(arity) for empty relations";
+  Relation result(static_cast<int>(rows.begin()->size()));
+  for (const auto& row : rows) result.AppendRow(row);
+  return result;
+}
+
+const Value* Relation::row(int64_t row) const {
+  MPCQP_CHECK_GT(arity_, 0);
+  MPCQP_CHECK_GE(row, 0);
+  MPCQP_CHECK_LT(row, size());
+  return data_.data() + static_cast<size_t>(row) * arity_;
+}
+
+Value Relation::at(int64_t row, int col) const {
+  MPCQP_CHECK_GE(col, 0);
+  MPCQP_CHECK_LT(col, arity_);
+  return this->row(row)[col];
+}
+
+void Relation::AppendRow(const Value* values) {
+  MPCQP_CHECK_GT(arity_, 0);
+  data_.insert(data_.end(), values, values + arity_);
+}
+
+void Relation::AppendRow(const std::vector<Value>& values) {
+  MPCQP_CHECK_EQ(static_cast<int>(values.size()), arity_);
+  if (arity_ == 0) {
+    ++nullary_count_;
+    return;
+  }
+  AppendRow(values.data());
+}
+
+void Relation::AppendRow(std::initializer_list<Value> values) {
+  AppendRow(std::vector<Value>(values));
+}
+
+void Relation::AppendRowFrom(const Relation& other, int64_t row) {
+  MPCQP_CHECK_EQ(other.arity_, arity_);
+  if (arity_ == 0) {
+    ++nullary_count_;
+    return;
+  }
+  AppendRow(other.row(row));
+}
+
+void Relation::AppendNullaryRow() {
+  MPCQP_CHECK_EQ(arity_, 0);
+  ++nullary_count_;
+}
+
+void Relation::Reserve(int64_t rows) {
+  if (arity_ > 0) data_.reserve(static_cast<size_t>(rows) * arity_);
+}
+
+void Relation::Clear() {
+  data_.clear();
+  nullary_count_ = 0;
+}
+
+namespace {
+
+// Sorts row indices of `rel` by `key_cols` then all columns, and rebuilds
+// the flat buffer in that order.
+void SortRowsImpl(int arity, std::vector<Value>& data,
+                  const std::vector<int>& key_cols) {
+  const int64_t n = static_cast<int64_t>(data.size()) / arity;
+  std::vector<int64_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+    const Value* ra = data.data() + static_cast<size_t>(a) * arity;
+    const Value* rb = data.data() + static_cast<size_t>(b) * arity;
+    for (int c : key_cols) {
+      if (ra[c] != rb[c]) return ra[c] < rb[c];
+    }
+    for (int c = 0; c < arity; ++c) {
+      if (ra[c] != rb[c]) return ra[c] < rb[c];
+    }
+    return false;
+  });
+  std::vector<Value> sorted;
+  sorted.reserve(data.size());
+  for (int64_t i : order) {
+    const Value* r = data.data() + static_cast<size_t>(i) * arity;
+    sorted.insert(sorted.end(), r, r + arity);
+  }
+  data = std::move(sorted);
+}
+
+}  // namespace
+
+void Relation::SortRows() {
+  if (arity_ == 0 || data_.empty()) return;
+  SortRowsImpl(arity_, data_, {});
+}
+
+void Relation::SortRowsBy(const std::vector<int>& key_cols) {
+  for (int c : key_cols) {
+    MPCQP_CHECK_GE(c, 0);
+    MPCQP_CHECK_LT(c, arity_);
+  }
+  if (arity_ == 0 || data_.empty()) return;
+  SortRowsImpl(arity_, data_, key_cols);
+}
+
+bool operator==(const Relation& a, const Relation& b) {
+  return a.arity_ == b.arity_ && a.nullary_count_ == b.nullary_count_ &&
+         a.data_ == b.data_;
+}
+
+std::string Relation::ToString(int64_t max_rows) const {
+  std::ostringstream os;
+  os << "Relation(arity=" << arity_ << ", rows=" << size() << ")";
+  const int64_t limit = std::min<int64_t>(size(), max_rows);
+  for (int64_t i = 0; i < limit && arity_ > 0; ++i) {
+    os << "\n  (";
+    for (int c = 0; c < arity_; ++c) {
+      if (c > 0) os << ", ";
+      os << at(i, c);
+    }
+    os << ")";
+  }
+  if (limit < size()) os << "\n  ... " << (size() - limit) << " more";
+  return os.str();
+}
+
+}  // namespace mpcqp

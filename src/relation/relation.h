@@ -1,0 +1,95 @@
+#ifndef MPCQP_RELATION_RELATION_H_
+#define MPCQP_RELATION_RELATION_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace mpcqp {
+
+// Attribute values. The whole library works over 64-bit integer domains;
+// the MPC theory is agnostic to the value type, and integers keep the
+// simulator exact and fast.
+using Value = uint64_t;
+
+// Attribute names for a relation. Algorithms address columns positionally;
+// Schema exists for API ergonomics (examples, parser, printing).
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<std::string> attributes);
+
+  int arity() const { return static_cast<int>(attributes_.size()); }
+  const std::string& attribute(int index) const;
+
+  // Returns the index of `name`, or -1 if absent.
+  int IndexOf(const std::string& name) const;
+
+  const std::vector<std::string>& attributes() const { return attributes_; }
+
+ private:
+  std::vector<std::string> attributes_;
+};
+
+// A relation: a multiset of fixed-arity rows stored row-major in one flat
+// buffer. Copyable and movable; copies are deep.
+class Relation {
+ public:
+  // An empty nullary relation; mostly useful as a placeholder.
+  Relation() : arity_(0) {}
+  explicit Relation(int arity);
+  Relation(int arity, std::vector<Value> data);
+
+  // Builds a relation from explicit rows; all rows must share one arity.
+  static Relation FromRows(std::initializer_list<std::vector<Value>> rows);
+  static Relation FromRows(const std::vector<std::vector<Value>>& rows);
+
+  int arity() const { return arity_; }
+  int64_t size() const {
+    return arity_ == 0 ? nullary_count_
+                       : static_cast<int64_t>(data_.size()) / arity_;
+  }
+  bool empty() const { return size() == 0; }
+
+  // Pointer to the `row`-th row (arity() consecutive values).
+  // Invalid for nullary relations.
+  const Value* row(int64_t row) const;
+
+  Value at(int64_t row, int col) const;
+
+  void AppendRow(const Value* values);
+  void AppendRow(const std::vector<Value>& values);
+  void AppendRow(std::initializer_list<Value> values);
+  // Appends a row of another relation with the same arity.
+  void AppendRowFrom(const Relation& other, int64_t row);
+  // Appends an empty (nullary) row; only valid when arity() == 0. A nullary
+  // relation is either empty (false) or holds some count of empty tuples.
+  void AppendNullaryRow();
+
+  void Reserve(int64_t rows);
+  void Clear();
+
+  // Sorts rows lexicographically (all columns). In-place.
+  void SortRows();
+  // Sorts rows by the given key columns (then remaining columns for
+  // determinism). In-place.
+  void SortRowsBy(const std::vector<int>& key_cols);
+
+  const std::vector<Value>& data() const { return data_; }
+
+  // Exact equality: same arity, same rows in the same order.
+  friend bool operator==(const Relation& a, const Relation& b);
+
+  // Pretty-prints up to `max_rows` rows (for examples/debugging).
+  std::string ToString(int64_t max_rows = 20) const;
+
+ private:
+  int arity_;
+  int64_t nullary_count_ = 0;  // Row count when arity_ == 0.
+  std::vector<Value> data_;
+};
+
+}  // namespace mpcqp
+
+#endif  // MPCQP_RELATION_RELATION_H_

@@ -1,0 +1,332 @@
+#include "relation/relation_ops.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/check.h"
+#include "relation/key_index.h"
+
+namespace mpcqp {
+
+namespace {
+
+// Shared output-building for the join family: left row then non-key right
+// columns.
+std::vector<int> NonKeyRightCols(const Relation& right,
+                                 const std::vector<int>& right_keys) {
+  std::vector<int> cols;
+  for (int c = 0; c < right.arity(); ++c) {
+    if (std::find(right_keys.begin(), right_keys.end(), c) ==
+        right_keys.end()) {
+      cols.push_back(c);
+    }
+  }
+  return cols;
+}
+
+void CheckJoinArgs(const Relation& left, const Relation& right,
+                   const std::vector<int>& left_keys,
+                   const std::vector<int>& right_keys) {
+  MPCQP_CHECK_EQ(left_keys.size(), right_keys.size());
+  for (int c : left_keys) {
+    MPCQP_CHECK_GE(c, 0);
+    MPCQP_CHECK_LT(c, left.arity());
+  }
+  for (int c : right_keys) {
+    MPCQP_CHECK_GE(c, 0);
+    MPCQP_CHECK_LT(c, right.arity());
+  }
+}
+
+void EmitJoinRow(const Relation& left, int64_t lrow, const Relation& right,
+                 int64_t rrow, const std::vector<int>& right_out_cols,
+                 std::vector<Value>& scratch, Relation& out) {
+  scratch.clear();
+  const Value* l = left.row(lrow);
+  scratch.insert(scratch.end(), l, l + left.arity());
+  const Value* r = right.row(rrow);
+  for (int c : right_out_cols) scratch.push_back(r[c]);
+  out.AppendRow(scratch.data());
+}
+
+}  // namespace
+
+Relation Project(const Relation& rel, const std::vector<int>& cols) {
+  for (int c : cols) {
+    MPCQP_CHECK_GE(c, 0);
+    MPCQP_CHECK_LT(c, rel.arity());
+  }
+  Relation out(static_cast<int>(cols.size()));
+  if (cols.empty()) {
+    for (int64_t i = 0; i < rel.size(); ++i) out.AppendNullaryRow();
+    return out;
+  }
+  out.Reserve(rel.size());
+  std::vector<Value> scratch(cols.size());
+  for (int64_t i = 0; i < rel.size(); ++i) {
+    const Value* row = rel.row(i);
+    for (size_t j = 0; j < cols.size(); ++j) scratch[j] = row[cols[j]];
+    out.AppendRow(scratch.data());
+  }
+  return out;
+}
+
+Relation Dedup(const Relation& rel) {
+  if (rel.arity() == 0) {
+    Relation out(0);
+    if (rel.size() > 0) out.AppendNullaryRow();
+    return out;
+  }
+  Relation sorted = rel;
+  sorted.SortRows();
+  Relation out(rel.arity());
+  out.Reserve(sorted.size());
+  for (int64_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) {
+      const Value* prev = sorted.row(i - 1);
+      const Value* cur = sorted.row(i);
+      if (std::equal(cur, cur + rel.arity(), prev)) continue;
+    }
+    out.AppendRowFrom(sorted, i);
+  }
+  return out;
+}
+
+Relation Filter(const Relation& rel,
+                const std::function<bool(const Value*)>& pred) {
+  MPCQP_CHECK_GT(rel.arity(), 0);
+  Relation out(rel.arity());
+  for (int64_t i = 0; i < rel.size(); ++i) {
+    if (pred(rel.row(i))) out.AppendRowFrom(rel, i);
+  }
+  return out;
+}
+
+Relation UnionAll(const Relation& a, const Relation& b) {
+  MPCQP_CHECK_EQ(a.arity(), b.arity());
+  Relation out = a;
+  if (a.arity() == 0) {
+    for (int64_t i = 0; i < b.size(); ++i) out.AppendNullaryRow();
+    return out;
+  }
+  out.Reserve(a.size() + b.size());
+  for (int64_t i = 0; i < b.size(); ++i) out.AppendRowFrom(b, i);
+  return out;
+}
+
+Relation HashJoinLocal(const Relation& left, const Relation& right,
+                       const std::vector<int>& left_keys,
+                       const std::vector<int>& right_keys) {
+  CheckJoinArgs(left, right, left_keys, right_keys);
+  const std::vector<int> right_out_cols = NonKeyRightCols(right, right_keys);
+  Relation out(left.arity() + static_cast<int>(right_out_cols.size()));
+  if (left.empty() || right.empty()) return out;
+
+  // Build on the smaller side conceptually; for simplicity always build on
+  // `right` (callers pass the smaller side right in hot paths).
+  KeyIndex index(&right, right_keys);
+  std::vector<Value> key(left_keys.size());
+  std::vector<Value> scratch;
+  for (int64_t i = 0; i < left.size(); ++i) {
+    const Value* lrow = left.row(i);
+    for (size_t k = 0; k < left_keys.size(); ++k) key[k] = lrow[left_keys[k]];
+    for (int64_t rrow : index.Lookup(key.data())) {
+      EmitJoinRow(left, i, right, rrow, right_out_cols, scratch, out);
+    }
+  }
+  return out;
+}
+
+Relation SortMergeJoinLocal(const Relation& left, const Relation& right,
+                            const std::vector<int>& left_keys,
+                            const std::vector<int>& right_keys) {
+  CheckJoinArgs(left, right, left_keys, right_keys);
+  const std::vector<int> right_out_cols = NonKeyRightCols(right, right_keys);
+  Relation out(left.arity() + static_cast<int>(right_out_cols.size()));
+  if (left.empty() || right.empty()) return out;
+
+  Relation ls = left;
+  ls.SortRowsBy(left_keys);
+  Relation rs = right;
+  rs.SortRowsBy(right_keys);
+
+  auto compare_keys = [&](int64_t li, int64_t ri) {
+    const Value* l = ls.row(li);
+    const Value* r = rs.row(ri);
+    for (size_t k = 0; k < left_keys.size(); ++k) {
+      const Value lv = l[left_keys[k]];
+      const Value rv = r[right_keys[k]];
+      if (lv != rv) return lv < rv ? -1 : 1;
+    }
+    return 0;
+  };
+
+  std::vector<Value> scratch;
+  int64_t li = 0;
+  int64_t ri = 0;
+  while (li < ls.size() && ri < rs.size()) {
+    const int cmp = compare_keys(li, ri);
+    if (cmp < 0) {
+      ++li;
+    } else if (cmp > 0) {
+      ++ri;
+    } else {
+      // Find the run of equal keys on each side, emit the cross product.
+      int64_t lend = li + 1;
+      while (lend < ls.size()) {
+        bool same = true;
+        for (size_t k = 0; k < left_keys.size(); ++k) {
+          if (ls.at(lend, left_keys[k]) != ls.at(li, left_keys[k])) {
+            same = false;
+            break;
+          }
+        }
+        if (!same) break;
+        ++lend;
+      }
+      int64_t rend = ri + 1;
+      while (rend < rs.size()) {
+        bool same = true;
+        for (size_t k = 0; k < right_keys.size(); ++k) {
+          if (rs.at(rend, right_keys[k]) != rs.at(ri, right_keys[k])) {
+            same = false;
+            break;
+          }
+        }
+        if (!same) break;
+        ++rend;
+      }
+      for (int64_t a = li; a < lend; ++a) {
+        for (int64_t b = ri; b < rend; ++b) {
+          EmitJoinRow(ls, a, rs, b, right_out_cols, scratch, out);
+        }
+      }
+      li = lend;
+      ri = rend;
+    }
+  }
+  return out;
+}
+
+Relation NestedLoopJoinLocal(const Relation& left, const Relation& right,
+                             const std::vector<int>& left_keys,
+                             const std::vector<int>& right_keys) {
+  CheckJoinArgs(left, right, left_keys, right_keys);
+  const std::vector<int> right_out_cols = NonKeyRightCols(right, right_keys);
+  Relation out(left.arity() + static_cast<int>(right_out_cols.size()));
+  std::vector<Value> scratch;
+  for (int64_t i = 0; i < left.size(); ++i) {
+    for (int64_t j = 0; j < right.size(); ++j) {
+      bool match = true;
+      for (size_t k = 0; k < left_keys.size(); ++k) {
+        if (left.at(i, left_keys[k]) != right.at(j, right_keys[k])) {
+          match = false;
+          break;
+        }
+      }
+      if (match) EmitJoinRow(left, i, right, j, right_out_cols, scratch, out);
+    }
+  }
+  return out;
+}
+
+Relation SemijoinLocal(const Relation& left, const Relation& right,
+                       const std::vector<int>& left_keys,
+                       const std::vector<int>& right_keys) {
+  CheckJoinArgs(left, right, left_keys, right_keys);
+  Relation out(left.arity());
+  if (left.empty() || right.empty()) return out;
+  KeyIndex index(&right, right_keys);
+  std::vector<Value> key(left_keys.size());
+  for (int64_t i = 0; i < left.size(); ++i) {
+    const Value* lrow = left.row(i);
+    for (size_t k = 0; k < left_keys.size(); ++k) key[k] = lrow[left_keys[k]];
+    if (index.Contains(key.data())) out.AppendRowFrom(left, i);
+  }
+  return out;
+}
+
+Relation AntijoinLocal(const Relation& left, const Relation& right,
+                       const std::vector<int>& left_keys,
+                       const std::vector<int>& right_keys) {
+  CheckJoinArgs(left, right, left_keys, right_keys);
+  Relation out(left.arity());
+  if (left.empty()) return out;
+  if (right.empty()) return left;
+  KeyIndex index(&right, right_keys);
+  std::vector<Value> key(left_keys.size());
+  for (int64_t i = 0; i < left.size(); ++i) {
+    const Value* lrow = left.row(i);
+    for (size_t k = 0; k < left_keys.size(); ++k) key[k] = lrow[left_keys[k]];
+    if (!index.Contains(key.data())) out.AppendRowFrom(left, i);
+  }
+  return out;
+}
+
+Relation GroupBySum(const Relation& rel, const std::vector<int>& group_cols,
+                    int value_col) {
+  return GroupByAggregate(rel, group_cols, value_col, AggregateOp::kSum);
+}
+
+Relation GroupByAggregate(const Relation& rel,
+                          const std::vector<int>& group_cols, int value_col,
+                          AggregateOp op) {
+  MPCQP_CHECK_GE(value_col, 0);
+  MPCQP_CHECK_LT(value_col, rel.arity());
+  for (int c : group_cols) {
+    MPCQP_CHECK_GE(c, 0);
+    MPCQP_CHECK_LT(c, rel.arity());
+  }
+  // std::map keeps output deterministic (sorted by group key).
+  std::map<std::vector<Value>, Value> accumulators;
+  std::vector<Value> key(group_cols.size());
+  for (int64_t i = 0; i < rel.size(); ++i) {
+    const Value* row = rel.row(i);
+    for (size_t k = 0; k < group_cols.size(); ++k) key[k] = row[group_cols[k]];
+    const Value value = row[value_col];
+    auto [it, inserted] = accumulators.try_emplace(key, 0);
+    switch (op) {
+      case AggregateOp::kSum:
+        it->second += value;
+        break;
+      case AggregateOp::kCount:
+        it->second += 1;
+        break;
+      case AggregateOp::kMin:
+        if (inserted || value < it->second) it->second = value;
+        break;
+      case AggregateOp::kMax:
+        if (inserted || value > it->second) it->second = value;
+        break;
+    }
+  }
+  Relation out(static_cast<int>(group_cols.size()) + 1);
+  std::vector<Value> scratch;
+  for (const auto& [group, aggregate] : accumulators) {
+    scratch = group;
+    scratch.push_back(aggregate);
+    out.AppendRow(scratch.data());
+  }
+  return out;
+}
+
+bool MultisetEqual(const Relation& a, const Relation& b) {
+  if (a.arity() != b.arity() || a.size() != b.size()) return false;
+  Relation as = a;
+  as.SortRows();
+  Relation bs = b;
+  bs.SortRows();
+  return as == bs;
+}
+
+Relation DegreeCount(const Relation& rel, int col) {
+  MPCQP_CHECK_GE(col, 0);
+  MPCQP_CHECK_LT(col, rel.arity());
+  std::map<Value, Value> counts;
+  for (int64_t i = 0; i < rel.size(); ++i) ++counts[rel.at(i, col)];
+  Relation out(2);
+  for (const auto& [value, count] : counts) out.AppendRow({value, count});
+  return out;
+}
+
+}  // namespace mpcqp

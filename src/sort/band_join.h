@@ -1,0 +1,31 @@
+#ifndef MPCQP_SORT_BAND_JOIN_H_
+#define MPCQP_SORT_BAND_JOIN_H_
+
+#include "mpc/cluster.h"
+#include "mpc/dist_relation.h"
+
+namespace mpcqp {
+
+// Distributed band (similarity) join — one of the deck's motivating
+// applications of parallel sorting (slide 99):
+//
+//   SELECT * FROM L, R WHERE |L.a - R.b| <= epsilon
+//
+// Algorithm: PSRS-sort `right` by its key to obtain balanced range
+// splitters and home fragments; then route every `left` tuple to every
+// server whose key interval intersects [key-eps, key+eps] (boundary
+// replication). Each server finishes with a sorted-window sweep. Each
+// output pair is produced exactly once, at the right tuple's home server.
+//
+// Three rounds (two for PSRS, one for the left routing); load
+// O(IN/p + replication), where replication is the number of tuples within
+// epsilon of a boundary — small when epsilon << domain/p.
+//
+// Output columns: all of left, then all of right.
+DistRelation BandJoin(Cluster& cluster, const DistRelation& left,
+                      const DistRelation& right, int left_col, int right_col,
+                      Value epsilon);
+
+}  // namespace mpcqp
+
+#endif  // MPCQP_SORT_BAND_JOIN_H_

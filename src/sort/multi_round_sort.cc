@@ -1,0 +1,131 @@
+#include "sort/multi_round_sort.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace mpcqp {
+
+namespace {
+
+struct Bucket {
+  int server_begin;  // Inclusive.
+  int server_end;    // Exclusive.
+  int NumServers() const { return server_end - server_begin; }
+};
+
+}  // namespace
+
+MultiRoundSortResult MultiRoundSort(Cluster& cluster, const DistRelation& rel,
+                                    int col, int fan_out, Rng& rng,
+                                    int samples_per_server) {
+  MPCQP_CHECK_GE(fan_out, 2);
+  MPCQP_CHECK_GE(col, 0);
+  MPCQP_CHECK_LT(col, rel.arity());
+  const int p = cluster.num_servers();
+  MPCQP_CHECK_EQ(rel.num_servers(), p);
+  if (samples_per_server <= 0) samples_per_server = 8 * fan_out;
+
+  DistRelation data = rel;
+  std::vector<Bucket> buckets{{0, p}};
+  int rounds = 0;
+
+  while (true) {
+    bool any_multi = false;
+    for (const Bucket& b : buckets) {
+      if (b.NumServers() > 1) any_multi = true;
+    }
+    if (!any_multi) break;
+
+    cluster.BeginRound("multi-round sort: split level " +
+                       std::to_string(rounds + 1));
+    ++rounds;
+
+    std::vector<Bucket> next_buckets;
+    DistRelation next_data(rel.arity(), p);
+
+    for (const Bucket& bucket : buckets) {
+      if (bucket.NumServers() == 1) {
+        // Stable bucket; data stays put (no communication).
+        next_buckets.push_back(bucket);
+        Relation& dst = next_data.fragment(bucket.server_begin);
+        const Relation& src = data.fragment(bucket.server_begin);
+        for (int64_t i = 0; i < src.size(); ++i) dst.AppendRowFrom(src, i);
+        continue;
+      }
+
+      const int group = bucket.NumServers();
+      const int f = std::min(fan_out, group);
+
+      // Sample splitter candidates on each group server and broadcast them
+      // within the group (metered: each sample goes to every group member).
+      std::vector<Value> pooled;
+      for (int s = bucket.server_begin; s < bucket.server_end; ++s) {
+        const Relation& frag = data.fragment(s);
+        const int64_t take =
+            std::min<int64_t>(frag.size(), samples_per_server);
+        for (int64_t i = 0; i < take; ++i) {
+          pooled.push_back(frag.at(
+              static_cast<int64_t>(rng.Uniform(
+                  static_cast<uint64_t>(frag.size()))),
+              col));
+        }
+        for (int dst = bucket.server_begin; dst < bucket.server_end; ++dst) {
+          if (take > 0) cluster.RecordMessage(s, dst, take, take);
+        }
+      }
+      std::sort(pooled.begin(), pooled.end());
+      std::vector<Value> splitters;
+      for (int i = 1; i < f; ++i) {
+        if (pooled.empty()) break;
+        splitters.push_back(
+            pooled[std::min<size_t>(pooled.size() - 1,
+                                    i * pooled.size() / f)]);
+      }
+
+      // Sub-bucket server ranges: split the group as evenly as possible.
+      std::vector<Bucket> subs;
+      for (int i = 0; i < f; ++i) {
+        const int lo = bucket.server_begin + i * group / f;
+        const int hi = bucket.server_begin + (i + 1) * group / f;
+        subs.push_back({lo, hi});
+      }
+
+      // Redistribute: splitter index selects the sub-bucket; a per-source
+      // cyclic counter spreads tuples across the sub-bucket's servers.
+      std::vector<int64_t> cyclic(f, 0);
+      for (int src = bucket.server_begin; src < bucket.server_end; ++src) {
+        const Relation& frag = data.fragment(src);
+        std::vector<int64_t> sent(p, 0);
+        for (int64_t i = 0; i < frag.size(); ++i) {
+          const Value v = frag.at(i, col);
+          const int sub = static_cast<int>(
+              std::upper_bound(splitters.begin(), splitters.end(), v) -
+              splitters.begin());
+          const Bucket& target = subs[sub];
+          const int dst = target.server_begin +
+                          static_cast<int>(cyclic[sub]++ %
+                                           target.NumServers());
+          next_data.fragment(dst).AppendRowFrom(frag, i);
+          ++sent[dst];
+        }
+        for (int dst = 0; dst < p; ++dst) {
+          if (sent[dst] > 0) {
+            cluster.RecordMessage(src, dst, sent[dst],
+                                  sent[dst] * rel.arity());
+          }
+        }
+      }
+      for (const Bucket& sub : subs) next_buckets.push_back(sub);
+    }
+
+    cluster.EndRound();
+    data = std::move(next_data);
+    buckets = std::move(next_buckets);
+  }
+
+  for (int s = 0; s < p; ++s) data.fragment(s).SortRowsBy({col});
+  return MultiRoundSortResult{std::move(data), rounds};
+}
+
+}  // namespace mpcqp

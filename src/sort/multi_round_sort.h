@@ -1,0 +1,41 @@
+#ifndef MPCQP_SORT_MULTI_ROUND_SORT_H_
+#define MPCQP_SORT_MULTI_ROUND_SORT_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "mpc/cluster.h"
+#include "mpc/dist_relation.h"
+
+namespace mpcqp {
+
+// Multi-round distribution sort for the fine-grained regime (deck slides
+// 103-105): when p is large relative to N, a one-shot splitter exchange
+// (PSRS) would itself exceed the load budget, and sorting takes Ω(log_L N)
+// rounds.
+//
+// The algorithm recursively splits the server range: each round, every
+// active bucket (a contiguous server group holding one key interval)
+// samples splitter candidates, broadcasts them within the group, and
+// redistributes its data into `fan_out` sub-buckets. After ceil(log_fan(p))
+// rounds every bucket is a single server, which sorts locally.
+//
+// Smaller fan-out means lower per-round splitter traffic but more rounds —
+// the r-vs-L tradeoff the lower bound formalizes. (Goodrich's
+// load-optimal BSP sort has the same structure with careful sample sizes;
+// the deck itself notes it is "very complex", and this simplified
+// distribution sort reproduces the tradeoff's shape.)
+struct MultiRoundSortResult {
+  DistRelation sorted;
+  int rounds = 0;
+};
+
+// Sorts `rel` by `col` with the given fan-out (>= 2). `samples_per_server`
+// splitter candidates are drawn per server per split (default 8 * fan_out).
+MultiRoundSortResult MultiRoundSort(Cluster& cluster, const DistRelation& rel,
+                                    int col, int fan_out, Rng& rng,
+                                    int samples_per_server = 0);
+
+}  // namespace mpcqp
+
+#endif  // MPCQP_SORT_MULTI_ROUND_SORT_H_

@@ -1,0 +1,59 @@
+#ifndef MPCQP_SORT_PSRS_H_
+#define MPCQP_SORT_PSRS_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "mpc/cluster.h"
+#include "mpc/dist_relation.h"
+
+namespace mpcqp {
+
+// Parallel Sort by Regular Sampling (deck slides 100-102).
+//
+// Round 1: every server sorts its fragment locally, extracts p-1 regular
+// samples, and broadcasts them (all servers receive everyone's samples and
+// deterministically compute the same p-1 global splitters).
+// Round 2: range-partition all data by the splitters; each server sorts
+// its received interval locally.
+//
+// Load: N/p + O(p^2) — the p^2 term is the sample exchange, which is why
+// PSRS needs p << N^{1/3}. The optional sampling mode replaces the regular
+// sample of the sorted fragment with random sampling (slide 102's "modern
+// implementations" note); the round structure is identical.
+
+struct PsrsOptions {
+  // Lexicographic sort key; must be non-empty.
+  std::vector<int> key_cols;
+  // If true, pick splitter candidates by random sampling instead of
+  // regular sampling of the locally sorted run.
+  bool use_sampling = false;
+  // Candidates per server in sampling mode (0 = p-1, like regular mode).
+  int samples_per_server = 0;
+};
+
+struct PsrsResult {
+  // Globally sorted: every tuple on server s sorts <= every tuple on
+  // server s+1, and each fragment is locally sorted.
+  DistRelation sorted;
+  // The p-1 composite splitters (key_cols values each) that were chosen.
+  std::vector<std::vector<Value>> splitters;
+};
+
+// Runs PSRS on `rel`. `rng` is only used in sampling mode (may be null
+// otherwise).
+PsrsResult PsrsSort(Cluster& cluster, const DistRelation& rel,
+                    const PsrsOptions& options, Rng* rng = nullptr);
+
+// Lexicographic comparison of rows `a`, `b` restricted to key_cols.
+int CompareRowsOnKey(const Value* a, const Value* b,
+                     const std::vector<int>& key_cols);
+
+// True iff `rel` is globally sorted on key_cols (fragment s entirely <=
+// fragment s+1, each fragment locally sorted).
+bool IsGloballySorted(const DistRelation& rel,
+                      const std::vector<int>& key_cols);
+
+}  // namespace mpcqp
+
+#endif  // MPCQP_SORT_PSRS_H_

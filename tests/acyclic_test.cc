@@ -1,0 +1,320 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "acyclic/gym.h"
+#include "acyclic/yannakakis.h"
+#include "mpc/cluster.h"
+#include "query/local_eval.h"
+#include "relation/relation_ops.h"
+#include "workload/generator.h"
+
+namespace mpcqp {
+namespace {
+
+std::vector<DistRelation> Scatter(const std::vector<Relation>& atoms, int p) {
+  std::vector<DistRelation> out;
+  out.reserve(atoms.size());
+  for (const Relation& r : atoms) out.push_back(DistRelation::Scatter(r, p));
+  return out;
+}
+
+// ---------- Serial Yannakakis ----------
+
+TEST(YannakakisTest, MaterializeBagJoinsItsAtoms) {
+  const ConjunctiveQuery q = ConjunctiveQuery::Path(2);
+  const Ghd flat = FlatGhd(q);
+  Rng rng(1);
+  std::vector<Relation> atoms = {GenerateUniform(rng, 100, 2, 8),
+                                 GenerateUniform(rng, 100, 2, 8)};
+  const Relation bag = MaterializeBag(q, flat.node(flat.root()), atoms);
+  EXPECT_TRUE(MultisetEqual(bag, EvalJoinLocal(q, atoms)));
+}
+
+class YannakakisTest
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {};
+
+TEST_P(YannakakisTest, PathMatchesReferenceAcrossGhds) {
+  const auto [n, seed] = GetParam();
+  const ConjunctiveQuery q = ConjunctiveQuery::Path(n);
+  Rng rng(seed);
+  std::vector<Relation> atoms;
+  for (int j = 0; j < n; ++j) {
+    atoms.push_back(GenerateUniform(rng, 150, 2, 20));
+  }
+  const Relation expected = EvalJoinLocal(q, atoms);
+  EXPECT_TRUE(
+      MultisetEqual(YannakakisSerial(q, ChainGhd(q), atoms), expected));
+  EXPECT_TRUE(
+      MultisetEqual(YannakakisSerial(q, BalancedPathGhd(q), atoms), expected));
+  EXPECT_TRUE(
+      MultisetEqual(YannakakisSerial(q, FlatGhd(q), atoms), expected));
+  const auto gyo = BuildJoinTree(q);
+  ASSERT_TRUE(gyo.ok());
+  EXPECT_TRUE(MultisetEqual(YannakakisSerial(q, *gyo, atoms), expected));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, YannakakisTest,
+                         ::testing::Combine(::testing::Values(2, 3, 5),
+                                            ::testing::Values(11u, 12u)));
+
+TEST(YannakakisTest, StarMatchesReference) {
+  const ConjunctiveQuery q = ConjunctiveQuery::Star(4);
+  Rng rng(13);
+  std::vector<Relation> atoms;
+  for (int j = 0; j < 4; ++j) {
+    atoms.push_back(GenerateUniform(rng, 120, 2, 15));
+  }
+  const Relation expected = EvalJoinLocal(q, atoms);
+  EXPECT_TRUE(MultisetEqual(YannakakisSerial(q, StarGhd(q), atoms), expected));
+}
+
+TEST(YannakakisTest, BagSemanticsPreserved) {
+  const ConjunctiveQuery q = ConjunctiveQuery::Path(2);
+  const Relation r = Relation::FromRows({{1, 5}, {1, 5}});
+  const Relation s = Relation::FromRows({{5, 2}, {5, 2}, {5, 3}});
+  const Relation out = YannakakisSerial(q, ChainGhd(q), {r, s});
+  EXPECT_EQ(out.size(), 6);
+}
+
+TEST(YannakakisTest, DanglingTuplesEliminated) {
+  // Slide 64-77 flavor: tuples with no partners disappear.
+  const ConjunctiveQuery q = ConjunctiveQuery::Path(3);
+  const Relation r1 = Relation::FromRows({{1, 2}, {9, 9}});
+  const Relation r2 = Relation::FromRows({{2, 3}, {8, 8}});
+  const Relation r3 = Relation::FromRows({{3, 4}, {7, 7}});
+  const Relation out = YannakakisSerial(q, ChainGhd(q), {r1, r2, r3});
+  ASSERT_EQ(out.size(), 1);
+  EXPECT_EQ(out.at(0, 0), 1u);
+  EXPECT_EQ(out.at(0, 3), 4u);
+}
+
+// ---------- Distributed GYM ----------
+
+class GymCorrectnessTest
+    : public ::testing::TestWithParam<std::tuple<int, bool>> {};
+
+TEST_P(GymCorrectnessTest, PathMatchesReference) {
+  const auto [p, optimized] = GetParam();
+  const ConjunctiveQuery q = ConjunctiveQuery::Path(4);
+  Rng data_rng(21);
+  Rng rng(22);
+  std::vector<Relation> atoms;
+  for (int j = 0; j < 4; ++j) {
+    atoms.push_back(GenerateUniform(data_rng, 150, 2, 18));
+  }
+  Cluster cluster(p, 5);
+  GymOptions options;
+  options.optimized = optimized;
+  const GymResult result = GymJoin(cluster, q, ChainGhd(q),
+                                   Scatter(atoms, p), rng, options);
+  EXPECT_TRUE(
+      MultisetEqual(result.output.Collect(), EvalJoinLocal(q, atoms)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GymCorrectnessTest,
+                         ::testing::Combine(::testing::Values(1, 4, 16),
+                                            ::testing::Values(false, true)));
+
+TEST(GymTest, StarFourVanillaTakesNineRounds) {
+  // Slides 80-89: vanilla GYM on the star-4 join tree = 3 upward + 3
+  // downward + 3 join rounds.
+  const ConjunctiveQuery q = ConjunctiveQuery::Star(4);
+  Rng data_rng(23);
+  Rng rng(24);
+  std::vector<Relation> atoms;
+  for (int j = 0; j < 4; ++j) {
+    atoms.push_back(GenerateUniform(data_rng, 200, 2, 12));
+  }
+  Cluster cluster(8, 5);
+  const GymResult result =
+      GymJoin(cluster, q, StarGhd(q), Scatter(atoms, 8), rng);
+  EXPECT_EQ(result.rounds, 9);
+  EXPECT_TRUE(
+      MultisetEqual(result.output.Collect(), EvalJoinLocal(q, atoms)));
+}
+
+TEST(GymTest, StarFourOptimizedTakesFourRounds) {
+  // Slides 90-94: copies + intersect + downward + SkewHC join = 4 rounds.
+  const ConjunctiveQuery q = ConjunctiveQuery::Star(4);
+  Rng data_rng(25);
+  Rng rng(26);
+  std::vector<Relation> atoms;
+  for (int j = 0; j < 4; ++j) {
+    atoms.push_back(GenerateUniform(data_rng, 200, 2, 12));
+  }
+  Cluster cluster(8, 5);
+  GymOptions options;
+  options.optimized = true;
+  const GymResult result =
+      GymJoin(cluster, q, StarGhd(q), Scatter(atoms, 8), rng, options);
+  EXPECT_EQ(result.rounds, 4);
+  EXPECT_TRUE(
+      MultisetEqual(result.output.Collect(), EvalJoinLocal(q, atoms)));
+}
+
+TEST(GymTest, OptimizedRoundsScaleWithDepthNotSize) {
+  const int n = 8;
+  const ConjunctiveQuery q = ConjunctiveQuery::Path(n);
+  Rng data_rng(27);
+  std::vector<Relation> atoms;
+  for (int j = 0; j < n; ++j) {
+    // Sparse joins (rows << domain^2, fanout ~1) keep the 8-way join
+    // output small.
+    atoms.push_back(GenerateUniform(data_rng, 60, 2, 60));
+  }
+  GymOptions options;
+  options.optimized = true;
+
+  Rng rng_a(28);
+  Cluster chain_cluster(8, 5);
+  const GymResult chain = GymJoin(chain_cluster, q, ChainGhd(q),
+                                  Scatter(atoms, 8), rng_a, options);
+  Rng rng_b(28);
+  Cluster balanced_cluster(8, 5);
+  const GymResult balanced = GymJoin(balanced_cluster, q, BalancedPathGhd(q),
+                                     Scatter(atoms, 8), rng_b, options);
+  EXPECT_LT(balanced.rounds, chain.rounds);
+  EXPECT_TRUE(MultisetEqual(chain.output.Collect(),
+                            balanced.output.Collect()));
+}
+
+TEST(GymTest, WidthTwoGhdMaterializesBags) {
+  // Path-4 with two width-2 bags: {R1,R2} <- {R3,R4}.
+  const ConjunctiveQuery q = ConjunctiveQuery::Path(4);
+  std::vector<GhdNode> nodes(2);
+  nodes[0].atoms = {0, 1};
+  nodes[0].parent = -1;
+  nodes[1].atoms = {2, 3};
+  nodes[1].parent = 0;
+  const Ghd ghd = Ghd::FromNodes(q, nodes);
+  ASSERT_TRUE(ghd.Validate(q).ok());
+
+  Rng data_rng(29);
+  Rng rng(30);
+  std::vector<Relation> atoms;
+  for (int j = 0; j < 4; ++j) {
+    atoms.push_back(GenerateUniform(data_rng, 120, 2, 10));
+  }
+  Cluster cluster(8, 5);
+  const GymResult result =
+      GymJoin(cluster, q, ghd, Scatter(atoms, 8), rng);
+  EXPECT_TRUE(
+      MultisetEqual(result.output.Collect(), EvalJoinLocal(q, atoms)));
+  EXPECT_GT(result.max_bag_size, 0);
+}
+
+TEST(GymTest, GroupedWidthSweepAllCorrect) {
+  const int len = 6;
+  const ConjunctiveQuery q = ConjunctiveQuery::Path(len);
+  Rng data_rng(41);
+  std::vector<Relation> atoms;
+  for (int j = 0; j < len; ++j) {
+    atoms.push_back(GenerateUniform(data_rng, 120, 2, 40));
+  }
+  const Relation expected = EvalJoinLocal(q, atoms);
+  for (const int w : {1, 2, 3, 6}) {
+    Cluster cluster(8, 5);
+    Rng rng(42);
+    GymOptions options;
+    options.optimized = true;
+    const GymResult result = GymJoin(cluster, q, GroupedPathGhd(q, w),
+                                     Scatter(atoms, 8), rng, options);
+    EXPECT_TRUE(MultisetEqual(result.output.Collect(), expected))
+        << "w=" << w;
+  }
+}
+
+TEST(GymTest, FlatGhdIsOneBigBag) {
+  const ConjunctiveQuery q = ConjunctiveQuery::Path(3);
+  Rng data_rng(31);
+  Rng rng(32);
+  std::vector<Relation> atoms;
+  for (int j = 0; j < 3; ++j) {
+    atoms.push_back(GenerateUniform(data_rng, 100, 2, 8));
+  }
+  Cluster cluster(4, 5);
+  const GymResult result =
+      GymJoin(cluster, q, FlatGhd(q), Scatter(atoms, 4), rng);
+  EXPECT_TRUE(
+      MultisetEqual(result.output.Collect(), EvalJoinLocal(q, atoms)));
+  // Materialization only: width-1 phases all trivial (single node).
+  EXPECT_EQ(result.rounds, 2);
+}
+
+// Random acyclic queries: build a random join tree of binary atoms (each
+// atom shares one variable with its parent atom and introduces one fresh
+// variable), then check Yannakakis and GYM against the serial evaluator.
+ConjunctiveQuery RandomAcyclicQuery(Rng& rng, int num_atoms) {
+  std::vector<std::string> vars;
+  std::vector<Atom> atoms;
+  vars.push_back("v0");
+  vars.push_back("v1");
+  atoms.push_back({"A0", {0, 1}});
+  for (int a = 1; a < num_atoms; ++a) {
+    // Share a random existing variable, add a fresh one.
+    const int shared = static_cast<int>(rng.Uniform(vars.size()));
+    const int fresh = static_cast<int>(vars.size());
+    vars.push_back("v" + std::to_string(fresh));
+    atoms.push_back({"A" + std::to_string(a), {shared, fresh}});
+  }
+  return ConjunctiveQuery::Make(vars, atoms);
+}
+
+class RandomAcyclicTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomAcyclicTest, YannakakisAndGymMatchSerialReference) {
+  Rng shape_rng(GetParam());
+  const int num_atoms = 3 + static_cast<int>(shape_rng.Uniform(4));
+  const ConjunctiveQuery q = RandomAcyclicQuery(shape_rng, num_atoms);
+  ASSERT_TRUE(IsAcyclic(q)) << q.ToString();
+  const auto tree = BuildJoinTree(q);
+  ASSERT_TRUE(tree.ok()) << q.ToString();
+
+  Rng data_rng(GetParam() + 1000);
+  std::vector<Relation> atoms;
+  for (int j = 0; j < q.num_atoms(); ++j) {
+    atoms.push_back(GenerateUniform(data_rng, 120, 2, 40));
+  }
+  const Relation expected = EvalJoinLocal(q, atoms);
+  EXPECT_TRUE(MultisetEqual(YannakakisSerial(q, *tree, atoms), expected))
+      << q.ToString();
+
+  for (const bool optimized : {false, true}) {
+    Cluster cluster(8, 5);
+    Rng rng(GetParam() + 2000);
+    GymOptions options;
+    options.optimized = optimized;
+    const GymResult result =
+        GymJoin(cluster, q, *tree, Scatter(atoms, 8), rng, options);
+    EXPECT_TRUE(MultisetEqual(result.output.Collect(), expected))
+        << q.ToString() << " optimized=" << optimized;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomAcyclicTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+TEST(GymTest, LoadStaysNearInPlusOutOverP) {
+  const ConjunctiveQuery q = ConjunctiveQuery::Star(3);
+  Rng data_rng(33);
+  Rng rng(34);
+  const int64_t n = 3000;
+  std::vector<Relation> atoms;
+  for (int j = 0; j < 3; ++j) {
+    // Unique center values: OUT stays small.
+    atoms.push_back(GenerateMatchingDegree(data_rng, n, 1));
+  }
+  const int p = 8;
+  Cluster cluster(p, 5);
+  GymOptions options;
+  options.optimized = true;
+  const GymResult result =
+      GymJoin(cluster, q, StarGhd(q), Scatter(atoms, p), rng, options);
+  const int64_t in = 3 * n;
+  const int64_t out = result.output.TotalSize();
+  EXPECT_LT(cluster.cost_report().MaxLoadTuples(), 4 * (in + out) / p);
+}
+
+}  // namespace
+}  // namespace mpcqp

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "agg/aggregate.h"
+#include "mpc/cluster.h"
+#include "relation/relation_ops.h"
+#include "workload/generator.h"
+
+namespace mpcqp {
+namespace {
+
+class GroupByTest : public ::testing::TestWithParam<std::tuple<int, bool>> {};
+
+TEST_P(GroupByTest, MatchesLocalGroupBy) {
+  const auto [p, combiners] = GetParam();
+  Rng rng(1);
+  const Relation rel = GenerateUniform(rng, 3000, 3, 50);
+  Cluster cluster(p, 3);
+  GroupByOptions options;
+  options.use_combiners = combiners;
+  const DistRelation result = DistributedGroupBySum(
+      cluster, DistRelation::Scatter(rel, p), {0, 1}, 2, options);
+  EXPECT_TRUE(MultisetEqual(result.Collect(), GroupBySum(rel, {0, 1}, 2)));
+  EXPECT_EQ(cluster.cost_report().num_rounds(), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GroupByTest,
+                         ::testing::Combine(::testing::Values(1, 4, 16),
+                                            ::testing::Values(false, true)));
+
+TEST(GroupByTest, EachGroupOnOneServer) {
+  const int p = 8;
+  Rng rng(2);
+  const Relation rel = GenerateUniform(rng, 2000, 2, 20);
+  Cluster cluster(p, 3);
+  const DistRelation result = DistributedGroupBySum(
+      cluster, DistRelation::Scatter(rel, p), {0}, 1);
+  // 20 possible groups; every group key appears in exactly one fragment.
+  for (Value g = 0; g < 20; ++g) {
+    int holders = 0;
+    for (int s = 0; s < p; ++s) {
+      const Relation& frag = result.fragment(s);
+      for (int64_t i = 0; i < frag.size(); ++i) {
+        if (frag.at(i, 0) == g) {
+          ++holders;
+          break;
+        }
+      }
+    }
+    EXPECT_LE(holders, 1);
+  }
+}
+
+TEST(GroupByTest, CombinersCutSkewedShuffleLoad) {
+  // One dominant group: without combiners its entire weight lands on one
+  // server; with combiners each server sends a single partial.
+  const int p = 16;
+  const Relation rel = GenerateConstantColumn(8000, 0, 3);  // All group 3.
+  GroupByOptions with;
+  with.use_combiners = true;
+  GroupByOptions without;
+  without.use_combiners = false;
+
+  Cluster c1(p, 3);
+  DistributedGroupBySum(c1, DistRelation::Scatter(rel, p), {0}, 1, with);
+  Cluster c2(p, 3);
+  DistributedGroupBySum(c2, DistRelation::Scatter(rel, p), {0}, 1, without);
+
+  EXPECT_EQ(c1.cost_report().MaxLoadTuples(), p);     // One partial each.
+  EXPECT_EQ(c2.cost_report().MaxLoadTuples(), 8000);  // The whole group.
+}
+
+TEST(GroupByAggregateTest, LocalOpsByHand) {
+  const Relation r =
+      Relation::FromRows({{1, 10}, {1, 3}, {2, 7}, {1, 5}, {2, 9}});
+  const Relation count = GroupByAggregate(r, {0}, 1, AggregateOp::kCount);
+  EXPECT_EQ(count.at(0, 1), 3u);
+  EXPECT_EQ(count.at(1, 1), 2u);
+  const Relation mn = GroupByAggregate(r, {0}, 1, AggregateOp::kMin);
+  EXPECT_EQ(mn.at(0, 1), 3u);
+  EXPECT_EQ(mn.at(1, 1), 7u);
+  const Relation mx = GroupByAggregate(r, {0}, 1, AggregateOp::kMax);
+  EXPECT_EQ(mx.at(0, 1), 10u);
+  EXPECT_EQ(mx.at(1, 1), 9u);
+}
+
+class DistributedAggregateTest
+    : public ::testing::TestWithParam<std::tuple<AggregateOp, bool>> {};
+
+TEST_P(DistributedAggregateTest, MatchesLocalReference) {
+  const auto [op, combiners] = GetParam();
+  const int p = 8;
+  Rng rng(6);
+  const Relation rel = GenerateUniform(rng, 4000, 2, 64);
+  Cluster cluster(p, 3);
+  GroupByOptions options;
+  options.use_combiners = combiners;
+  const DistRelation result = DistributedGroupByAggregate(
+      cluster, DistRelation::Scatter(rel, p), {0}, 1, op, options);
+  EXPECT_TRUE(MultisetEqual(result.Collect(),
+                            GroupByAggregate(rel, {0}, 1, op)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DistributedAggregateTest,
+    ::testing::Combine(::testing::Values(AggregateOp::kSum,
+                                         AggregateOp::kCount,
+                                         AggregateOp::kMin,
+                                         AggregateOp::kMax),
+                       ::testing::Values(false, true)));
+
+TEST(ScalarSumTest, CorrectAcrossFanIns) {
+  Rng rng(4);
+  const Relation rel = GenerateUniform(rng, 5000, 1, 1000);
+  Value expected = 0;
+  for (int64_t i = 0; i < rel.size(); ++i) expected += rel.at(i, 0);
+  for (const int p : {1, 7, 16, 64}) {
+    for (const int fan_in : {2, 4, 8}) {
+      Cluster cluster(p, 3);
+      const ScalarAggregateResult result = DistributedSum(
+          cluster, DistRelation::Scatter(rel, p), 0, fan_in);
+      EXPECT_EQ(result.sum, expected) << "p=" << p << " f=" << fan_in;
+      const int expected_rounds =
+          p == 1 ? 0
+                 : static_cast<int>(std::ceil(std::log(p) /
+                                              std::log(fan_in) - 1e-9));
+      EXPECT_EQ(result.rounds, expected_rounds)
+          << "p=" << p << " f=" << fan_in;
+      EXPECT_EQ(cluster.cost_report().num_rounds(), result.rounds);
+    }
+  }
+}
+
+TEST(ScalarSumTest, TreeLoadIsFanIn) {
+  const int p = 64;
+  Rng rng(5);
+  const Relation rel = GenerateUniform(rng, 640, 1, 10);
+  Cluster cluster(p, 3);
+  DistributedSum(cluster, DistRelation::Scatter(rel, p), 0, 4);
+  // Each round a leader receives at most fan_in - 1 partials.
+  EXPECT_LE(cluster.cost_report().MaxLoadTuples(), 3);
+}
+
+}  // namespace
+}  // namespace mpcqp

@@ -1,0 +1,79 @@
+// Death tests for API-misuse CHECKs: the library aborts (never corrupts
+// the meter) on programmer errors.
+
+#include <gtest/gtest.h>
+
+#include "mpc/cluster.h"
+#include "mpc/dist_relation.h"
+#include "mpc/exchange.h"
+#include "multiway/hypercube.h"
+#include "relation/relation.h"
+
+namespace mpcqp {
+namespace {
+
+TEST(ClusterDeathTest, NestedBeginRoundAborts) {
+  Cluster cluster(2, 1);
+  cluster.BeginRound("outer");
+  EXPECT_DEATH(cluster.BeginRound("inner"), "BeginRound while a round");
+}
+
+TEST(ClusterDeathTest, EndRoundWithoutBeginAborts) {
+  Cluster cluster(2, 1);
+  EXPECT_DEATH(cluster.EndRound(), "EndRound without");
+}
+
+TEST(ClusterDeathTest, RecordMessageOutsideRoundAborts) {
+  Cluster cluster(2, 1);
+  EXPECT_DEATH(cluster.RecordMessage(0, 1, 1, 1), "outside a round");
+}
+
+TEST(ClusterDeathTest, RecordMessageBadServerAborts) {
+  Cluster cluster(2, 1);
+  cluster.BeginRound("r");
+  EXPECT_DEATH(cluster.RecordMessage(0, 7, 1, 1), "CHECK failed");
+}
+
+TEST(ClusterDeathTest, ResetDuringRoundAborts) {
+  Cluster cluster(2, 1);
+  cluster.BeginRound("r");
+  EXPECT_DEATH(cluster.ResetCosts(), "during a round");
+}
+
+TEST(RelationDeathTest, ArityMismatchAborts) {
+  Relation r(2);
+  EXPECT_DEATH(r.AppendRow({1, 2, 3}), "CHECK failed");
+}
+
+TEST(RelationDeathTest, OutOfRangeAccessAborts) {
+  Relation r = Relation::FromRows({{1, 2}});
+  EXPECT_DEATH(r.at(5, 0), "CHECK failed");
+  EXPECT_DEATH(r.at(0, 9), "CHECK failed");
+}
+
+TEST(ExchangeDeathTest, BadDestinationAborts) {
+  Cluster cluster(2, 1);
+  const DistRelation dist =
+      DistRelation::Scatter(Relation::FromRows({{1}}), 2);
+  EXPECT_DEATH(Route(
+                   cluster, dist,
+                   [](const Value*, std::vector<int>& dests) {
+                     dests.push_back(99);
+                   },
+                   "bad"),
+               "CHECK failed");
+}
+
+TEST(HyperCubeDeathTest, ForcedSharesExceedingPAbort) {
+  Cluster cluster(4, 1);
+  const ConjunctiveQuery q = ConjunctiveQuery::TwoWayJoin();
+  std::vector<DistRelation> atoms = {
+      DistRelation::Scatter(Relation::FromRows({{1, 2}}), 4),
+      DistRelation::Scatter(Relation::FromRows({{2, 3}}), 4)};
+  HyperCubeOptions options;
+  options.forced_shares = {2, 2, 2};  // Product 8 > p = 4.
+  EXPECT_DEATH(HyperCubeJoin(cluster, q, atoms, options), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace mpcqp

@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "relation/csv.h"
+#include "relation/relation_ops.h"
+#include "workload/generator.h"
+
+namespace mpcqp {
+namespace {
+
+TEST(CsvTest, ParseSimple) {
+  const auto rel = ParseCsvText("1,2,3\n4,5,6\n");
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->arity(), 3);
+  EXPECT_EQ(rel->size(), 2);
+  EXPECT_EQ(rel->at(1, 2), 6u);
+}
+
+TEST(CsvTest, ParseHandlesSpacesBlankLinesAndCrlf) {
+  const auto rel = ParseCsvText(" 1 , 2 \r\n\n3,4\r\n  \n");
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->size(), 2);
+  EXPECT_EQ(rel->at(0, 0), 1u);
+  EXPECT_EQ(rel->at(1, 1), 4u);
+}
+
+TEST(CsvTest, ParseErrors) {
+  EXPECT_FALSE(ParseCsvText("1,2\n3\n").ok());          // Ragged arity.
+  EXPECT_FALSE(ParseCsvText("1,abc\n").ok());           // Non-numeric.
+  EXPECT_FALSE(ParseCsvText("1,-2\n").ok());            // Negative.
+  EXPECT_FALSE(ParseCsvText("1,,2\n").ok());            // Empty field.
+  EXPECT_FALSE(ParseCsvText("").ok());                  // Unknown arity.
+  EXPECT_TRUE(ParseCsvText("", /*expected_arity=*/2).ok());  // Known arity.
+  EXPECT_FALSE(ParseCsvText("1,2\n", /*expected_arity=*/3).ok());
+}
+
+TEST(CsvTest, RoundTripText) {
+  Rng rng(1);
+  const Relation rel = GenerateUniform(rng, 500, 3, 1u << 31);
+  const auto back = ParseCsvText(ToCsvText(rel));
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(rel == *back);
+}
+
+TEST(CsvTest, RoundTripFile) {
+  Rng rng(2);
+  const Relation rel = GenerateUniform(rng, 200, 2, 1000);
+  const std::string path = "/tmp/mpcqp_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(rel, path).ok());
+  const auto back = ReadCsvFile(path, 2);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(rel == *back);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ReadMissingFile) {
+  EXPECT_EQ(ReadCsvFile("/nonexistent/nope.csv").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(CsvTest, MaxValueSurvives) {
+  const auto rel = ParseCsvText("18446744073709551615\n");
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->at(0, 0), ~Value{0});
+}
+
+}  // namespace
+}  // namespace mpcqp

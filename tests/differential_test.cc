@@ -1,0 +1,115 @@
+// Randomized differential testing: random connected conjunctive queries
+// (cyclic or not), random data, every parallel algorithm in the library
+// cross-checked against the serial evaluator. The single most effective
+// guard against silent wrong-result bugs in the exchange/partitioning
+// machinery.
+
+#include <gtest/gtest.h>
+
+#include "mpc/cluster.h"
+#include "multiway/bigjoin.h"
+#include "multiway/binary_plan.h"
+#include "multiway/hypercube.h"
+#include "multiway/skew_hc.h"
+#include "query/generic_join.h"
+#include "query/local_eval.h"
+#include "relation/relation_ops.h"
+#include "workload/generator.h"
+
+namespace mpcqp {
+namespace {
+
+ConjunctiveQuery RandomConnectedQuery(Rng& rng) {
+  const int num_atoms = 2 + static_cast<int>(rng.Uniform(3));  // 2..4.
+  std::vector<std::string> names;
+  std::vector<Atom> atoms;
+  auto fresh_var = [&]() {
+    const int v = static_cast<int>(names.size());
+    names.push_back("v" + std::to_string(v));
+    return v;
+  };
+  for (int a = 0; a < num_atoms; ++a) {
+    Atom atom;
+    atom.name = "A" + std::to_string(a);
+    const int arity = 1 + static_cast<int>(rng.Uniform(2));  // 1..2.
+    for (int c = 0; c < arity; ++c) {
+      // Mostly reuse existing variables (keeps the query connected and
+      // occasionally cyclic); sometimes mint a fresh one.
+      if (!names.empty() && rng.Uniform(3) != 0) {
+        atom.vars.push_back(static_cast<int>(rng.Uniform(names.size())));
+      } else {
+        atom.vars.push_back(fresh_var());
+      }
+    }
+    atoms.push_back(std::move(atom));
+  }
+  // Make sure every variable appears (fresh vars always do; reused too).
+  return ConjunctiveQuery::Make(names, atoms);
+}
+
+std::vector<DistRelation> Scatter(const std::vector<Relation>& atoms, int p) {
+  std::vector<DistRelation> out;
+  for (const Relation& r : atoms) out.push_back(DistRelation::Scatter(r, p));
+  return out;
+}
+
+class DifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DifferentialTest, AllAlgorithmsAgreeWithSerialReference) {
+  Rng shape_rng(GetParam());
+  const ConjunctiveQuery q = RandomConnectedQuery(shape_rng);
+  SCOPED_TRACE(q.ToString());
+
+  Rng data_rng(GetParam() + 5000);
+  std::vector<Relation> atoms;
+  for (int j = 0; j < q.num_atoms(); ++j) {
+    const int64_t rows = 40 + static_cast<int64_t>(data_rng.Uniform(80));
+    atoms.push_back(GenerateUniform(data_rng, rows, q.atom(j).arity(), 25));
+  }
+  const Relation expected = EvalJoinLocal(q, atoms);
+  // Guard against pathological blowups keeping the test fast.
+  if (expected.size() > 2000000) GTEST_SKIP() << "output too large";
+
+  for (const int p : {4, 9}) {
+    {
+      Cluster cluster(p, 5);
+      const HyperCubeResult result =
+          HyperCubeJoin(cluster, q, Scatter(atoms, p));
+      EXPECT_TRUE(MultisetEqual(result.output.Collect(), expected))
+          << "hypercube p=" << p;
+    }
+    {
+      Cluster cluster(p, 5);
+      const SkewHcResult result = SkewHcJoin(cluster, q, Scatter(atoms, p));
+      EXPECT_TRUE(MultisetEqual(result.output.Collect(), expected))
+          << "skew-hc p=" << p;
+    }
+    {
+      Cluster cluster(p, 5);
+      Rng rng(GetParam() + 7000);
+      const BinaryPlanResult result =
+          IterativeBinaryJoin(cluster, q, Scatter(atoms, p), rng);
+      EXPECT_TRUE(MultisetEqual(result.output.Collect(), expected))
+          << "binary p=" << p;
+    }
+  }
+
+  // Set-semantics family on deduplicated inputs.
+  std::vector<Relation> deduped;
+  for (const Relation& r : atoms) deduped.push_back(Dedup(r));
+  const Relation set_expected = Dedup(EvalJoinLocal(q, deduped));
+  EXPECT_TRUE(MultisetEqual(EvalJoinWcoj(q, deduped), set_expected))
+      << "wcoj";
+  {
+    Cluster cluster(9, 5);
+    const BigJoinResult result = BigJoin(cluster, q, Scatter(deduped, 9));
+    EXPECT_TRUE(MultisetEqual(result.output.Collect(), set_expected))
+        << "bigjoin";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{25}));
+
+}  // namespace
+}  // namespace mpcqp

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "query/ghd.h"
+#include "query/query.h"
+
+namespace mpcqp {
+namespace {
+
+TEST(AcyclicityTest, PathsAndStarsAreAcyclic) {
+  EXPECT_TRUE(IsAcyclic(ConjunctiveQuery::Path(1)));
+  EXPECT_TRUE(IsAcyclic(ConjunctiveQuery::Path(5)));
+  EXPECT_TRUE(IsAcyclic(ConjunctiveQuery::Star(4)));
+  EXPECT_TRUE(IsAcyclic(ConjunctiveQuery::TwoWayJoin()));
+  EXPECT_TRUE(IsAcyclic(ConjunctiveQuery::Bowtie()));
+  EXPECT_TRUE(IsAcyclic(ConjunctiveQuery::CartesianProduct()));
+}
+
+TEST(AcyclicityTest, TriangleAndCyclesAreCyclic) {
+  EXPECT_FALSE(IsAcyclic(ConjunctiveQuery::Triangle()));
+  EXPECT_FALSE(IsAcyclic(ConjunctiveQuery::Cycle(4)));
+  EXPECT_FALSE(IsAcyclic(ConjunctiveQuery::Cycle(5)));
+}
+
+TEST(AcyclicityTest, TriangleWithCoveringAtomIsAcyclic) {
+  // Adding U(x,y,z) makes the triangle α-acyclic.
+  const auto q =
+      ConjunctiveQuery::Parse("R(x,y), S(y,z), T(z,x), U(x,y,z)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(IsAcyclic(*q));
+}
+
+TEST(JoinTreeTest, BuildsAndValidatesForAcyclicQueries) {
+  for (const ConjunctiveQuery& q :
+       {ConjunctiveQuery::Path(6), ConjunctiveQuery::Star(5),
+        ConjunctiveQuery::Bowtie()}) {
+    const auto tree = BuildJoinTree(q);
+    ASSERT_TRUE(tree.ok()) << q.ToString();
+    EXPECT_TRUE(tree->Validate(q).ok()) << q.ToString();
+    EXPECT_EQ(tree->width(), 1);
+    EXPECT_EQ(tree->num_nodes(), q.num_atoms());
+  }
+}
+
+TEST(JoinTreeTest, RejectsCyclicQueries) {
+  EXPECT_FALSE(BuildJoinTree(ConjunctiveQuery::Triangle()).ok());
+  EXPECT_FALSE(BuildJoinTree(ConjunctiveQuery::Cycle(6)).ok());
+}
+
+TEST(JoinTreeTest, DisconnectedQueryStillBuildsATree) {
+  const ConjunctiveQuery q = ConjunctiveQuery::CartesianProduct();
+  const auto tree = BuildJoinTree(q);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_TRUE(tree->Validate(q).ok());
+}
+
+TEST(GhdTest, ChainGhdShape) {
+  const ConjunctiveQuery q = ConjunctiveQuery::Path(5);
+  const Ghd ghd = ChainGhd(q);
+  EXPECT_TRUE(ghd.Validate(q).ok());
+  EXPECT_EQ(ghd.width(), 1);
+  EXPECT_EQ(ghd.depth(), 5);
+  EXPECT_EQ(ghd.LevelsFromRoot().size(), 5u);
+}
+
+TEST(GhdTest, StarGhdShape) {
+  const ConjunctiveQuery q = ConjunctiveQuery::Star(4);
+  const Ghd ghd = StarGhd(q);
+  EXPECT_TRUE(ghd.Validate(q).ok());
+  EXPECT_EQ(ghd.width(), 1);
+  EXPECT_EQ(ghd.depth(), 2);
+}
+
+TEST(GhdTest, FlatGhdShape) {
+  const ConjunctiveQuery q = ConjunctiveQuery::Path(6);
+  const Ghd ghd = FlatGhd(q);
+  EXPECT_TRUE(ghd.Validate(q).ok());
+  EXPECT_EQ(ghd.width(), 6);
+  EXPECT_EQ(ghd.depth(), 1);
+}
+
+TEST(GhdTest, FlatGhdWorksForCyclicQueries) {
+  const ConjunctiveQuery q = ConjunctiveQuery::Triangle();
+  const Ghd ghd = FlatGhd(q);
+  EXPECT_TRUE(ghd.Validate(q).ok());
+}
+
+TEST(GhdTest, BalancedPathGhdWidthAndDepth) {
+  for (int n : {1, 2, 3, 4, 7, 15, 31, 64}) {
+    const ConjunctiveQuery q = ConjunctiveQuery::Path(n);
+    const Ghd ghd = BalancedPathGhd(q);
+    EXPECT_TRUE(ghd.Validate(q).ok()) << "n=" << n;
+    EXPECT_LE(ghd.width(), 3) << "n=" << n;
+    // Depth O(log n): each recursion halves the interval.
+    const int bound = 2 * static_cast<int>(std::log2(std::max(2, n))) + 2;
+    EXPECT_LE(ghd.depth(), bound) << "n=" << n;
+  }
+}
+
+TEST(GhdTest, GroupedPathGhdSweepsTheWidthFrontier) {
+  const ConjunctiveQuery q = ConjunctiveQuery::Path(12);
+  for (int w : {1, 2, 3, 4, 6, 12, 20}) {
+    const Ghd ghd = GroupedPathGhd(q, w);
+    EXPECT_TRUE(ghd.Validate(q).ok()) << "w=" << w;
+    EXPECT_EQ(ghd.width(), std::min(w, 12)) << "w=" << w;
+    EXPECT_EQ(ghd.depth(), (12 + w - 1) / w) << "w=" << w;
+  }
+  // Extremes coincide with the dedicated constructors' shapes.
+  EXPECT_EQ(GroupedPathGhd(q, 1).depth(), ChainGhd(q).depth());
+  EXPECT_EQ(GroupedPathGhd(q, 12).depth(), FlatGhd(q).depth());
+}
+
+TEST(GhdTest, ValidateCatchesUnassignedAtom) {
+  const ConjunctiveQuery q = ConjunctiveQuery::Path(2);
+  GhdNode only;
+  only.atoms = {0};  // Atom 1 missing.
+  only.parent = -1;
+  const Ghd ghd = Ghd::FromNodes(q, {only});
+  EXPECT_FALSE(ghd.Validate(q).ok());
+}
+
+TEST(GhdTest, ValidateCatchesRunningIntersectionViolation) {
+  // Path-3 with the middle atom at the root and the two end atoms as its
+  // children: x1 appears in nodes {R1} and {R2}(root) - fine; but putting
+  // R1 and R3 as children of R2 is valid. Instead chain R1 -> R3 -> R2:
+  // variable x1 appears in R1's and R2's bags but not R3's (the middle of
+  // the chain) - violates RIP.
+  const ConjunctiveQuery q = ConjunctiveQuery::Path(3);
+  std::vector<GhdNode> nodes(3);
+  nodes[0].atoms = {0};  // R1(x0,x1) root.
+  nodes[0].parent = -1;
+  nodes[1].atoms = {2};  // R3(x2,x3) child of R1.
+  nodes[1].parent = 0;
+  nodes[2].atoms = {1};  // R2(x1,x2) child of R3.
+  nodes[2].parent = 1;
+  const Ghd ghd = Ghd::FromNodes(q, nodes);
+  EXPECT_FALSE(ghd.Validate(q).ok());
+}
+
+TEST(GhdTest, LevelsPartitionNodes) {
+  const ConjunctiveQuery q = ConjunctiveQuery::Path(7);
+  const Ghd ghd = BalancedPathGhd(q);
+  int total = 0;
+  for (const auto& level : ghd.LevelsFromRoot()) {
+    total += static_cast<int>(level.size());
+  }
+  EXPECT_EQ(total, ghd.num_nodes());
+}
+
+}  // namespace
+}  // namespace mpcqp

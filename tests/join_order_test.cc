@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "mpc/bsp_time.h"
+#include "mpc/cluster.h"
+#include "multiway/binary_plan.h"
+#include "multiway/join_order.h"
+#include "query/local_eval.h"
+#include "relation/relation_ops.h"
+#include "workload/generator.h"
+
+namespace mpcqp {
+namespace {
+
+std::vector<DistRelation> Scatter(const std::vector<Relation>& atoms, int p) {
+  std::vector<DistRelation> out;
+  for (const Relation& r : atoms) out.push_back(DistRelation::Scatter(r, p));
+  return out;
+}
+
+TEST(JoinOrderTest, StartsFromSmallestAtom) {
+  const ConjunctiveQuery q = ConjunctiveQuery::Path(3);
+  Rng rng(1);
+  std::vector<Relation> atoms = {GenerateUniform(rng, 500, 2, 40),
+                                 GenerateUniform(rng, 30, 2, 40),
+                                 GenerateUniform(rng, 500, 2, 40)};
+  const std::vector<int> order = GreedyJoinOrder(q, Scatter(atoms, 4));
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order.size(), 3u);
+}
+
+TEST(JoinOrderTest, OrderIsAPermutation) {
+  const ConjunctiveQuery q = ConjunctiveQuery::Star(4);
+  Rng rng(2);
+  std::vector<Relation> atoms;
+  for (int j = 0; j < 4; ++j) {
+    atoms.push_back(GenerateUniform(rng, 100 + 50 * j, 2, 30));
+  }
+  std::vector<int> order = GreedyJoinOrder(q, Scatter(atoms, 4));
+  std::sort(order.begin(), order.end());
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(JoinOrderTest, GreedyBeatsOrMatchesDefaultOnSelectiveMiddle) {
+  // Path-3 with a selective middle atom: greedy should place it early and
+  // produce intermediates no larger than the default order's.
+  const ConjunctiveQuery q = ConjunctiveQuery::Path(3);
+  Rng rng(3);
+  std::vector<Relation> atoms = {GenerateUniform(rng, 400, 2, 10),
+                                 GenerateUniform(rng, 20, 2, 10),
+                                 GenerateUniform(rng, 400, 2, 10)};
+  const int p = 4;
+  const std::vector<int> greedy = GreedyJoinOrder(q, Scatter(atoms, p));
+
+  Cluster c1(p, 5);
+  Rng rng1(4);
+  BinaryPlanOptions greedy_options;
+  greedy_options.order = greedy;
+  const auto greedy_run =
+      IterativeBinaryJoin(c1, q, Scatter(atoms, p), rng1, greedy_options);
+
+  Cluster c2(p, 5);
+  Rng rng2(4);
+  const auto default_run = IterativeBinaryJoin(c2, q, Scatter(atoms, p), rng2);
+
+  EXPECT_TRUE(MultisetEqual(greedy_run.output.Collect(),
+                            default_run.output.Collect()));
+  int64_t greedy_max = 0;
+  int64_t default_max = 0;
+  for (int64_t s : greedy_run.intermediate_sizes) {
+    greedy_max = std::max(greedy_max, s);
+  }
+  for (int64_t s : default_run.intermediate_sizes) {
+    default_max = std::max(default_max, s);
+  }
+  EXPECT_LE(greedy_max, default_max);
+}
+
+TEST(JoinOrderTest, EstimatesTrackActualsWithinAnOrderOfMagnitude) {
+  const ConjunctiveQuery q = ConjunctiveQuery::Path(4);
+  Rng rng(5);
+  std::vector<Relation> atoms;
+  for (int j = 0; j < 4; ++j) {
+    atoms.push_back(GenerateUniform(rng, 300, 2, 30));
+  }
+  const int p = 4;
+  const std::vector<int> order = GreedyJoinOrder(q, Scatter(atoms, p));
+  const std::vector<double> estimates =
+      EstimateIntermediates(q, Scatter(atoms, p), order);
+  Cluster cluster(p, 5);
+  Rng run_rng(6);
+  BinaryPlanOptions options;
+  options.order = order;
+  const auto run =
+      IterativeBinaryJoin(cluster, q, Scatter(atoms, p), run_rng, options);
+  ASSERT_EQ(estimates.size(), run.intermediate_sizes.size());
+  for (size_t i = 0; i < estimates.size(); ++i) {
+    const double actual =
+        std::max<double>(1.0, static_cast<double>(run.intermediate_sizes[i]));
+    EXPECT_LT(estimates[i] / actual, 10.0) << "step " << i;
+    EXPECT_GT(estimates[i] / actual, 0.1) << "step " << i;
+  }
+}
+
+TEST(BspTimeTest, ChargesLoadAndLatencyPerRound) {
+  Cluster cluster(4, 1);
+  cluster.BeginRound("a");
+  cluster.RecordMessage(0, 1, 1000, 1000);
+  cluster.EndRound();
+  cluster.BeginRound("b");
+  cluster.RecordMessage(1, 2, 500, 500);
+  cluster.EndRound();
+  BspParameters params;
+  params.seconds_per_tuple = 0.001;
+  params.round_latency_seconds = 2.0;
+  // (1000*0.001 + 2) + (500*0.001 + 2) = 5.5.
+  EXPECT_NEAR(EstimateBspSeconds(cluster.cost_report(), params), 5.5, 1e-9);
+  EXPECT_FALSE(BspBreakdown(cluster.cost_report(), params).empty());
+}
+
+TEST(BspTimeTest, LatencyFlipsTheOneRoundVsMultiRoundChoice) {
+  // Two synthetic reports: 1 round at load 3000 vs 3 rounds at load 500.
+  Cluster one(2, 1);
+  one.BeginRound("r");
+  one.RecordMessage(0, 1, 3000, 3000);
+  one.EndRound();
+  Cluster many(2, 1);
+  for (int r = 0; r < 3; ++r) {
+    many.BeginRound("r");
+    many.RecordMessage(0, 1, 500, 500);
+    many.EndRound();
+  }
+  BspParameters fast_net;
+  fast_net.seconds_per_tuple = 1e-3;
+  fast_net.round_latency_seconds = 0.0;
+  EXPECT_GT(EstimateBspSeconds(one.cost_report(), fast_net),
+            EstimateBspSeconds(many.cost_report(), fast_net));
+  BspParameters slow_sync = fast_net;
+  slow_sync.round_latency_seconds = 10.0;
+  EXPECT_LT(EstimateBspSeconds(one.cost_report(), slow_sync),
+            EstimateBspSeconds(many.cost_report(), slow_sync));
+}
+
+}  // namespace
+}  // namespace mpcqp

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mpc/cluster.h"
+#include "multiway/hypercube.h"
+#include "query/lower_bounds.h"
+#include "workload/generator.h"
+
+namespace mpcqp {
+namespace {
+
+TEST(LowerBoundTest, OneRoundBoundMatchesHyperCubeTheory) {
+  const ConjunctiveQuery q = ConjunctiveQuery::Triangle();
+  const auto lb = OneRoundLoadLowerBound(q, {4096, 4096, 4096}, 64);
+  ASSERT_TRUE(lb.ok());
+  // N / p^{2/3} = 4096 / 16.
+  EXPECT_NEAR(*lb, 256.0, 1.0);
+}
+
+TEST(LowerBoundTest, MeasuredHyperCubeRespectsOneRoundBound) {
+  const ConjunctiveQuery q = ConjunctiveQuery::Triangle();
+  Rng rng(1);
+  const int64_t n = 4096;
+  std::vector<DistRelation> atoms;
+  std::vector<int64_t> sizes;
+  const int p = 27;
+  for (int j = 0; j < 3; ++j) {
+    atoms.push_back(
+        DistRelation::Scatter(GenerateMatchingDegree(rng, n, 1), p));
+    sizes.push_back(n);
+  }
+  Cluster cluster(p, 3);
+  HyperCubeJoin(cluster, q, atoms);
+  const auto lb = OneRoundLoadLowerBound(q, sizes, p);
+  ASSERT_TRUE(lb.ok());
+  EXPECT_GE(static_cast<double>(cluster.cost_report().MaxLoadTuples()),
+            *lb * 0.99);
+}
+
+TEST(LowerBoundTest, MultiRoundBoundShapes) {
+  const ConjunctiveQuery q = ConjunctiveQuery::Triangle();  // rho* = 3/2.
+  const int64_t out = 1 << 18;
+  const auto one_round = MultiRoundLoadLowerBound(q, out, 64, 1);
+  const auto four_rounds = MultiRoundLoadLowerBound(q, out, 64, 4);
+  ASSERT_TRUE(one_round.ok());
+  ASSERT_TRUE(four_rounds.ok());
+  // (OUT/p)^{2/3} / r.
+  EXPECT_NEAR(*one_round, std::pow(static_cast<double>(out) / 64, 2.0 / 3.0),
+              1.0);
+  EXPECT_NEAR(*four_rounds, *one_round / 4, 1e-6);
+}
+
+TEST(LowerBoundTest, MultiRoundBoundEdgeCases) {
+  const ConjunctiveQuery q = ConjunctiveQuery::Triangle();
+  EXPECT_EQ(*MultiRoundLoadLowerBound(q, 0, 8, 2), 0.0);
+  EXPECT_FALSE(MultiRoundLoadLowerBound(q, 100, 0, 2).ok());
+  EXPECT_FALSE(MultiRoundLoadLowerBound(q, 100, 8, 0).ok());
+  EXPECT_FALSE(MultiRoundLoadLowerBound(q, -1, 8, 1).ok());
+}
+
+TEST(LowerBoundTest, SortBounds) {
+  // r >= log_L N; C >= N log_L N.
+  EXPECT_NEAR(SortRoundsLowerBound(1 << 20, 1 << 10), 2.0, 1e-9);
+  EXPECT_NEAR(SortCommLowerBound(1 << 20, 1 << 10),
+              2.0 * (1 << 20), 1e-3);
+  // More load, fewer required rounds.
+  EXPECT_LT(SortRoundsLowerBound(1 << 20, 1 << 15),
+            SortRoundsLowerBound(1 << 20, 1 << 5));
+}
+
+}  // namespace
+}  // namespace mpcqp

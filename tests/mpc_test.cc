@@ -1,0 +1,288 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mpc/cluster.h"
+#include "mpc/cost.h"
+#include "mpc/dist_relation.h"
+#include "mpc/exchange.h"
+#include "relation/relation_ops.h"
+#include "workload/generator.h"
+
+namespace mpcqp {
+namespace {
+
+// ---------- DistRelation ----------
+
+TEST(DistRelationTest, ScatterSplitsEvenly) {
+  Rng rng(1);
+  const Relation input = GenerateUniform(rng, 100, 2, 1000);
+  const DistRelation dist = DistRelation::Scatter(input, 8);
+  EXPECT_EQ(dist.TotalSize(), 100);
+  for (int s = 0; s < 8; ++s) {
+    EXPECT_GE(dist.fragment(s).size(), 100 / 8);
+    EXPECT_LE(dist.fragment(s).size(), 100 / 8 + 1);
+  }
+  EXPECT_TRUE(MultisetEqual(dist.Collect(), input));
+}
+
+TEST(DistRelationTest, ScatterMoreServersThanRows) {
+  const Relation input = Relation::FromRows({{1, 2}, {3, 4}});
+  const DistRelation dist = DistRelation::Scatter(input, 16);
+  EXPECT_EQ(dist.TotalSize(), 2);
+  EXPECT_EQ(dist.MaxFragmentSize(), 1);
+}
+
+TEST(DistRelationTest, FromFragmentsChecksArity) {
+  std::vector<Relation> frags;
+  frags.push_back(Relation::FromRows({{1, 2}}));
+  frags.push_back(Relation(2));
+  const DistRelation dist = DistRelation::FromFragments(std::move(frags));
+  EXPECT_EQ(dist.num_servers(), 2);
+  EXPECT_EQ(dist.arity(), 2);
+}
+
+// ---------- Cluster metering ----------
+
+TEST(ClusterTest, RoundBookkeeping) {
+  Cluster cluster(4, 1);
+  EXPECT_EQ(cluster.cost_report().num_rounds(), 0);
+  cluster.BeginRound("r1");
+  cluster.RecordMessage(0, 1, 10, 20);
+  cluster.RecordMessage(2, 1, 5, 10);
+  cluster.EndRound();
+  ASSERT_EQ(cluster.cost_report().num_rounds(), 1);
+  const RoundCost& round = cluster.cost_report().rounds()[0];
+  EXPECT_EQ(round.label, "r1");
+  EXPECT_EQ(round.tuples_received[1], 15);
+  EXPECT_EQ(round.values_received[1], 30);
+  EXPECT_EQ(round.tuples_sent[0], 10);
+  EXPECT_EQ(round.MaxTuplesReceived(), 15);
+  EXPECT_EQ(round.TotalTuplesReceived(), 15);
+}
+
+TEST(ClusterTest, ReportAggregates) {
+  Cluster cluster(2, 1);
+  cluster.BeginRound("a");
+  cluster.RecordMessage(0, 1, 7, 7);
+  cluster.EndRound();
+  cluster.BeginRound("b");
+  cluster.RecordMessage(1, 0, 3, 3);
+  cluster.EndRound();
+  EXPECT_EQ(cluster.cost_report().num_rounds(), 2);
+  EXPECT_EQ(cluster.cost_report().MaxLoadTuples(), 7);
+  EXPECT_EQ(cluster.cost_report().TotalCommTuples(), 10);
+  cluster.ResetCosts();
+  EXPECT_EQ(cluster.cost_report().num_rounds(), 0);
+}
+
+TEST(CostReportTest, ToStringMentionsEveryRound) {
+  Cluster cluster(2, 1);
+  cluster.BeginRound("alpha");
+  cluster.RecordMessage(0, 1, 3, 3);
+  cluster.EndRound();
+  cluster.BeginRound("beta");
+  cluster.EndRound();
+  const std::string text = cluster.cost_report().ToString();
+  EXPECT_NE(text.find("rounds=2"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("beta"), std::string::npos);
+  EXPECT_NE(text.find("L(tuples)=3"), std::string::npos);
+}
+
+TEST(ClusterTest, NewHashFunctionsDiffer) {
+  Cluster cluster(2, 42);
+  const HashFunction a = cluster.NewHashFunction();
+  const HashFunction b = cluster.NewHashFunction();
+  int same = 0;
+  for (uint64_t v = 0; v < 100; ++v) {
+    if (a.Hash(v) == b.Hash(v)) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+// ---------- Exchange primitives ----------
+
+TEST(ExchangeTest, HashPartitionDeliversEveryTupleOnce) {
+  Rng rng(7);
+  Cluster cluster(8, 3);
+  const Relation input = GenerateUniform(rng, 500, 2, 100);
+  const DistRelation dist = DistRelation::Scatter(input, 8);
+  const HashFunction hash = cluster.NewHashFunction();
+  const DistRelation parts = HashPartition(cluster, dist, {0}, hash, "test");
+  EXPECT_TRUE(MultisetEqual(parts.Collect(), input));
+  EXPECT_EQ(cluster.cost_report().num_rounds(), 1);
+  // Every tuple moved once -> total received = 500.
+  EXPECT_EQ(cluster.cost_report().TotalCommTuples(), 500);
+}
+
+TEST(ExchangeTest, HashPartitionColocatesKeys) {
+  Rng rng(7);
+  Cluster cluster(4, 3);
+  const Relation input = GenerateUniform(rng, 200, 2, 10);
+  const DistRelation dist = DistRelation::Scatter(input, 4);
+  const HashFunction hash = cluster.NewHashFunction();
+  const DistRelation parts = HashPartition(cluster, dist, {1}, hash, "test");
+  // Every key appears on exactly one server.
+  for (uint64_t key = 0; key < 10; ++key) {
+    int servers_with_key = 0;
+    for (int s = 0; s < 4; ++s) {
+      const Relation& frag = parts.fragment(s);
+      for (int64_t i = 0; i < frag.size(); ++i) {
+        if (frag.at(i, 1) == key) {
+          ++servers_with_key;
+          break;
+        }
+      }
+    }
+    EXPECT_LE(servers_with_key, 1) << "key " << key;
+  }
+}
+
+TEST(ExchangeTest, BroadcastReplicatesEverywhere) {
+  Rng rng(9);
+  Cluster cluster(5, 3);
+  const Relation input = GenerateUniform(rng, 40, 2, 100);
+  const DistRelation dist = DistRelation::Scatter(input, 5);
+  const DistRelation replicated = Broadcast(cluster, dist, "test");
+  for (int s = 0; s < 5; ++s) {
+    EXPECT_TRUE(MultisetEqual(replicated.fragment(s), input));
+  }
+  // Load: every server received the whole input.
+  EXPECT_EQ(cluster.cost_report().MaxLoadTuples(), 40);
+  EXPECT_EQ(cluster.cost_report().TotalCommTuples(), 200);
+}
+
+TEST(ExchangeTest, RangePartitionRespectsSplitters) {
+  Cluster cluster(3, 3);
+  const Relation input =
+      Relation::FromRows({{1}, {5}, {10}, {15}, {20}, {10}});
+  const DistRelation dist = DistRelation::Scatter(input, 3);
+  const DistRelation parts =
+      RangePartition(cluster, dist, 0, {10, 20}, "test");
+  // splitters {10, 20}: server 0 gets v < 10; 10 goes to server 1
+  // (upper_bound), 20 to server 2.
+  for (int64_t i = 0; i < parts.fragment(0).size(); ++i) {
+    EXPECT_LT(parts.fragment(0).at(i, 0), 10u);
+  }
+  for (int64_t i = 0; i < parts.fragment(1).size(); ++i) {
+    EXPECT_GE(parts.fragment(1).at(i, 0), 10u);
+    EXPECT_LT(parts.fragment(1).at(i, 0), 20u);
+  }
+  EXPECT_TRUE(MultisetEqual(parts.Collect(), input));
+}
+
+TEST(ExchangeTest, RouteMulticastCountsEveryCopy) {
+  Cluster cluster(4, 3);
+  const Relation input = Relation::FromRows({{1}, {2}});
+  const DistRelation dist = DistRelation::Scatter(input, 4);
+  const DistRelation routed = Route(
+      cluster, dist,
+      [](const Value*, std::vector<int>& dests) {
+        dests.push_back(0);
+        dests.push_back(2);
+      },
+      "multicast");
+  EXPECT_EQ(routed.fragment(0).size(), 2);
+  EXPECT_EQ(routed.fragment(2).size(), 2);
+  EXPECT_EQ(routed.fragment(1).size(), 0);
+  EXPECT_EQ(cluster.cost_report().TotalCommTuples(), 4);
+}
+
+TEST(ExchangeTest, RouteCanDropTuples) {
+  Cluster cluster(2, 3);
+  const Relation input = Relation::FromRows({{1}, {2}, {3}});
+  const DistRelation dist = DistRelation::Scatter(input, 2);
+  const DistRelation routed = Route(
+      cluster, dist,
+      [](const Value* row, std::vector<int>& dests) {
+        if (row[0] != 2) dests.push_back(0);
+      },
+      "filter");
+  EXPECT_EQ(routed.TotalSize(), 2);
+}
+
+TEST(ExchangeTest, GatherToServer) {
+  Rng rng(5);
+  Cluster cluster(4, 3);
+  const Relation input = GenerateUniform(rng, 30, 1, 7);
+  const DistRelation dist = DistRelation::Scatter(input, 4);
+  const Relation gathered = GatherToServer(cluster, dist, 2, "gather");
+  EXPECT_TRUE(MultisetEqual(gathered, input));
+  const RoundCost& round = cluster.cost_report().rounds()[0];
+  EXPECT_EQ(round.tuples_received[2], 30);
+  EXPECT_EQ(round.tuples_received[0], 0);
+}
+
+TEST(ExchangeTest, MergedRoundViaScope) {
+  Rng rng(5);
+  Cluster cluster(4, 3);
+  const Relation input = GenerateUniform(rng, 16, 2, 50);
+  const DistRelation dist = DistRelation::Scatter(input, 4);
+  const HashFunction hash = cluster.NewHashFunction();
+  cluster.BeginRound("merged");
+  HashPartition(cluster, dist, {0}, hash, "");
+  HashPartition(cluster, dist, {1}, hash, "");
+  cluster.EndRound();
+  EXPECT_EQ(cluster.cost_report().num_rounds(), 1);
+  EXPECT_EQ(cluster.cost_report().TotalCommTuples(), 32);
+}
+
+TEST(ExchangeTest, SentEqualsReceivedEveryRound) {
+  Rng rng(8);
+  Cluster cluster(6, 3);
+  const Relation input = GenerateUniform(rng, 300, 2, 40);
+  const DistRelation dist = DistRelation::Scatter(input, 6);
+  const HashFunction hash = cluster.NewHashFunction();
+  HashPartition(cluster, dist, {0}, hash, "a");
+  Broadcast(cluster, dist, "b");
+  for (const RoundCost& round : cluster.cost_report().rounds()) {
+    int64_t sent = 0;
+    int64_t received = 0;
+    int64_t sent_values = 0;
+    int64_t received_values = 0;
+    for (int s = 0; s < 6; ++s) {
+      sent += round.tuples_sent[s];
+      received += round.tuples_received[s];
+      sent_values += round.values_sent[s];
+      received_values += round.values_received[s];
+    }
+    EXPECT_EQ(sent, received) << round.label;
+    EXPECT_EQ(sent_values, received_values) << round.label;
+  }
+}
+
+TEST(ExchangeTest, DeterministicGivenSeeds) {
+  // Same (p, cluster seed, data seed) -> bit-identical fragments and
+  // meter readings: the property every bench relies on.
+  auto run = [](int64_t* load) {
+    Rng rng(9);
+    Cluster cluster(8, 77);
+    const Relation input = GenerateUniform(rng, 500, 2, 90);
+    const HashFunction hash = cluster.NewHashFunction();
+    const DistRelation parts = HashPartition(
+        cluster, DistRelation::Scatter(input, 8), {1}, hash, "d");
+    *load = cluster.cost_report().MaxLoadTuples();
+    return parts.Collect();
+  };
+  int64_t load_a = 0;
+  int64_t load_b = 0;
+  const Relation a = run(&load_a);
+  const Relation b = run(&load_b);
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(load_a, load_b);
+}
+
+TEST(ExchangeTest, SingleServerClusterWorks) {
+  Rng rng(5);
+  Cluster cluster(1, 3);
+  const Relation input = GenerateUniform(rng, 10, 2, 5);
+  const DistRelation dist = DistRelation::Scatter(input, 1);
+  const HashFunction hash = cluster.NewHashFunction();
+  const DistRelation parts = HashPartition(cluster, dist, {0}, hash, "p1");
+  EXPECT_TRUE(MultisetEqual(parts.Collect(), input));
+  EXPECT_EQ(cluster.cost_report().MaxLoadTuples(), 10);
+}
+
+}  // namespace
+}  // namespace mpcqp

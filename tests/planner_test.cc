@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "mpc/cluster.h"
+#include "planner/planner.h"
+#include "query/local_eval.h"
+#include "relation/relation_ops.h"
+#include "workload/generator.h"
+
+namespace mpcqp {
+namespace {
+
+std::vector<DistRelation> Scatter(const std::vector<Relation>& atoms, int p) {
+  std::vector<DistRelation> out;
+  for (const Relation& r : atoms) out.push_back(DistRelation::Scatter(r, p));
+  return out;
+}
+
+TEST(PlannerTest, CyclicQueryCannotUseGym) {
+  const ConjunctiveQuery q = ConjunctiveQuery::Triangle();
+  Rng rng(1);
+  std::vector<Relation> atoms;
+  for (int j = 0; j < 3; ++j) {
+    atoms.push_back(GenerateUniform(rng, 500, 2, 100));
+  }
+  const PlanChoice choice = ChoosePlan(q, Scatter(atoms, 16), 16);
+  for (const CandidatePlan& plan : choice.candidates) {
+    if (plan.algorithm == PlanAlgorithm::kGym) {
+      EXPECT_FALSE(plan.feasible);
+    }
+  }
+  EXPECT_NE(choice.chosen.algorithm, PlanAlgorithm::kGym);
+}
+
+TEST(PlannerTest, HighRoundCostFavorsOneRoundPlans) {
+  const ConjunctiveQuery q = ConjunctiveQuery::Triangle();
+  Rng rng(2);
+  std::vector<Relation> atoms;
+  for (int j = 0; j < 3; ++j) {
+    atoms.push_back(GenerateUniform(rng, 2000, 2, 1 << 14));
+  }
+  PlannerOptions cheap_rounds;
+  cheap_rounds.round_cost_tuples = 0.0;
+  PlannerOptions expensive_rounds;
+  expensive_rounds.round_cost_tuples = 1e7;
+  const PlanChoice flexible =
+      ChoosePlan(q, Scatter(atoms, 64), 64, cheap_rounds);
+  const PlanChoice latency_bound =
+      ChoosePlan(q, Scatter(atoms, 64), 64, expensive_rounds);
+  EXPECT_EQ(latency_bound.chosen.estimated_rounds, 1);
+  EXPECT_LE(flexible.chosen.estimated_load,
+            latency_bound.chosen.estimated_load + 1e-9);
+}
+
+TEST(PlannerTest, DetectsSkewAndPrefersSkewResilientPlan) {
+  const ConjunctiveQuery q = ConjunctiveQuery::Triangle();
+  Rng rng(3);
+  std::vector<Relation> atoms = {
+      GenerateUniform(rng, 2000, 2, 1 << 14),
+      GenerateConstantColumn(2000, 1, 7),
+      GenerateConstantColumn(2000, 0, 7),
+  };
+  PlannerOptions options;
+  options.round_cost_tuples = 1e7;  // Force a one-round plan.
+  const PlanChoice choice = ChoosePlan(q, Scatter(atoms, 64), 64, options);
+  EXPECT_TRUE(choice.input_is_skewed);
+  EXPECT_EQ(choice.chosen.algorithm, PlanAlgorithm::kSkewHc);
+}
+
+TEST(PlannerTest, AcyclicSelectiveQueryPicksGymWhenRoundsAreFree) {
+  const ConjunctiveQuery q = ConjunctiveQuery::Star(3);
+  Rng rng(4);
+  std::vector<Relation> atoms;
+  for (int j = 0; j < 3; ++j) {
+    // Sparse center: OUT stays near IN.
+    atoms.push_back(GenerateMatchingDegree(rng, 4000, 1));
+  }
+  PlannerOptions options;
+  options.round_cost_tuples = 0.0;
+  options.allowed = {PlanAlgorithm::kHyperCube, PlanAlgorithm::kGym};
+  const PlanChoice choice = ChoosePlan(q, Scatter(atoms, 64), 64, options);
+  // Star-3 has tau* = 1: HyperCube's one-round load is ~IN/p^{1/1}... but
+  // the whole star concentrates on the center dimension, so its load
+  // estimate is ~IN/p too; GYM wins or ties. Either way both must beat
+  // broadcast-level loads; assert GYM is feasible and cost-ranked sanely.
+  for (const CandidatePlan& plan : choice.candidates) {
+    if (plan.algorithm == PlanAlgorithm::kGym) {
+      EXPECT_TRUE(plan.feasible);
+      EXPECT_LT(plan.estimated_load, 4.0 * 3 * 4000 / 64 + 1000);
+    }
+  }
+}
+
+TEST(PlannerTest, BigJoinInfeasibleWithDuplicateInputs) {
+  const ConjunctiveQuery q = ConjunctiveQuery::TwoWayJoin();
+  Relation dup = Relation::FromRows({{1, 2}, {1, 2}});
+  Relation clean = Relation::FromRows({{2, 3}});
+  const PlanChoice choice =
+      ChoosePlan(q, Scatter({dup, clean}, 4), 4);
+  for (const CandidatePlan& plan : choice.candidates) {
+    if (plan.algorithm == PlanAlgorithm::kBigJoin) {
+      EXPECT_FALSE(plan.feasible);
+    }
+  }
+}
+
+TEST(PlannerTest, ExecutePlanMatchesReferenceForEveryAlgorithm) {
+  const ConjunctiveQuery q = ConjunctiveQuery::Triangle();
+  Rng data_rng(5);
+  std::vector<Relation> atoms;
+  for (int j = 0; j < 3; ++j) {
+    atoms.push_back(Dedup(GenerateUniform(data_rng, 300, 2, 15)));
+  }
+  const Relation expected = EvalJoinLocal(q, atoms);
+  for (const PlanAlgorithm algorithm :
+       {PlanAlgorithm::kHyperCube, PlanAlgorithm::kSkewHc,
+        PlanAlgorithm::kBinaryPlan, PlanAlgorithm::kBigJoin}) {
+    PlannerOptions options;
+    options.allowed = {algorithm};
+    const PlanChoice choice = ChoosePlan(q, Scatter(atoms, 8), 8, options);
+    ASSERT_TRUE(choice.chosen.feasible)
+        << PlanAlgorithmName(algorithm) << ": " << choice.chosen.rationale;
+    Cluster cluster(8, 5);
+    Rng rng(6);
+    const DistRelation out =
+        ExecutePlan(cluster, q, Scatter(atoms, 8), choice, rng);
+    EXPECT_TRUE(MultisetEqual(out.Collect(), expected))
+        << PlanAlgorithmName(algorithm);
+  }
+}
+
+TEST(PlannerTest, ExecuteGymPlanOnAcyclicQuery) {
+  const ConjunctiveQuery q = ConjunctiveQuery::Path(3);
+  Rng data_rng(7);
+  std::vector<Relation> atoms;
+  for (int j = 0; j < 3; ++j) {
+    atoms.push_back(GenerateUniform(data_rng, 200, 2, 25));
+  }
+  PlannerOptions options;
+  options.allowed = {PlanAlgorithm::kGym};
+  const PlanChoice choice = ChoosePlan(q, Scatter(atoms, 8), 8, options);
+  ASSERT_TRUE(choice.chosen.feasible);
+  Cluster cluster(8, 5);
+  Rng rng(8);
+  const DistRelation out =
+      ExecutePlan(cluster, q, Scatter(atoms, 8), choice, rng);
+  EXPECT_TRUE(MultisetEqual(out.Collect(), EvalJoinLocal(q, atoms)));
+}
+
+TEST(PlannerTest, RationalesAndNamesPopulated) {
+  const ConjunctiveQuery q = ConjunctiveQuery::Triangle();
+  Rng rng(9);
+  std::vector<Relation> atoms;
+  for (int j = 0; j < 3; ++j) {
+    atoms.push_back(GenerateUniform(rng, 100, 2, 20));
+  }
+  const PlanChoice choice = ChoosePlan(q, Scatter(atoms, 4), 4);
+  EXPECT_EQ(choice.candidates.size(), 5u);
+  for (const CandidatePlan& plan : choice.candidates) {
+    EXPECT_FALSE(plan.rationale.empty());
+    EXPECT_NE(std::string(PlanAlgorithmName(plan.algorithm)), "unknown");
+  }
+}
+
+}  // namespace
+}  // namespace mpcqp

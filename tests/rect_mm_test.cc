@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "matmul/rect_mm.h"
+#include "mpc/cluster.h"
+
+namespace mpcqp {
+namespace {
+
+class RectMmTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(RectMmTest, MatchesSerialOneRound) {
+  const auto [m, k, n, p] = GetParam();
+  Rng rng(1);
+  Cluster cluster(p, 3);
+  const Matrix a = RandomMatrix(rng, m, k, 12);
+  const Matrix b = RandomMatrix(rng, k, n, 12);
+  const RectMmResult result = GeneralRectangleMm(cluster, a, b);
+  EXPECT_TRUE(result.c == MultiplySerial(a, b));
+  EXPECT_EQ(cluster.cost_report().num_rounds(), 1);
+  EXPECT_LE(result.grid_rows * result.grid_cols, p);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RectMmTest,
+    ::testing::Combine(::testing::Values(4, 16, 33), ::testing::Values(8, 24),
+                       ::testing::Values(5, 16), ::testing::Values(1, 6, 16)));
+
+TEST(RectMmTest, TallSkinnyGridFollowsShape) {
+  // A very tall A (m >> n): the optimal grid splits rows, not columns.
+  Rng rng(2);
+  Cluster cluster(16, 3);
+  const Matrix a = RandomMatrix(rng, 256, 8, 5);
+  const Matrix b = RandomMatrix(rng, 8, 4, 5);
+  const RectMmResult result = GeneralRectangleMm(cluster, a, b);
+  EXPECT_TRUE(result.c == MultiplySerial(a, b));
+  EXPECT_GT(result.grid_rows, result.grid_cols);
+}
+
+TEST(RectMmTest, VectorTimesMatrix) {
+  Rng rng(3);
+  Cluster cluster(8, 3);
+  const Matrix a = RandomMatrix(rng, 1, 32, 9);
+  const Matrix b = RandomMatrix(rng, 32, 16, 9);
+  const RectMmResult result = GeneralRectangleMm(cluster, a, b);
+  EXPECT_TRUE(result.c == MultiplySerial(a, b));
+  EXPECT_EQ(result.grid_rows, 1);
+}
+
+TEST(RectMmTest, SquareCaseAgreesWithSpecializedAlgorithm) {
+  Rng rng(4);
+  const Matrix a = RandomMatrix(rng, 32, 32, 10);
+  const Matrix b = RandomMatrix(rng, 32, 32, 10);
+  Cluster cluster(16, 3);
+  const RectMmResult result = GeneralRectangleMm(cluster, a, b);
+  EXPECT_TRUE(result.c == MultiplySerial(a, b));
+  // Balanced problem -> balanced grid.
+  EXPECT_EQ(result.grid_rows, result.grid_cols);
+}
+
+}  // namespace
+}  // namespace mpcqp

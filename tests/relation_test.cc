@@ -1,0 +1,255 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "common/random.h"
+#include "relation/key_index.h"
+#include "relation/relation.h"
+#include "relation/relation_ops.h"
+#include "workload/generator.h"
+
+namespace mpcqp {
+namespace {
+
+// ---------- Relation basics ----------
+
+TEST(RelationTest, AppendAndAccess) {
+  Relation r(2);
+  r.AppendRow({1, 2});
+  r.AppendRow({3, 4});
+  EXPECT_EQ(r.size(), 2);
+  EXPECT_EQ(r.at(0, 0), 1u);
+  EXPECT_EQ(r.at(1, 1), 4u);
+}
+
+TEST(RelationTest, FromRows) {
+  const Relation r = Relation::FromRows({{1, 2}, {3, 4}, {5, 6}});
+  EXPECT_EQ(r.arity(), 2);
+  EXPECT_EQ(r.size(), 3);
+  EXPECT_EQ(r.at(2, 1), 6u);
+}
+
+TEST(RelationTest, NullaryRelationCountsRows) {
+  Relation r(0);
+  EXPECT_TRUE(r.empty());
+  r.AppendNullaryRow();
+  r.AppendNullaryRow();
+  EXPECT_EQ(r.size(), 2);
+}
+
+TEST(RelationTest, SortRowsLexicographic) {
+  Relation r = Relation::FromRows({{2, 1}, {1, 9}, {1, 3}});
+  r.SortRows();
+  EXPECT_EQ(r.at(0, 0), 1u);
+  EXPECT_EQ(r.at(0, 1), 3u);
+  EXPECT_EQ(r.at(1, 1), 9u);
+  EXPECT_EQ(r.at(2, 0), 2u);
+}
+
+TEST(RelationTest, SortRowsByKeyThenRest) {
+  Relation r = Relation::FromRows({{5, 1}, {5, 0}, {2, 7}});
+  r.SortRowsBy({0});
+  EXPECT_EQ(r.at(0, 0), 2u);
+  // Within key 5, the remaining column breaks ties deterministically.
+  EXPECT_EQ(r.at(1, 1), 0u);
+  EXPECT_EQ(r.at(2, 1), 1u);
+}
+
+TEST(RelationTest, EqualityIsExact) {
+  const Relation a = Relation::FromRows({{1, 2}, {3, 4}});
+  const Relation b = Relation::FromRows({{3, 4}, {1, 2}});
+  EXPECT_FALSE(a == b);
+  EXPECT_TRUE(MultisetEqual(a, b));
+}
+
+// ---------- Unary operators ----------
+
+TEST(OpsTest, ProjectReordersAndRepeats) {
+  const Relation r = Relation::FromRows({{1, 2, 3}});
+  const Relation p = Project(r, {2, 0, 2});
+  EXPECT_EQ(p.arity(), 3);
+  EXPECT_EQ(p.at(0, 0), 3u);
+  EXPECT_EQ(p.at(0, 1), 1u);
+  EXPECT_EQ(p.at(0, 2), 3u);
+}
+
+TEST(OpsTest, ProjectToNullary) {
+  const Relation r = Relation::FromRows({{1}, {2}});
+  const Relation p = Project(r, {});
+  EXPECT_EQ(p.arity(), 0);
+  EXPECT_EQ(p.size(), 2);
+}
+
+TEST(OpsTest, DedupRemovesDuplicates) {
+  const Relation r = Relation::FromRows({{1, 2}, {1, 2}, {3, 4}, {1, 2}});
+  const Relation d = Dedup(r);
+  EXPECT_EQ(d.size(), 2);
+}
+
+TEST(OpsTest, FilterKeepsMatching) {
+  const Relation r = Relation::FromRows({{1, 2}, {5, 2}, {7, 9}});
+  const Relation f =
+      Filter(r, [](const Value* row) { return row[1] == 2; });
+  EXPECT_EQ(f.size(), 2);
+}
+
+TEST(OpsTest, UnionAllKeepsMultiplicity) {
+  const Relation a = Relation::FromRows({{1, 1}});
+  const Relation b = Relation::FromRows({{1, 1}, {2, 2}});
+  const Relation u = UnionAll(a, b);
+  EXPECT_EQ(u.size(), 3);
+}
+
+TEST(OpsTest, GroupBySum) {
+  const Relation r =
+      Relation::FromRows({{1, 10}, {1, 5}, {2, 7}, {1, 1}});
+  const Relation g = GroupBySum(r, {0}, 1);
+  ASSERT_EQ(g.size(), 2);
+  EXPECT_EQ(g.at(0, 0), 1u);
+  EXPECT_EQ(g.at(0, 1), 16u);
+  EXPECT_EQ(g.at(1, 1), 7u);
+}
+
+TEST(OpsTest, DegreeCount) {
+  const Relation r = Relation::FromRows({{1, 7}, {2, 7}, {3, 9}});
+  const Relation d = DegreeCount(r, 1);
+  ASSERT_EQ(d.size(), 2);
+  EXPECT_EQ(d.at(0, 0), 7u);
+  EXPECT_EQ(d.at(0, 1), 2u);
+  EXPECT_EQ(d.at(1, 0), 9u);
+  EXPECT_EQ(d.at(1, 1), 1u);
+}
+
+// ---------- KeyIndex ----------
+
+TEST(KeyIndexTest, LookupFindsAllMatches) {
+  const Relation r = Relation::FromRows({{1, 5}, {2, 5}, {3, 6}});
+  const KeyIndex index(&r, {1});
+  const Value key5 = 5;
+  EXPECT_EQ(index.Lookup(&key5).size(), 2u);
+  const Value key6 = 6;
+  EXPECT_EQ(index.Lookup(&key6).size(), 1u);
+  const Value key7 = 7;
+  EXPECT_TRUE(index.Lookup(&key7).empty());
+  EXPECT_EQ(index.num_distinct_keys(), 2);
+}
+
+TEST(KeyIndexTest, CompositeKeys) {
+  const Relation r = Relation::FromRows({{1, 2, 9}, {1, 3, 9}, {1, 2, 8}});
+  const KeyIndex index(&r, {0, 1});
+  const Value key[] = {1, 2};
+  EXPECT_EQ(index.Lookup(key).size(), 2u);
+}
+
+TEST(KeyIndexTest, EmptyKeyMatchesEverything) {
+  const Relation r = Relation::FromRows({{1}, {2}, {3}});
+  const KeyIndex index(&r, {});
+  EXPECT_EQ(index.Lookup(nullptr).size(), 3u);
+}
+
+// ---------- Join family: the three implementations agree ----------
+
+struct JoinCase {
+  int64_t left_rows;
+  int64_t right_rows;
+  uint64_t domain;
+};
+
+class JoinAgreementTest
+    : public ::testing::TestWithParam<std::tuple<JoinCase, uint64_t>> {};
+
+TEST_P(JoinAgreementTest, HashSortMergeNestedLoopAgree) {
+  const auto [spec, seed] = GetParam();
+  Rng rng(seed);
+  const Relation left = GenerateUniform(rng, spec.left_rows, 2, spec.domain);
+  const Relation right = GenerateUniform(rng, spec.right_rows, 2, spec.domain);
+
+  const Relation reference =
+      NestedLoopJoinLocal(left, right, {1}, {0});
+  EXPECT_TRUE(MultisetEqual(HashJoinLocal(left, right, {1}, {0}), reference));
+  EXPECT_TRUE(
+      MultisetEqual(SortMergeJoinLocal(left, right, {1}, {0}), reference));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, JoinAgreementTest,
+    ::testing::Combine(::testing::Values(JoinCase{50, 50, 10},
+                                         JoinCase{100, 20, 5},
+                                         JoinCase{30, 30, 100},
+                                         JoinCase{1, 50, 3},
+                                         JoinCase{64, 64, 1}),
+                       ::testing::Values(1u, 2u, 3u)));
+
+TEST(JoinTest, OutputColumnContract) {
+  // R(a, b) join S(b, c) on b: output (a, b, c).
+  const Relation left = Relation::FromRows({{1, 7}});
+  const Relation right = Relation::FromRows({{7, 9}});
+  const Relation out = HashJoinLocal(left, right, {1}, {0});
+  ASSERT_EQ(out.arity(), 3);
+  ASSERT_EQ(out.size(), 1);
+  EXPECT_EQ(out.at(0, 0), 1u);
+  EXPECT_EQ(out.at(0, 1), 7u);
+  EXPECT_EQ(out.at(0, 2), 9u);
+}
+
+TEST(JoinTest, EmptyKeyIsCrossProduct) {
+  const Relation left = Relation::FromRows({{1}, {2}});
+  const Relation right = Relation::FromRows({{10}, {20}, {30}});
+  const Relation out = HashJoinLocal(left, right, {}, {});
+  EXPECT_EQ(out.size(), 6);
+  EXPECT_EQ(out.arity(), 2);
+}
+
+TEST(JoinTest, EmptyInputsYieldEmptyOutput) {
+  const Relation left(2);
+  const Relation right = Relation::FromRows({{1, 2}});
+  EXPECT_TRUE(HashJoinLocal(left, right, {0}, {0}).empty());
+  EXPECT_TRUE(SortMergeJoinLocal(right, left, {0}, {0}).empty());
+}
+
+TEST(JoinTest, DuplicatesMultiply) {
+  const Relation left = Relation::FromRows({{1, 5}, {2, 5}});
+  const Relation right = Relation::FromRows({{5, 8}, {5, 9}, {5, 8}});
+  // 2 left x 3 right = 6.
+  EXPECT_EQ(HashJoinLocal(left, right, {1}, {0}).size(), 6);
+}
+
+TEST(JoinTest, MultiColumnKeys) {
+  const Relation left = Relation::FromRows({{1, 2, 3}, {1, 9, 4}});
+  const Relation right = Relation::FromRows({{1, 2, 7}, {9, 1, 8}});
+  const Relation out = HashJoinLocal(left, right, {0, 1}, {0, 1});
+  ASSERT_EQ(out.size(), 1);
+  EXPECT_EQ(out.at(0, 2), 3u);
+  EXPECT_EQ(out.at(0, 3), 7u);
+}
+
+// ---------- Semijoin / antijoin ----------
+
+TEST(SemijoinTest, PartitionsLeft) {
+  const Relation left = Relation::FromRows({{1, 5}, {2, 6}, {3, 5}});
+  const Relation right = Relation::FromRows({{5, 0}});
+  const Relation semi = SemijoinLocal(left, right, {1}, {0});
+  const Relation anti = AntijoinLocal(left, right, {1}, {0});
+  EXPECT_EQ(semi.size(), 2);
+  EXPECT_EQ(anti.size(), 1);
+  EXPECT_EQ(anti.at(0, 0), 2u);
+  EXPECT_TRUE(MultisetEqual(UnionAll(semi, anti), left));
+}
+
+TEST(SemijoinTest, SemijoinKeepsMultiplicity) {
+  const Relation left = Relation::FromRows({{1, 5}, {1, 5}});
+  const Relation right = Relation::FromRows({{5, 0}, {5, 1}});
+  // Semijoin is a filter: 2 rows stay 2 rows.
+  EXPECT_EQ(SemijoinLocal(left, right, {1}, {0}).size(), 2);
+}
+
+TEST(SemijoinTest, AntijoinAgainstEmptyRightKeepsAll) {
+  const Relation left = Relation::FromRows({{1, 5}});
+  const Relation right(2);
+  EXPECT_EQ(AntijoinLocal(left, right, {1}, {0}).size(), 1);
+  EXPECT_TRUE(SemijoinLocal(left, right, {1}, {0}).empty());
+}
+
+}  // namespace
+}  // namespace mpcqp

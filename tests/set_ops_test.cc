@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "mpc/cluster.h"
+#include "mpc/set_ops.h"
+#include "relation/relation_ops.h"
+#include "workload/generator.h"
+
+namespace mpcqp {
+namespace {
+
+// Local references.
+Relation LocalIntersect(const Relation& a, const Relation& b) {
+  std::vector<int> cols(a.arity());
+  for (int c = 0; c < a.arity(); ++c) cols[c] = c;
+  return SemijoinLocal(Dedup(a), Dedup(b), cols, cols);
+}
+Relation LocalDifference(const Relation& a, const Relation& b) {
+  std::vector<int> cols(a.arity());
+  for (int c = 0; c < a.arity(); ++c) cols[c] = c;
+  return AntijoinLocal(Dedup(a), Dedup(b), cols, cols);
+}
+
+class SetOpsTest : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {
+};
+
+TEST_P(SetOpsTest, AllOpsMatchLocalReferences) {
+  const auto [p, domain] = GetParam();
+  Rng rng(1);
+  // Small domain: plenty of duplicates and overlap.
+  const Relation a = GenerateUniform(rng, 600, 2, domain);
+  const Relation b = GenerateUniform(rng, 500, 2, domain);
+  const DistRelation da = DistRelation::Scatter(a, p);
+  const DistRelation db = DistRelation::Scatter(b, p);
+
+  {
+    Cluster cluster(p, 3);
+    EXPECT_TRUE(MultisetEqual(
+        DistributedDistinct(cluster, da).Collect(), Dedup(a)));
+    EXPECT_EQ(cluster.cost_report().num_rounds(), 1);
+  }
+  {
+    Cluster cluster(p, 3);
+    EXPECT_TRUE(MultisetEqual(DistributedUnion(cluster, da, db).Collect(),
+                              Dedup(UnionAll(a, b))));
+  }
+  {
+    Cluster cluster(p, 3);
+    EXPECT_TRUE(MultisetEqual(
+        DistributedIntersect(cluster, da, db).Collect(),
+        LocalIntersect(a, b)));
+  }
+  {
+    Cluster cluster(p, 3);
+    EXPECT_TRUE(MultisetEqual(
+        DistributedDifference(cluster, da, db).Collect(),
+        LocalDifference(a, b)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SetOpsTest,
+                         ::testing::Combine(::testing::Values(1, 4, 16),
+                                            ::testing::Values(5u, 1000u)));
+
+TEST(SetOpsTest, DistinctLoadBoundedByDistinctValues) {
+  // Heavily duplicated input: local pre-dedup keeps the shuffle tiny.
+  const int p = 16;
+  const Relation rel = GenerateConstantColumn(8000, 1, 7);
+  Relation tiny(2);
+  for (int i = 0; i < 8000; ++i) tiny.AppendRow({rel.at(i, 0) % 5, 7});
+  Cluster cluster(p, 3);
+  const DistRelation out =
+      DistributedDistinct(cluster, DistRelation::Scatter(tiny, p));
+  EXPECT_EQ(out.TotalSize(), 5);
+  // Each server ships at most its local distincts (<= 5 each).
+  EXPECT_LE(cluster.cost_report().TotalCommTuples(), 5 * p);
+}
+
+TEST(SetOpsTest, IdempotentAndDisjointCases) {
+  const int p = 4;
+  Rng rng(2);
+  const Relation a = GenerateUniform(rng, 100, 1, 50);
+  Relation disjoint(1);
+  for (int i = 0; i < 60; ++i) {
+    disjoint.AppendRow({1000 + static_cast<Value>(i)});
+  }
+  const DistRelation da = DistRelation::Scatter(a, p);
+  const DistRelation dd = DistRelation::Scatter(disjoint, p);
+  Cluster cluster(p, 3);
+  EXPECT_TRUE(DistributedIntersect(cluster, da, dd).Collect().empty());
+  EXPECT_TRUE(MultisetEqual(
+      DistributedDifference(cluster, da, dd).Collect(), Dedup(a)));
+  EXPECT_TRUE(MultisetEqual(DistributedUnion(cluster, da, da).Collect(),
+                            Dedup(a)));
+}
+
+}  // namespace
+}  // namespace mpcqp

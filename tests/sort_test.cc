@@ -1,0 +1,298 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "mpc/cluster.h"
+#include "relation/relation_ops.h"
+#include "sort/band_join.h"
+#include "sort/multi_round_sort.h"
+#include "sort/psrs.h"
+#include "workload/generator.h"
+
+namespace mpcqp {
+namespace {
+
+class PsrsTest : public ::testing::TestWithParam<std::tuple<int, int64_t>> {};
+
+TEST_P(PsrsTest, SortsAndPreservesMultiset) {
+  const auto [p, n] = GetParam();
+  Rng rng(61);
+  Cluster cluster(p, 5);
+  const Relation input = GenerateUniform(rng, n, 2, 1 << 20);
+  PsrsOptions options;
+  options.key_cols = {0};
+  const PsrsResult result =
+      PsrsSort(cluster, DistRelation::Scatter(input, p), options);
+  EXPECT_TRUE(IsGloballySorted(result.sorted, {0}));
+  EXPECT_TRUE(MultisetEqual(result.sorted.Collect(), input));
+  EXPECT_EQ(cluster.cost_report().num_rounds(), 2);
+  EXPECT_EQ(static_cast<int>(result.splitters.size()), p - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PsrsTest,
+    ::testing::Combine(::testing::Values(1, 4, 16),
+                       ::testing::Values(int64_t{0}, int64_t{17},
+                                         int64_t{5000})));
+
+TEST(PsrsTest, LoadNearNOverPWithRegularSampling) {
+  const int p = 8;
+  Rng rng(62);
+  Cluster cluster(p, 5);
+  const int64_t n = 32000;
+  const Relation input = GenerateUniform(rng, n, 1, 1 << 30);
+  PsrsOptions options;
+  options.key_cols = {0};
+  PsrsSort(cluster, DistRelation::Scatter(input, p), options);
+  // PSRS guarantees no server gets more than ~2N/p after partitioning.
+  const int64_t load = cluster.cost_report().MaxLoadTuples();
+  EXPECT_LT(load, 2 * n / p + p * p);
+}
+
+TEST(PsrsTest, CompositeKeySort) {
+  const int p = 4;
+  Rng rng(63);
+  Cluster cluster(p, 5);
+  const Relation input = GenerateUniform(rng, 2000, 2, 10);
+  PsrsOptions options;
+  options.key_cols = {0, 1};
+  const PsrsResult result =
+      PsrsSort(cluster, DistRelation::Scatter(input, p), options);
+  EXPECT_TRUE(IsGloballySorted(result.sorted, {0, 1}));
+  EXPECT_TRUE(MultisetEqual(result.sorted.Collect(), input));
+}
+
+TEST(PsrsTest, SamplingModeAlsoSorts) {
+  const int p = 8;
+  Rng rng(64);
+  Rng sample_rng(65);
+  Cluster cluster(p, 5);
+  const Relation input = GenerateUniform(rng, 8000, 1, 1 << 30);
+  PsrsOptions options;
+  options.key_cols = {0};
+  options.use_sampling = true;
+  options.samples_per_server = 32;
+  const PsrsResult result = PsrsSort(cluster, DistRelation::Scatter(input, p),
+                                     options, &sample_rng);
+  EXPECT_TRUE(IsGloballySorted(result.sorted, {0}));
+  EXPECT_TRUE(MultisetEqual(result.sorted.Collect(), input));
+}
+
+TEST(PsrsTest, AllEqualKeysStillSorted) {
+  const int p = 4;
+  Cluster cluster(p, 5);
+  const Relation input = GenerateConstantColumn(1000, 0, 9);
+  PsrsOptions options;
+  options.key_cols = {0};
+  const PsrsResult result =
+      PsrsSort(cluster, DistRelation::Scatter(input, p), options);
+  EXPECT_TRUE(IsGloballySorted(result.sorted, {0}));
+  EXPECT_EQ(result.sorted.TotalSize(), 1000);
+}
+
+TEST(PsrsTest, AlreadySortedInputIsFine) {
+  const int p = 4;
+  Cluster cluster(p, 5);
+  Relation input(1);
+  for (int i = 0; i < 1000; ++i) input.AppendRow({static_cast<Value>(i)});
+  PsrsOptions options;
+  options.key_cols = {0};
+  const PsrsResult result =
+      PsrsSort(cluster, DistRelation::Scatter(input, p), options);
+  EXPECT_TRUE(IsGloballySorted(result.sorted, {0}));
+  // Near-perfect balance on uniform ranks.
+  EXPECT_LT(result.sorted.MaxFragmentSize(), 2 * 1000 / p);
+}
+
+TEST(PsrsTest, ReverseSortedInput) {
+  const int p = 8;
+  Cluster cluster(p, 5);
+  Relation input(1);
+  for (int i = 4000; i > 0; --i) input.AppendRow({static_cast<Value>(i)});
+  PsrsOptions options;
+  options.key_cols = {0};
+  const PsrsResult result =
+      PsrsSort(cluster, DistRelation::Scatter(input, p), options);
+  EXPECT_TRUE(IsGloballySorted(result.sorted, {0}));
+  EXPECT_TRUE(MultisetEqual(result.sorted.Collect(), input));
+  EXPECT_LT(result.sorted.MaxFragmentSize(), 2 * 4000 / p);
+}
+
+TEST(PsrsTest, FewDistinctKeys) {
+  const int p = 8;
+  Rng rng(66);
+  Cluster cluster(p, 5);
+  const Relation input = GenerateUniform(rng, 4000, 1, 3);
+  PsrsOptions options;
+  options.key_cols = {0};
+  const PsrsResult result =
+      PsrsSort(cluster, DistRelation::Scatter(input, p), options);
+  EXPECT_TRUE(IsGloballySorted(result.sorted, {0}));
+  EXPECT_TRUE(MultisetEqual(result.sorted.Collect(), input));
+  // Value-based splitters put each key on one server: with 3 keys the
+  // heaviest server carries that key's full multiplicity.
+  EXPECT_GE(result.sorted.MaxFragmentSize(), 4000 / 3);
+}
+
+TEST(PsrsTest, SkewedZipfInputStillSorted) {
+  const int p = 16;
+  Rng rng(67);
+  Cluster cluster(p, 5);
+  const Relation input = GenerateZipf(rng, 8000, 1, 1 << 16, 0, 1.2);
+  PsrsOptions options;
+  options.key_cols = {0};
+  const PsrsResult result =
+      PsrsSort(cluster, DistRelation::Scatter(input, p), options);
+  EXPECT_TRUE(IsGloballySorted(result.sorted, {0}));
+  EXPECT_TRUE(MultisetEqual(result.sorted.Collect(), input));
+}
+
+// ---------- Multi-round sort ----------
+
+class MultiRoundSortTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(MultiRoundSortTest, SortsWithExpectedRounds) {
+  const auto [p, fan_out] = GetParam();
+  Rng data_rng(71);
+  Rng rng(72);
+  Cluster cluster(p, 5);
+  const Relation input = GenerateUniform(data_rng, 6000, 1, 1 << 30);
+  const MultiRoundSortResult result = MultiRoundSort(
+      cluster, DistRelation::Scatter(input, p), 0, fan_out, rng);
+  EXPECT_TRUE(IsGloballySorted(result.sorted, {0}));
+  EXPECT_TRUE(MultisetEqual(result.sorted.Collect(), input));
+  // rounds = ceil(log_fan_out(p)).
+  const int expected =
+      static_cast<int>(std::ceil(std::log(p) / std::log(fan_out) - 1e-9));
+  EXPECT_EQ(result.rounds, std::max(expected, 0));
+  EXPECT_EQ(cluster.cost_report().num_rounds(), result.rounds);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MultiRoundSortTest,
+                         ::testing::Combine(::testing::Values(4, 16, 32),
+                                            ::testing::Values(2, 4, 8)));
+
+TEST(MultiRoundSortTest, SmallerFanOutMeansMoreRoundsLowerSplitterTraffic) {
+  Rng data_rng(73);
+  const Relation input = GenerateUniform(data_rng, 4000, 1, 1 << 30);
+  const int p = 16;
+
+  Rng rng_a(74);
+  Cluster wide(p, 5);
+  const auto wide_result =
+      MultiRoundSort(wide, DistRelation::Scatter(input, p), 0, 16, rng_a);
+
+  Rng rng_b(74);
+  Cluster narrow(p, 5);
+  const auto narrow_result =
+      MultiRoundSort(narrow, DistRelation::Scatter(input, p), 0, 2, rng_b);
+
+  EXPECT_LT(wide_result.rounds, narrow_result.rounds);
+  EXPECT_TRUE(IsGloballySorted(wide_result.sorted, {0}));
+  EXPECT_TRUE(IsGloballySorted(narrow_result.sorted, {0}));
+}
+
+// ---------- Band (similarity) join ----------
+
+Relation BandJoinReference(const Relation& left, const Relation& right,
+                           int lc, int rc, Value eps) {
+  Relation out(left.arity() + right.arity());
+  std::vector<Value> scratch(out.arity());
+  for (int64_t i = 0; i < left.size(); ++i) {
+    for (int64_t j = 0; j < right.size(); ++j) {
+      const Value a = left.at(i, lc);
+      const Value b = right.at(j, rc);
+      const Value diff = a > b ? a - b : b - a;
+      if (diff <= eps) {
+        std::copy(left.row(i), left.row(i) + left.arity(), scratch.begin());
+        std::copy(right.row(j), right.row(j) + right.arity(),
+                  scratch.begin() + left.arity());
+        out.AppendRow(scratch.data());
+      }
+    }
+  }
+  return out;
+}
+
+class BandJoinTest
+    : public ::testing::TestWithParam<std::tuple<int, Value>> {};
+
+TEST_P(BandJoinTest, MatchesNestedLoopReference) {
+  const auto [p, eps] = GetParam();
+  Rng rng(81);
+  Cluster cluster(p, 5);
+  const Relation left = GenerateUniform(rng, 600, 2, 5000);
+  const Relation right = GenerateUniform(rng, 500, 2, 5000);
+  const DistRelation out =
+      BandJoin(cluster, DistRelation::Scatter(left, p),
+               DistRelation::Scatter(right, p), 0, 1, eps);
+  EXPECT_TRUE(MultisetEqual(out.Collect(),
+                            BandJoinReference(left, right, 0, 1, eps)));
+  EXPECT_EQ(cluster.cost_report().num_rounds(), 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BandJoinTest,
+                         ::testing::Combine(::testing::Values(1, 4, 16),
+                                            ::testing::Values(Value{0},
+                                                              Value{3},
+                                                              Value{100})));
+
+TEST(BandJoinTest, EpsilonZeroIsEquiJoin) {
+  const int p = 8;
+  Rng rng(82);
+  Cluster cluster(p, 5);
+  const Relation left = GenerateUniform(rng, 400, 2, 50);
+  const Relation right = GenerateUniform(rng, 400, 2, 50);
+  const DistRelation out =
+      BandJoin(cluster, DistRelation::Scatter(left, p),
+               DistRelation::Scatter(right, p), 0, 0, 0);
+  // Same multiset as the hash join modulo column order: left all + right
+  // all vs left all + right-minus-key. Compare against the reference.
+  EXPECT_TRUE(MultisetEqual(out.Collect(),
+                            BandJoinReference(left, right, 0, 0, 0)));
+}
+
+TEST(BandJoinTest, BoundaryValuesNotDuplicated) {
+  // Keys sitting exactly on splitters must not produce duplicate pairs.
+  const int p = 4;
+  Relation left(1);
+  Relation right(1);
+  for (Value v = 0; v < 400; ++v) {
+    left.AppendRow({v});
+    right.AppendRow({v});
+  }
+  Cluster cluster(p, 5);
+  const DistRelation out =
+      BandJoin(cluster, DistRelation::Scatter(left, p),
+               DistRelation::Scatter(right, p), 0, 0, 1);
+  // Each v pairs with v-1, v, v+1 (except the two ends): 3*400 - 2.
+  EXPECT_EQ(out.TotalSize(), 3 * 400 - 2);
+}
+
+TEST(BandJoinTest, HugeEpsilonIsCrossProduct) {
+  const int p = 4;
+  Rng rng(83);
+  Cluster cluster(p, 5);
+  const Relation left = GenerateUniform(rng, 80, 1, 1000);
+  const Relation right = GenerateUniform(rng, 90, 1, 1000);
+  const DistRelation out =
+      BandJoin(cluster, DistRelation::Scatter(left, p),
+               DistRelation::Scatter(right, p), 0, 0, ~Value{0});
+  EXPECT_EQ(out.TotalSize(), 80 * 90);
+}
+
+TEST(MultiRoundSortTest, SingleServerNoRounds) {
+  Rng data_rng(75);
+  Rng rng(76);
+  Cluster cluster(1, 5);
+  const Relation input = GenerateUniform(data_rng, 500, 1, 100);
+  const auto result =
+      MultiRoundSort(cluster, DistRelation::Scatter(input, 1), 0, 2, rng);
+  EXPECT_EQ(result.rounds, 0);
+  EXPECT_TRUE(IsGloballySorted(result.sorted, {0}));
+}
+
+}  // namespace
+}  // namespace mpcqp

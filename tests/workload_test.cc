@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "relation/relation_ops.h"
+#include "workload/generator.h"
+
+namespace mpcqp {
+namespace {
+
+TEST(GeneratorTest, UniformShape) {
+  Rng rng(1);
+  const Relation r = GenerateUniform(rng, 1000, 3, 50);
+  EXPECT_EQ(r.size(), 1000);
+  EXPECT_EQ(r.arity(), 3);
+  for (int64_t i = 0; i < r.size(); ++i) {
+    for (int c = 0; c < 3; ++c) EXPECT_LT(r.at(i, c), 50u);
+  }
+}
+
+TEST(GeneratorTest, MatchingDegreeExact) {
+  Rng rng(2);
+  const Relation r = GenerateMatchingDegree(rng, 1000, 10);
+  EXPECT_EQ(r.size(), 1000);
+  const Relation degrees = DegreeCount(r, 1);
+  EXPECT_EQ(degrees.size(), 100);
+  for (int64_t i = 0; i < degrees.size(); ++i) {
+    EXPECT_EQ(degrees.at(i, 1), 10u);
+  }
+  // x-values unique.
+  EXPECT_EQ(Dedup(Project(r, {0})).size(), 1000);
+}
+
+TEST(GeneratorTest, ZipfSkewsTowardsSmallValues) {
+  Rng rng(3);
+  const Relation r = GenerateZipf(rng, 20000, 2, 1000, 1, 1.2);
+  std::map<Value, int64_t> counts;
+  for (int64_t i = 0; i < r.size(); ++i) ++counts[r.at(i, 1)];
+  // Value 0 (rank 1) should dominate any mid-range value.
+  EXPECT_GT(counts[0], 50 * std::max<int64_t>(1, counts[500]));
+  // And the non-zipf column stays roughly uniform.
+  std::map<Value, int64_t> other;
+  for (int64_t i = 0; i < r.size(); ++i) ++other[r.at(i, 0)];
+  EXPECT_LT(other.begin()->second, 200);
+}
+
+TEST(GeneratorTest, ZipfZeroSkewIsUniform) {
+  Rng rng(4);
+  const ZipfDistribution zipf(100, 0.0);
+  std::map<uint64_t, int64_t> counts;
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.Sample(rng)];
+  for (const auto& [value, count] : counts) {
+    EXPECT_GT(count, 250);
+    EXPECT_LT(count, 1000);
+  }
+}
+
+TEST(GeneratorTest, ConstantColumnExtremeSkew) {
+  const Relation r = GenerateConstantColumn(100, 1, 42);
+  EXPECT_EQ(r.size(), 100);
+  for (int64_t i = 0; i < r.size(); ++i) EXPECT_EQ(r.at(i, 1), 42u);
+  EXPECT_EQ(Dedup(Project(r, {0})).size(), 100);
+}
+
+TEST(GeneratorTest, RandomGraphDistinctEdgesNoSelfLoops) {
+  Rng rng(5);
+  const Relation g = GenerateRandomGraph(rng, 50, 300);
+  EXPECT_EQ(g.size(), 300);
+  std::set<std::pair<Value, Value>> seen;
+  for (int64_t i = 0; i < g.size(); ++i) {
+    EXPECT_NE(g.at(i, 0), g.at(i, 1));
+    EXPECT_TRUE(seen.insert({g.at(i, 0), g.at(i, 1)}).second);
+  }
+}
+
+TEST(GeneratorTest, AddCliqueAddsAllPairs) {
+  Relation g(2);
+  const Relation with_clique = AddClique(g, 100, 4);
+  EXPECT_EQ(with_clique.size(), 12);  // 4 * 3 ordered pairs.
+}
+
+TEST(GeneratorTest, ChainAndStarShapes) {
+  Rng rng(6);
+  const std::vector<Relation> chain = GenerateChain(rng, 4, 100, 20);
+  EXPECT_EQ(chain.size(), 4u);
+  for (const Relation& r : chain) {
+    EXPECT_EQ(r.size(), 100);
+    EXPECT_EQ(r.arity(), 2);
+  }
+}
+
+TEST(GeneratorTest, DeterministicGivenSeed) {
+  Rng a(77);
+  Rng b(77);
+  EXPECT_TRUE(GenerateUniform(a, 50, 2, 10) == GenerateUniform(b, 50, 2, 10));
+}
+
+}  // namespace
+}  // namespace mpcqp

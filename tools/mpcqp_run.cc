@@ -1,0 +1,338 @@
+// mpcqp_run — command-line driver for the library: parse a conjunctive
+// query, generate or load data, analyze the query (τ*, ρ*, AGM, shares),
+// run a chosen parallel algorithm on the simulator, and print the cost
+// report.
+//
+// Examples:
+//   mpcqp_run --query "Q(x,y,z) :- R(x,y), S(y,z), T(z,x)"
+//             --gen "R=uniform:20000:10000" --gen "S=uniform:20000:10000"
+//             --gen "T=uniform:20000:10000" --servers 64 --algorithm hypercube
+//
+//   mpcqp_run --query "R(x,y), S(y,z)" --input R=r.csv --input S=s.csv
+//             --algorithm skewhc --servers 16 --output out.csv
+//
+//   mpcqp_run --query "..." --analyze            # plan only, no execution
+//
+// Generator specs: uniform:rows:domain | zipf:rows:domain:skew |
+//                  degree:rows:deg (binary, exact-degree column 1) |
+//                  graph:nodes:edges (binary edge list)
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "acyclic/gym.h"
+#include "join/hash_join.h"
+#include "mpc/cluster.h"
+#include "multiway/binary_plan.h"
+#include "multiway/hypercube.h"
+#include "multiway/skew_hc.h"
+#include "planner/planner.h"
+#include "query/ghd.h"
+#include "query/hypergraph_lp.h"
+#include "query/local_eval.h"
+#include "multiway/join_order.h"
+#include "query/lower_bounds.h"
+#include "query/query.h"
+#include "relation/csv.h"
+#include "relation/relation_ops.h"
+#include "workload/generator.h"
+
+namespace mpcqp {
+namespace {
+
+struct Options {
+  std::string query_text;
+  int servers = 16;
+  std::string algorithm = "hypercube";
+  std::map<std::string, std::string> generators;  // atom name -> spec.
+  std::map<std::string, std::string> inputs;      // atom name -> csv path.
+  std::string output_path;
+  bool analyze_only = false;
+  bool verify = false;
+  uint64_t seed = 42;
+};
+
+[[noreturn]] void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --query Q [--servers P] [--algorithm "
+      "hypercube|skewhc|binary|gym|planner|auto]\n"
+      "          [--gen NAME=SPEC]... [--input NAME=FILE.csv]...\n"
+      "          [--output FILE.csv] [--seed N] [--analyze] [--verify]\n",
+      argv0);
+  std::exit(2);
+}
+
+bool SplitKeyValue(const std::string& arg, std::string* key,
+                   std::string* value) {
+  const size_t eq = arg.find('=');
+  if (eq == std::string::npos) return false;
+  *key = arg.substr(0, eq);
+  *value = arg.substr(eq + 1);
+  return true;
+}
+
+std::vector<std::string> SplitColons(const std::string& s) {
+  std::vector<std::string> parts;
+  size_t pos = 0;
+  while (true) {
+    const size_t colon = s.find(':', pos);
+    if (colon == std::string::npos) {
+      parts.push_back(s.substr(pos));
+      break;
+    }
+    parts.push_back(s.substr(pos, colon - pos));
+    pos = colon + 1;
+  }
+  return parts;
+}
+
+StatusOr<Relation> Generate(const std::string& spec, int arity, Rng& rng) {
+  const std::vector<std::string> parts = SplitColons(spec);
+  const std::string& kind = parts[0];
+  auto need = [&](size_t n) { return parts.size() == n; };
+  if (kind == "uniform" && need(3)) {
+    return GenerateUniform(rng, std::atoll(parts[1].c_str()), arity,
+                           std::strtoull(parts[2].c_str(), nullptr, 10));
+  }
+  if (kind == "zipf" && need(4)) {
+    if (arity < 1) return InvalidArgumentError("zipf needs arity >= 1");
+    return GenerateZipf(rng, std::atoll(parts[1].c_str()), arity,
+                        std::strtoull(parts[2].c_str(), nullptr, 10),
+                        /*zipf_col=*/0, std::atof(parts[3].c_str()));
+  }
+  if (kind == "degree" && need(3)) {
+    if (arity != 2) return InvalidArgumentError("degree needs arity 2");
+    return GenerateMatchingDegree(rng, std::atoll(parts[1].c_str()),
+                                  std::atoll(parts[2].c_str()));
+  }
+  if (kind == "graph" && need(3)) {
+    if (arity != 2) return InvalidArgumentError("graph needs arity 2");
+    return GenerateRandomGraph(rng,
+                               std::strtoull(parts[1].c_str(), nullptr, 10),
+                               std::atoll(parts[2].c_str()));
+  }
+  return InvalidArgumentError("bad generator spec: " + spec);
+}
+
+int Run(const Options& options) {
+  const auto query = ConjunctiveQuery::Parse(options.query_text);
+  if (!query.ok()) {
+    std::fprintf(stderr, "query error: %s\n",
+                 query.status().ToString().c_str());
+    return 1;
+  }
+  const ConjunctiveQuery& q = *query;
+  std::printf("query: %s\n", q.ToString().c_str());
+
+  // --- Analysis ---
+  const auto packing = FractionalEdgePacking(q);
+  const auto cover = FractionalEdgeCover(q);
+  if (packing.ok() && cover.ok()) {
+    std::printf("tau* (edge packing) = %.3f   rho* (edge cover) = %.3f   "
+                "acyclic: %s\n",
+                packing->value, cover->value,
+                IsAcyclic(q) ? "yes" : "no");
+  }
+
+  // --- Data ---
+  Rng rng(options.seed);
+  std::vector<Relation> atoms;
+  std::vector<int64_t> sizes;
+  for (int j = 0; j < q.num_atoms(); ++j) {
+    const Atom& atom = q.atom(j);
+    Relation rel(atom.arity());
+    if (const auto it = options.inputs.find(atom.name);
+        it != options.inputs.end()) {
+      auto loaded = ReadCsvFile(it->second, atom.arity());
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "input %s: %s\n", atom.name.c_str(),
+                     loaded.status().ToString().c_str());
+        return 1;
+      }
+      rel = std::move(loaded).value();
+    } else if (const auto git = options.generators.find(atom.name);
+               git != options.generators.end()) {
+      auto generated = Generate(git->second, atom.arity(), rng);
+      if (!generated.ok()) {
+        std::fprintf(stderr, "gen %s: %s\n", atom.name.c_str(),
+                     generated.status().ToString().c_str());
+        return 1;
+      }
+      rel = std::move(generated).value();
+    } else if (!options.analyze_only) {
+      std::fprintf(stderr,
+                   "no data for atom %s (use --gen or --input)\n",
+                   atom.name.c_str());
+      return 1;
+    }
+    std::printf("  %s: %lld tuples\n", atom.name.c_str(),
+                static_cast<long long>(rel.size()));
+    sizes.push_back(rel.size());
+    atoms.push_back(std::move(rel));
+  }
+
+  const auto agm = AgmBound(q, sizes);
+  if (agm.ok()) std::printf("AGM output bound: %.0f\n", *agm);
+  const IntegerShares shares = ComputeShares(q, sizes, options.servers);
+  std::printf("HyperCube shares for p=%d: ", options.servers);
+  for (int v = 0; v < q.num_vars(); ++v) {
+    std::printf("%s=%d ", q.var_name(v).c_str(), shares.shares[v]);
+  }
+  std::printf(" (predicted load %.0f tuples)\n", shares.predicted_load);
+  const auto lb = OneRoundLoadLowerBound(q, sizes, options.servers);
+  if (lb.ok()) std::printf("one-round load lower bound: %.0f tuples\n", *lb);
+
+  // EXPLAIN-style extras when data is present.
+  bool have_data = true;
+  for (const Relation& rel : atoms) {
+    if (rel.empty()) have_data = false;
+  }
+  if (have_data) {
+    std::vector<DistRelation> probe;
+    for (const Relation& rel : atoms) {
+      probe.push_back(DistRelation::Scatter(rel, options.servers));
+    }
+    const std::vector<int> order = GreedyJoinOrder(q, probe);
+    const std::vector<double> estimates =
+        EstimateIntermediates(q, probe, order);
+    std::printf("greedy binary-join order:");
+    for (size_t i = 0; i < order.size(); ++i) {
+      std::printf(" %s", q.atom(order[i]).name.c_str());
+      if (i > 0) {
+        std::printf("(~%.0f)", estimates[i - 1]);
+      }
+    }
+    std::printf("\n");
+  }
+  if (IsAcyclic(q)) {
+    const auto tree = BuildJoinTree(q);
+    if (tree.ok()) {
+      std::printf("join tree: %s\n", tree->ToString(q).c_str());
+    }
+  }
+  if (options.analyze_only) return 0;
+
+  // --- Execution ---
+  Cluster cluster(options.servers, options.seed + 1);
+  std::vector<DistRelation> dist;
+  for (const Relation& r : atoms) {
+    dist.push_back(DistRelation::Scatter(r, options.servers));
+  }
+  Rng algo_rng(options.seed + 2);
+
+  std::string algorithm = options.algorithm;
+  if (algorithm == "auto") {
+    algorithm = IsAcyclic(q) ? "gym" : "skewhc";
+  }
+  DistRelation output(q.num_vars(), options.servers);
+  if (algorithm == "planner") {
+    const PlanChoice choice = ChoosePlan(q, dist, options.servers);
+    std::printf("planner candidates:\n");
+    for (const CandidatePlan& plan : choice.candidates) {
+      std::printf("  %-12s %s est L=%.0f r=%d  (%s)\n",
+                  PlanAlgorithmName(plan.algorithm),
+                  plan.feasible ? "ok " : "n/a", plan.estimated_load,
+                  plan.estimated_rounds, plan.rationale.c_str());
+    }
+    std::printf("planner chose: %s\n",
+                PlanAlgorithmName(choice.chosen.algorithm));
+    output = ExecutePlan(cluster, q, dist, choice, algo_rng);
+    algorithm = PlanAlgorithmName(choice.chosen.algorithm);
+  } else if (algorithm == "hypercube") {
+    output = HyperCubeJoin(cluster, q, dist).output;
+  } else if (algorithm == "skewhc") {
+    output = SkewHcJoin(cluster, q, dist).output;
+  } else if (algorithm == "binary") {
+    BinaryPlanOptions plan;
+    plan.skew_aware = true;
+    output = IterativeBinaryJoin(cluster, q, dist, algo_rng, plan).output;
+  } else if (algorithm == "gym") {
+    const auto tree = BuildJoinTree(q);
+    if (!tree.ok()) {
+      std::fprintf(stderr, "gym: %s\n", tree.status().ToString().c_str());
+      return 1;
+    }
+    GymOptions gym;
+    gym.optimized = true;
+    output = GymJoin(cluster, q, *tree, dist, algo_rng, gym).output;
+  } else {
+    std::fprintf(stderr, "unknown algorithm: %s\n", algorithm.c_str());
+    return 1;
+  }
+
+  std::printf("\nalgorithm: %s\noutput: %lld tuples\n%s\n",
+              algorithm.c_str(),
+              static_cast<long long>(output.TotalSize()),
+              cluster.cost_report().ToString().c_str());
+
+  if (options.verify) {
+    const Relation expected = EvalJoinLocal(q, atoms);
+    const bool ok = MultisetEqual(output.Collect(), expected);
+    std::printf("verify against serial evaluation: %s\n",
+                ok ? "PASS" : "FAIL");
+    if (!ok) return 1;
+  }
+  if (!options.output_path.empty()) {
+    const Status written =
+        WriteCsvFile(output.Collect(), options.output_path);
+    if (!written.ok()) {
+      std::fprintf(stderr, "output: %s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", options.output_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace mpcqp
+
+int main(int argc, char** argv) {
+  mpcqp::Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) mpcqp::Usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--query") {
+      options.query_text = next();
+    } else if (arg == "--servers" || arg == "-p") {
+      options.servers = std::atoi(next().c_str());
+    } else if (arg == "--algorithm") {
+      options.algorithm = next();
+    } else if (arg == "--gen") {
+      std::string key;
+      std::string value;
+      if (!mpcqp::SplitKeyValue(next(), &key, &value)) {
+        mpcqp::Usage(argv[0]);
+      }
+      options.generators[key] = value;
+    } else if (arg == "--input") {
+      std::string key;
+      std::string value;
+      if (!mpcqp::SplitKeyValue(next(), &key, &value)) {
+        mpcqp::Usage(argv[0]);
+      }
+      options.inputs[key] = value;
+    } else if (arg == "--output") {
+      options.output_path = next();
+    } else if (arg == "--seed") {
+      options.seed = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--analyze") {
+      options.analyze_only = true;
+    } else if (arg == "--verify") {
+      options.verify = true;
+    } else {
+      mpcqp::Usage(argv[0]);
+    }
+  }
+  if (options.query_text.empty() || options.servers < 1) {
+    mpcqp::Usage(argv[0]);
+  }
+  return mpcqp::Run(options);
+}
