@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_wcoj.dir/bench_ablation_wcoj.cc.o"
+  "CMakeFiles/bench_ablation_wcoj.dir/bench_ablation_wcoj.cc.o.d"
+  "bench_ablation_wcoj"
+  "bench_ablation_wcoj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_wcoj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bigjoin.dir/bench_bigjoin.cc.o"
+  "CMakeFiles/bench_bigjoin.dir/bench_bigjoin.cc.o.d"
+  "bench_bigjoin"
+  "bench_bigjoin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bigjoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cartesian_product.dir/bench_cartesian_product.cc.o"
+  "CMakeFiles/bench_cartesian_product.dir/bench_cartesian_product.cc.o.d"
+  "bench_cartesian_product"
+  "bench_cartesian_product.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cartesian_product.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

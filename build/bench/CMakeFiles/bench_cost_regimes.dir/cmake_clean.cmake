@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cost_regimes.dir/bench_cost_regimes.cc.o"
+  "CMakeFiles/bench_cost_regimes.dir/bench_cost_regimes.cc.o.d"
+  "bench_cost_regimes"
+  "bench_cost_regimes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cost_regimes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gym.dir/bench_gym.cc.o"
+  "CMakeFiles/bench_gym.dir/bench_gym.cc.o.d"
+  "bench_gym"
+  "bench_gym.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gym.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

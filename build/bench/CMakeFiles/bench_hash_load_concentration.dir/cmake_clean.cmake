@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hash_load_concentration.dir/bench_hash_load_concentration.cc.o"
+  "CMakeFiles/bench_hash_load_concentration.dir/bench_hash_load_concentration.cc.o.d"
+  "bench_hash_load_concentration"
+  "bench_hash_load_concentration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hash_load_concentration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hypercube_speedup.dir/bench_hypercube_speedup.cc.o"
+  "CMakeFiles/bench_hypercube_speedup.dir/bench_hypercube_speedup.cc.o.d"
+  "bench_hypercube_speedup"
+  "bench_hypercube_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hypercube_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_intermediate_blowup.dir/bench_intermediate_blowup.cc.o"
+  "CMakeFiles/bench_intermediate_blowup.dir/bench_intermediate_blowup.cc.o.d"
+  "bench_intermediate_blowup"
+  "bench_intermediate_blowup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_intermediate_blowup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

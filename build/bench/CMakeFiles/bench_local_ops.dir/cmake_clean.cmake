@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_local_ops.dir/bench_local_ops.cc.o"
+  "CMakeFiles/bench_local_ops.dir/bench_local_ops.cc.o.d"
+  "bench_local_ops"
+  "bench_local_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_local_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multiround_plans.dir/bench_multiround_plans.cc.o"
+  "CMakeFiles/bench_multiround_plans.dir/bench_multiround_plans.cc.o.d"
+  "bench_multiround_plans"
+  "bench_multiround_plans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multiround_plans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rounds_vs_skew.dir/bench_rounds_vs_skew.cc.o"
+  "CMakeFiles/bench_rounds_vs_skew.dir/bench_rounds_vs_skew.cc.o.d"
+  "bench_rounds_vs_skew"
+  "bench_rounds_vs_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rounds_vs_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

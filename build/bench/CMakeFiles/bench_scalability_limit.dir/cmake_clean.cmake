@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scalability_limit.dir/bench_scalability_limit.cc.o"
+  "CMakeFiles/bench_scalability_limit.dir/bench_scalability_limit.cc.o.d"
+  "bench_scalability_limit"
+  "bench_scalability_limit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scalability_limit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

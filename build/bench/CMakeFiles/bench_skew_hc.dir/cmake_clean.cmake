@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_skew_hc.dir/bench_skew_hc.cc.o"
+  "CMakeFiles/bench_skew_hc.dir/bench_skew_hc.cc.o.d"
+  "bench_skew_hc"
+  "bench_skew_hc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_skew_hc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_skew_threshold_figure.dir/bench_skew_threshold_figure.cc.o"
+  "CMakeFiles/bench_skew_threshold_figure.dir/bench_skew_threshold_figure.cc.o.d"
+  "bench_skew_threshold_figure"
+  "bench_skew_threshold_figure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_skew_threshold_figure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_triangle_hypercube.dir/bench_triangle_hypercube.cc.o"
+  "CMakeFiles/bench_triangle_hypercube.dir/bench_triangle_hypercube.cc.o.d"
+  "bench_triangle_hypercube"
+  "bench_triangle_hypercube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_triangle_hypercube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

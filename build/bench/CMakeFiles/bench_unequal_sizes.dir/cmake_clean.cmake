@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_unequal_sizes.dir/bench_unequal_sizes.cc.o"
+  "CMakeFiles/bench_unequal_sizes.dir/bench_unequal_sizes.cc.o.d"
+  "bench_unequal_sizes"
+  "bench_unequal_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_unequal_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_alignment.dir/sensor_alignment.cpp.o"
+  "CMakeFiles/sensor_alignment.dir/sensor_alignment.cpp.o.d"
+  "sensor_alignment"
+  "sensor_alignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_alignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

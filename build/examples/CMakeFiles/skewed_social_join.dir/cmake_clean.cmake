@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skewed_social_join.dir/skewed_social_join.cpp.o"
+  "CMakeFiles/skewed_social_join.dir/skewed_social_join.cpp.o.d"
+  "skewed_social_join"
+  "skewed_social_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skewed_social_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/star_warehouse.dir/star_warehouse.cpp.o"
+  "CMakeFiles/star_warehouse.dir/star_warehouse.cpp.o.d"
+  "star_warehouse"
+  "star_warehouse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/star_warehouse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subgraph_motifs.dir/subgraph_motifs.cpp.o"
+  "CMakeFiles/subgraph_motifs.dir/subgraph_motifs.cpp.o.d"
+  "subgraph_motifs"
+  "subgraph_motifs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subgraph_motifs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

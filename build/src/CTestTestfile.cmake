@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("lp")
+subdirs("relation")
+subdirs("workload")
+subdirs("mpc")
+subdirs("agg")
+subdirs("query")
+subdirs("join")
+subdirs("multiway")
+subdirs("acyclic")
+subdirs("planner")
+subdirs("sort")
+subdirs("matmul")

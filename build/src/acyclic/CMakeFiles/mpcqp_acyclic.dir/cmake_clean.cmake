@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpcqp_acyclic.dir/gym.cc.o"
+  "CMakeFiles/mpcqp_acyclic.dir/gym.cc.o.d"
+  "CMakeFiles/mpcqp_acyclic.dir/yannakakis.cc.o"
+  "CMakeFiles/mpcqp_acyclic.dir/yannakakis.cc.o.d"
+  "libmpcqp_acyclic.a"
+  "libmpcqp_acyclic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpcqp_acyclic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mpcqp_acyclic.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpcqp_agg.dir/aggregate.cc.o"
+  "CMakeFiles/mpcqp_agg.dir/aggregate.cc.o.d"
+  "libmpcqp_agg.a"
+  "libmpcqp_agg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpcqp_agg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

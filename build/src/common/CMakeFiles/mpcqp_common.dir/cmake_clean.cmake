@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpcqp_common.dir/hash.cc.o"
+  "CMakeFiles/mpcqp_common.dir/hash.cc.o.d"
+  "CMakeFiles/mpcqp_common.dir/random.cc.o"
+  "CMakeFiles/mpcqp_common.dir/random.cc.o.d"
+  "CMakeFiles/mpcqp_common.dir/status.cc.o"
+  "CMakeFiles/mpcqp_common.dir/status.cc.o.d"
+  "libmpcqp_common.a"
+  "libmpcqp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpcqp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

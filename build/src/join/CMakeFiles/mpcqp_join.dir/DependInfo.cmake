@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/join/broadcast_join.cc" "src/join/CMakeFiles/mpcqp_join.dir/broadcast_join.cc.o" "gcc" "src/join/CMakeFiles/mpcqp_join.dir/broadcast_join.cc.o.d"
+  "/root/repo/src/join/cartesian.cc" "src/join/CMakeFiles/mpcqp_join.dir/cartesian.cc.o" "gcc" "src/join/CMakeFiles/mpcqp_join.dir/cartesian.cc.o.d"
+  "/root/repo/src/join/hash_join.cc" "src/join/CMakeFiles/mpcqp_join.dir/hash_join.cc.o" "gcc" "src/join/CMakeFiles/mpcqp_join.dir/hash_join.cc.o.d"
+  "/root/repo/src/join/heavy_hitters.cc" "src/join/CMakeFiles/mpcqp_join.dir/heavy_hitters.cc.o" "gcc" "src/join/CMakeFiles/mpcqp_join.dir/heavy_hitters.cc.o.d"
+  "/root/repo/src/join/semi_join.cc" "src/join/CMakeFiles/mpcqp_join.dir/semi_join.cc.o" "gcc" "src/join/CMakeFiles/mpcqp_join.dir/semi_join.cc.o.d"
+  "/root/repo/src/join/skew_join.cc" "src/join/CMakeFiles/mpcqp_join.dir/skew_join.cc.o" "gcc" "src/join/CMakeFiles/mpcqp_join.dir/skew_join.cc.o.d"
+  "/root/repo/src/join/sort_join.cc" "src/join/CMakeFiles/mpcqp_join.dir/sort_join.cc.o" "gcc" "src/join/CMakeFiles/mpcqp_join.dir/sort_join.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mpcqp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpc/CMakeFiles/mpcqp_mpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/relation/CMakeFiles/mpcqp_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/sort/CMakeFiles/mpcqp_sort.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpcqp_join.dir/broadcast_join.cc.o"
+  "CMakeFiles/mpcqp_join.dir/broadcast_join.cc.o.d"
+  "CMakeFiles/mpcqp_join.dir/cartesian.cc.o"
+  "CMakeFiles/mpcqp_join.dir/cartesian.cc.o.d"
+  "CMakeFiles/mpcqp_join.dir/hash_join.cc.o"
+  "CMakeFiles/mpcqp_join.dir/hash_join.cc.o.d"
+  "CMakeFiles/mpcqp_join.dir/heavy_hitters.cc.o"
+  "CMakeFiles/mpcqp_join.dir/heavy_hitters.cc.o.d"
+  "CMakeFiles/mpcqp_join.dir/semi_join.cc.o"
+  "CMakeFiles/mpcqp_join.dir/semi_join.cc.o.d"
+  "CMakeFiles/mpcqp_join.dir/skew_join.cc.o"
+  "CMakeFiles/mpcqp_join.dir/skew_join.cc.o.d"
+  "CMakeFiles/mpcqp_join.dir/sort_join.cc.o"
+  "CMakeFiles/mpcqp_join.dir/sort_join.cc.o.d"
+  "libmpcqp_join.a"
+  "libmpcqp_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpcqp_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

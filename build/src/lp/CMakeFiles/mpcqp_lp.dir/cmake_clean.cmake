@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpcqp_lp.dir/simplex.cc.o"
+  "CMakeFiles/mpcqp_lp.dir/simplex.cc.o.d"
+  "libmpcqp_lp.a"
+  "libmpcqp_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpcqp_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

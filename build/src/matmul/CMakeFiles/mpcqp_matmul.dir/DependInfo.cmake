@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/matmul/block_mm.cc" "src/matmul/CMakeFiles/mpcqp_matmul.dir/block_mm.cc.o" "gcc" "src/matmul/CMakeFiles/mpcqp_matmul.dir/block_mm.cc.o.d"
+  "/root/repo/src/matmul/cost_model.cc" "src/matmul/CMakeFiles/mpcqp_matmul.dir/cost_model.cc.o" "gcc" "src/matmul/CMakeFiles/mpcqp_matmul.dir/cost_model.cc.o.d"
+  "/root/repo/src/matmul/matrix.cc" "src/matmul/CMakeFiles/mpcqp_matmul.dir/matrix.cc.o" "gcc" "src/matmul/CMakeFiles/mpcqp_matmul.dir/matrix.cc.o.d"
+  "/root/repo/src/matmul/rect_mm.cc" "src/matmul/CMakeFiles/mpcqp_matmul.dir/rect_mm.cc.o" "gcc" "src/matmul/CMakeFiles/mpcqp_matmul.dir/rect_mm.cc.o.d"
+  "/root/repo/src/matmul/sql_mm.cc" "src/matmul/CMakeFiles/mpcqp_matmul.dir/sql_mm.cc.o" "gcc" "src/matmul/CMakeFiles/mpcqp_matmul.dir/sql_mm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mpcqp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/join/CMakeFiles/mpcqp_join.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpc/CMakeFiles/mpcqp_mpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/relation/CMakeFiles/mpcqp_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/sort/CMakeFiles/mpcqp_sort.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

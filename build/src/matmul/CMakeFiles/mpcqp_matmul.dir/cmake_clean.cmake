@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpcqp_matmul.dir/block_mm.cc.o"
+  "CMakeFiles/mpcqp_matmul.dir/block_mm.cc.o.d"
+  "CMakeFiles/mpcqp_matmul.dir/cost_model.cc.o"
+  "CMakeFiles/mpcqp_matmul.dir/cost_model.cc.o.d"
+  "CMakeFiles/mpcqp_matmul.dir/matrix.cc.o"
+  "CMakeFiles/mpcqp_matmul.dir/matrix.cc.o.d"
+  "CMakeFiles/mpcqp_matmul.dir/rect_mm.cc.o"
+  "CMakeFiles/mpcqp_matmul.dir/rect_mm.cc.o.d"
+  "CMakeFiles/mpcqp_matmul.dir/sql_mm.cc.o"
+  "CMakeFiles/mpcqp_matmul.dir/sql_mm.cc.o.d"
+  "libmpcqp_matmul.a"
+  "libmpcqp_matmul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpcqp_matmul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpc/bsp_time.cc" "src/mpc/CMakeFiles/mpcqp_mpc.dir/bsp_time.cc.o" "gcc" "src/mpc/CMakeFiles/mpcqp_mpc.dir/bsp_time.cc.o.d"
+  "/root/repo/src/mpc/cluster.cc" "src/mpc/CMakeFiles/mpcqp_mpc.dir/cluster.cc.o" "gcc" "src/mpc/CMakeFiles/mpcqp_mpc.dir/cluster.cc.o.d"
+  "/root/repo/src/mpc/cost.cc" "src/mpc/CMakeFiles/mpcqp_mpc.dir/cost.cc.o" "gcc" "src/mpc/CMakeFiles/mpcqp_mpc.dir/cost.cc.o.d"
+  "/root/repo/src/mpc/dist_relation.cc" "src/mpc/CMakeFiles/mpcqp_mpc.dir/dist_relation.cc.o" "gcc" "src/mpc/CMakeFiles/mpcqp_mpc.dir/dist_relation.cc.o.d"
+  "/root/repo/src/mpc/exchange.cc" "src/mpc/CMakeFiles/mpcqp_mpc.dir/exchange.cc.o" "gcc" "src/mpc/CMakeFiles/mpcqp_mpc.dir/exchange.cc.o.d"
+  "/root/repo/src/mpc/set_ops.cc" "src/mpc/CMakeFiles/mpcqp_mpc.dir/set_ops.cc.o" "gcc" "src/mpc/CMakeFiles/mpcqp_mpc.dir/set_ops.cc.o.d"
+  "/root/repo/src/mpc/stats.cc" "src/mpc/CMakeFiles/mpcqp_mpc.dir/stats.cc.o" "gcc" "src/mpc/CMakeFiles/mpcqp_mpc.dir/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mpcqp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/relation/CMakeFiles/mpcqp_relation.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpcqp_mpc.dir/bsp_time.cc.o"
+  "CMakeFiles/mpcqp_mpc.dir/bsp_time.cc.o.d"
+  "CMakeFiles/mpcqp_mpc.dir/cluster.cc.o"
+  "CMakeFiles/mpcqp_mpc.dir/cluster.cc.o.d"
+  "CMakeFiles/mpcqp_mpc.dir/cost.cc.o"
+  "CMakeFiles/mpcqp_mpc.dir/cost.cc.o.d"
+  "CMakeFiles/mpcqp_mpc.dir/dist_relation.cc.o"
+  "CMakeFiles/mpcqp_mpc.dir/dist_relation.cc.o.d"
+  "CMakeFiles/mpcqp_mpc.dir/exchange.cc.o"
+  "CMakeFiles/mpcqp_mpc.dir/exchange.cc.o.d"
+  "CMakeFiles/mpcqp_mpc.dir/set_ops.cc.o"
+  "CMakeFiles/mpcqp_mpc.dir/set_ops.cc.o.d"
+  "CMakeFiles/mpcqp_mpc.dir/stats.cc.o"
+  "CMakeFiles/mpcqp_mpc.dir/stats.cc.o.d"
+  "libmpcqp_mpc.a"
+  "libmpcqp_mpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpcqp_mpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/multiway/bigjoin.cc" "src/multiway/CMakeFiles/mpcqp_multiway.dir/bigjoin.cc.o" "gcc" "src/multiway/CMakeFiles/mpcqp_multiway.dir/bigjoin.cc.o.d"
+  "/root/repo/src/multiway/binary_plan.cc" "src/multiway/CMakeFiles/mpcqp_multiway.dir/binary_plan.cc.o" "gcc" "src/multiway/CMakeFiles/mpcqp_multiway.dir/binary_plan.cc.o.d"
+  "/root/repo/src/multiway/hypercube.cc" "src/multiway/CMakeFiles/mpcqp_multiway.dir/hypercube.cc.o" "gcc" "src/multiway/CMakeFiles/mpcqp_multiway.dir/hypercube.cc.o.d"
+  "/root/repo/src/multiway/join_order.cc" "src/multiway/CMakeFiles/mpcqp_multiway.dir/join_order.cc.o" "gcc" "src/multiway/CMakeFiles/mpcqp_multiway.dir/join_order.cc.o.d"
+  "/root/repo/src/multiway/shares.cc" "src/multiway/CMakeFiles/mpcqp_multiway.dir/shares.cc.o" "gcc" "src/multiway/CMakeFiles/mpcqp_multiway.dir/shares.cc.o.d"
+  "/root/repo/src/multiway/skew_hc.cc" "src/multiway/CMakeFiles/mpcqp_multiway.dir/skew_hc.cc.o" "gcc" "src/multiway/CMakeFiles/mpcqp_multiway.dir/skew_hc.cc.o.d"
+  "/root/repo/src/multiway/triangle_hl.cc" "src/multiway/CMakeFiles/mpcqp_multiway.dir/triangle_hl.cc.o" "gcc" "src/multiway/CMakeFiles/mpcqp_multiway.dir/triangle_hl.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mpcqp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/join/CMakeFiles/mpcqp_join.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpc/CMakeFiles/mpcqp_mpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/mpcqp_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/relation/CMakeFiles/mpcqp_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/sort/CMakeFiles/mpcqp_sort.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/mpcqp_lp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

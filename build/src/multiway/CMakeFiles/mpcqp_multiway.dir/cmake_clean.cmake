@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpcqp_multiway.dir/bigjoin.cc.o"
+  "CMakeFiles/mpcqp_multiway.dir/bigjoin.cc.o.d"
+  "CMakeFiles/mpcqp_multiway.dir/binary_plan.cc.o"
+  "CMakeFiles/mpcqp_multiway.dir/binary_plan.cc.o.d"
+  "CMakeFiles/mpcqp_multiway.dir/hypercube.cc.o"
+  "CMakeFiles/mpcqp_multiway.dir/hypercube.cc.o.d"
+  "CMakeFiles/mpcqp_multiway.dir/join_order.cc.o"
+  "CMakeFiles/mpcqp_multiway.dir/join_order.cc.o.d"
+  "CMakeFiles/mpcqp_multiway.dir/shares.cc.o"
+  "CMakeFiles/mpcqp_multiway.dir/shares.cc.o.d"
+  "CMakeFiles/mpcqp_multiway.dir/skew_hc.cc.o"
+  "CMakeFiles/mpcqp_multiway.dir/skew_hc.cc.o.d"
+  "CMakeFiles/mpcqp_multiway.dir/triangle_hl.cc.o"
+  "CMakeFiles/mpcqp_multiway.dir/triangle_hl.cc.o.d"
+  "libmpcqp_multiway.a"
+  "libmpcqp_multiway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpcqp_multiway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpcqp_planner.dir/planner.cc.o"
+  "CMakeFiles/mpcqp_planner.dir/planner.cc.o.d"
+  "libmpcqp_planner.a"
+  "libmpcqp_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpcqp_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

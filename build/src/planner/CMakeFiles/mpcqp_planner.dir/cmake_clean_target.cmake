@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmpcqp_planner.a"
+)

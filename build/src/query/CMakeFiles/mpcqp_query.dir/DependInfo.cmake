@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/generic_join.cc" "src/query/CMakeFiles/mpcqp_query.dir/generic_join.cc.o" "gcc" "src/query/CMakeFiles/mpcqp_query.dir/generic_join.cc.o.d"
+  "/root/repo/src/query/ghd.cc" "src/query/CMakeFiles/mpcqp_query.dir/ghd.cc.o" "gcc" "src/query/CMakeFiles/mpcqp_query.dir/ghd.cc.o.d"
+  "/root/repo/src/query/hypergraph_lp.cc" "src/query/CMakeFiles/mpcqp_query.dir/hypergraph_lp.cc.o" "gcc" "src/query/CMakeFiles/mpcqp_query.dir/hypergraph_lp.cc.o.d"
+  "/root/repo/src/query/local_eval.cc" "src/query/CMakeFiles/mpcqp_query.dir/local_eval.cc.o" "gcc" "src/query/CMakeFiles/mpcqp_query.dir/local_eval.cc.o.d"
+  "/root/repo/src/query/lower_bounds.cc" "src/query/CMakeFiles/mpcqp_query.dir/lower_bounds.cc.o" "gcc" "src/query/CMakeFiles/mpcqp_query.dir/lower_bounds.cc.o.d"
+  "/root/repo/src/query/query.cc" "src/query/CMakeFiles/mpcqp_query.dir/query.cc.o" "gcc" "src/query/CMakeFiles/mpcqp_query.dir/query.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mpcqp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/mpcqp_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/relation/CMakeFiles/mpcqp_relation.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpcqp_query.dir/generic_join.cc.o"
+  "CMakeFiles/mpcqp_query.dir/generic_join.cc.o.d"
+  "CMakeFiles/mpcqp_query.dir/ghd.cc.o"
+  "CMakeFiles/mpcqp_query.dir/ghd.cc.o.d"
+  "CMakeFiles/mpcqp_query.dir/hypergraph_lp.cc.o"
+  "CMakeFiles/mpcqp_query.dir/hypergraph_lp.cc.o.d"
+  "CMakeFiles/mpcqp_query.dir/local_eval.cc.o"
+  "CMakeFiles/mpcqp_query.dir/local_eval.cc.o.d"
+  "CMakeFiles/mpcqp_query.dir/lower_bounds.cc.o"
+  "CMakeFiles/mpcqp_query.dir/lower_bounds.cc.o.d"
+  "CMakeFiles/mpcqp_query.dir/query.cc.o"
+  "CMakeFiles/mpcqp_query.dir/query.cc.o.d"
+  "libmpcqp_query.a"
+  "libmpcqp_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpcqp_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpcqp_relation.dir/csv.cc.o"
+  "CMakeFiles/mpcqp_relation.dir/csv.cc.o.d"
+  "CMakeFiles/mpcqp_relation.dir/key_index.cc.o"
+  "CMakeFiles/mpcqp_relation.dir/key_index.cc.o.d"
+  "CMakeFiles/mpcqp_relation.dir/relation.cc.o"
+  "CMakeFiles/mpcqp_relation.dir/relation.cc.o.d"
+  "CMakeFiles/mpcqp_relation.dir/relation_ops.cc.o"
+  "CMakeFiles/mpcqp_relation.dir/relation_ops.cc.o.d"
+  "libmpcqp_relation.a"
+  "libmpcqp_relation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpcqp_relation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

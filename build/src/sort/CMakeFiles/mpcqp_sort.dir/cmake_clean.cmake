@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpcqp_sort.dir/band_join.cc.o"
+  "CMakeFiles/mpcqp_sort.dir/band_join.cc.o.d"
+  "CMakeFiles/mpcqp_sort.dir/multi_round_sort.cc.o"
+  "CMakeFiles/mpcqp_sort.dir/multi_round_sort.cc.o.d"
+  "CMakeFiles/mpcqp_sort.dir/psrs.cc.o"
+  "CMakeFiles/mpcqp_sort.dir/psrs.cc.o.d"
+  "libmpcqp_sort.a"
+  "libmpcqp_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpcqp_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpcqp_workload.dir/generator.cc.o"
+  "CMakeFiles/mpcqp_workload.dir/generator.cc.o.d"
+  "libmpcqp_workload.a"
+  "libmpcqp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpcqp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

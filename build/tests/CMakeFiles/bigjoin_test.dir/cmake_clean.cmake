@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bigjoin_test.dir/bigjoin_test.cc.o"
+  "CMakeFiles/bigjoin_test.dir/bigjoin_test.cc.o.d"
+  "bigjoin_test"
+  "bigjoin_test.pdb"
+  "bigjoin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bigjoin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

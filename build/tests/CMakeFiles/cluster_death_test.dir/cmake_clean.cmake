@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_death_test.dir/cluster_death_test.cc.o"
+  "CMakeFiles/cluster_death_test.dir/cluster_death_test.cc.o.d"
+  "cluster_death_test"
+  "cluster_death_test.pdb"
+  "cluster_death_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_death_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generic_join_test.dir/generic_join_test.cc.o"
+  "CMakeFiles/generic_join_test.dir/generic_join_test.cc.o.d"
+  "generic_join_test"
+  "generic_join_test.pdb"
+  "generic_join_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generic_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_order_test.dir/join_order_test.cc.o"
+  "CMakeFiles/join_order_test.dir/join_order_test.cc.o.d"
+  "join_order_test"
+  "join_order_test.pdb"
+  "join_order_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_order_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

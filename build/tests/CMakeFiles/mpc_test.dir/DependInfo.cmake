@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mpc_test.cc" "tests/CMakeFiles/mpc_test.dir/mpc_test.cc.o" "gcc" "tests/CMakeFiles/mpc_test.dir/mpc_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/acyclic/CMakeFiles/mpcqp_acyclic.dir/DependInfo.cmake"
+  "/root/repo/build/src/agg/CMakeFiles/mpcqp_agg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mpcqp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/join/CMakeFiles/mpcqp_join.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/mpcqp_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/matmul/CMakeFiles/mpcqp_matmul.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpc/CMakeFiles/mpcqp_mpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/multiway/CMakeFiles/mpcqp_multiway.dir/DependInfo.cmake"
+  "/root/repo/build/src/planner/CMakeFiles/mpcqp_planner.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/mpcqp_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/relation/CMakeFiles/mpcqp_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/sort/CMakeFiles/mpcqp_sort.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mpcqp_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/agg_test[1]_include.cmake")
+include("/root/repo/build/tests/planner_test[1]_include.cmake")
+include("/root/repo/build/tests/set_ops_test[1]_include.cmake")
+include("/root/repo/build/tests/join_order_test[1]_include.cmake")
+include("/root/repo/build/tests/differential_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_death_test[1]_include.cmake")
+include("/root/repo/build/tests/bigjoin_test[1]_include.cmake")
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/csv_test[1]_include.cmake")
+include("/root/repo/build/tests/generic_join_test[1]_include.cmake")
+include("/root/repo/build/tests/lower_bounds_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/lp_test[1]_include.cmake")
+include("/root/repo/build/tests/relation_test[1]_include.cmake")
+include("/root/repo/build/tests/mpc_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/query_test[1]_include.cmake")
+include("/root/repo/build/tests/ghd_test[1]_include.cmake")
+include("/root/repo/build/tests/join_test[1]_include.cmake")
+include("/root/repo/build/tests/semijoin_test[1]_include.cmake")
+include("/root/repo/build/tests/rect_mm_test[1]_include.cmake")
+include("/root/repo/build/tests/sort_test[1]_include.cmake")
+include("/root/repo/build/tests/multiway_test[1]_include.cmake")
+include("/root/repo/build/tests/acyclic_test[1]_include.cmake")
+include("/root/repo/build/tests/matmul_test[1]_include.cmake")

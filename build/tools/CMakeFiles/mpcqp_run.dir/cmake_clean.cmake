@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpcqp_run.dir/mpcqp_run.cc.o"
+  "CMakeFiles/mpcqp_run.dir/mpcqp_run.cc.o.d"
+  "mpcqp_run"
+  "mpcqp_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpcqp_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_analyze "/root/repo/build/tools/mpcqp_run" "--query" "Q(x,y,z) :- R(x,y), S(y,z), T(z,x)" "--analyze")
+set_tests_properties(cli_analyze PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_hypercube_verify "/root/repo/build/tools/mpcqp_run" "--query" "Q(x,y,z) :- R(x,y), S(y,z), T(z,x)" "--gen" "R=uniform:2000:400" "--gen" "S=uniform:2000:400" "--gen" "T=uniform:2000:400" "--servers" "27" "--algorithm" "hypercube" "--verify")
+set_tests_properties(cli_hypercube_verify PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_skewhc_verify "/root/repo/build/tools/mpcqp_run" "--query" "R(x,y), S(y,z), T(z,x)" "--gen" "R=uniform:1500:300" "--gen" "S=zipf:1500:300:1.4" "--gen" "T=uniform:1500:300" "--servers" "16" "--algorithm" "skewhc" "--verify")
+set_tests_properties(cli_skewhc_verify PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;25;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_gym_verify "/root/repo/build/tools/mpcqp_run" "--query" "A(x,y), B(y,z), C(z,w)" "--gen" "A=uniform:1200:200" "--gen" "B=uniform:1200:200" "--gen" "C=uniform:1200:200" "--servers" "8" "--algorithm" "gym" "--verify")
+set_tests_properties(cli_gym_verify PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;29;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_binary_verify "/root/repo/build/tools/mpcqp_run" "--query" "A(x,y), B(y,z)" "--gen" "A=degree:2000:10" "--gen" "B=uniform:2000:300" "--servers" "8" "--algorithm" "binary" "--verify")
+set_tests_properties(cli_binary_verify PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;33;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_planner_verify "/root/repo/build/tools/mpcqp_run" "--query" "R(x,y), S(y,z), T(z,x)" "--gen" "R=uniform:1000:200" "--gen" "S=zipf:1000:200:1.5" "--gen" "T=uniform:1000:200" "--servers" "16" "--algorithm" "planner" "--verify")
+set_tests_properties(cli_planner_verify PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;37;add_test;/root/repo/tools/CMakeLists.txt;0;")
