@@ -74,6 +74,52 @@ void Run() {
       "but two rounds. On skew-free data its per-round load is ~IN/p, so "
       "at large p the 1-round HC pays p^{1/3} extra — the 1-round-vs-"
       "multi-round tradeoff of slide 54.\n");
+
+  // Executor datapoint: the same p=64 HyperCube run with 1 vs 8 OS
+  // threads. The determinism contract makes the outputs and loads
+  // identical; only the wall time may change. Emitted machine-readable so
+  // CI can track the parallel executor's speedup on real multi-core
+  // hardware.
+  bench::Banner("Executor: threads=1 vs threads=8 (p=64 HyperCube)");
+  const int bench_p = 64;
+  std::vector<DistRelation> dist;
+  for (const Relation& r : atoms) {
+    dist.push_back(DistRelation::Scatter(r, bench_p));
+  }
+  bench::BenchJson json("triangle_hypercube");
+  json.Set("p", bench_p);
+  json.Set("n_per_relation", n);
+  Table exec_table({"threads", "wall ms", "max load (tuples)", "rounds"});
+  double wall_threads1 = 0.0;
+  for (const int threads : {1, 8}) {
+    ClusterOptions options;
+    options.num_threads = threads;
+    Cluster cluster(bench_p, 7, options);
+    const bench::WallTimer timer;
+    const HyperCubeResult result = HyperCubeJoin(cluster, q, dist);
+    const double wall_ms = timer.ElapsedMs();
+    if (threads == 1) wall_threads1 = wall_ms;
+    const CostReport& report = cluster.cost_report();
+    std::vector<int64_t> round_loads;
+    for (const RoundCost& round : report.rounds()) {
+      round_loads.push_back(round.MaxTuplesReceived());
+    }
+    exec_table.AddRow({FmtInt(threads), Fmt(wall_ms, 1),
+                       FmtInt(report.MaxLoadTuples()),
+                       FmtInt(report.num_rounds())});
+    const std::string suffix = "_threads" + std::to_string(threads);
+    json.Set("wall_ms" + suffix, wall_ms);
+    json.Set("max_load_tuples" + suffix, report.MaxLoadTuples());
+    json.SetArray("round_max_load_tuples" + suffix, round_loads);
+    json.Set("output_tuples" + suffix, result.output.TotalSize());
+    if (threads != 1 && wall_threads1 > 0.0 && wall_ms > 0.0) {
+      json.Set("speedup" + suffix, wall_threads1 / wall_ms);
+      std::printf("speedup threads=%d vs 1: %.2fx\n", threads,
+                  wall_threads1 / wall_ms);
+    }
+  }
+  exec_table.Print();
+  json.Write();
 }
 
 }  // namespace

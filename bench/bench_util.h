@@ -1,8 +1,10 @@
 #ifndef MPCQP_BENCH_BENCH_UTIL_H_
 #define MPCQP_BENCH_BENCH_UTIL_H_
 
+#include <chrono>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace mpcqp::bench {
@@ -64,6 +66,73 @@ inline std::string FmtInt(int64_t v) { return std::to_string(v); }
 inline void Banner(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
 }
+
+// Wall-clock stopwatch for the machine-readable datapoints below.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Machine-readable benchmark emission: collects (key, value) metrics in
+// insertion order and writes them as BENCH_<name>.json in the working
+// directory, so CI and scripts can track wall times, thread counts, and
+// per-round loads without scraping the console tables. Keys and string
+// values must not need JSON escaping (plain identifiers).
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  void Set(const std::string& key, double value) {
+    entries_.push_back({key, Fmt(value, 3)});
+  }
+  void Set(const std::string& key, int64_t value) {
+    entries_.push_back({key, std::to_string(value)});
+  }
+  void Set(const std::string& key, int value) {
+    Set(key, static_cast<int64_t>(value));
+  }
+  void Set(const std::string& key, const std::string& value) {
+    entries_.push_back({key, "\"" + value + "\""});
+  }
+  void SetArray(const std::string& key, const std::vector<int64_t>& values) {
+    std::string json = "[";
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (i > 0) json += ", ";
+      json += std::to_string(values[i]);
+    }
+    json += "]";
+    entries_.push_back({key, std::move(json)});
+  }
+
+  // Writes BENCH_<name>.json and echoes the path to the console.
+  void Write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::printf("(could not write %s)\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"name\": \"%s\"", name_.c_str());
+    for (const auto& [key, value] : entries_) {
+      std::fprintf(f, ",\n  \"%s\": %s", key.c_str(), value.c_str());
+    }
+    std::fprintf(f, "\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
 
 }  // namespace mpcqp::bench
 

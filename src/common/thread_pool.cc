@@ -1,0 +1,133 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <utility>
+
+#include "common/check.h"
+
+namespace mpcqp {
+
+namespace {
+
+thread_local int tls_worker_index = -1;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(std::max(1, num_threads)) {
+  workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int i = 0; i + 1 < num_threads_; ++i) {
+    workers_.emplace_back([this, i] { WorkerMain(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+int ThreadPool::current_worker_index() { return tls_worker_index; }
+
+void ThreadPool::Enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    MPCQP_CHECK(!stopping_) << "task submitted to a stopping ThreadPool";
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> task) {
+  auto packaged =
+      std::make_shared<std::packaged_task<void()>>(std::move(task));
+  std::future<void> result = packaged->get_future();
+  if (num_threads_ <= 1) {
+    (*packaged)();
+    return result;
+  }
+  Enqueue([packaged] { (*packaged)(); });
+  return result;
+}
+
+void ThreadPool::WorkerMain(int index) {
+  tls_worker_index = index;
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // Stopping and fully drained.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t n,
+                             const std::function<void(int64_t)>& body) {
+  if (n <= 0) return;
+  if (num_threads_ <= 1 || n == 1) {
+    for (int64_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  // Participants (the caller plus enqueued helper tasks) claim iterations
+  // from a shared counter; the loop is done when every claimed iteration
+  // has finished, not merely when the counter is exhausted.
+  struct LoopState {
+    std::atomic<int64_t> next{0};
+    int64_t n = 0;
+    const std::function<void(int64_t)>* body = nullptr;
+    std::mutex mu;
+    std::condition_variable done_cv;
+    int64_t done = 0;          // Guarded by mu.
+    int64_t error_index = -1;  // Guarded by mu.
+    std::exception_ptr error;  // Guarded by mu.
+  };
+  auto state = std::make_shared<LoopState>();
+  state->n = n;
+  state->body = &body;
+
+  const auto drain = [](const std::shared_ptr<LoopState>& s) {
+    int64_t finished = 0;
+    while (true) {
+      const int64_t i = s->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= s->n) break;
+      try {
+        (*s->body)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(s->mu);
+        if (s->error_index < 0 || i < s->error_index) {
+          s->error_index = i;
+          s->error = std::current_exception();
+        }
+      }
+      ++finished;
+    }
+    if (finished > 0) {
+      std::lock_guard<std::mutex> lock(s->mu);
+      s->done += finished;
+      if (s->done == s->n) s->done_cv.notify_all();
+    }
+  };
+
+  const int64_t helpers =
+      std::min<int64_t>(static_cast<int64_t>(num_threads_) - 1, n - 1);
+  for (int64_t h = 0; h < helpers; ++h) {
+    Enqueue([state, drain] { drain(state); });
+  }
+  drain(state);
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done_cv.wait(lock, [&state] { return state->done == state->n; });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace mpcqp

@@ -1,0 +1,72 @@
+#ifndef MPCQP_COMMON_THREAD_POOL_H_
+#define MPCQP_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mpcqp {
+
+// Fixed-size worker pool driving the simulator's parallel round execution.
+//
+// `num_threads` is the total degree of parallelism: the pool spawns
+// num_threads - 1 worker threads, and ParallelFor additionally runs loop
+// bodies on the calling thread. A pool of 1 spawns no threads and executes
+// everything inline on the caller, which makes `threads=1` exactly the
+// historic serial execution (no locks taken, no scheduling).
+//
+// Guarantees:
+//  - Submit: tasks start in FIFO submission order (one shared queue); the
+//    returned future observes completion and rethrows any exception the
+//    task escaped with. With num_threads == 1 the task runs synchronously
+//    inside Submit.
+//  - ParallelFor: the calling thread participates in draining the
+//    iteration space, so a ParallelFor issued from inside a pool task can
+//    never deadlock even when every worker is busy — the nested call
+//    simply runs its whole iteration space inline. Every iteration runs
+//    exactly once; if bodies throw, the exception raised by the lowest
+//    iteration index is rethrown after all iterations have finished.
+//  - Destruction: every task already submitted completes before the
+//    workers join (shutdown-while-busy drains the queue, it does not
+//    cancel).
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  // Enqueues `task` for execution on a worker (FIFO start order).
+  std::future<void> Submit(std::function<void()> task);
+
+  // Runs body(i) for every i in [0, n); see the class comment for the
+  // participation, nesting, and exception contract.
+  void ParallelFor(int64_t n, const std::function<void(int64_t)>& body);
+
+  // Index of the calling pool worker thread in [0, num_threads() - 1), or
+  // -1 when the caller is not a pool worker (e.g. the main thread).
+  static int current_worker_index();
+
+ private:
+  void Enqueue(std::function<void()> task);
+  void WorkerMain(int index);
+
+  int num_threads_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;  // Guarded by mu_.
+  bool stopping_ = false;                    // Guarded by mu_.
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mpcqp
+
+#endif  // MPCQP_COMMON_THREAD_POOL_H_

@@ -44,40 +44,44 @@ void ScatterForProduct(Cluster& cluster, const DistRelation& left,
 
   RoundScope scope(cluster, "cartesian product scatter");
 
-  // Left tuple -> one random row slice, replicated across that row.
+  // Grid placement hashes the tuple's source coordinates (seeded by `rng`)
+  // instead of drawing sequentially: routing runs concurrently across
+  // source fragments, and placement must not depend on visit order.
+  const HashFunction left_place(rng.Next());
+  const HashFunction right_place(rng.Next());
+  auto place_key = [](const RouteContext& ctx) {
+    return (static_cast<uint64_t>(ctx.src) << 42) ^
+           static_cast<uint64_t>(ctx.row);
+  };
+
+  // Left tuple -> one pseudo-random row slice, replicated across that row.
   {
-    DistRelation routed = Route(
+    DistRelation routed = RouteWithContext(
         cluster, left,
-        [&](const Value*, std::vector<int>& dests) {
-          const int r = static_cast<int>(rng.Uniform(rows));
+        [&](const RouteContext& ctx, const Value*, std::vector<int>& dests) {
+          const int r = left_place.Bucket(place_key(ctx), rows);
           for (int c = 0; c < cols; ++c) {
             dests.push_back(servers[r * cols + c]);
           }
         },
         "");
     for (int s = 0; s < cluster.num_servers(); ++s) {
-      const Relation& frag = routed.fragment(s);
-      for (int64_t i = 0; i < frag.size(); ++i) {
-        left_out->fragment(s).AppendRowFrom(frag, i);
-      }
+      left_out->fragment(s).Append(routed.fragment(s));
     }
   }
-  // Right tuple -> one random column slice, replicated down that column.
+  // Right tuple -> one pseudo-random column slice, replicated down it.
   {
-    DistRelation routed = Route(
+    DistRelation routed = RouteWithContext(
         cluster, right,
-        [&](const Value*, std::vector<int>& dests) {
-          const int c = static_cast<int>(rng.Uniform(cols));
+        [&](const RouteContext& ctx, const Value*, std::vector<int>& dests) {
+          const int c = right_place.Bucket(place_key(ctx), cols);
           for (int r = 0; r < rows; ++r) {
             dests.push_back(servers[r * cols + c]);
           }
         },
         "");
     for (int s = 0; s < cluster.num_servers(); ++s) {
-      const Relation& frag = routed.fragment(s);
-      for (int64_t i = 0; i < frag.size(); ++i) {
-        right_out->fragment(s).AppendRowFrom(frag, i);
-      }
+      right_out->fragment(s).Append(routed.fragment(s));
     }
   }
 }
@@ -95,14 +99,13 @@ DistRelation CartesianProduct(Cluster& cluster, const DistRelation& left,
   ScatterForProduct(cluster, left, right, servers, rows, cols, rng,
                     &left_parts, &right_parts);
 
-  std::vector<Relation> outputs;
-  outputs.reserve(p);
-  for (int s = 0; s < p; ++s) {
-    // Empty key list: a pure cross product per server.
-    outputs.push_back(
+  // Empty key list: a pure cross product per server, one pool task each.
+  std::vector<Relation> outputs(p);
+  cluster.pool().ParallelFor(p, [&](int64_t s) {
+    outputs[s] =
         HashJoinLocal(left_parts.fragment(s), right_parts.fragment(s),
-                      /*left_keys=*/{}, /*right_keys=*/{}));
-  }
+                      /*left_keys=*/{}, /*right_keys=*/{});
+  });
   return DistRelation::FromFragments(std::move(outputs));
 }
 

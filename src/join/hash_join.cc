@@ -41,13 +41,13 @@ DistRelation ParallelHashJoin(Cluster& cluster, const DistRelation& left,
       HashPartition(cluster, right, right_keys, hash, "");
   cluster.EndRound();
 
-  std::vector<Relation> outputs;
-  outputs.reserve(p);
-  for (int s = 0; s < p; ++s) {
-    outputs.push_back(RunLocalJoin(left_parts.fragment(s),
-                                   right_parts.fragment(s), left_keys,
-                                   right_keys, local));
-  }
+  // Local joins: one pool task per server, each writing its own slot.
+  std::vector<Relation> outputs(p);
+  cluster.pool().ParallelFor(p, [&](int64_t s) {
+    outputs[s] = RunLocalJoin(left_parts.fragment(s),
+                              right_parts.fragment(s), left_keys,
+                              right_keys, local);
+  });
   return DistRelation::FromFragments(std::move(outputs));
 }
 

@@ -25,10 +25,10 @@ DistRelation PartitionedFilter(Cluster& cluster, const DistRelation& left,
   // The filter side only needs its distinct keys: project + dedup locally
   // before shuffling (the classic semijoin-reduction trick).
   DistRelation right_keys_only(static_cast<int>(right_keys.size()), p);
-  for (int s = 0; s < p; ++s) {
+  cluster.pool().ParallelFor(p, [&](int64_t s) {
     right_keys_only.fragment(s) =
         Dedup(Project(right.fragment(s), right_keys));
-  }
+  });
   std::vector<int> key_cols(right_keys.size());
   for (size_t i = 0; i < key_cols.size(); ++i) {
     key_cols[i] = static_cast<int>(i);
@@ -39,16 +39,15 @@ DistRelation PartitionedFilter(Cluster& cluster, const DistRelation& left,
       HashPartition(cluster, right_keys_only, key_cols, hash, "");
   cluster.EndRound();
 
-  std::vector<Relation> outputs;
-  outputs.reserve(p);
-  for (int s = 0; s < p; ++s) {
-    outputs.push_back(
+  std::vector<Relation> outputs(p);
+  cluster.pool().ParallelFor(p, [&](int64_t s) {
+    outputs[s] =
         kind == FilterKind::kSemi
             ? SemijoinLocal(left_parts.fragment(s), right_parts.fragment(s),
                             left_keys, key_cols)
             : AntijoinLocal(left_parts.fragment(s), right_parts.fragment(s),
-                            left_keys, key_cols));
-  }
+                            left_keys, key_cols);
+  });
   return DistRelation::FromFragments(std::move(outputs));
 }
 
@@ -78,23 +77,21 @@ DistRelation BroadcastSemijoin(Cluster& cluster, const DistRelation& left,
   MPCQP_CHECK(!left_keys.empty());
   const int p = cluster.num_servers();
   DistRelation right_keys_only(static_cast<int>(right_keys.size()), p);
-  for (int s = 0; s < p; ++s) {
+  cluster.pool().ParallelFor(p, [&](int64_t s) {
     right_keys_only.fragment(s) =
         Dedup(Project(right.fragment(s), right_keys));
-  }
+  });
   const DistRelation everywhere =
       Broadcast(cluster, right_keys_only, "broadcast semijoin");
   std::vector<int> key_cols(right_keys.size());
   for (size_t i = 0; i < key_cols.size(); ++i) {
     key_cols[i] = static_cast<int>(i);
   }
-  std::vector<Relation> outputs;
-  outputs.reserve(p);
-  for (int s = 0; s < p; ++s) {
-    outputs.push_back(SemijoinLocal(left.fragment(s),
-                                    everywhere.fragment(s), left_keys,
-                                    key_cols));
-  }
+  std::vector<Relation> outputs(p);
+  cluster.pool().ParallelFor(p, [&](int64_t s) {
+    outputs[s] = SemijoinLocal(left.fragment(s), everywhere.fragment(s),
+                               left_keys, key_cols);
+  });
   return DistRelation::FromFragments(std::move(outputs));
 }
 

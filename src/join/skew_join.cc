@@ -102,11 +102,23 @@ DistRelation SkewAwareJoin(Cluster& cluster, const DistRelation& left,
   auto light_dest = [&](Value key) {
     return hash.Bucket(key, p);
   };
+  // Heavy tuples spread over their grid by a hash of the tuple's source
+  // coordinates rather than a sequential rng draw: routing runs
+  // concurrently across source fragments, and a draw-per-visit would make
+  // placement (and load) depend on visit order. `rng` seeds the hash, so
+  // different rng states still yield different placements.
+  const HashFunction left_place(rng.Next());
+  const HashFunction right_place(rng.Next());
+  auto place_key = [](const RouteContext& ctx) {
+    return (static_cast<uint64_t>(ctx.src) << 42) ^
+           static_cast<uint64_t>(ctx.row);
+  };
 
   cluster.BeginRound("skew-aware join: shuffle");
-  DistRelation left_parts = Route(
+  DistRelation left_parts = RouteWithContext(
       cluster, left,
-      [&](const Value* row, std::vector<int>& dests) {
+      [&](const RouteContext& ctx, const Value* row,
+          std::vector<int>& dests) {
         const Value key = row[left_key];
         const auto it = grids.find(key);
         if (it == grids.end()) {
@@ -115,15 +127,16 @@ DistRelation SkewAwareJoin(Cluster& cluster, const DistRelation& left,
           return;
         }
         const HeavyGrid& g = it->second;
-        const int r = static_cast<int>(rng.Uniform(g.rows));
+        const int r = left_place.Bucket(place_key(ctx), g.rows);
         for (int c = 0; c < g.cols; ++c) {
           dests.push_back((g.start + r * g.cols + c) % p);
         }
       },
       "");
-  DistRelation right_parts = Route(
+  DistRelation right_parts = RouteWithContext(
       cluster, right,
-      [&](const Value* row, std::vector<int>& dests) {
+      [&](const RouteContext& ctx, const Value* row,
+          std::vector<int>& dests) {
         const Value key = row[right_key];
         const auto it = grids.find(key);
         if (it == grids.end()) {
@@ -131,7 +144,7 @@ DistRelation SkewAwareJoin(Cluster& cluster, const DistRelation& left,
           return;
         }
         const HeavyGrid& g = it->second;
-        const int c = static_cast<int>(rng.Uniform(g.cols));
+        const int c = right_place.Bucket(place_key(ctx), g.cols);
         for (int r = 0; r < g.rows; ++r) {
           dests.push_back((g.start + r * g.cols + c) % p);
         }
@@ -139,13 +152,12 @@ DistRelation SkewAwareJoin(Cluster& cluster, const DistRelation& left,
       "");
   cluster.EndRound();
 
-  std::vector<Relation> outputs;
-  outputs.reserve(p);
-  for (int s = 0; s < p; ++s) {
-    outputs.push_back(RunLocalJoin(left_parts.fragment(s),
-                                   right_parts.fragment(s), {left_key},
-                                   {right_key}, LocalJoinAlgorithm::kHash));
-  }
+  std::vector<Relation> outputs(p);
+  cluster.pool().ParallelFor(p, [&](int64_t s) {
+    outputs[s] = RunLocalJoin(left_parts.fragment(s),
+                              right_parts.fragment(s), {left_key},
+                              {right_key}, LocalJoinAlgorithm::kHash);
+  });
   return DistRelation::FromFragments(std::move(outputs));
 }
 

@@ -56,10 +56,12 @@ DistRelation ParallelSortJoin(Cluster& cluster, const DistRelation& left,
   const int union_arity = kPayloadCol + pad_arity;
 
   // Local compute: tag + union the inputs (no communication; the tuples
-  // stay on their servers).
+  // stay on their servers). One pool task per server; the tie counter is
+  // derived from (server, position), so it is identical for any thread
+  // count.
   DistRelation tagged(union_arity, p);
-  std::vector<Value> row(union_arity, 0);
-  for (int s = 0; s < p; ++s) {
+  cluster.pool().ParallelFor(p, [&](int64_t s) {
+    std::vector<Value> row(union_arity, 0);
     Value tie = (static_cast<Value>(s) << 40);
     const Relation& lf = left.fragment(s);
     for (int64_t i = 0; i < lf.size(); ++i) {
@@ -81,7 +83,7 @@ DistRelation ParallelSortJoin(Cluster& cluster, const DistRelation& left,
                 row.begin() + kPayloadCol);
       tagged.fragment(s).AppendRow(row.data());
     }
-  }
+  });
 
   // Rounds 1-2: PSRS by (key, tie) — the tiebreaker lets one key's run
   // split across servers instead of melting one server under skew.
@@ -105,18 +107,16 @@ DistRelation ParallelSortJoin(Cluster& cluster, const DistRelation& left,
     have_prev = true;
   }
 
-  // Local join of non-crossing keys.
-  std::vector<Relation> outputs;
-  outputs.reserve(p);
-  for (int s = 0; s < p; ++s) {
+  // Local join of non-crossing keys (one pool task per server).
+  std::vector<Relation> outputs(p);
+  cluster.pool().ParallelFor(p, [&](int64_t s) {
     const Relation& frag = sorted.sorted.fragment(s);
     const Relation lf = ExtractSide(frag, kSideLeft, left.arity(), &crossing,
                                     /*exclude_instead=*/true);
     const Relation rf = ExtractSide(frag, kSideRight, right.arity(),
                                     &crossing, /*exclude_instead=*/true);
-    outputs.push_back(
-        SortMergeJoinLocal(lf, rf, {left_key}, {right_key}));
-  }
+    outputs[s] = SortMergeJoinLocal(lf, rf, {left_key}, {right_key});
+  });
 
   // Round 3: crossing keys via per-key Cartesian grids, sized by their
   // output share (as in the skew-aware join).
@@ -155,6 +155,10 @@ DistRelation ParallelSortJoin(Cluster& cluster, const DistRelation& left,
       cursor = (cursor + rows * cols) % p;
     }
 
+    // Grid placement hashes the tuple's unique tie value (seeded by `rng`)
+    // instead of drawing sequentially: routing runs concurrently across
+    // source fragments, and placement must not depend on visit order.
+    const HashFunction place(rng.Next());
     DistRelation routed = Route(
         cluster, sorted.sorted,
         [&](const Value* urow, std::vector<int>& dests) {
@@ -162,19 +166,19 @@ DistRelation ParallelSortJoin(Cluster& cluster, const DistRelation& left,
           if (it == grids.end()) return;
           const Grid& g = it->second;
           if (urow[kSideCol] == kSideLeft) {
-            const int r = static_cast<int>(rng.Uniform(g.rows));
+            const int r = place.Bucket(urow[kTieCol], g.rows);
             for (int c = 0; c < g.cols; ++c) {
               dests.push_back((g.start + r * g.cols + c) % p);
             }
           } else {
-            const int c = static_cast<int>(rng.Uniform(g.cols));
+            const int c = place.Bucket(urow[kTieCol], g.cols);
             for (int r = 0; r < g.rows; ++r) {
               dests.push_back((g.start + r * g.cols + c) % p);
             }
           }
         },
         "sort join: crossing keys");
-    for (int s = 0; s < p; ++s) {
+    cluster.pool().ParallelFor(p, [&](int64_t s) {
       const Relation& frag = routed.fragment(s);
       const Relation lf =
           ExtractSide(frag, kSideLeft, left.arity(), nullptr);
@@ -182,10 +186,8 @@ DistRelation ParallelSortJoin(Cluster& cluster, const DistRelation& left,
           ExtractSide(frag, kSideRight, right.arity(), nullptr);
       const Relation joined =
           SortMergeJoinLocal(lf, rf, {left_key}, {right_key});
-      for (int64_t i = 0; i < joined.size(); ++i) {
-        outputs[s].AppendRowFrom(joined, i);
-      }
-    }
+      outputs[s].Append(joined);
+    });
   }
 
   return DistRelation::FromFragments(std::move(outputs));

@@ -1,15 +1,43 @@
 #include "mpc/cluster.h"
 
+#include <mutex>
 #include <utility>
 
 #include "common/check.h"
 
 namespace mpcqp {
 
-Cluster::Cluster(int num_servers, uint64_t seed)
+// Per-thread accumulator for one round's message counts. Each vector is
+// indexed by server id; the mutex makes the shard safe even if a foreign
+// thread ever lands on it (the expected callers — one pool worker per
+// shard — never contend).
+struct Cluster::CostShard {
+  std::mutex mu;
+  std::vector<int64_t> tuples_sent;
+  std::vector<int64_t> values_sent;
+  std::vector<int64_t> tuples_received;
+  std::vector<int64_t> values_received;
+
+  explicit CostShard(int num_servers)
+      : tuples_sent(num_servers, 0),
+        values_sent(num_servers, 0),
+        tuples_received(num_servers, 0),
+        values_received(num_servers, 0) {}
+};
+
+Cluster::Cluster(int num_servers, uint64_t seed, ClusterOptions options)
     : num_servers_(num_servers), next_seed_(seed) {
   MPCQP_CHECK_GT(num_servers, 0);
+  pool_ = std::make_unique<ThreadPool>(options.num_threads);
+  // Shard 0 belongs to non-worker callers (the main thread); shard w + 1
+  // to pool worker w.
+  shards_.reserve(static_cast<size_t>(pool_->num_threads()));
+  for (int i = 0; i < pool_->num_threads(); ++i) {
+    shards_.push_back(std::make_unique<CostShard>(num_servers_));
+  }
 }
+
+Cluster::~Cluster() = default;
 
 HashFunction Cluster::NewHashFunction() {
   // Stride the seed space; HashFunction whitens the seed again.
@@ -26,6 +54,23 @@ void Cluster::BeginRound(std::string label) {
 void Cluster::EndRound() {
   MPCQP_CHECK(in_round_) << "EndRound without an open round";
   in_round_ = false;
+  // Fold the shards into the round in fixed (shard-index) order and reset
+  // them for the next round. The entries are exact integer sums, so the
+  // merged RoundCost is identical no matter how work was spread over
+  // threads — this is the determinism contract of the cost meter.
+  for (const std::unique_ptr<CostShard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (int s = 0; s < num_servers_; ++s) {
+      current_round_.tuples_sent[s] += shard->tuples_sent[s];
+      current_round_.values_sent[s] += shard->values_sent[s];
+      current_round_.tuples_received[s] += shard->tuples_received[s];
+      current_round_.values_received[s] += shard->values_received[s];
+      shard->tuples_sent[s] = 0;
+      shard->values_sent[s] = 0;
+      shard->tuples_received[s] = 0;
+      shard->values_received[s] = 0;
+    }
+  }
   report_.AddRound(std::move(current_round_));
   current_round_ = RoundCost(0);
 }
@@ -36,10 +81,14 @@ void Cluster::RecordMessage(int src, int dst, int64_t tuples, int64_t values) {
   MPCQP_CHECK_LT(src, num_servers_);
   MPCQP_CHECK_GE(dst, 0);
   MPCQP_CHECK_LT(dst, num_servers_);
-  current_round_.tuples_sent[src] += tuples;
-  current_round_.values_sent[src] += values;
-  current_round_.tuples_received[dst] += tuples;
-  current_round_.values_received[dst] += values;
+  int index = ThreadPool::current_worker_index() + 1;
+  if (index < 0 || index >= static_cast<int>(shards_.size())) index = 0;
+  CostShard& shard = *shards_[index];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.tuples_sent[src] += tuples;
+  shard.values_sent[src] += values;
+  shard.tuples_received[dst] += tuples;
+  shard.values_received[dst] += values;
 }
 
 void Cluster::ResetCosts() {

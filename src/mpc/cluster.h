@@ -2,18 +2,31 @@
 #define MPCQP_MPC_CLUSTER_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "common/hash.h"
+#include "common/thread_pool.h"
 #include "mpc/cost.h"
 
 namespace mpcqp {
 
+// Execution knobs for a simulated cluster.
+struct ClusterOptions {
+  // Degree of real parallelism used to execute a round: exchange routing
+  // and per-server local compute fan out over this many OS threads via
+  // Cluster::pool(). The value never changes results — outputs and the
+  // CostReport are bit-identical for every thread count (see DESIGN.md,
+  // "Execution model"); 1 reproduces the historic single-threaded run.
+  int num_threads = 1;
+};
+
 // A simulated shared-nothing MPC cluster of p servers.
 //
 // The cluster does not own data (DistRelation does); it owns the round
-// structure and the communication meter. Exchange primitives (exchange.h)
-// record every tuple they move via RecordMessage while a round is open.
+// structure, the communication meter, and the thread pool that algorithms
+// use to execute one round's per-server work on real cores.
 //
 // Round semantics: by default each exchange primitive opens and closes its
 // own round. An algorithm that performs several exchanges in one logical
@@ -22,27 +35,38 @@ namespace mpcqp {
 class Cluster {
  public:
   // `seed` derives all hash functions handed out by NewHashFunction, so a
-  // run is reproducible given (p, seed).
-  Cluster(int num_servers, uint64_t seed);
+  // run is reproducible given (p, seed) — and, by the determinism
+  // contract, independent of options.num_threads.
+  Cluster(int num_servers, uint64_t seed, ClusterOptions options = {});
+  ~Cluster();
 
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
 
   int num_servers() const { return num_servers_; }
+  int num_threads() const { return pool_->num_threads(); }
 
-  // A fresh hash function, independent (by seed) from previous ones.
+  // The pool algorithms use for parallel per-server work within a round.
+  // With num_threads == 1 every ParallelFor runs inline on the caller.
+  ThreadPool& pool() { return *pool_; }
+
+  // A fresh hash function, independent (by seed) from previous ones. Not
+  // thread-safe: call between, not inside, parallel regions.
   HashFunction NewHashFunction();
 
   // Opens a round. It is an error to open a round while one is open.
   void BeginRound(std::string label);
-  // Closes the current round and appends its cost to the report.
+  // Closes the current round and appends its cost to the report. Shard
+  // counters are merged here in fixed shard order; integer sums make the
+  // result independent of which thread metered which message.
   void EndRound();
   bool in_round() const { return in_round_; }
 
   // Meters `tuples` tuples (`values` values total) moving src -> dst in the
   // current round. Self-messages (src == dst) are counted too: MPC load
   // bounds measure data a server must hold for the round, regardless of
-  // origin. Requires an open round.
+  // origin. Requires an open round. Thread-safe: concurrent calls from
+  // pool workers accumulate into per-thread shards.
   void RecordMessage(int src, int dst, int64_t tuples, int64_t values);
 
   const CostReport& cost_report() const { return report_; }
@@ -50,11 +74,17 @@ class Cluster {
   void ResetCosts();
 
  private:
+  struct CostShard;
+
   int num_servers_;
   uint64_t next_seed_;
   bool in_round_ = false;
   RoundCost current_round_{0};
   CostReport report_;
+  std::unique_ptr<ThreadPool> pool_;
+  // One shard per pool slot (worker threads + the caller); RecordMessage
+  // picks the calling thread's shard, EndRound folds them into the round.
+  std::vector<std::unique_ptr<CostShard>> shards_;
 };
 
 // Opens a round on construction (unless one is already open) and closes it

@@ -3,39 +3,87 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace mpcqp {
 
 namespace {
 
+using RouteTargetsFn = std::function<void(
+    const RouteContext& ctx, const Value* row, std::vector<int>& dests)>;
+
 // Shared implementation: route each tuple of each source fragment to the
 // destinations chosen by `targets`, metering per (src, dst) pair.
-DistRelation RouteImpl(
-    Cluster& cluster, const DistRelation& rel,
-    const std::function<void(const Value* row, std::vector<int>& dests)>&
-        targets,
-    const std::string& label) {
+//
+// The parallel path routes each source fragment in its own pool task into
+// private per-(src, dst) buffers and then concatenates them in src-major
+// order, which reproduces the serial path's append order exactly: output
+// fragments and costs are bit-identical for every thread count.
+DistRelation RouteImpl(Cluster& cluster, const DistRelation& rel,
+                       const RouteTargetsFn& targets,
+                       const std::string& label) {
   const int p = cluster.num_servers();
   MPCQP_CHECK_EQ(rel.num_servers(), p);
   MPCQP_CHECK_GT(rel.arity(), 0) << "cannot route nullary relations";
   RoundScope scope(cluster, label);
 
   DistRelation out(rel.arity(), p);
-  // Meter with a per-source aggregation matrix to keep RecordMessage calls
-  // off the per-tuple path.
-  std::vector<int64_t> sent_to(p, 0);
-  std::vector<int> dests;
-  for (int src = 0; src < p; ++src) {
-    std::fill(sent_to.begin(), sent_to.end(), 0);
+  ThreadPool& pool = cluster.pool();
+
+  if (pool.num_threads() <= 1 || p <= 1) {
+    // Serial fast path: append straight into the output fragments. Meter
+    // with a per-source aggregation matrix to keep RecordMessage calls off
+    // the per-tuple path.
+    std::vector<int64_t> sent_to(p, 0);
+    std::vector<int> dests;
+    RouteContext ctx;
+    for (int src = 0; src < p; ++src) {
+      std::fill(sent_to.begin(), sent_to.end(), 0);
+      const Relation& frag = rel.fragment(src);
+      ctx.src = src;
+      for (int64_t i = 0; i < frag.size(); ++i) {
+        ctx.row = i;
+        const Value* row = frag.row(i);
+        dests.clear();
+        targets(ctx, row, dests);
+        for (int dst : dests) {
+          MPCQP_CHECK_GE(dst, 0);
+          MPCQP_CHECK_LT(dst, p);
+          out.fragment(dst).AppendRow(row);
+          ++sent_to[dst];
+        }
+      }
+      for (int dst = 0; dst < p; ++dst) {
+        if (sent_to[dst] > 0) {
+          cluster.RecordMessage(src, dst, sent_to[dst],
+                                sent_to[dst] * rel.arity());
+        }
+      }
+    }
+    return out;
+  }
+
+  // Parallel path, phase 1: one task per source server fills its private
+  // buffer row bufs[src][0..p).
+  std::vector<std::vector<Relation>> bufs(p);
+  pool.ParallelFor(p, [&](int64_t task) {
+    const int src = static_cast<int>(task);
+    std::vector<Relation>& mine = bufs[src];
+    mine.assign(p, Relation(rel.arity()));
+    std::vector<int64_t> sent_to(p, 0);
+    std::vector<int> dests;
     const Relation& frag = rel.fragment(src);
+    RouteContext ctx;
+    ctx.src = src;
     for (int64_t i = 0; i < frag.size(); ++i) {
+      ctx.row = i;
       const Value* row = frag.row(i);
       dests.clear();
-      targets(row, dests);
+      targets(ctx, row, dests);
       for (int dst : dests) {
         MPCQP_CHECK_GE(dst, 0);
         MPCQP_CHECK_LT(dst, p);
-        out.fragment(dst).AppendRow(row);
+        mine[dst].AppendRow(row);
         ++sent_to[dst];
       }
     }
@@ -45,7 +93,17 @@ DistRelation RouteImpl(
                               sent_to[dst] * rel.arity());
       }
     }
-  }
+  });
+
+  // Phase 2: one task per destination concatenates its buffers src-major.
+  pool.ParallelFor(p, [&](int64_t task) {
+    const int dst = static_cast<int>(task);
+    Relation& merged = out.fragment(dst);
+    int64_t total = 0;
+    for (int src = 0; src < p; ++src) total += bufs[src][dst].size();
+    merged.Reserve(total);
+    for (int src = 0; src < p; ++src) merged.Append(bufs[src][dst]);
+  });
   return out;
 }
 
@@ -61,10 +119,12 @@ DistRelation HashPartition(Cluster& cluster, const DistRelation& rel,
     MPCQP_CHECK_LT(c, rel.arity());
   }
   const int p = cluster.num_servers();
-  std::vector<Value> key(key_cols.size());
   return RouteImpl(
       cluster, rel,
-      [&](const Value* row, std::vector<int>& dests) {
+      [&](const RouteContext&, const Value* row, std::vector<int>& dests) {
+        // Per-thread scratch: the callback runs concurrently on workers.
+        thread_local std::vector<Value> key;
+        key.resize(key_cols.size());
         for (size_t k = 0; k < key_cols.size(); ++k) key[k] = row[key_cols[k]];
         const uint64_t h =
             hash.HashSpan(key.data(), static_cast<int>(key.size()));
@@ -79,7 +139,7 @@ DistRelation Broadcast(Cluster& cluster, const DistRelation& rel,
   const int p = cluster.num_servers();
   return RouteImpl(
       cluster, rel,
-      [p](const Value*, std::vector<int>& dests) {
+      [p](const RouteContext&, const Value*, std::vector<int>& dests) {
         for (int s = 0; s < p; ++s) dests.push_back(s);
       },
       label);
@@ -95,7 +155,7 @@ DistRelation RangePartition(Cluster& cluster, const DistRelation& rel, int col,
   MPCQP_CHECK(std::is_sorted(splitters.begin(), splitters.end()));
   return RouteImpl(
       cluster, rel,
-      [&](const Value* row, std::vector<int>& dests) {
+      [&](const RouteContext&, const Value* row, std::vector<int>& dests) {
         const auto it =
             std::upper_bound(splitters.begin(), splitters.end(), row[col]);
         dests.push_back(static_cast<int>(it - splitters.begin()));
@@ -108,6 +168,18 @@ DistRelation Route(
     const std::function<void(const Value* row, std::vector<int>& dests)>&
         targets,
     const std::string& label) {
+  return RouteImpl(
+      cluster, rel,
+      [&targets](const RouteContext&, const Value* row,
+                 std::vector<int>& dests) { targets(row, dests); },
+      label);
+}
+
+DistRelation RouteWithContext(
+    Cluster& cluster, const DistRelation& rel,
+    const std::function<void(const RouteContext& ctx, const Value* row,
+                             std::vector<int>& dests)>& targets,
+    const std::string& label) {
   return RouteImpl(cluster, rel, targets, label);
 }
 
@@ -115,7 +187,9 @@ Relation GatherToServer(Cluster& cluster, const DistRelation& rel, int dst,
                         const std::string& label) {
   DistRelation gathered = RouteImpl(
       cluster, rel,
-      [dst](const Value*, std::vector<int>& dests) { dests.push_back(dst); },
+      [dst](const RouteContext&, const Value*, std::vector<int>& dests) {
+        dests.push_back(dst);
+      },
       label);
   return gathered.fragment(dst);
 }

@@ -1,6 +1,7 @@
 #ifndef MPCQP_MPC_EXCHANGE_H_
 #define MPCQP_MPC_EXCHANGE_H_
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -15,6 +16,24 @@ namespace mpcqp {
 // servers and meters every tuple via the cluster. Each call is one MPC
 // round unless the caller has a round open (RoundScope semantics), in which
 // case it merges into that round.
+//
+// Execution model: source fragments are routed concurrently on the
+// cluster's thread pool, one task per source server, into private
+// per-(src, dst) buffers that are concatenated in src-major order — so the
+// output fragments and the metered costs are bit-identical for every
+// thread count. Routing callbacks therefore run concurrently: they must
+// not mutate shared state, and their decision for a tuple may depend only
+// on the tuple itself (and, for the context-aware variant, its source
+// coordinates) — never on how many tuples were visited before it.
+
+// Identifies the tuple being routed: its source server and its row index
+// within that source fragment. This is what callers hash when they need a
+// per-tuple pseudo-random choice (e.g. picking a row of a heavy-hitter
+// grid) that stays deterministic under concurrent routing.
+struct RouteContext {
+  int src = 0;
+  int64_t row = 0;
+};
 
 // Re-partitions by hash of the key columns: tuple t goes to server
 // h(t[key_cols]) mod p.
@@ -39,6 +58,14 @@ DistRelation Route(
     Cluster& cluster, const DistRelation& rel,
     const std::function<void(const Value* row, std::vector<int>& dests)>&
         targets,
+    const std::string& label);
+
+// As Route, but the callback additionally receives the tuple's source
+// coordinates for deterministic per-tuple choices.
+DistRelation RouteWithContext(
+    Cluster& cluster, const DistRelation& rel,
+    const std::function<void(const RouteContext& ctx, const Value* row,
+                             std::vector<int>& dests)>& targets,
     const std::string& label);
 
 // Moves all tuples to server `dst` (e.g. collecting a sample to decide

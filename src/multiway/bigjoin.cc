@@ -140,10 +140,10 @@ BigJoinResult BigJoin(Cluster& cluster, const ConjunctiveQuery& q,
       cols.push_back(PositionsOf({var}, rel_vars[j]).front());
       proposer.projection =
           DistRelation(static_cast<int>(cols.size()), p);
-      for (int s = 0; s < p; ++s) {
+      cluster.pool().ParallelFor(p, [&](int64_t s) {
         proposer.projection.fragment(s) =
             Dedup(Project(rels[j].fragment(s), cols));
-      }
+      });
       if (proposer.shared_vars.empty()) {
         // Constant per-prefix candidate count: the global distinct count
         // of v-values (a scalar a deployment piggybacks on its catalog;
@@ -220,7 +220,7 @@ BigJoinResult BigJoin(Cluster& cluster, const ConjunctiveQuery& q,
       for (size_t c = 0; c < proj_keys.size(); ++c) {
         proj_keys[c] = static_cast<int>(c);
       }
-      for (int s = 0; s < p; ++s) {
+      cluster.pool().ParallelFor(p, [&](int64_t s) {
         const Relation deduped = Dedup(count_parts[i].proj_parts.fragment(s));
         const KeyIndex index(&deduped, proj_keys);
         const Relation& pf = count_parts[i].prefix_parts.fragment(s);
@@ -235,7 +235,7 @@ BigJoinResult BigJoin(Cluster& cluster, const ConjunctiveQuery& q,
               {pf.at(r, id_col), static_cast<Value>(i),
                static_cast<Value>(count)});
         }
-      }
+      });
     }
 
     const HashFunction id_hash = cluster.NewHashFunction();
@@ -258,7 +258,7 @@ BigJoinResult BigJoin(Cluster& cluster, const ConjunctiveQuery& q,
       }
     }
     DistRelation chosen(prefixes_with_id.arity() + 1, p);  // +choice col.
-    for (int s = 0; s < p; ++s) {
+    cluster.pool().ParallelFor(p, [&](int64_t s) {
       std::map<Value, std::pair<int64_t, int>> best;  // id -> (count, idx).
       const Relation& cf = counts_home.fragment(s);
       for (int64_t r = 0; r < cf.size(); ++r) {
@@ -288,7 +288,7 @@ BigJoinResult BigJoin(Cluster& cluster, const ConjunctiveQuery& q,
         row[pf.arity()] = static_cast<Value>(choice);
         chosen.fragment(s).AppendRow(row.data());
       }
-    }
+    });
     const int choice_col = chosen.arity() - 1;
 
     // ---- Extend round: each prefix travels to its chosen proposer's
@@ -303,11 +303,11 @@ BigJoinResult BigJoin(Cluster& cluster, const ConjunctiveQuery& q,
     for (size_t i = 0; i < proposers.size(); ++i) {
       // Prefixes that chose proposer i (local filter).
       DistRelation mine(chosen.arity(), p);
-      for (int s = 0; s < p; ++s) {
+      cluster.pool().ParallelFor(p, [&](int64_t s) {
         mine.fragment(s) = Filter(chosen.fragment(s), [&](const Value* r) {
           return r[choice_col] == static_cast<Value>(i);
         });
-      }
+      });
       if (mine.TotalSize() == 0) continue;
       if (proposers[i].shared_vars.empty()) {
         extend_parts[i].broadcast = true;
@@ -335,7 +335,7 @@ BigJoinResult BigJoin(Cluster& cluster, const ConjunctiveQuery& q,
       for (size_t c = 0; c < proj_keys.size(); ++c) {
         proj_keys[c] = static_cast<int>(c);
       }
-      for (int s = 0; s < p; ++s) {
+      cluster.pool().ParallelFor(p, [&](int64_t s) {
         const Relation proj =
             Dedup(extend_parts[i].proj_parts.fragment(s));
         // Join emits prefix columns (incl. id & choice) + the new value;
@@ -349,10 +349,8 @@ BigJoinResult BigJoin(Cluster& cluster, const ConjunctiveQuery& q,
         }
         keep.push_back(joined.arity() - 1);  // The new value.
         const Relation stripped = Project(joined, keep);
-        for (int64_t r = 0; r < stripped.size(); ++r) {
-          extended.fragment(s).AppendRowFrom(stripped, r);
-        }
-      }
+        extended.fragment(s).Append(stripped);
+      });
     }
     bound.push_back(var);
     prefixes = std::move(extended);
@@ -379,9 +377,9 @@ BigJoinResult BigJoin(Cluster& cluster, const ConjunctiveQuery& q,
     cols[v] = PositionsOf({v}, bound).front();
   }
   BigJoinResult result{DistRelation(q.num_vars(), p), 0};
-  for (int s = 0; s < p; ++s) {
+  cluster.pool().ParallelFor(p, [&](int64_t s) {
     result.output.fragment(s) = Project(prefixes.fragment(s), cols);
-  }
+  });
   result.rounds = cluster.cost_report().num_rounds() - rounds_before;
   return result;
 }

@@ -98,9 +98,9 @@ HyperCubeResult HyperCubeJoin(Cluster& cluster, const ConjunctiveQuery& q,
     }
 
     DistRelation prefiltered(atoms[j].arity(), p);
-    for (int s = 0; s < p; ++s) {
+    cluster.pool().ParallelFor(p, [&](int64_t s) {
       prefiltered.fragment(s) = PrefilterRepeats(atom, atoms[j].fragment(s));
-    }
+    });
 
     routed.push_back(Route(
         cluster, prefiltered,
@@ -127,24 +127,21 @@ HyperCubeResult HyperCubeJoin(Cluster& cluster, const ConjunctiveQuery& q,
   }
   cluster.EndRound();
 
-  // Local evaluation on every (used) server.
-  std::vector<Relation> outputs;
-  outputs.reserve(p);
-  std::vector<Relation> local_atoms(q.num_atoms());
-  for (int s = 0; s < p; ++s) {
+  // Local evaluation on every (used) server: one pool task per server,
+  // each with its own atom scratch.
+  std::vector<Relation> outputs(p);
+  cluster.pool().ParallelFor(p, [&](int64_t s) {
+    std::vector<Relation> local_atoms(q.num_atoms());
     bool any = false;
     for (int j = 0; j < q.num_atoms(); ++j) {
       local_atoms[j] = routed[j].fragment(s);
       if (!local_atoms[j].empty()) any = true;
     }
-    if (any) {
-      outputs.push_back(options.local == LocalEvaluator::kBinaryJoins
+    outputs[s] = any ? (options.local == LocalEvaluator::kBinaryJoins
                             ? EvalJoinLocal(q, local_atoms)
-                            : EvalJoinWcoj(q, local_atoms));
-    } else {
-      outputs.push_back(Relation(k));
-    }
-  }
+                            : EvalJoinWcoj(q, local_atoms))
+                     : Relation(k);
+  });
   return HyperCubeResult{DistRelation::FromFragments(std::move(outputs)),
                          std::move(shares)};
 }

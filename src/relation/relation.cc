@@ -83,6 +83,15 @@ void Relation::AppendRowFrom(const Relation& other, int64_t row) {
   AppendRow(other.row(row));
 }
 
+void Relation::Append(const Relation& other) {
+  MPCQP_CHECK_EQ(other.arity_, arity_);
+  if (arity_ == 0) {
+    nullary_count_ += other.nullary_count_;
+    return;
+  }
+  data_.insert(data_.end(), other.data_.begin(), other.data_.end());
+}
+
 void Relation::AppendNullaryRow() {
   MPCQP_CHECK_EQ(arity_, 0);
   ++nullary_count_;

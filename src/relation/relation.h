@@ -63,6 +63,9 @@ class Relation {
   void AppendRow(std::initializer_list<Value> values);
   // Appends a row of another relation with the same arity.
   void AppendRowFrom(const Relation& other, int64_t row);
+  // Appends all rows of another relation with the same arity (bulk
+  // concatenation; one memcpy instead of a per-row loop).
+  void Append(const Relation& other);
   // Appends an empty (nullary) row; only valid when arity() == 0. A nullary
   // relation is either empty (false) or holds some count of empty tuples.
   void AppendNullaryRow();

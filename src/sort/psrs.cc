@@ -45,11 +45,13 @@ PsrsResult PsrsSort(Cluster& cluster, const DistRelation& rel,
   const int p = cluster.num_servers();
   MPCQP_CHECK_EQ(rel.num_servers(), p);
 
-  // Local sort (free compute), then per-server splitter candidates.
+  // Local sort (free compute, one pool task per server), then per-server
+  // splitter candidates. Candidate selection stays serial: in sampling
+  // mode it draws from the shared Rng sequentially, and its cost is O(p).
   DistRelation local = rel;
-  for (int s = 0; s < p; ++s) {
+  cluster.pool().ParallelFor(p, [&](int64_t s) {
     local.fragment(s).SortRowsBy(options.key_cols);
-  }
+  });
 
   DistRelation candidates(rel.arity(), p);
   const int per_server = options.use_sampling && options.samples_per_server > 0
@@ -118,9 +120,9 @@ PsrsResult PsrsSort(Cluster& cluster, const DistRelation& rel,
         dests.push_back(lo);
       },
       "psrs: range partition");
-  for (int s = 0; s < p; ++s) {
+  cluster.pool().ParallelFor(p, [&](int64_t s) {
     sorted.fragment(s).SortRowsBy(options.key_cols);
-  }
+  });
 
   return PsrsResult{std::move(sorted), std::move(splitters)};
 }

@@ -1,0 +1,246 @@
+// Thread-count invariance: every algorithm in the library must produce
+// bit-identical outputs AND a bit-identical CostReport no matter how many
+// OS threads execute the rounds. This is the lock on the determinism
+// contract of ClusterOptions::num_threads (DESIGN.md, "Execution model"):
+// per-fragment row order, per-round per-server tuple/value counts, and
+// round labels are all compared exactly against the single-threaded run.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "join/cartesian.h"
+#include "join/hash_join.h"
+#include "join/semi_join.h"
+#include "join/skew_join.h"
+#include "join/sort_join.h"
+#include "mpc/cluster.h"
+#include "mpc/dist_relation.h"
+#include "multiway/bigjoin.h"
+#include "multiway/hypercube.h"
+#include "query/query.h"
+#include "relation/relation_ops.h"
+#include "sort/psrs.h"
+#include "workload/generator.h"
+
+namespace mpcqp {
+namespace {
+
+constexpr int kServers = 8;
+constexpr uint64_t kSeed = 42;
+const int kThreadCounts[] = {1, 2, 8};
+
+struct RunResult {
+  std::vector<Relation> fragments;
+  CostReport report;
+};
+
+// Runs `body` on a fresh cluster with the given thread count and captures
+// the output fragments plus the full cost report.
+RunResult RunWith(int threads,
+                  const std::function<DistRelation(Cluster&)>& body) {
+  ClusterOptions options;
+  options.num_threads = threads;
+  Cluster cluster(kServers, kSeed, options);
+  const DistRelation out = body(cluster);
+  RunResult result;
+  for (int s = 0; s < out.num_servers(); ++s) {
+    result.fragments.push_back(out.fragment(s));
+  }
+  result.report = cluster.cost_report();
+  return result;
+}
+
+void ExpectSameReport(const CostReport& base, const CostReport& got,
+                      int threads) {
+  ASSERT_EQ(base.num_rounds(), got.num_rounds()) << "threads=" << threads;
+  for (int r = 0; r < base.num_rounds(); ++r) {
+    const RoundCost& b = base.rounds()[r];
+    const RoundCost& g = got.rounds()[r];
+    EXPECT_EQ(b.label, g.label) << "round " << r << " threads=" << threads;
+    EXPECT_EQ(b.tuples_received, g.tuples_received)
+        << "round " << r << " threads=" << threads;
+    EXPECT_EQ(b.values_received, g.values_received)
+        << "round " << r << " threads=" << threads;
+    EXPECT_EQ(b.tuples_sent, g.tuples_sent)
+        << "round " << r << " threads=" << threads;
+    EXPECT_EQ(b.values_sent, g.values_sent)
+        << "round " << r << " threads=" << threads;
+  }
+}
+
+// Runs `body` once per thread count and checks outputs and costs against
+// the single-threaded baseline, fragment by fragment and round by round.
+void ExpectThreadCountInvariant(
+    const std::function<DistRelation(Cluster&)>& body) {
+  const RunResult base = RunWith(1, body);
+  EXPECT_GT(base.report.num_rounds(), 0) << "algorithm metered nothing";
+  for (const int threads : kThreadCounts) {
+    const RunResult got = RunWith(threads, body);
+    ASSERT_EQ(base.fragments.size(), got.fragments.size());
+    for (size_t s = 0; s < base.fragments.size(); ++s) {
+      EXPECT_EQ(base.fragments[s], got.fragments[s])
+          << "fragment " << s << " differs at threads=" << threads;
+    }
+    ExpectSameReport(base.report, got.report, threads);
+  }
+}
+
+// Two binary inputs with a mild Zipf skew on the join column: exercises
+// both the light (hash) and heavy (grid) paths of the skew-aware join.
+void MakeJoinInputs(Relation* left, Relation* right) {
+  Rng rng(7);
+  *left = GenerateZipf(rng, 600, 2, 40, /*zipf_col=*/0, /*skew=*/1.2);
+  *right = GenerateZipf(rng, 600, 2, 40, /*zipf_col=*/0, /*skew=*/1.2);
+}
+
+TEST(DeterminismTest, HashJoin) {
+  Relation left, right;
+  MakeJoinInputs(&left, &right);
+  ExpectThreadCountInvariant([&](Cluster& cluster) {
+    return ParallelHashJoin(cluster, DistRelation::Scatter(left, kServers),
+                            DistRelation::Scatter(right, kServers), {0},
+                            {0});
+  });
+}
+
+TEST(DeterminismTest, SkewAwareJoin) {
+  Relation left, right;
+  MakeJoinInputs(&left, &right);
+  ExpectThreadCountInvariant([&](Cluster& cluster) {
+    Rng rng(11);
+    return SkewAwareJoin(cluster, DistRelation::Scatter(left, kServers),
+                         DistRelation::Scatter(right, kServers), 0, 0, rng);
+  });
+}
+
+TEST(DeterminismTest, SkewAwareJoinMeteredStats) {
+  Relation left, right;
+  MakeJoinInputs(&left, &right);
+  SkewJoinOptions options;
+  options.metered_statistics = true;
+  ExpectThreadCountInvariant([&](Cluster& cluster) {
+    Rng rng(11);
+    return SkewAwareJoin(cluster, DistRelation::Scatter(left, kServers),
+                         DistRelation::Scatter(right, kServers), 0, 0, rng,
+                         options);
+  });
+}
+
+TEST(DeterminismTest, SortJoin) {
+  Relation left, right;
+  MakeJoinInputs(&left, &right);
+  ExpectThreadCountInvariant([&](Cluster& cluster) {
+    Rng rng(13);
+    return ParallelSortJoin(cluster, DistRelation::Scatter(left, kServers),
+                            DistRelation::Scatter(right, kServers), 0, 0,
+                            rng);
+  });
+}
+
+TEST(DeterminismTest, CartesianProduct) {
+  Rng rng(17);
+  const Relation left = GenerateUniform(rng, 120, 2, 50);
+  const Relation right = GenerateUniform(rng, 90, 2, 50);
+  ExpectThreadCountInvariant([&](Cluster& cluster) {
+    Rng product_rng(19);
+    return CartesianProduct(cluster, DistRelation::Scatter(left, kServers),
+                            DistRelation::Scatter(right, kServers),
+                            product_rng);
+  });
+}
+
+TEST(DeterminismTest, Semijoin) {
+  Relation left, right;
+  MakeJoinInputs(&left, &right);
+  ExpectThreadCountInvariant([&](Cluster& cluster) {
+    return DistributedSemijoin(cluster,
+                               DistRelation::Scatter(left, kServers),
+                               DistRelation::Scatter(right, kServers), {0},
+                               {0});
+  });
+}
+
+TEST(DeterminismTest, BroadcastSemijoin) {
+  Relation left, right;
+  MakeJoinInputs(&left, &right);
+  ExpectThreadCountInvariant([&](Cluster& cluster) {
+    return BroadcastSemijoin(cluster,
+                             DistRelation::Scatter(left, kServers),
+                             DistRelation::Scatter(right, kServers), {0},
+                             {0});
+  });
+}
+
+TEST(DeterminismTest, HyperCubeTriangle) {
+  Rng rng(23);
+  const Relation edges = GenerateRandomGraph(rng, 60, 500);
+  const ConjunctiveQuery q = ConjunctiveQuery::Make(
+      {"x", "y", "z"},
+      {{"R", {0, 1}}, {"S", {1, 2}}, {"T", {2, 0}}});
+  ExpectThreadCountInvariant([&](Cluster& cluster) {
+    std::vector<DistRelation> atoms(3, DistRelation::Scatter(edges, kServers));
+    return HyperCubeJoin(cluster, q, atoms).output;
+  });
+}
+
+TEST(DeterminismTest, BigJoinTriangle) {
+  Rng rng(29);
+  const Relation edges = Dedup(GenerateRandomGraph(rng, 50, 400));
+  const ConjunctiveQuery q = ConjunctiveQuery::Make(
+      {"x", "y", "z"},
+      {{"R", {0, 1}}, {"S", {1, 2}}, {"T", {2, 0}}});
+  ExpectThreadCountInvariant([&](Cluster& cluster) {
+    std::vector<DistRelation> atoms(3, DistRelation::Scatter(edges, kServers));
+    return BigJoin(cluster, q, atoms).output;
+  });
+}
+
+TEST(DeterminismTest, PsrsRegularSampling) {
+  Rng rng(31);
+  const Relation input = GenerateUniform(rng, 800, 2, 1000);
+  ExpectThreadCountInvariant([&](Cluster& cluster) {
+    PsrsOptions options;
+    options.key_cols = {0, 1};
+    return PsrsSort(cluster, DistRelation::Scatter(input, kServers), options)
+        .sorted;
+  });
+}
+
+TEST(DeterminismTest, PsrsRandomSampling) {
+  Rng rng(37);
+  const Relation input = GenerateZipf(rng, 800, 2, 200, 0, 1.1);
+  ExpectThreadCountInvariant([&](Cluster& cluster) {
+    PsrsOptions options;
+    options.key_cols = {0};
+    options.use_sampling = true;
+    options.samples_per_server = 12;
+    Rng sample_rng(41);
+    return PsrsSort(cluster, DistRelation::Scatter(input, kServers), options,
+                    &sample_rng)
+        .sorted;
+  });
+}
+
+// The invariance also holds for thread counts exceeding the server count
+// (idle workers must not perturb anything).
+TEST(DeterminismTest, MoreThreadsThanServers) {
+  Relation left, right;
+  MakeJoinInputs(&left, &right);
+  auto body = [&](Cluster& cluster) {
+    return ParallelHashJoin(cluster, DistRelation::Scatter(left, kServers),
+                            DistRelation::Scatter(right, kServers), {0}, {0});
+  };
+  const RunResult base = RunWith(1, body);
+  const RunResult wide = RunWith(kServers * 2 + 3, body);
+  ASSERT_EQ(base.fragments.size(), wide.fragments.size());
+  for (size_t s = 0; s < base.fragments.size(); ++s) {
+    EXPECT_EQ(base.fragments[s], wide.fragments[s]) << "fragment " << s;
+  }
+  ExpectSameReport(base.report, wide.report, kServers * 2 + 3);
+}
+
+}  // namespace
+}  // namespace mpcqp

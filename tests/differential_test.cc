@@ -6,6 +6,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
+#include "join/hash_join.h"
+#include "join/semi_join.h"
+#include "join/skew_join.h"
+#include "join/sort_join.h"
 #include "mpc/cluster.h"
 #include "multiway/bigjoin.h"
 #include "multiway/binary_plan.h"
@@ -19,6 +25,16 @@
 namespace mpcqp {
 namespace {
 
+// Trial budget: setting MPCQP_HEAVY_TESTS=1 (or any non-zero value) in the
+// environment multiplies the random-seed range for soak runs; the default
+// keeps the suite fast enough for every CI invocation.
+uint64_t TrialSeedEnd() {
+  const char* heavy = std::getenv("MPCQP_HEAVY_TESTS");
+  const bool on = heavy != nullptr && heavy[0] != '\0' &&
+                  !(heavy[0] == '0' && heavy[1] == '\0');
+  return on ? 121 : 25;
+}
+
 ConjunctiveQuery RandomConnectedQuery(Rng& rng) {
   const int num_atoms = 2 + static_cast<int>(rng.Uniform(3));  // 2..4.
   std::vector<std::string> names;
@@ -31,7 +47,7 @@ ConjunctiveQuery RandomConnectedQuery(Rng& rng) {
   for (int a = 0; a < num_atoms; ++a) {
     Atom atom;
     atom.name = "A" + std::to_string(a);
-    const int arity = 1 + static_cast<int>(rng.Uniform(2));  // 1..2.
+    const int arity = 1 + static_cast<int>(rng.Uniform(3));  // 1..3.
     for (int c = 0; c < arity; ++c) {
       // Mostly reuse existing variables (keeps the query connected and
       // occasionally cyclic); sometimes mint a fresh one.
@@ -71,21 +87,25 @@ TEST_P(DifferentialTest, AllAlgorithmsAgreeWithSerialReference) {
   if (expected.size() > 2000000) GTEST_SKIP() << "output too large";
 
   for (const int p : {4, 9}) {
+    // Odd seeds run the cluster with two OS threads, so this suite also
+    // differentially tests the parallel executor against the reference.
+    ClusterOptions cluster_options;
+    cluster_options.num_threads = (GetParam() % 2 == 1) ? 2 : 1;
     {
-      Cluster cluster(p, 5);
+      Cluster cluster(p, 5, cluster_options);
       const HyperCubeResult result =
           HyperCubeJoin(cluster, q, Scatter(atoms, p));
       EXPECT_TRUE(MultisetEqual(result.output.Collect(), expected))
           << "hypercube p=" << p;
     }
     {
-      Cluster cluster(p, 5);
+      Cluster cluster(p, 5, cluster_options);
       const SkewHcResult result = SkewHcJoin(cluster, q, Scatter(atoms, p));
       EXPECT_TRUE(MultisetEqual(result.output.Collect(), expected))
           << "skew-hc p=" << p;
     }
     {
-      Cluster cluster(p, 5);
+      Cluster cluster(p, 5, cluster_options);
       Rng rng(GetParam() + 7000);
       const BinaryPlanResult result =
           IterativeBinaryJoin(cluster, q, Scatter(atoms, p), rng);
@@ -109,7 +129,93 @@ TEST_P(DifferentialTest, AllAlgorithmsAgreeWithSerialReference) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,
-                         ::testing::Range(uint64_t{1}, uint64_t{25}));
+                         ::testing::Range(uint64_t{1}, TrialSeedEnd()));
+
+// Two-way join paths the conjunctive-query drivers do not reach directly:
+// the sort-merge local algorithm, the PSRS-based sort join, the
+// skew-aware join, and the semijoin/antijoin family, all cross-checked
+// against the serial local reference on random (sometimes skewed) data.
+class TwoWayDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TwoWayDifferentialTest, JoinAndSemijoinPathsAgreeWithLocalReference) {
+  Rng rng(GetParam() * 977 + 3);
+  const int left_arity = 2 + static_cast<int>(rng.Uniform(2));   // 2..3.
+  const int right_arity = 2 + static_cast<int>(rng.Uniform(2));  // 2..3.
+  const int left_key = static_cast<int>(rng.Uniform(left_arity));
+  const int right_key = static_cast<int>(rng.Uniform(right_arity));
+  const int64_t rows = 60 + static_cast<int64_t>(rng.Uniform(120));
+  // Every third seed uses Zipf-skewed keys to drive the heavy-hitter and
+  // crossing-key machinery; the rest stay uniform.
+  const bool skewed = GetParam() % 3 == 0;
+  const Relation left =
+      skewed ? GenerateZipf(rng, rows, left_arity, 30, left_key, 1.3)
+             : GenerateUniform(rng, rows, left_arity, 30);
+  const Relation right =
+      skewed ? GenerateZipf(rng, rows, right_arity, 30, right_key, 1.3)
+             : GenerateUniform(rng, rows, right_arity, 30);
+
+  const Relation expected =
+      HashJoinLocal(left, right, {left_key}, {right_key});
+  const Relation expected_semi =
+      SemijoinLocal(left, right, {left_key}, {right_key});
+  const Relation expected_anti =
+      AntijoinLocal(left, right, {left_key}, {right_key});
+
+  for (const int p : {4, 8}) {
+    ClusterOptions cluster_options;
+    cluster_options.num_threads = (GetParam() % 2 == 1) ? 2 : 1;
+    const DistRelation dl = DistRelation::Scatter(left, p);
+    const DistRelation dr = DistRelation::Scatter(right, p);
+    {
+      Cluster cluster(p, 5, cluster_options);
+      const DistRelation result =
+          ParallelHashJoin(cluster, dl, dr, {left_key}, {right_key},
+                           LocalJoinAlgorithm::kSortMerge);
+      EXPECT_TRUE(MultisetEqual(result.Collect(), expected))
+          << "hash join (sort-merge local) p=" << p;
+    }
+    {
+      Cluster cluster(p, 5, cluster_options);
+      Rng join_rng(GetParam() + 11000);
+      const DistRelation result = ParallelSortJoin(
+          cluster, dl, dr, left_key, right_key, join_rng);
+      EXPECT_TRUE(MultisetEqual(result.Collect(), expected))
+          << "sort join p=" << p;
+    }
+    {
+      Cluster cluster(p, 5, cluster_options);
+      Rng join_rng(GetParam() + 13000);
+      const DistRelation result = SkewAwareJoin(
+          cluster, dl, dr, left_key, right_key, join_rng);
+      EXPECT_TRUE(MultisetEqual(result.Collect(), expected))
+          << "skew-aware join p=" << p;
+    }
+    {
+      Cluster cluster(p, 5, cluster_options);
+      const DistRelation result = DistributedSemijoin(
+          cluster, dl, dr, {left_key}, {right_key});
+      EXPECT_TRUE(MultisetEqual(result.Collect(), expected_semi))
+          << "semijoin p=" << p;
+    }
+    {
+      Cluster cluster(p, 5, cluster_options);
+      const DistRelation result = BroadcastSemijoin(
+          cluster, dl, dr, {left_key}, {right_key});
+      EXPECT_TRUE(MultisetEqual(result.Collect(), expected_semi))
+          << "broadcast semijoin p=" << p;
+    }
+    {
+      Cluster cluster(p, 5, cluster_options);
+      const DistRelation result = DistributedAntijoin(
+          cluster, dl, dr, {left_key}, {right_key});
+      EXPECT_TRUE(MultisetEqual(result.Collect(), expected_anti))
+          << "antijoin p=" << p;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TwoWayDifferentialTest,
+                         ::testing::Range(uint64_t{1}, TrialSeedEnd()));
 
 }  // namespace
 }  // namespace mpcqp

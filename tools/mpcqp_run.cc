@@ -46,6 +46,7 @@ namespace {
 struct Options {
   std::string query_text;
   int servers = 16;
+  int threads = 1;
   std::string algorithm = "hypercube";
   std::map<std::string, std::string> generators;  // atom name -> spec.
   std::map<std::string, std::string> inputs;      // atom name -> csv path.
@@ -58,7 +59,7 @@ struct Options {
 [[noreturn]] void Usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s --query Q [--servers P] [--algorithm "
+      "usage: %s --query Q [--servers P] [--threads T] [--algorithm "
       "hypercube|skewhc|binary|gym|planner|auto]\n"
       "          [--gen NAME=SPEC]... [--input NAME=FILE.csv]...\n"
       "          [--output FILE.csv] [--seed N] [--analyze] [--verify]\n",
@@ -217,7 +218,9 @@ int Run(const Options& options) {
   if (options.analyze_only) return 0;
 
   // --- Execution ---
-  Cluster cluster(options.servers, options.seed + 1);
+  ClusterOptions cluster_options;
+  cluster_options.num_threads = options.threads;
+  Cluster cluster(options.servers, options.seed + 1, cluster_options);
   std::vector<DistRelation> dist;
   for (const Relation& r : atoms) {
     dist.push_back(DistRelation::Scatter(r, options.servers));
@@ -303,6 +306,8 @@ int main(int argc, char** argv) {
       options.query_text = next();
     } else if (arg == "--servers" || arg == "-p") {
       options.servers = std::atoi(next().c_str());
+    } else if (arg == "--threads") {
+      options.threads = std::atoi(next().c_str());
     } else if (arg == "--algorithm") {
       options.algorithm = next();
     } else if (arg == "--gen") {
@@ -331,7 +336,8 @@ int main(int argc, char** argv) {
       mpcqp::Usage(argv[0]);
     }
   }
-  if (options.query_text.empty() || options.servers < 1) {
+  if (options.query_text.empty() || options.servers < 1 ||
+      options.threads < 1) {
     mpcqp::Usage(argv[0]);
   }
   return mpcqp::Run(options);
