@@ -1,0 +1,306 @@
+// Data-plane throughput: tuples/sec through every exchange primitive, at
+// p ∈ {8, 64} and threads ∈ {1, 8}, against an embedded "legacy" routing
+// implementation — the pre-zero-copy data plane that materialized private
+// per-(src, dst) buffers tuple-by-tuple and concatenated them. The legacy
+// router is kept here (not in src/) precisely so the speedup of the
+// two-phase index-routed exchange stays measurable release over release.
+//
+// Emits BENCH_exchange.json with <prim>_p<P>_t<T>_{new,legacy}_tps and
+// _speedup keys; CI runs this binary as a Release smoke test.
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/hash.h"
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "mpc/cluster.h"
+#include "mpc/dist_relation.h"
+#include "mpc/exchange.h"
+#include "relation/relation.h"
+#include "relation/relation_ops.h"
+#include "workload/generator.h"
+
+namespace mpcqp {
+namespace {
+
+using bench::BenchJson;
+using bench::Fmt;
+using bench::Table;
+using bench::WallTimer;
+
+using TargetsFn =
+    std::function<void(const Value* row, std::vector<int>& dests)>;
+
+// The seed data plane, verbatim: per-tuple AppendRow into private
+// per-(src, dst) Relation buffers, then a concatenation pass.
+DistRelation LegacyRoute(Cluster& cluster, const DistRelation& rel,
+                         const TargetsFn& targets, const std::string& label) {
+  const int p = cluster.num_servers();
+  RoundScope scope(cluster, label);
+  DistRelation out(rel.arity(), p);
+  ThreadPool& pool = cluster.pool();
+
+  if (pool.num_threads() <= 1 || p <= 1) {
+    std::vector<int64_t> sent_to(p, 0);
+    std::vector<int> dests;
+    for (int src = 0; src < p; ++src) {
+      std::fill(sent_to.begin(), sent_to.end(), 0);
+      const Relation& frag = rel.fragment(src);
+      for (int64_t i = 0; i < frag.size(); ++i) {
+        const Value* row = frag.row(i);
+        dests.clear();
+        targets(row, dests);
+        for (int dst : dests) {
+          out.fragment(dst).AppendRow(row);
+          ++sent_to[dst];
+        }
+      }
+      for (int dst = 0; dst < p; ++dst) {
+        if (sent_to[dst] > 0) {
+          cluster.RecordMessage(src, dst, sent_to[dst],
+                                sent_to[dst] * rel.arity());
+        }
+      }
+    }
+    return out;
+  }
+
+  std::vector<std::vector<Relation>> bufs(p);
+  pool.ParallelFor(p, [&](int64_t task) {
+    const int src = static_cast<int>(task);
+    std::vector<Relation>& mine = bufs[src];
+    mine.assign(p, Relation(rel.arity()));
+    std::vector<int64_t> sent_to(p, 0);
+    std::vector<int> dests;
+    const Relation& frag = rel.fragment(src);
+    for (int64_t i = 0; i < frag.size(); ++i) {
+      const Value* row = frag.row(i);
+      dests.clear();
+      targets(row, dests);
+      for (int dst : dests) {
+        mine[dst].AppendRow(row);
+        ++sent_to[dst];
+      }
+    }
+    for (int dst = 0; dst < p; ++dst) {
+      if (sent_to[dst] > 0) {
+        cluster.RecordMessage(src, dst, sent_to[dst],
+                              sent_to[dst] * rel.arity());
+      }
+    }
+  });
+  pool.ParallelFor(p, [&](int64_t task) {
+    const int dst = static_cast<int>(task);
+    Relation& merged = out.fragment(dst);
+    int64_t total = 0;
+    for (int src = 0; src < p; ++src) total += bufs[src][dst].size();
+    merged.Reserve(total);
+    for (int src = 0; src < p; ++src) merged.Append(bufs[src][dst]);
+  });
+  return out;
+}
+
+struct Primitive {
+  std::string name;
+  int64_t rows;  // Input size for this primitive at the base p.
+  // Runs the library (post-refactor) implementation.
+  std::function<DistRelation(Cluster&, const DistRelation&)> run_new;
+  // Same semantics through the legacy router.
+  std::function<DistRelation(Cluster&, const DistRelation&)> run_legacy;
+};
+
+std::vector<Primitive> MakePrimitives() {
+  std::vector<Primitive> prims;
+
+  // Every primitive derives its routing from a fixed-seed hash so new and
+  // legacy runs are comparable and repeatable.
+  const HashFunction hash(0x5eedULL);
+
+  prims.push_back(
+      {"HashPartition", 400000,
+       [hash](Cluster& c, const DistRelation& rel) {
+         return HashPartition(c, rel, {0}, hash, "bench");
+       },
+       [hash](Cluster& c, const DistRelation& rel) {
+         const int p = c.num_servers();
+         return LegacyRoute(
+             c, rel,
+             [&hash, p](const Value* row, std::vector<int>& dests) {
+               dests.push_back(hash.Bucket(row[0], p));
+             },
+             "bench");
+       }});
+
+  prims.push_back(
+      {"RangePartition", 400000,
+       [](Cluster& c, const DistRelation& rel) {
+         std::vector<Value> splitters;
+         for (int s = 1; s < c.num_servers(); ++s) {
+           splitters.push_back(static_cast<Value>(s) * 1000000 /
+                               c.num_servers());
+         }
+         return RangePartition(c, rel, 0, splitters, "bench");
+       },
+       [](Cluster& c, const DistRelation& rel) {
+         std::vector<Value> splitters;
+         for (int s = 1; s < c.num_servers(); ++s) {
+           splitters.push_back(static_cast<Value>(s) * 1000000 /
+                               c.num_servers());
+         }
+         return LegacyRoute(
+             c, rel,
+             [&splitters](const Value* row, std::vector<int>& dests) {
+               const auto it = std::upper_bound(splitters.begin(),
+                                                splitters.end(), row[0]);
+               dests.push_back(static_cast<int>(it - splitters.begin()));
+             },
+             "bench");
+       }});
+
+  // HyperCube-style multicast: each tuple goes to two hash-derived servers.
+  prims.push_back(
+      {"Route2", 200000,
+       [hash](Cluster& c, const DistRelation& rel) {
+         const int p = c.num_servers();
+         return Route(
+             c, rel,
+             [&hash, p](const Value* row, std::vector<int>& dests) {
+               dests.push_back(hash.Bucket(row[0], p));
+               dests.push_back(hash.Bucket(row[1] + 1, p));
+             },
+             "bench");
+       },
+       [hash](Cluster& c, const DistRelation& rel) {
+         const int p = c.num_servers();
+         return LegacyRoute(
+             c, rel,
+             [&hash, p](const Value* row, std::vector<int>& dests) {
+               dests.push_back(hash.Bucket(row[0], p));
+               dests.push_back(hash.Bucket(row[1] + 1, p));
+             },
+             "bench");
+       }});
+
+  prims.push_back(
+      {"Broadcast", 40000,
+       [](Cluster& c, const DistRelation& rel) {
+         return Broadcast(c, rel, "bench");
+       },
+       [](Cluster& c, const DistRelation& rel) {
+         const int p = c.num_servers();
+         return LegacyRoute(
+             c, rel,
+             [p](const Value*, std::vector<int>& dests) {
+               for (int s = 0; s < p; ++s) dests.push_back(s);
+             },
+             "bench");
+       }});
+
+  prims.push_back(
+      {"GatherToServer", 400000,
+       [](Cluster& c, const DistRelation& rel) {
+         GatherToServer(c, rel, 0, "bench");
+         return DistRelation(rel.arity(), c.num_servers());
+       },
+       [](Cluster& c, const DistRelation& rel) {
+         LegacyRoute(
+             c, rel,
+             [](const Value*, std::vector<int>& dests) {
+               dests.push_back(0);
+             },
+             "bench");
+         return DistRelation(rel.arity(), c.num_servers());
+       }});
+
+  return prims;
+}
+
+// Best-of-`reps` throughput in delivered tuples/sec.
+double MeasureTps(
+    Cluster& cluster, const DistRelation& input, int64_t delivered,
+    const std::function<DistRelation(Cluster&, const DistRelation&)>& run,
+    int reps) {
+  double best_ms = -1;
+  for (int r = 0; r < reps; ++r) {
+    cluster.ResetCosts();
+    WallTimer timer;
+    DistRelation out = run(cluster, input);
+    const double ms = timer.ElapsedMs();
+    if (best_ms < 0 || ms < best_ms) best_ms = ms;
+  }
+  return static_cast<double>(delivered) / (best_ms / 1000.0);
+}
+
+}  // namespace
+}  // namespace mpcqp
+
+int main() {
+  using namespace mpcqp;
+  constexpr int kReps = 3;
+  const int kP[] = {8, 64};
+  const int kThreads[] = {1, 8};
+
+  bench::Banner("Exchange data-plane throughput (tuples/sec, best of 3)");
+  bench::Table table({"primitive", "p", "threads", "new tps", "legacy tps",
+                      "speedup"});
+  bench::BenchJson json("exchange");
+  json.Set("reps", kReps);
+
+  Rng rng(99);
+  std::vector<Primitive> prims = MakePrimitives();
+  for (const Primitive& prim : prims) {
+    const Relation input =
+        GenerateUniform(rng, prim.rows, 2, 1000000);
+    for (const int p : kP) {
+      for (const int threads : kThreads) {
+        ClusterOptions options;
+        options.num_threads = threads;
+        Cluster cluster(p, 7, options);
+        const DistRelation rel = DistRelation::Scatter(input, p);
+
+        // Sanity: both routers must move identical multisets of tuples.
+        {
+          Cluster check_new(p, 7), check_legacy(p, 7);
+          DistRelation a = prim.run_new(check_new, rel);
+          DistRelation b = prim.run_legacy(check_legacy, rel);
+          if (!MultisetEqual(a.Collect(), b.Collect())) {
+            std::fprintf(stderr, "FATAL: %s new/legacy outputs differ\n",
+                         prim.name.c_str());
+            return 1;
+          }
+        }
+
+        // Delivered tuples: what the round actually ships (the meter is
+        // identical for both routers by construction).
+        cluster.ResetCosts();
+        DistRelation probe = prim.run_new(cluster, rel);
+        const int64_t delivered =
+            cluster.cost_report().rounds().back().TotalTuplesReceived();
+
+        const double new_tps =
+            MeasureTps(cluster, rel, delivered, prim.run_new, kReps);
+        const double legacy_tps =
+            MeasureTps(cluster, rel, delivered, prim.run_legacy, kReps);
+        const double speedup = new_tps / legacy_tps;
+
+        table.AddRow({prim.name, std::to_string(p), std::to_string(threads),
+                      bench::Fmt(new_tps / 1e6, 2) + "M",
+                      bench::Fmt(legacy_tps / 1e6, 2) + "M",
+                      bench::Fmt(speedup, 2) + "x"});
+        const std::string key = prim.name + "_p" + std::to_string(p) + "_t" +
+                                std::to_string(threads);
+        json.Set(key + "_new_tps", new_tps);
+        json.Set(key + "_legacy_tps", legacy_tps);
+        json.Set(key + "_speedup", speedup);
+      }
+    }
+  }
+  table.Print();
+  json.Write();
+  return 0;
+}

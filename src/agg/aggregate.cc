@@ -33,17 +33,17 @@ DistRelation DistributedGroupByAggregate(Cluster& cluster,
   // Optional local pre-aggregation (free compute).
   DistRelation staged(static_cast<int>(group_cols.size()) + 1, p);
   if (options.use_combiners) {
-    for (int s = 0; s < p; ++s) {
+    cluster.pool().ParallelFor(p, [&](int64_t s) {
       staged.fragment(s) =
           GroupByAggregate(rel.fragment(s), group_cols, value_col, op);
-    }
+    });
   } else {
     // Project to (group..., value) so both paths shuffle the same shape.
     std::vector<int> cols = group_cols;
     cols.push_back(value_col);
-    for (int s = 0; s < p; ++s) {
+    cluster.pool().ParallelFor(p, [&](int64_t s) {
       staged.fragment(s) = Project(rel.fragment(s), cols);
-    }
+    });
   }
 
   // One round: each group's partials meet at its hash owner.
@@ -57,11 +57,11 @@ DistRelation DistributedGroupByAggregate(Cluster& cluster,
 
   DistRelation result(static_cast<int>(group_cols.size()) + 1, p);
   const int value_pos = static_cast<int>(group_cols.size());
-  for (int s = 0; s < p; ++s) {
+  cluster.pool().ParallelFor(p, [&](int64_t s) {
     result.fragment(s) =
         GroupByAggregate(routed.fragment(s), staged_group_cols, value_pos,
                          options.use_combiners ? merge_op : op);
-  }
+  });
   return result;
 }
 

@@ -70,9 +70,29 @@ void ThreadPool::WorkerMain(int index) {
   }
 }
 
+namespace {
+
+// RAII bump of an atomic counter; exception-safe.
+class ScopedCount {
+ public:
+  explicit ScopedCount(std::atomic<int>& counter) : counter_(counter) {
+    counter_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  ~ScopedCount() { counter_.fetch_sub(1, std::memory_order_acq_rel); }
+
+ private:
+  std::atomic<int>& counter_;
+};
+
+}  // namespace
+
 void ThreadPool::ParallelFor(int64_t n,
                              const std::function<void(int64_t)>& body) {
   if (n <= 0) return;
+  // The region is marked active on the inline paths too, so misuse (e.g.
+  // drawing a new hash function from a loop body) is caught at every
+  // thread count, not only when it would actually race.
+  ScopedCount in_region(active_parallel_);
   if (num_threads_ <= 1 || n == 1) {
     for (int64_t i = 0; i < n; ++i) body(i);
     return;

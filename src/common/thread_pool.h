@@ -1,6 +1,7 @@
 #ifndef MPCQP_COMMON_THREAD_POOL_H_
 #define MPCQP_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -55,6 +56,15 @@ class ThreadPool {
   // -1 when the caller is not a pool worker (e.g. the main thread).
   static int current_worker_index();
 
+  // True while any ParallelFor issued through this pool is still running
+  // (including single-threaded and nested inline runs, so the answer does
+  // not depend on num_threads). Lets callers reject operations that are
+  // unsafe — or would lose determinism — inside a parallel region, e.g.
+  // Cluster::NewHashFunction.
+  bool in_parallel_region() const {
+    return active_parallel_.load(std::memory_order_acquire) > 0;
+  }
+
  private:
   void Enqueue(std::function<void()> task);
   void WorkerMain(int index);
@@ -64,6 +74,7 @@ class ThreadPool {
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;  // Guarded by mu_.
   bool stopping_ = false;                    // Guarded by mu_.
+  std::atomic<int> active_parallel_{0};      // Open ParallelFor calls.
   std::vector<std::thread> workers_;
 };
 

@@ -16,12 +16,14 @@ DistRelation BroadcastJoin(Cluster& cluster, const DistRelation& left,
   DistRelation replicated =
       Broadcast(cluster, right, "broadcast join: replicate small side");
 
-  std::vector<Relation> outputs;
-  outputs.reserve(p);
-  for (int s = 0; s < p; ++s) {
-    outputs.push_back(RunLocalJoin(left.fragment(s), replicated.fragment(s),
-                                   left_keys, right_keys, local));
-  }
+  // Local joins: one pool task per server, each writing its own slot. The
+  // replicated fragments are COW handles to one shared payload; probing
+  // them concurrently is read-only and race-free.
+  std::vector<Relation> outputs(p);
+  cluster.pool().ParallelFor(p, [&](int64_t s) {
+    outputs[s] = RunLocalJoin(left.fragment(s), replicated.fragment(s),
+                              left_keys, right_keys, local);
+  });
   return DistRelation::FromFragments(std::move(outputs));
 }
 

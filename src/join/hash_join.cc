@@ -6,7 +6,7 @@
 
 namespace mpcqp {
 
-Relation RunLocalJoin(const Relation& left, const Relation& right,
+Relation RunLocalJoin(RelationView left, RelationView right,
                       const std::vector<int>& left_keys,
                       const std::vector<int>& right_keys,
                       LocalJoinAlgorithm local) {

@@ -5,6 +5,7 @@
 
 #include "mpc/cluster.h"
 #include "mpc/dist_relation.h"
+#include "relation/relation_view.h"
 
 namespace mpcqp {
 
@@ -31,8 +32,9 @@ DistRelation ParallelHashJoin(
     const std::vector<int>& left_keys, const std::vector<int>& right_keys,
     LocalJoinAlgorithm local = LocalJoinAlgorithm::kHash);
 
-// Runs `local` on one server's fragments (shared helper).
-Relation RunLocalJoin(const Relation& left, const Relation& right,
+// Runs `local` on one server's fragments (shared helper). Takes views:
+// callers pass fragments (or spans of them) without materializing.
+Relation RunLocalJoin(RelationView left, RelationView right,
                       const std::vector<int>& left_keys,
                       const std::vector<int>& right_keys,
                       LocalJoinAlgorithm local);

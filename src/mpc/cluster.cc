@@ -40,6 +40,13 @@ Cluster::Cluster(int num_servers, uint64_t seed, ClusterOptions options)
 Cluster::~Cluster() = default;
 
 HashFunction Cluster::NewHashFunction() {
+  // The seed counter is deliberately plain state: handing out hash
+  // functions from inside a parallel region would both race and make the
+  // sequence depend on scheduling, breaking run-to-run determinism. Fail
+  // fast instead of corrupting silently.
+  MPCQP_CHECK(!pool_->in_parallel_region())
+      << "NewHashFunction called inside a parallel region; draw hash "
+         "functions before fanning out (they are cheap to copy into tasks)";
   // Stride the seed space; HashFunction whitens the seed again.
   next_seed_ += 0x9e3779b97f4a7c15ULL;
   return HashFunction(next_seed_);

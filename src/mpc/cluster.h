@@ -50,8 +50,15 @@ class Cluster {
   // With num_threads == 1 every ParallelFor runs inline on the caller.
   ThreadPool& pool() { return *pool_; }
 
-  // A fresh hash function, independent (by seed) from previous ones. Not
-  // thread-safe: call between, not inside, parallel regions.
+  // A fresh hash function, independent (by seed) from previous ones.
+  //
+  // Contract: not thread-safe, and deliberately so — the seed sequence is
+  // part of the determinism contract, and a draw whose position depended
+  // on thread scheduling would change results across runs. Calling this
+  // while any pool().ParallelFor is running CHECK-fails (at every thread
+  // count, including 1, so the misuse cannot hide in serial test runs).
+  // Draw hash functions before fanning out and copy them into tasks;
+  // HashFunction is a trivially copyable value type.
   HashFunction NewHashFunction();
 
   // Opens a round. It is an error to open a round while one is open.

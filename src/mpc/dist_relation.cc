@@ -25,15 +25,16 @@ DistRelation DistRelation::FromFragments(std::vector<Relation> fragments) {
 DistRelation DistRelation::Scatter(const Relation& input, int num_servers) {
   MPCQP_CHECK_GT(num_servers, 0);
   DistRelation out(input.arity(), num_servers);
+  if (num_servers == 1) {
+    out.fragments_[0] = input;  // COW handle: no bytes move.
+    return out;
+  }
   const int64_t n = input.size();
   for (int s = 0; s < num_servers; ++s) {
-    // Server s gets rows [s*n/p, (s+1)*n/p).
+    // Server s gets rows [s*n/p, (s+1)*n/p), copied in one block.
     const int64_t begin = s * n / num_servers;
     const int64_t end = (s + 1) * n / num_servers;
-    out.fragments_[s].Reserve(end - begin);
-    for (int64_t i = begin; i < end; ++i) {
-      out.fragments_[s].AppendRowFrom(input, i);
-    }
+    out.fragments_[s].AppendRange(input, begin, end);
   }
   return out;
 }
@@ -63,11 +64,10 @@ const Relation& DistRelation::fragment(int server) const {
 }
 
 Relation DistRelation::Collect() const {
+  if (fragments_.size() == 1) return fragments_[0];  // COW handle.
   Relation out(arity_);
   out.Reserve(TotalSize());
-  for (const Relation& f : fragments_) {
-    for (int64_t i = 0; i < f.size(); ++i) out.AppendRowFrom(f, i);
-  }
+  for (const Relation& f : fragments_) out.Append(f);
   return out;
 }
 

@@ -1,6 +1,7 @@
 #include "mpc/exchange.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/check.h"
 #include "common/thread_pool.h"
@@ -9,100 +10,180 @@ namespace mpcqp {
 
 namespace {
 
-using RouteTargetsFn = std::function<void(
-    const RouteContext& ctx, const Value* row, std::vector<int>& dests)>;
-
-// Shared implementation: route each tuple of each source fragment to the
-// destinations chosen by `targets`, metering per (src, dst) pair.
+// ---------------------------------------------------------------------------
+// Two-phase index-routed exchange.
 //
-// The parallel path routes each source fragment in its own pool task into
-// private per-(src, dst) buffers and then concatenates them in src-major
-// order, which reproduces the serial path's append order exactly: output
+// Phase 1 (parallel over sources): compute every tuple's destination(s),
+// tally exact per-(src, dst) row counts, and meter. No tuple bytes move.
+//
+// Between phases (serial, O(p^2)): turn the count matrix into src-major
+// offsets and pre-size each destination fragment to its exact final size.
+//
+// Phase 2 (parallel over sources): copy each tuple straight to its final
+// position — base[dst] + offset[src][dst] onward, in source row order. The
+// per-(src, dst) ranges are disjoint, so the copies need no locks, and the
+// src-major layout reproduces the serial append order exactly: output
 // fragments and costs are bit-identical for every thread count.
-DistRelation RouteImpl(Cluster& cluster, const DistRelation& rel,
-                       const RouteTargetsFn& targets,
-                       const std::string& label) {
+// ---------------------------------------------------------------------------
+
+// Router for exchanges where every tuple has exactly one destination
+// (hash/range partition, gather). `target(ctx, row)` returns the
+// destination server; it is called concurrently from per-source tasks.
+template <typename SingleTargetFn>
+DistRelation RouteSingle(Cluster& cluster, const DistRelation& rel,
+                         const SingleTargetFn& target,
+                         const std::string& label) {
   const int p = cluster.num_servers();
   MPCQP_CHECK_EQ(rel.num_servers(), p);
   MPCQP_CHECK_GT(rel.arity(), 0) << "cannot route nullary relations";
   RoundScope scope(cluster, label);
 
-  DistRelation out(rel.arity(), p);
+  const int arity = rel.arity();
+  DistRelation out(arity, p);
   ThreadPool& pool = cluster.pool();
 
-  if (pool.num_threads() <= 1 || p <= 1) {
-    // Serial fast path: append straight into the output fragments. Meter
-    // with a per-source aggregation matrix to keep RecordMessage calls off
-    // the per-tuple path.
-    std::vector<int64_t> sent_to(p, 0);
-    std::vector<int> dests;
-    RouteContext ctx;
-    for (int src = 0; src < p; ++src) {
-      std::fill(sent_to.begin(), sent_to.end(), 0);
-      const Relation& frag = rel.fragment(src);
-      ctx.src = src;
-      for (int64_t i = 0; i < frag.size(); ++i) {
-        ctx.row = i;
-        const Value* row = frag.row(i);
-        dests.clear();
-        targets(ctx, row, dests);
-        for (int dst : dests) {
-          MPCQP_CHECK_GE(dst, 0);
-          MPCQP_CHECK_LT(dst, p);
-          out.fragment(dst).AppendRow(row);
-          ++sent_to[dst];
-        }
-      }
-      for (int dst = 0; dst < p; ++dst) {
-        if (sent_to[dst] > 0) {
-          cluster.RecordMessage(src, dst, sent_to[dst],
-                                sent_to[dst] * rel.arity());
-        }
-      }
-    }
-    return out;
-  }
-
-  // Parallel path, phase 1: one task per source server fills its private
-  // buffer row bufs[src][0..p).
-  std::vector<std::vector<Relation>> bufs(p);
+  // Phase 1: destinations + counts, one task per source.
+  std::vector<std::vector<int32_t>> dest_of(p);
+  std::vector<int64_t> counts(static_cast<size_t>(p) * p, 0);
   pool.ParallelFor(p, [&](int64_t task) {
     const int src = static_cast<int>(task);
-    std::vector<Relation>& mine = bufs[src];
-    mine.assign(p, Relation(rel.arity()));
-    std::vector<int64_t> sent_to(p, 0);
-    std::vector<int> dests;
     const Relation& frag = rel.fragment(src);
+    std::vector<int32_t>& dests = dest_of[src];
+    dests.resize(frag.size());
+    int64_t* cnt = counts.data() + static_cast<size_t>(src) * p;
     RouteContext ctx;
     ctx.src = src;
-    for (int64_t i = 0; i < frag.size(); ++i) {
+    const int64_t n = frag.size();
+    for (int64_t i = 0; i < n; ++i) {
       ctx.row = i;
-      const Value* row = frag.row(i);
-      dests.clear();
-      targets(ctx, row, dests);
-      for (int dst : dests) {
-        MPCQP_CHECK_GE(dst, 0);
-        MPCQP_CHECK_LT(dst, p);
-        mine[dst].AppendRow(row);
-        ++sent_to[dst];
-      }
+      const int dst = target(ctx, frag.row(i));
+      MPCQP_CHECK_GE(dst, 0);
+      MPCQP_CHECK_LT(dst, p);
+      dests[i] = dst;
+      ++cnt[dst];
     }
     for (int dst = 0; dst < p; ++dst) {
-      if (sent_to[dst] > 0) {
-        cluster.RecordMessage(src, dst, sent_to[dst],
-                              sent_to[dst] * rel.arity());
+      if (cnt[dst] > 0) {
+        cluster.RecordMessage(src, dst, cnt[dst], cnt[dst] * arity);
       }
     }
   });
 
-  // Phase 2: one task per destination concatenates its buffers src-major.
-  pool.ParallelFor(p, [&](int64_t task) {
-    const int dst = static_cast<int>(task);
-    Relation& merged = out.fragment(dst);
+  // Offsets: rows from src land in fragment(dst) at [offset[src][dst], ...)
+  // — src-major, so the layout matches sequential append order.
+  std::vector<int64_t> offsets(static_cast<size_t>(p) * p);
+  std::vector<Value*> base(p);
+  for (int dst = 0; dst < p; ++dst) {
     int64_t total = 0;
-    for (int src = 0; src < p; ++src) total += bufs[src][dst].size();
-    merged.Reserve(total);
-    for (int src = 0; src < p; ++src) merged.Append(bufs[src][dst]);
+    for (int src = 0; src < p; ++src) {
+      offsets[static_cast<size_t>(src) * p + dst] = total;
+      total += counts[static_cast<size_t>(src) * p + dst];
+    }
+    base[dst] = out.fragment(dst).ResizeRowsForOverwrite(total);
+  }
+
+  // Phase 2: bulk copy into disjoint pre-sized ranges.
+  pool.ParallelFor(p, [&](int64_t task) {
+    const int src = static_cast<int>(task);
+    const Relation& frag = rel.fragment(src);
+    if (frag.empty()) return;
+    std::vector<int64_t> cursor(
+        offsets.begin() + static_cast<size_t>(src) * p,
+        offsets.begin() + static_cast<size_t>(src + 1) * p);
+    const std::vector<int32_t>& dests = dest_of[src];
+    const Value* in = frag.row(0);
+    const int64_t n = frag.size();
+    for (int64_t i = 0; i < n; ++i, in += arity) {
+      const int dst = dests[i];
+      std::memcpy(base[dst] + cursor[dst] * arity, in,
+                  static_cast<size_t>(arity) * sizeof(Value));
+      ++cursor[dst];
+    }
+  });
+  return out;
+}
+
+// Router for exchanges where a tuple may go to zero or several servers
+// (multicast). Same two phases; per-row destination lists are stored flat.
+template <typename MultiTargetFn>
+DistRelation RouteMulti(Cluster& cluster, const DistRelation& rel,
+                        const MultiTargetFn& targets,
+                        const std::string& label) {
+  const int p = cluster.num_servers();
+  MPCQP_CHECK_EQ(rel.num_servers(), p);
+  MPCQP_CHECK_GT(rel.arity(), 0) << "cannot route nullary relations";
+  RoundScope scope(cluster, label);
+
+  const int arity = rel.arity();
+  DistRelation out(arity, p);
+  ThreadPool& pool = cluster.pool();
+
+  // Phase 1: per source, a flat destination list plus per-row end indices.
+  std::vector<std::vector<int32_t>> dest_of(p);
+  std::vector<std::vector<int64_t>> row_end(p);
+  std::vector<int64_t> counts(static_cast<size_t>(p) * p, 0);
+  pool.ParallelFor(p, [&](int64_t task) {
+    const int src = static_cast<int>(task);
+    const Relation& frag = rel.fragment(src);
+    std::vector<int32_t>& flat = dest_of[src];
+    std::vector<int64_t>& ends = row_end[src];
+    ends.resize(frag.size());
+    int64_t* cnt = counts.data() + static_cast<size_t>(src) * p;
+    std::vector<int> dests;
+    RouteContext ctx;
+    ctx.src = src;
+    const int64_t n = frag.size();
+    for (int64_t i = 0; i < n; ++i) {
+      ctx.row = i;
+      dests.clear();
+      targets(ctx, frag.row(i), dests);
+      for (int dst : dests) {
+        MPCQP_CHECK_GE(dst, 0);
+        MPCQP_CHECK_LT(dst, p);
+        flat.push_back(dst);
+        ++cnt[dst];
+      }
+      ends[i] = static_cast<int64_t>(flat.size());
+    }
+    for (int dst = 0; dst < p; ++dst) {
+      if (cnt[dst] > 0) {
+        cluster.RecordMessage(src, dst, cnt[dst], cnt[dst] * arity);
+      }
+    }
+  });
+
+  std::vector<int64_t> offsets(static_cast<size_t>(p) * p);
+  std::vector<Value*> base(p);
+  for (int dst = 0; dst < p; ++dst) {
+    int64_t total = 0;
+    for (int src = 0; src < p; ++src) {
+      offsets[static_cast<size_t>(src) * p + dst] = total;
+      total += counts[static_cast<size_t>(src) * p + dst];
+    }
+    base[dst] = out.fragment(dst).ResizeRowsForOverwrite(total);
+  }
+
+  // Phase 2.
+  pool.ParallelFor(p, [&](int64_t task) {
+    const int src = static_cast<int>(task);
+    const Relation& frag = rel.fragment(src);
+    if (frag.empty()) return;
+    std::vector<int64_t> cursor(
+        offsets.begin() + static_cast<size_t>(src) * p,
+        offsets.begin() + static_cast<size_t>(src + 1) * p);
+    const std::vector<int32_t>& flat = dest_of[src];
+    const std::vector<int64_t>& ends = row_end[src];
+    const Value* in = frag.row(0);
+    const int64_t n = frag.size();
+    int64_t j = 0;
+    for (int64_t i = 0; i < n; ++i, in += arity) {
+      for (; j < ends[i]; ++j) {
+        const int dst = flat[j];
+        std::memcpy(base[dst] + cursor[dst] * arity, in,
+                    static_cast<size_t>(arity) * sizeof(Value));
+        ++cursor[dst];
+      }
+    }
   });
   return out;
 }
@@ -119,17 +200,27 @@ DistRelation HashPartition(Cluster& cluster, const DistRelation& rel,
     MPCQP_CHECK_LT(c, rel.arity());
   }
   const int p = cluster.num_servers();
-  return RouteImpl(
+  const auto bucket = [p](uint64_t h) {
+    return static_cast<int>((static_cast<unsigned __int128>(h) * p) >> 64);
+  };
+  if (key_cols.size() == 1) {
+    // Hash the key value in place — no gather.
+    const int col = key_cols.front();
+    return RouteSingle(
+        cluster, rel,
+        [&hash, bucket, col](const RouteContext&, const Value* row) {
+          return bucket(hash.HashSpan(row + col, 1));
+        },
+        label);
+  }
+  return RouteSingle(
       cluster, rel,
-      [&](const RouteContext&, const Value* row, std::vector<int>& dests) {
+      [&](const RouteContext&, const Value* row) {
         // Per-thread scratch: the callback runs concurrently on workers.
         thread_local std::vector<Value> key;
         key.resize(key_cols.size());
         for (size_t k = 0; k < key_cols.size(); ++k) key[k] = row[key_cols[k]];
-        const uint64_t h =
-            hash.HashSpan(key.data(), static_cast<int>(key.size()));
-        dests.push_back(static_cast<int>(
-            (static_cast<unsigned __int128>(h) * p) >> 64));
+        return bucket(hash.HashSpan(key.data(), static_cast<int>(key.size())));
       },
       label);
 }
@@ -137,12 +228,60 @@ DistRelation HashPartition(Cluster& cluster, const DistRelation& rel,
 DistRelation Broadcast(Cluster& cluster, const DistRelation& rel,
                        const std::string& label) {
   const int p = cluster.num_servers();
-  return RouteImpl(
-      cluster, rel,
-      [p](const RouteContext&, const Value*, std::vector<int>& dests) {
-        for (int s = 0; s < p; ++s) dests.push_back(s);
-      },
-      label);
+  MPCQP_CHECK_EQ(rel.num_servers(), p);
+  MPCQP_CHECK_GT(rel.arity(), 0) << "cannot route nullary relations";
+  RoundScope scope(cluster, label);
+
+  const int arity = rel.arity();
+
+  // Every destination receives the same src-major concatenation, so build
+  // it once and hand out p copy-on-write handles to the one payload.
+  Relation all(arity);
+  int nonempty = 0;
+  int last_nonempty = -1;
+  int64_t total = 0;
+  for (int src = 0; src < p; ++src) {
+    const int64_t n = rel.fragment(src).size();
+    if (n > 0) {
+      ++nonempty;
+      last_nonempty = src;
+      total += n;
+    }
+  }
+  if (nonempty == 1) {
+    // One source (a gathered sample, say): its fragment IS the broadcast
+    // payload. Zero bytes move.
+    all = rel.fragment(last_nonempty);
+  } else if (nonempty > 1) {
+    Value* base = all.ResizeRowsForOverwrite(total);
+    std::vector<int64_t> offsets(p);
+    int64_t at = 0;
+    for (int src = 0; src < p; ++src) {
+      offsets[src] = at;
+      at += rel.fragment(src).size();
+    }
+    cluster.pool().ParallelFor(p, [&](int64_t task) {
+      const int src = static_cast<int>(task);
+      const Relation& frag = rel.fragment(src);
+      if (frag.empty()) return;
+      std::memcpy(base + offsets[src] * arity, frag.row(0),
+                  static_cast<size_t>(frag.size()) * arity * sizeof(Value));
+    });
+  }
+
+  // Metering is unchanged: every server still receives every tuple; the
+  // shared payload is a simulator-memory optimization, not a cost one.
+  for (int src = 0; src < p; ++src) {
+    const int64_t n = rel.fragment(src).size();
+    if (n == 0) continue;
+    for (int dst = 0; dst < p; ++dst) {
+      cluster.RecordMessage(src, dst, n, n * arity);
+    }
+  }
+
+  DistRelation out(arity, p);
+  for (int dst = 0; dst < p; ++dst) out.fragment(dst) = all;
+  return out;
 }
 
 DistRelation RangePartition(Cluster& cluster, const DistRelation& rel, int col,
@@ -153,12 +292,12 @@ DistRelation RangePartition(Cluster& cluster, const DistRelation& rel, int col,
   MPCQP_CHECK_EQ(static_cast<int>(splitters.size()) + 1,
                  cluster.num_servers());
   MPCQP_CHECK(std::is_sorted(splitters.begin(), splitters.end()));
-  return RouteImpl(
+  return RouteSingle(
       cluster, rel,
-      [&](const RouteContext&, const Value* row, std::vector<int>& dests) {
+      [&](const RouteContext&, const Value* row) {
         const auto it =
             std::upper_bound(splitters.begin(), splitters.end(), row[col]);
-        dests.push_back(static_cast<int>(it - splitters.begin()));
+        return static_cast<int>(it - splitters.begin());
       },
       label);
 }
@@ -168,7 +307,7 @@ DistRelation Route(
     const std::function<void(const Value* row, std::vector<int>& dests)>&
         targets,
     const std::string& label) {
-  return RouteImpl(
+  return RouteMulti(
       cluster, rel,
       [&targets](const RouteContext&, const Value* row,
                  std::vector<int>& dests) { targets(row, dests); },
@@ -180,18 +319,17 @@ DistRelation RouteWithContext(
     const std::function<void(const RouteContext& ctx, const Value* row,
                              std::vector<int>& dests)>& targets,
     const std::string& label) {
-  return RouteImpl(cluster, rel, targets, label);
+  return RouteMulti(cluster, rel, targets, label);
 }
 
 Relation GatherToServer(Cluster& cluster, const DistRelation& rel, int dst,
                         const std::string& label) {
-  DistRelation gathered = RouteImpl(
+  MPCQP_CHECK_GE(dst, 0);
+  MPCQP_CHECK_LT(dst, cluster.num_servers());
+  DistRelation gathered = RouteSingle(
       cluster, rel,
-      [dst](const RouteContext&, const Value*, std::vector<int>& dests) {
-        dests.push_back(dst);
-      },
-      label);
-  return gathered.fragment(dst);
+      [dst](const RouteContext&, const Value*) { return dst; }, label);
+  return std::move(gathered.fragment(dst));
 }
 
 }  // namespace mpcqp

@@ -17,14 +17,25 @@ namespace mpcqp {
 // round unless the caller has a round open (RoundScope semantics), in which
 // case it merges into that round.
 //
-// Execution model: source fragments are routed concurrently on the
-// cluster's thread pool, one task per source server, into private
-// per-(src, dst) buffers that are concatenated in src-major order — so the
-// output fragments and the metered costs are bit-identical for every
-// thread count. Routing callbacks therefore run concurrently: they must
-// not mutate shared state, and their decision for a tuple may depend only
-// on the tuple itself (and, for the context-aware variant, its source
-// coordinates) — never on how many tuples were visited before it.
+// Execution model: two-phase index-routed exchange. Phase 1 routes each
+// source fragment concurrently (one task per source server), computing
+// per-tuple destinations and exact per-(src, dst) row counts — no tuple
+// bytes move. After a serial O(p^2) pass turns the counts into src-major
+// offsets and pre-sizes every destination fragment, phase 2 copies each
+// tuple directly to its final position; the per-(src, dst) ranges are
+// disjoint, so the copies run lock-free and in parallel. The src-major
+// layout reproduces sequential append order, so the output fragments and
+// the metered costs are bit-identical for every thread count. Routing
+// callbacks run concurrently: they must not mutate shared state, and
+// their decision for a tuple may depend only on the tuple itself (and,
+// for the context-aware variant, its source coordinates) — never on how
+// many tuples were visited before it.
+//
+// Broadcast is zero-copy: it materializes the src-major concatenation
+// once and returns p copy-on-write handles to that single payload (a
+// receiver that mutates its copy detaches transparently). The metered
+// cost is unchanged — every server is still charged for receiving every
+// tuple; sharing is a simulator-memory optimization, not a cost one.
 
 // Identifies the tuple being routed: its source server and its row index
 // within that source fragment. This is what callers hash when they need a

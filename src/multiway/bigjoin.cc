@@ -4,6 +4,7 @@
 #include <map>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "join/semi_join.h"
 #include "mpc/exchange.h"
 #include "relation/key_index.h"
@@ -16,7 +17,7 @@ namespace {
 // Locally normalizes an atom: intra-atom repeats filtered, one column per
 // distinct variable, deduplicated. Returns fragments + the variable list.
 std::pair<DistRelation, std::vector<int>> NormalizeAtom(
-    const Atom& atom, const DistRelation& rel) {
+    ThreadPool& pool, const Atom& atom, const DistRelation& rel) {
   std::vector<int> vars;
   std::vector<int> cols;
   for (int c = 0; c < atom.arity(); ++c) {
@@ -28,8 +29,8 @@ std::pair<DistRelation, std::vector<int>> NormalizeAtom(
   }
   const bool repeats = static_cast<int>(vars.size()) != atom.arity();
   DistRelation out(static_cast<int>(vars.size()), rel.num_servers());
-  for (int s = 0; s < rel.num_servers(); ++s) {
-    Relation frag = rel.fragment(s);
+  pool.ParallelFor(rel.num_servers(), [&](int64_t s) {
+    Relation frag = rel.fragment(s);  // COW handle; no bytes move.
     if (repeats) {
       frag = Filter(frag, [&](const Value* row) {
         for (int c = 0; c < atom.arity(); ++c) {
@@ -43,7 +44,7 @@ std::pair<DistRelation, std::vector<int>> NormalizeAtom(
       });
     }
     out.fragment(s) = Dedup(Project(frag, cols));
-  }
+  });
   return {std::move(out), std::move(vars)};
 }
 
@@ -106,7 +107,7 @@ BigJoinResult BigJoin(Cluster& cluster, const ConjunctiveQuery& q,
   std::vector<DistRelation> rels;
   std::vector<std::vector<int>> rel_vars;
   for (int j = 0; j < q.num_atoms(); ++j) {
-    auto [rel, vars] = NormalizeAtom(q.atom(j), atoms[j]);
+    auto [rel, vars] = NormalizeAtom(cluster.pool(), q.atom(j), atoms[j]);
     rels.push_back(std::move(rel));
     rel_vars.push_back(std::move(vars));
   }
@@ -222,7 +223,7 @@ BigJoinResult BigJoin(Cluster& cluster, const ConjunctiveQuery& q,
       }
       cluster.pool().ParallelFor(p, [&](int64_t s) {
         const Relation deduped = Dedup(count_parts[i].proj_parts.fragment(s));
-        const KeyIndex index(&deduped, proj_keys);
+        const KeyIndex index(deduped, proj_keys);
         const Relation& pf = count_parts[i].prefix_parts.fragment(s);
         std::vector<Value> key(proj_keys.size());
         for (int64_t r = 0; r < pf.size(); ++r) {

@@ -274,9 +274,7 @@ SkewHcResult SkewHcJoin(Cluster& cluster, const ConjunctiveQuery& q,
       if (!all_nonempty) continue;
       const Relation out = EvalJoinLocal(q, local_atoms);
       info.output_size += out.size();
-      for (int64_t i = 0; i < out.size(); ++i) {
-        result.output.fragment(s).AppendRowFrom(out, i);
-      }
+      result.output.fragment(s).Append(out);
     }
     result.residuals.push_back(std::move(info));
   }

@@ -79,10 +79,7 @@ TriangleHlResult TriangleHeavyLightJoin(Cluster& cluster,
     const BinaryPlanResult heavy_part =
         IterativeBinaryJoin(cluster, q, {r, s_heavy, t_heavy}, rng, plan);
     for (int srv = 0; srv < p; ++srv) {
-      const Relation& frag = heavy_part.output.fragment(srv);
-      for (int64_t i = 0; i < frag.size(); ++i) {
-        result.output.fragment(srv).AppendRowFrom(frag, i);
-      }
+      result.output.fragment(srv).Append(heavy_part.output.fragment(srv));
     }
   }
 

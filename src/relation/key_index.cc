@@ -11,23 +11,22 @@ namespace {
 constexpr uint64_t kIndexSeed = 0x1d8af066u;
 }  // namespace
 
-KeyIndex::KeyIndex(const Relation* relation, std::vector<int> key_cols)
-    : relation_(relation), key_cols_(std::move(key_cols)) {
-  MPCQP_CHECK(relation_ != nullptr);
+KeyIndex::KeyIndex(RelationView view, std::vector<int> key_cols)
+    : view_(view), key_cols_(std::move(key_cols)) {
   for (int c : key_cols_) {
     MPCQP_CHECK_GE(c, 0);
-    MPCQP_CHECK_LT(c, relation_->arity());
+    MPCQP_CHECK_LT(c, view_.arity());
   }
   std::vector<Value> key(key_cols_.size());
-  for (int64_t r = 0; r < relation_->size(); ++r) {
-    const Value* row = relation_->row(r);
+  for (int64_t r = 0; r < view_.size(); ++r) {
+    const Value* row = view_.row(r);
     for (size_t i = 0; i < key_cols_.size(); ++i) key[i] = row[key_cols_[i]];
     const uint64_t h = HashKey(key.data());
     std::vector<std::vector<int64_t>>& groups = buckets_[h];
     bool placed = false;
     for (std::vector<int64_t>& group : groups) {
       // Compare against the group's representative row by key columns.
-      const Value* rep = relation_->row(group.front());
+      const Value* rep = view_.row(group.front());
       bool same = true;
       for (int c : key_cols_) {
         if (rep[c] != row[c]) {
@@ -51,7 +50,7 @@ uint64_t KeyIndex::HashKey(const Value* key) const {
 }
 
 bool KeyIndex::RowMatchesKey(int64_t row, const Value* key) const {
-  const Value* r = relation_->row(row);
+  const Value* r = view_.row(row);
   for (size_t i = 0; i < key_cols_.size(); ++i) {
     if (r[key_cols_[i]] != key[i]) return false;
   }

@@ -6,28 +6,32 @@
 #include <vector>
 
 #include "relation/relation.h"
+#include "relation/relation_view.h"
 
 namespace mpcqp {
 
-// A hash index over a relation keyed by a subset of its columns. Probes
-// verify exact key equality (the 64-bit row hash only buckets).
+// A hash index over a relation view keyed by a subset of its columns.
+// Probes verify exact key equality (the 64-bit row hash only buckets).
 //
-// The index borrows the relation; the relation must outlive the index and
-// must not be modified while indexed.
+// The index borrows the viewed rows; the underlying Relation (and the
+// selection vector, for selection views) must outlive the index and must
+// not be modified while indexed. Indexing a view costs nothing extra over
+// indexing a materialized copy — this is how the build sides of the local
+// join family avoid materializing their inputs.
 class KeyIndex {
  public:
-  KeyIndex(const Relation* relation, std::vector<int> key_cols);
+  KeyIndex(RelationView view, std::vector<int> key_cols);
 
-  // Row indices whose key columns equal `key` (key_cols.size() values).
-  // The returned reference is invalidated by the next Lookup call only if
-  // probing missed; treat it as a transient view.
+  // Row indices (into the view) whose key columns equal `key`
+  // (key_cols.size() values). The returned reference is invalidated by the
+  // next Lookup call only if probing missed; treat it as a transient view.
   const std::vector<int64_t>& Lookup(const Value* key) const;
 
   // True if some row matches `key`.
   bool Contains(const Value* key) const { return !Lookup(key).empty(); }
 
   int key_arity() const { return static_cast<int>(key_cols_.size()); }
-  const Relation& relation() const { return *relation_; }
+  const RelationView& view() const { return view_; }
   const std::vector<int>& key_cols() const { return key_cols_; }
 
   // Number of distinct key values present.
@@ -39,7 +43,7 @@ class KeyIndex {
   uint64_t HashKey(const Value* key) const;
   bool RowMatchesKey(int64_t row, const Value* key) const;
 
-  const Relation* relation_;
+  RelationView view_;
   std::vector<int> key_cols_;
   // Bucket hash -> list of (first-row, rows...) groups. To handle 64-bit
   // hash collisions between distinct keys, each bucket stores groups of

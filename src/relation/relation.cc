@@ -1,6 +1,7 @@
 #include "relation/relation.h"
 
 #include <algorithm>
+#include <cstring>
 #include <numeric>
 #include <sstream>
 
@@ -26,10 +27,13 @@ int Schema::IndexOf(const std::string& name) const {
 
 Relation::Relation(int arity) : arity_(arity) { MPCQP_CHECK_GE(arity, 0); }
 
-Relation::Relation(int arity, std::vector<Value> data)
-    : arity_(arity), data_(std::move(data)) {
+Relation::Relation(int arity, std::vector<Value> data) : arity_(arity) {
   MPCQP_CHECK_GT(arity, 0);
-  MPCQP_CHECK_EQ(data_.size() % arity, 0u);
+  MPCQP_CHECK_EQ(data.size() % arity, 0u);
+  if (!data.empty()) {
+    payload_ = std::make_shared<Payload>();
+    payload_->data = std::move(data);
+  }
 }
 
 Relation Relation::FromRows(std::initializer_list<std::vector<Value>> rows) {
@@ -43,11 +47,38 @@ Relation Relation::FromRows(const std::vector<std::vector<Value>>& rows) {
   return result;
 }
 
+const std::vector<Value>& Relation::EmptyData() {
+  static const std::vector<Value> kEmpty;
+  return kEmpty;
+}
+
+std::vector<Value>& Relation::Mutable() {
+  if (!payload_) {
+    payload_ = std::make_shared<Payload>();
+  } else if (payload_.use_count() > 1) {
+    // Shared with another handle: detach by cloning. Readers of the old
+    // payload are unaffected; it stays alive through their references.
+    auto owned = std::make_shared<Payload>();
+    owned->data = payload_->data;
+    payload_ = std::move(owned);
+  }
+  return payload_->data;
+}
+
+Value* Relation::ResizeRowsForOverwrite(int64_t rows) {
+  MPCQP_CHECK_GT(arity_, 0);
+  MPCQP_CHECK_GE(rows, 0);
+  // Fresh payload: never clone bytes that are about to be overwritten.
+  payload_ = std::make_shared<Payload>();
+  payload_->data.resize(static_cast<size_t>(rows) * arity_);
+  return payload_->data.data();
+}
+
 const Value* Relation::row(int64_t row) const {
   MPCQP_CHECK_GT(arity_, 0);
   MPCQP_CHECK_GE(row, 0);
   MPCQP_CHECK_LT(row, size());
-  return data_.data() + static_cast<size_t>(row) * arity_;
+  return data().data() + static_cast<size_t>(row) * arity_;
 }
 
 Value Relation::at(int64_t row, int col) const {
@@ -58,7 +89,8 @@ Value Relation::at(int64_t row, int col) const {
 
 void Relation::AppendRow(const Value* values) {
   MPCQP_CHECK_GT(arity_, 0);
-  data_.insert(data_.end(), values, values + arity_);
+  std::vector<Value>& data = Mutable();
+  data.insert(data.end(), values, values + arity_);
 }
 
 void Relation::AppendRow(const std::vector<Value>& values) {
@@ -80,16 +112,32 @@ void Relation::AppendRowFrom(const Relation& other, int64_t row) {
     ++nullary_count_;
     return;
   }
+  // Keep the source payload alive (and force a detach on self-append) so
+  // the source pointer stays valid while this handle grows.
+  const std::shared_ptr<Payload> keep = other.payload_;
   AppendRow(other.row(row));
 }
 
 void Relation::Append(const Relation& other) {
+  AppendRange(other, 0, other.size());
+}
+
+void Relation::AppendRange(const Relation& other, int64_t begin, int64_t end) {
   MPCQP_CHECK_EQ(other.arity_, arity_);
+  MPCQP_CHECK_GE(begin, 0);
+  MPCQP_CHECK_LE(begin, end);
+  MPCQP_CHECK_LE(end, other.size());
   if (arity_ == 0) {
-    nullary_count_ += other.nullary_count_;
+    nullary_count_ += end - begin;
     return;
   }
-  data_.insert(data_.end(), other.data_.begin(), other.data_.end());
+  if (begin == end) return;
+  // As in AppendRowFrom: pin the source payload so self-appends detach
+  // instead of reading through a reallocated buffer.
+  const std::shared_ptr<Payload> keep = other.payload_;
+  std::vector<Value>& data = Mutable();
+  const Value* src = keep->data.data() + static_cast<size_t>(begin) * arity_;
+  data.insert(data.end(), src, src + static_cast<size_t>(end - begin) * arity_);
 }
 
 void Relation::AppendNullaryRow() {
@@ -98,11 +146,15 @@ void Relation::AppendNullaryRow() {
 }
 
 void Relation::Reserve(int64_t rows) {
-  if (arity_ > 0) data_.reserve(static_cast<size_t>(rows) * arity_);
+  if (arity_ > 0 && rows > 0) {
+    Mutable().reserve(static_cast<size_t>(rows) * arity_);
+  }
 }
 
 void Relation::Clear() {
-  data_.clear();
+  // Dropping the reference is the COW-friendly clear: sharers keep the old
+  // payload, this handle starts empty.
+  payload_.reset();
   nullary_count_ = 0;
 }
 
@@ -138,8 +190,8 @@ void SortRowsImpl(int arity, std::vector<Value>& data,
 }  // namespace
 
 void Relation::SortRows() {
-  if (arity_ == 0 || data_.empty()) return;
-  SortRowsImpl(arity_, data_, {});
+  if (arity_ == 0 || empty()) return;
+  SortRowsImpl(arity_, Mutable(), {});
 }
 
 void Relation::SortRowsBy(const std::vector<int>& key_cols) {
@@ -147,13 +199,16 @@ void Relation::SortRowsBy(const std::vector<int>& key_cols) {
     MPCQP_CHECK_GE(c, 0);
     MPCQP_CHECK_LT(c, arity_);
   }
-  if (arity_ == 0 || data_.empty()) return;
-  SortRowsImpl(arity_, data_, key_cols);
+  if (arity_ == 0 || empty()) return;
+  SortRowsImpl(arity_, Mutable(), key_cols);
 }
 
 bool operator==(const Relation& a, const Relation& b) {
-  return a.arity_ == b.arity_ && a.nullary_count_ == b.nullary_count_ &&
-         a.data_ == b.data_;
+  if (a.arity_ != b.arity_ || a.nullary_count_ != b.nullary_count_) {
+    return false;
+  }
+  if (a.payload_ == b.payload_) return true;  // Shared payload: equal.
+  return a.data() == b.data();
 }
 
 std::string Relation::ToString(int64_t max_rows) const {

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <initializer_list>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -33,7 +34,16 @@ class Schema {
 };
 
 // A relation: a multiset of fixed-arity rows stored row-major in one flat
-// buffer. Copyable and movable; copies are deep.
+// buffer. Copyable and movable.
+//
+// Copies are copy-on-write: the flat buffer lives in a shared immutable
+// payload, so copying a Relation (fragment handles, broadcast replicas,
+// operator inputs) moves no bytes. Any mutating call detaches first —
+// transparently cloning the payload if other handles still share it — so
+// handles never observe each other's writes and the value semantics of a
+// deep copy are preserved exactly. Reading a shared payload from several
+// threads is safe; a single Relation object still must not be mutated
+// concurrently with any access to the same object.
 class Relation {
  public:
   // An empty nullary relation; mostly useful as a placeholder.
@@ -47,8 +57,9 @@ class Relation {
 
   int arity() const { return arity_; }
   int64_t size() const {
-    return arity_ == 0 ? nullary_count_
-                       : static_cast<int64_t>(data_.size()) / arity_;
+    if (arity_ == 0) return nullary_count_;
+    return payload_ ? static_cast<int64_t>(payload_->data.size()) / arity_
+                    : 0;
   }
   bool empty() const { return size() == 0; }
 
@@ -66,6 +77,8 @@ class Relation {
   // Appends all rows of another relation with the same arity (bulk
   // concatenation; one memcpy instead of a per-row loop).
   void Append(const Relation& other);
+  // Appends rows [begin, end) of `other` (same arity) in one memcpy.
+  void AppendRange(const Relation& other, int64_t begin, int64_t end);
   // Appends an empty (nullary) row; only valid when arity() == 0. A nullary
   // relation is either empty (false) or holds some count of empty tuples.
   void AppendNullaryRow();
@@ -79,7 +92,29 @@ class Relation {
   // determinism). In-place.
   void SortRowsBy(const std::vector<int>& key_cols);
 
-  const std::vector<Value>& data() const { return data_; }
+  const std::vector<Value>& data() const {
+    return payload_ ? payload_->data : EmptyData();
+  }
+
+  // ---- Copy-on-write control (the zero-copy data plane) ----
+
+  // Explicit detach: clones the payload if any other handle shares it and
+  // returns the now-private flat buffer for in-place mutation. All other
+  // mutators call this internally; exposed for callers that edit the raw
+  // buffer (e.g. local sorts).
+  std::vector<Value>& Mutable();
+
+  // Detaches, discards current contents, pre-sizes to exactly `rows` rows,
+  // and returns the mutable base pointer. This is the bulk-write entry of
+  // the two-phase exchange: destinations are sized from exact counts, then
+  // rows are memcpy'd in at precomputed offsets. Invalid for arity 0.
+  Value* ResizeRowsForOverwrite(int64_t rows);
+
+  // True if this handle shares its payload with `other` (no bytes would be
+  // saved by copying one into the other). Diagnostic/test hook.
+  bool SharesPayloadWith(const Relation& other) const {
+    return payload_ != nullptr && payload_ == other.payload_;
+  }
 
   // Exact equality: same arity, same rows in the same order.
   friend bool operator==(const Relation& a, const Relation& b);
@@ -88,9 +123,17 @@ class Relation {
   std::string ToString(int64_t max_rows = 20) const;
 
  private:
+  // The shared immutable flat buffer. Handles share it on copy; Mutable()
+  // detaches before any write.
+  struct Payload {
+    std::vector<Value> data;
+  };
+
+  static const std::vector<Value>& EmptyData();
+
   int arity_;
   int64_t nullary_count_ = 0;  // Row count when arity_ == 0.
-  std::vector<Value> data_;
+  std::shared_ptr<Payload> payload_;
 };
 
 }  // namespace mpcqp

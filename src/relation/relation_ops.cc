@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <numeric>
 
 #include "common/check.h"
 #include "relation/key_index.h"
@@ -12,7 +13,7 @@ namespace {
 
 // Shared output-building for the join family: left row then non-key right
 // columns.
-std::vector<int> NonKeyRightCols(const Relation& right,
+std::vector<int> NonKeyRightCols(RelationView right,
                                  const std::vector<int>& right_keys) {
   std::vector<int> cols;
   for (int c = 0; c < right.arity(); ++c) {
@@ -24,7 +25,7 @@ std::vector<int> NonKeyRightCols(const Relation& right,
   return cols;
 }
 
-void CheckJoinArgs(const Relation& left, const Relation& right,
+void CheckJoinArgs(RelationView left, RelationView right,
                    const std::vector<int>& left_keys,
                    const std::vector<int>& right_keys) {
   MPCQP_CHECK_EQ(left_keys.size(), right_keys.size());
@@ -38,7 +39,7 @@ void CheckJoinArgs(const Relation& left, const Relation& right,
   }
 }
 
-void EmitJoinRow(const Relation& left, int64_t lrow, const Relation& right,
+void EmitJoinRow(RelationView left, int64_t lrow, RelationView right,
                  int64_t rrow, const std::vector<int>& right_out_cols,
                  std::vector<Value>& scratch, Relation& out) {
   scratch.clear();
@@ -49,9 +50,32 @@ void EmitJoinRow(const Relation& left, int64_t lrow, const Relation& right,
   out.AppendRow(scratch.data());
 }
 
+// Row indices of `rel` sorted by `key_cols` then all columns — the
+// comparator Relation::SortRowsBy uses, applied to a permutation instead
+// of a materialized copy. Exact duplicates tie, which is harmless: they
+// are byte-identical.
+std::vector<int64_t> SortedOrder(RelationView rel,
+                                 const std::vector<int>& key_cols) {
+  std::vector<int64_t> order(rel.size());
+  std::iota(order.begin(), order.end(), 0);
+  const int arity = rel.arity();
+  std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+    const Value* ra = rel.row(a);
+    const Value* rb = rel.row(b);
+    for (int c : key_cols) {
+      if (ra[c] != rb[c]) return ra[c] < rb[c];
+    }
+    for (int c = 0; c < arity; ++c) {
+      if (ra[c] != rb[c]) return ra[c] < rb[c];
+    }
+    return false;
+  });
+  return order;
+}
+
 }  // namespace
 
-Relation Project(const Relation& rel, const std::vector<int>& cols) {
+Relation Project(RelationView rel, const std::vector<int>& cols) {
   for (int c : cols) {
     MPCQP_CHECK_GE(c, 0);
     MPCQP_CHECK_LT(c, rel.arity());
@@ -71,50 +95,49 @@ Relation Project(const Relation& rel, const std::vector<int>& cols) {
   return out;
 }
 
-Relation Dedup(const Relation& rel) {
+Relation Dedup(RelationView rel) {
   if (rel.arity() == 0) {
     Relation out(0);
     if (rel.size() > 0) out.AppendNullaryRow();
     return out;
   }
-  Relation sorted = rel;
-  sorted.SortRows();
+  const std::vector<int64_t> order = SortedOrder(rel, {});
   Relation out(rel.arity());
-  out.Reserve(sorted.size());
-  for (int64_t i = 0; i < sorted.size(); ++i) {
-    if (i > 0) {
-      const Value* prev = sorted.row(i - 1);
-      const Value* cur = sorted.row(i);
-      if (std::equal(cur, cur + rel.arity(), prev)) continue;
-    }
-    out.AppendRowFrom(sorted, i);
+  out.Reserve(rel.size());
+  const Value* prev = nullptr;
+  for (int64_t i : order) {
+    const Value* cur = rel.row(i);
+    if (prev != nullptr && std::equal(cur, cur + rel.arity(), prev)) continue;
+    out.AppendRow(cur);
+    prev = cur;
   }
   return out;
 }
 
-Relation Filter(const Relation& rel,
+Relation Filter(RelationView rel,
                 const std::function<bool(const Value*)>& pred) {
   MPCQP_CHECK_GT(rel.arity(), 0);
   Relation out(rel.arity());
   for (int64_t i = 0; i < rel.size(); ++i) {
-    if (pred(rel.row(i))) out.AppendRowFrom(rel, i);
+    const Value* row = rel.row(i);
+    if (pred(row)) out.AppendRow(row);
   }
   return out;
 }
 
-Relation UnionAll(const Relation& a, const Relation& b) {
+Relation UnionAll(RelationView a, RelationView b) {
   MPCQP_CHECK_EQ(a.arity(), b.arity());
-  Relation out = a;
+  Relation out = a.ToRelation();
   if (a.arity() == 0) {
     for (int64_t i = 0; i < b.size(); ++i) out.AppendNullaryRow();
     return out;
   }
   out.Reserve(a.size() + b.size());
-  for (int64_t i = 0; i < b.size(); ++i) out.AppendRowFrom(b, i);
+  for (int64_t i = 0; i < b.size(); ++i) out.AppendRow(b.row(i));
   return out;
 }
 
-Relation HashJoinLocal(const Relation& left, const Relation& right,
+Relation HashJoinLocal(RelationView left, RelationView right,
                        const std::vector<int>& left_keys,
                        const std::vector<int>& right_keys) {
   CheckJoinArgs(left, right, left_keys, right_keys);
@@ -124,7 +147,7 @@ Relation HashJoinLocal(const Relation& left, const Relation& right,
 
   // Build on the smaller side conceptually; for simplicity always build on
   // `right` (callers pass the smaller side right in hot paths).
-  KeyIndex index(&right, right_keys);
+  KeyIndex index(right, right_keys);
   std::vector<Value> key(left_keys.size());
   std::vector<Value> scratch;
   for (int64_t i = 0; i < left.size(); ++i) {
@@ -137,7 +160,7 @@ Relation HashJoinLocal(const Relation& left, const Relation& right,
   return out;
 }
 
-Relation SortMergeJoinLocal(const Relation& left, const Relation& right,
+Relation SortMergeJoinLocal(RelationView left, RelationView right,
                             const std::vector<int>& left_keys,
                             const std::vector<int>& right_keys) {
   CheckJoinArgs(left, right, left_keys, right_keys);
@@ -145,14 +168,13 @@ Relation SortMergeJoinLocal(const Relation& left, const Relation& right,
   Relation out(left.arity() + static_cast<int>(right_out_cols.size()));
   if (left.empty() || right.empty()) return out;
 
-  Relation ls = left;
-  ls.SortRowsBy(left_keys);
-  Relation rs = right;
-  rs.SortRowsBy(right_keys);
+  // Sorted selection views: the merge walks permutations, not copies.
+  const std::vector<int64_t> lorder = SortedOrder(left, left_keys);
+  const std::vector<int64_t> rorder = SortedOrder(right, right_keys);
 
   auto compare_keys = [&](int64_t li, int64_t ri) {
-    const Value* l = ls.row(li);
-    const Value* r = rs.row(ri);
+    const Value* l = left.row(lorder[li]);
+    const Value* r = right.row(rorder[ri]);
     for (size_t k = 0; k < left_keys.size(); ++k) {
       const Value lv = l[left_keys[k]];
       const Value rv = r[right_keys[k]];
@@ -160,11 +182,28 @@ Relation SortMergeJoinLocal(const Relation& left, const Relation& right,
     }
     return 0;
   };
+  auto same_left_key = [&](int64_t a, int64_t b) {
+    const Value* ra = left.row(lorder[a]);
+    const Value* rb = left.row(lorder[b]);
+    for (int k : left_keys) {
+      if (ra[k] != rb[k]) return false;
+    }
+    return true;
+  };
+  auto same_right_key = [&](int64_t a, int64_t b) {
+    const Value* ra = right.row(rorder[a]);
+    const Value* rb = right.row(rorder[b]);
+    for (int k : right_keys) {
+      if (ra[k] != rb[k]) return false;
+    }
+    return true;
+  };
 
   std::vector<Value> scratch;
   int64_t li = 0;
   int64_t ri = 0;
-  while (li < ls.size() && ri < rs.size()) {
+  while (li < static_cast<int64_t>(lorder.size()) &&
+         ri < static_cast<int64_t>(rorder.size())) {
     const int cmp = compare_keys(li, ri);
     if (cmp < 0) {
       ++li;
@@ -173,32 +212,19 @@ Relation SortMergeJoinLocal(const Relation& left, const Relation& right,
     } else {
       // Find the run of equal keys on each side, emit the cross product.
       int64_t lend = li + 1;
-      while (lend < ls.size()) {
-        bool same = true;
-        for (size_t k = 0; k < left_keys.size(); ++k) {
-          if (ls.at(lend, left_keys[k]) != ls.at(li, left_keys[k])) {
-            same = false;
-            break;
-          }
-        }
-        if (!same) break;
+      while (lend < static_cast<int64_t>(lorder.size()) &&
+             same_left_key(lend, li)) {
         ++lend;
       }
       int64_t rend = ri + 1;
-      while (rend < rs.size()) {
-        bool same = true;
-        for (size_t k = 0; k < right_keys.size(); ++k) {
-          if (rs.at(rend, right_keys[k]) != rs.at(ri, right_keys[k])) {
-            same = false;
-            break;
-          }
-        }
-        if (!same) break;
+      while (rend < static_cast<int64_t>(rorder.size()) &&
+             same_right_key(rend, ri)) {
         ++rend;
       }
       for (int64_t a = li; a < lend; ++a) {
         for (int64_t b = ri; b < rend; ++b) {
-          EmitJoinRow(ls, a, rs, b, right_out_cols, scratch, out);
+          EmitJoinRow(left, lorder[a], right, rorder[b], right_out_cols,
+                      scratch, out);
         }
       }
       li = lend;
@@ -208,7 +234,7 @@ Relation SortMergeJoinLocal(const Relation& left, const Relation& right,
   return out;
 }
 
-Relation NestedLoopJoinLocal(const Relation& left, const Relation& right,
+Relation NestedLoopJoinLocal(RelationView left, RelationView right,
                              const std::vector<int>& left_keys,
                              const std::vector<int>& right_keys) {
   CheckJoinArgs(left, right, left_keys, right_keys);
@@ -230,45 +256,45 @@ Relation NestedLoopJoinLocal(const Relation& left, const Relation& right,
   return out;
 }
 
-Relation SemijoinLocal(const Relation& left, const Relation& right,
+Relation SemijoinLocal(RelationView left, RelationView right,
                        const std::vector<int>& left_keys,
                        const std::vector<int>& right_keys) {
   CheckJoinArgs(left, right, left_keys, right_keys);
   Relation out(left.arity());
   if (left.empty() || right.empty()) return out;
-  KeyIndex index(&right, right_keys);
+  KeyIndex index(right, right_keys);
   std::vector<Value> key(left_keys.size());
   for (int64_t i = 0; i < left.size(); ++i) {
     const Value* lrow = left.row(i);
     for (size_t k = 0; k < left_keys.size(); ++k) key[k] = lrow[left_keys[k]];
-    if (index.Contains(key.data())) out.AppendRowFrom(left, i);
+    if (index.Contains(key.data())) out.AppendRow(lrow);
   }
   return out;
 }
 
-Relation AntijoinLocal(const Relation& left, const Relation& right,
+Relation AntijoinLocal(RelationView left, RelationView right,
                        const std::vector<int>& left_keys,
                        const std::vector<int>& right_keys) {
   CheckJoinArgs(left, right, left_keys, right_keys);
+  if (left.empty()) return Relation(left.arity());
+  if (right.empty()) return left.ToRelation();
   Relation out(left.arity());
-  if (left.empty()) return out;
-  if (right.empty()) return left;
-  KeyIndex index(&right, right_keys);
+  KeyIndex index(right, right_keys);
   std::vector<Value> key(left_keys.size());
   for (int64_t i = 0; i < left.size(); ++i) {
     const Value* lrow = left.row(i);
     for (size_t k = 0; k < left_keys.size(); ++k) key[k] = lrow[left_keys[k]];
-    if (!index.Contains(key.data())) out.AppendRowFrom(left, i);
+    if (!index.Contains(key.data())) out.AppendRow(lrow);
   }
   return out;
 }
 
-Relation GroupBySum(const Relation& rel, const std::vector<int>& group_cols,
+Relation GroupBySum(RelationView rel, const std::vector<int>& group_cols,
                     int value_col) {
   return GroupByAggregate(rel, group_cols, value_col, AggregateOp::kSum);
 }
 
-Relation GroupByAggregate(const Relation& rel,
+Relation GroupByAggregate(RelationView rel,
                           const std::vector<int>& group_cols, int value_col,
                           AggregateOp op) {
   MPCQP_CHECK_GE(value_col, 0);
@@ -310,16 +336,21 @@ Relation GroupByAggregate(const Relation& rel,
   return out;
 }
 
-bool MultisetEqual(const Relation& a, const Relation& b) {
+bool MultisetEqual(RelationView a, RelationView b) {
   if (a.arity() != b.arity() || a.size() != b.size()) return false;
-  Relation as = a;
-  as.SortRows();
-  Relation bs = b;
-  bs.SortRows();
-  return as == bs;
+  if (a.arity() == 0) return true;  // Equal nullary counts.
+  // Compare through sorted permutations; neither input is copied.
+  const std::vector<int64_t> ao = SortedOrder(a, {});
+  const std::vector<int64_t> bo = SortedOrder(b, {});
+  for (int64_t i = 0; i < a.size(); ++i) {
+    const Value* ra = a.row(ao[i]);
+    const Value* rb = b.row(bo[i]);
+    if (!std::equal(ra, ra + a.arity(), rb)) return false;
+  }
+  return true;
 }
 
-Relation DegreeCount(const Relation& rel, int col) {
+Relation DegreeCount(RelationView rel, int col) {
   MPCQP_CHECK_GE(col, 0);
   MPCQP_CHECK_LT(col, rel.arity());
   std::map<Value, Value> counts;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "relation/relation.h"
+#include "relation/relation_view.h"
 
 namespace mpcqp {
 
@@ -12,52 +13,58 @@ namespace mpcqp {
 // src/join, src/multiway, src/acyclic compose these with the exchange
 // primitives of src/mpc; the choice of local algorithm is independent of
 // the parallel algorithm (slide 32 of the deck).
+//
+// All operators take RelationViews — a whole Relation converts implicitly,
+// so callers pass fragments, row spans, or selection views without
+// materializing copies. Outputs are always owning Relations. Inputs are
+// borrowed only for the duration of the call.
 
 // Projection onto `cols` (columns may repeat or reorder). Multiset
 // semantics: duplicates are kept.
-Relation Project(const Relation& rel, const std::vector<int>& cols);
+Relation Project(RelationView rel, const std::vector<int>& cols);
 
-// Removes duplicate rows (sorts internally; output is sorted).
-Relation Dedup(const Relation& rel);
+// Removes duplicate rows (sorts an index permutation internally — the
+// input is not copied; output is sorted).
+Relation Dedup(RelationView rel);
 
 // Rows for which `pred` returns true.
-Relation Filter(const Relation& rel,
+Relation Filter(RelationView rel,
                 const std::function<bool(const Value*)>& pred);
 
-// Appends all rows of `b` to a copy of `a`. Arities must match.
-Relation UnionAll(const Relation& a, const Relation& b);
+// Appends all rows of `b` to a materialization of `a`. Arities must match.
+Relation UnionAll(RelationView a, RelationView b);
 
 // Equi-join of `left` and `right` on left_keys[i] == right_keys[i].
 // Output columns: all of left, then the columns of right that are not join
 // keys (in their original order). Hash-based.
-Relation HashJoinLocal(const Relation& left, const Relation& right,
+Relation HashJoinLocal(RelationView left, RelationView right,
                        const std::vector<int>& left_keys,
                        const std::vector<int>& right_keys);
 
 // Same contract as HashJoinLocal, sort-merge based. Output row order may
 // differ; contents (as multisets) are identical.
-Relation SortMergeJoinLocal(const Relation& left, const Relation& right,
+Relation SortMergeJoinLocal(RelationView left, RelationView right,
                             const std::vector<int>& left_keys,
                             const std::vector<int>& right_keys);
 
 // Reference nested-loop implementation of the same contract, used by tests.
-Relation NestedLoopJoinLocal(const Relation& left, const Relation& right,
+Relation NestedLoopJoinLocal(RelationView left, RelationView right,
                              const std::vector<int>& left_keys,
                              const std::vector<int>& right_keys);
 
 // Rows of `left` with at least one match in `right` (semijoin).
-Relation SemijoinLocal(const Relation& left, const Relation& right,
+Relation SemijoinLocal(RelationView left, RelationView right,
                        const std::vector<int>& left_keys,
                        const std::vector<int>& right_keys);
 
 // Rows of `left` with no match in `right` (antijoin).
-Relation AntijoinLocal(const Relation& left, const Relation& right,
+Relation AntijoinLocal(RelationView left, RelationView right,
                        const std::vector<int>& left_keys,
                        const std::vector<int>& right_keys);
 
 // SELECT group_cols, SUM(value_col) ... GROUP BY group_cols.
 // Output: group columns then the sum. Output sorted by group columns.
-Relation GroupBySum(const Relation& rel, const std::vector<int>& group_cols,
+Relation GroupBySum(RelationView rel, const std::vector<int>& group_cols,
                     int value_col);
 
 // The aggregate functions GroupByAggregate supports. All are algebraic
@@ -72,17 +79,17 @@ enum class AggregateOp {
 
 // SELECT group_cols, OP(value_col) ... GROUP BY group_cols.
 // Output: group columns then the aggregate; sorted by group columns.
-Relation GroupByAggregate(const Relation& rel,
+Relation GroupByAggregate(RelationView rel,
                           const std::vector<int>& group_cols, int value_col,
                           AggregateOp op);
 
 // True if `a` and `b` contain the same rows with the same multiplicities
 // (order-insensitive). The workhorse of correctness tests.
-bool MultisetEqual(const Relation& a, const Relation& b);
+bool MultisetEqual(RelationView a, RelationView b);
 
 // Per-value frequency ("degree") of column `col`; returned sorted by value.
 // Output arity 2: (value, count).
-Relation DegreeCount(const Relation& rel, int col);
+Relation DegreeCount(RelationView rel, int col);
 
 }  // namespace mpcqp
 

@@ -46,11 +46,10 @@ MultiRoundSortResult MultiRoundSort(Cluster& cluster, const DistRelation& rel,
 
     for (const Bucket& bucket : buckets) {
       if (bucket.NumServers() == 1) {
-        // Stable bucket; data stays put (no communication).
+        // Stable bucket; data stays put (no communication, COW handle).
         next_buckets.push_back(bucket);
-        Relation& dst = next_data.fragment(bucket.server_begin);
-        const Relation& src = data.fragment(bucket.server_begin);
-        for (int64_t i = 0; i < src.size(); ++i) dst.AppendRowFrom(src, i);
+        next_data.fragment(bucket.server_begin) =
+            data.fragment(bucket.server_begin);
         continue;
       }
 
@@ -124,7 +123,9 @@ MultiRoundSortResult MultiRoundSort(Cluster& cluster, const DistRelation& rel,
     buckets = std::move(next_buckets);
   }
 
-  for (int s = 0; s < p; ++s) data.fragment(s).SortRowsBy({col});
+  cluster.pool().ParallelFor(p, [&](int64_t s) {
+    data.fragment(s).SortRowsBy({col});
+  });
   return MultiRoundSortResult{std::move(data), rounds};
 }
 

@@ -34,6 +34,30 @@ TEST(ClusterDeathTest, RecordMessageBadServerAborts) {
   EXPECT_DEATH(cluster.RecordMessage(0, 7, 1, 1), "CHECK failed");
 }
 
+TEST(ClusterDeathTest, NewHashFunctionInsideParallelRegionAborts) {
+  // The multi-threaded cluster is built inside the death statement so the
+  // worker threads exist only in the forked child.
+  EXPECT_DEATH(
+      {
+        ClusterOptions options;
+        options.num_threads = 4;
+        Cluster cluster(4, 1, options);
+        cluster.pool().ParallelFor(
+            4, [&](int64_t) { cluster.NewHashFunction(); });
+      },
+      "inside a parallel region");
+}
+
+TEST(ClusterDeathTest, NewHashFunctionInsideSerialParallelForAborts) {
+  // The misuse is caught even at num_threads = 1, where ParallelFor runs
+  // inline and no actual race exists: determinism would still break at
+  // other thread counts.
+  Cluster cluster(4, 1);
+  EXPECT_DEATH(cluster.pool().ParallelFor(
+                   4, [&](int64_t) { cluster.NewHashFunction(); }),
+               "inside a parallel region");
+}
+
 TEST(ClusterDeathTest, ResetDuringRoundAborts) {
   Cluster cluster(2, 1);
   cluster.BeginRound("r");

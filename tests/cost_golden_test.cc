@@ -1,0 +1,215 @@
+// Golden CostReport regression: one representative run of each algorithm
+// family, with every round's metered per-server loads pinned to in-source
+// goldens. The data plane is free to change how bytes move (copy-on-write
+// payloads, two-phase routing, shared broadcast buffers) but never what is
+// metered — any refactor that silently changes a round label, a per-server
+// tuple/value count, or the round structure fails here loudly.
+//
+// Regenerating: run with MPCQP_REGEN_GOLDENS=1 in the environment; each
+// test prints a paste-ready C++ initializer for its golden table and
+// fails (so regen runs are never mistaken for green runs).
+
+#include <gtest/gtest.h>
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "acyclic/gym.h"
+#include "join/hash_join.h"
+#include "join/skew_join.h"
+#include "matmul/block_mm.h"
+#include "matmul/matrix.h"
+#include "mpc/cluster.h"
+#include "mpc/cost.h"
+#include "mpc/dist_relation.h"
+#include "multiway/hypercube.h"
+#include "query/ghd.h"
+#include "query/query.h"
+#include "sort/psrs.h"
+#include "workload/generator.h"
+
+namespace mpcqp {
+namespace {
+
+// One round's golden: the label plus aggregate loads for quick diagnosis
+// and an FNV-1a checksum over all four per-server vectors for exactness.
+struct GoldenRound {
+  const char* label;
+  int64_t max_tuples_received;
+  int64_t total_tuples_received;
+  uint64_t checksum;
+};
+
+uint64_t Fnv1a(uint64_t h, int64_t v) {
+  h ^= static_cast<uint64_t>(v);
+  return h * 0x100000001b3ULL;
+}
+
+uint64_t RoundChecksum(const RoundCost& round) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const auto* vec :
+       {&round.tuples_received, &round.values_received, &round.tuples_sent,
+        &round.values_sent}) {
+    for (int64_t v : *vec) h = Fnv1a(h, v);
+  }
+  return h;
+}
+
+void PrintActual(const std::string& name, const CostReport& report) {
+  std::fprintf(stderr, "const GoldenRound k%s[] = {\n", name.c_str());
+  for (const RoundCost& round : report.rounds()) {
+    std::fprintf(stderr, "    {\"%s\", %" PRId64 ", %" PRId64
+                         ", 0x%016" PRIx64 "ULL},\n",
+                 round.label.c_str(), round.MaxTuplesReceived(),
+                 round.TotalTuplesReceived(), RoundChecksum(round));
+  }
+  std::fprintf(stderr, "};\n");
+}
+
+template <size_t N>
+void ExpectMatchesGolden(const std::string& name, const CostReport& report,
+                         const GoldenRound (&golden)[N]) {
+  if (std::getenv("MPCQP_REGEN_GOLDENS") != nullptr) {
+    PrintActual(name, report);
+    FAIL() << "MPCQP_REGEN_GOLDENS set: printed actuals, not comparing";
+  }
+  ASSERT_EQ(report.num_rounds(), static_cast<int>(N)) << name;
+  for (size_t r = 0; r < N; ++r) {
+    const RoundCost& round = report.rounds()[r];
+    EXPECT_EQ(round.label, golden[r].label) << name << " round " << r;
+    EXPECT_EQ(round.MaxTuplesReceived(), golden[r].max_tuples_received)
+        << name << " round " << r << " (" << round.label << ")";
+    EXPECT_EQ(round.TotalTuplesReceived(), golden[r].total_tuples_received)
+        << name << " round " << r << " (" << round.label << ")";
+    EXPECT_EQ(RoundChecksum(round), golden[r].checksum)
+        << name << " round " << r << " (" << round.label << ")";
+  }
+  if (::testing::Test::HasFailure()) PrintActual(name, report);
+}
+
+constexpr int kServers = 8;
+constexpr uint64_t kSeed = 42;
+
+// ---------- Parallel hash join ----------
+
+const GoldenRound kHashJoin[] = {
+    {"parallel hash join: shuffle", 495, 1200, 0xb064fa0cc129e675ULL},
+};
+
+TEST(CostGoldenTest, HashJoin) {
+  Rng rng(7);
+  const Relation left = GenerateZipf(rng, 600, 2, 40, 0, 1.2);
+  const Relation right = GenerateZipf(rng, 600, 2, 40, 0, 1.2);
+  Cluster cluster(kServers, kSeed);
+  ParallelHashJoin(cluster, DistRelation::Scatter(left, kServers),
+                   DistRelation::Scatter(right, kServers), {0}, {0});
+  ExpectMatchesGolden("HashJoin", cluster.cost_report(), kHashJoin);
+}
+
+// ---------- Skew-aware join ----------
+
+const GoldenRound kSkewJoin[] = {
+    {"skew-aware join: shuffle", 358, 1943, 0x388e686a85a617d9ULL},
+};
+
+TEST(CostGoldenTest, SkewJoin) {
+  Rng data_rng(7);
+  const Relation left = GenerateZipf(data_rng, 600, 2, 40, 0, 1.2);
+  const Relation right = GenerateZipf(data_rng, 600, 2, 40, 0, 1.2);
+  Cluster cluster(kServers, kSeed);
+  Rng rng(11);
+  SkewAwareJoin(cluster, DistRelation::Scatter(left, kServers),
+                DistRelation::Scatter(right, kServers), 0, 0, rng);
+  ExpectMatchesGolden("SkewJoin", cluster.cost_report(), kSkewJoin);
+}
+
+// ---------- HyperCube triangle ----------
+
+const GoldenRound kHyperCubeTriangle[] = {
+    {"hypercube: multicast", 431, 3000, 0xc22b198caf9028c1ULL},
+};
+
+TEST(CostGoldenTest, HyperCubeTriangle) {
+  Rng rng(23);
+  const Relation edges = GenerateRandomGraph(rng, 60, 500);
+  const ConjunctiveQuery q = ConjunctiveQuery::Make(
+      {"x", "y", "z"}, {{"R", {0, 1}}, {"S", {1, 2}}, {"T", {2, 0}}});
+  Cluster cluster(kServers, kSeed);
+  std::vector<DistRelation> atoms(3, DistRelation::Scatter(edges, kServers));
+  HyperCubeJoin(cluster, q, atoms);
+  ExpectMatchesGolden("HyperCubeTriangle", cluster.cost_report(),
+                      kHyperCubeTriangle);
+}
+
+// ---------- GYM on a path query ----------
+
+const GoldenRound kGym[] = {
+    {"gym: upward semijoin", 66, 300, 0x4aebeb0d4d26bebbULL},
+    {"gym: upward semijoin", 54, 300, 0x5527dc826924ff73ULL},
+    {"gym: upward semijoin", 85, 300, 0xf7786fafa0e3a099ULL},
+    {"gym: downward semijoin", 66, 300, 0x3b23d93fb2fa6fc3ULL},
+    {"gym: downward semijoin", 93, 300, 0xbe0e6cbf5595ab0fULL},
+    {"gym: downward semijoin", 78, 300, 0x43e5f73abd6d8783ULL},
+    {"gym: join step", 88, 300, 0x920b6c9e37742bc3ULL},
+    {"gym: join step", 316, 1369, 0xeb8e18f55f7f7bc1ULL},
+    {"gym: join step", 2691, 10356, 0x5a252682c99c5f9bULL},
+};
+
+TEST(CostGoldenTest, Gym) {
+  const ConjunctiveQuery q = ConjunctiveQuery::Path(4);
+  Rng data_rng(21);
+  Rng rng(22);
+  std::vector<DistRelation> atoms;
+  for (int j = 0; j < 4; ++j) {
+    atoms.push_back(DistRelation::Scatter(
+        GenerateUniform(data_rng, 150, 2, 18), kServers));
+  }
+  Cluster cluster(kServers, kSeed);
+  GymJoin(cluster, q, ChainGhd(q), atoms, rng);
+  ExpectMatchesGolden("Gym", cluster.cost_report(), kGym);
+}
+
+// ---------- PSRS ----------
+
+const GoldenRound kPsrs[] = {
+    {"psrs: sample broadcast", 56, 448, 0x25742bb6200495a5ULL},
+    {"psrs: range partition", 141, 800, 0xa2e7e15395d40645ULL},
+};
+
+TEST(CostGoldenTest, Psrs) {
+  Rng rng(31);
+  const Relation input = GenerateUniform(rng, 800, 2, 1000);
+  Cluster cluster(kServers, kSeed);
+  PsrsOptions options;
+  options.key_cols = {0, 1};
+  PsrsSort(cluster, DistRelation::Scatter(input, kServers), options);
+  ExpectMatchesGolden("Psrs", cluster.cost_report(), kPsrs);
+}
+
+// ---------- Square-block matrix multiplication ----------
+
+const GoldenRound kBlockMm[] = {
+    {"square-block MM: compute round 1", 32, 256, 0x68b9c8dd6f90d5a5ULL},
+    {"square-block MM: compute round 2", 32, 256, 0x68b9c8dd6f90d5a5ULL},
+    {"square-block MM: compute round 3", 32, 256, 0x68b9c8dd6f90d5a5ULL},
+    {"square-block MM: compute round 4", 32, 256, 0x68b9c8dd6f90d5a5ULL},
+    {"square-block MM: compute round 5", 32, 256, 0x68b9c8dd6f90d5a5ULL},
+    {"square-block MM: compute round 6", 32, 256, 0x68b9c8dd6f90d5a5ULL},
+    {"square-block MM: compute round 7", 32, 256, 0x68b9c8dd6f90d5a5ULL},
+    {"square-block MM: compute round 8", 32, 256, 0x68b9c8dd6f90d5a5ULL},
+};
+
+TEST(CostGoldenTest, BlockMm) {
+  Rng rng(7);
+  const Matrix a = RandomMatrix(rng, 16, 16, 20);
+  const Matrix b = RandomMatrix(rng, 16, 16, 20);
+  Cluster cluster(kServers, kSeed);
+  SquareBlockMm(cluster, a, b, /*block_dim=*/4);
+  ExpectMatchesGolden("BlockMm", cluster.cost_report(), kBlockMm);
+}
+
+}  // namespace
+}  // namespace mpcqp

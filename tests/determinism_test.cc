@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "join/broadcast_join.h"
 #include "join/cartesian.h"
 #include "join/hash_join.h"
 #include "join/semi_join.h"
@@ -18,6 +19,7 @@
 #include "join/sort_join.h"
 #include "mpc/cluster.h"
 #include "mpc/dist_relation.h"
+#include "mpc/exchange.h"
 #include "multiway/bigjoin.h"
 #include "multiway/hypercube.h"
 #include "query/query.h"
@@ -171,6 +173,49 @@ TEST(DeterminismTest, BroadcastSemijoin) {
                              DistRelation::Scatter(left, kServers),
                              DistRelation::Scatter(right, kServers), {0},
                              {0});
+  });
+}
+
+// Broadcast-heavy: the replicated side is p copy-on-write handles to one
+// shared payload, probed concurrently by the local joins.
+TEST(DeterminismTest, BroadcastJoin) {
+  Relation left, right;
+  MakeJoinInputs(&left, &right);
+  ExpectThreadCountInvariant([&](Cluster& cluster) {
+    return BroadcastJoin(cluster, DistRelation::Scatter(left, kServers),
+                         DistRelation::Scatter(right, kServers), {0}, {0});
+  });
+}
+
+// A receiver that mutates its broadcast copy must detach from the shared
+// payload without perturbing the other receivers — at every thread count.
+TEST(DeterminismTest, WriteAfterBroadcastDetaches) {
+  Rng rng(43);
+  const Relation input = GenerateUniform(rng, 300, 2, 100);
+  ExpectThreadCountInvariant([&](Cluster& cluster) {
+    DistRelation everywhere =
+        Broadcast(cluster, DistRelation::Scatter(input, kServers),
+                  "detach test: broadcast");
+    // All receivers share one payload before any write.
+    for (int s = 1; s < kServers; ++s) {
+      EXPECT_TRUE(
+          everywhere.fragment(s).SharesPayloadWith(everywhere.fragment(0)));
+    }
+    // Concurrent writers: even servers sort their copy in place, odd
+    // servers append a sentinel row. Each write detaches its handle.
+    cluster.pool().ParallelFor(kServers, [&](int64_t s) {
+      if (s % 2 == 0) {
+        everywhere.fragment(static_cast<int>(s)).SortRowsBy({1});
+      } else {
+        everywhere.fragment(static_cast<int>(s))
+            .AppendRow({static_cast<Value>(s), 7777});
+      }
+    });
+    for (int s = 1; s < kServers; ++s) {
+      EXPECT_FALSE(
+          everywhere.fragment(s).SharesPayloadWith(everywhere.fragment(0)));
+    }
+    return everywhere;
   });
 }
 

@@ -125,7 +125,7 @@ TEST(OpsTest, DegreeCount) {
 
 TEST(KeyIndexTest, LookupFindsAllMatches) {
   const Relation r = Relation::FromRows({{1, 5}, {2, 5}, {3, 6}});
-  const KeyIndex index(&r, {1});
+  const KeyIndex index(r, {1});
   const Value key5 = 5;
   EXPECT_EQ(index.Lookup(&key5).size(), 2u);
   const Value key6 = 6;
@@ -137,14 +137,14 @@ TEST(KeyIndexTest, LookupFindsAllMatches) {
 
 TEST(KeyIndexTest, CompositeKeys) {
   const Relation r = Relation::FromRows({{1, 2, 9}, {1, 3, 9}, {1, 2, 8}});
-  const KeyIndex index(&r, {0, 1});
+  const KeyIndex index(r, {0, 1});
   const Value key[] = {1, 2};
   EXPECT_EQ(index.Lookup(key).size(), 2u);
 }
 
 TEST(KeyIndexTest, EmptyKeyMatchesEverything) {
   const Relation r = Relation::FromRows({{1}, {2}, {3}});
-  const KeyIndex index(&r, {});
+  const KeyIndex index(r, {});
   EXPECT_EQ(index.Lookup(nullptr).size(), 3u);
 }
 
