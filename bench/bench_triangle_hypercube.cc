@@ -8,6 +8,7 @@
 
 #include "bench/bench_util.h"
 #include "mpc/cluster.h"
+#include "mpc/metrics.h"
 #include "multiway/binary_plan.h"
 #include "multiway/hypercube.h"
 #include "query/local_eval.h"
@@ -112,6 +113,7 @@ void Run() {
     json.Set("max_load_tuples" + suffix, report.MaxLoadTuples());
     json.SetArray("round_max_load_tuples" + suffix, round_loads);
     json.Set("output_tuples" + suffix, result.output.TotalSize());
+    json.SetRawJson("stats" + suffix, BuildStatsReport(cluster).ToJson());
     if (threads != 1 && wall_threads1 > 0.0 && wall_ms > 0.0) {
       json.Set("speedup" + suffix, wall_threads1 / wall_ms);
       std::printf("speedup threads=%d vs 1: %.2fx\n", threads,

@@ -102,6 +102,12 @@ class BenchJson {
   void Set(const std::string& key, const std::string& value) {
     entries_.push_back({key, "\"" + value + "\""});
   }
+  // Embeds a pre-rendered JSON value verbatim (e.g. a StatsReport's
+  // ToJson()), so benchmarks can attach structured timing columns without
+  // re-encoding them.
+  void SetRawJson(const std::string& key, std::string json) {
+    entries_.push_back({key, std::move(json)});
+  }
   void SetArray(const std::string& key, const std::vector<int64_t>& values) {
     std::string json = "[";
     for (size_t i = 0; i < values.size(); ++i) {

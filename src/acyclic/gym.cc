@@ -4,6 +4,7 @@
 #include <map>
 
 #include "common/check.h"
+#include "common/trace.h"
 #include "join/hash_join.h"
 #include "mpc/exchange.h"
 #include "multiway/skew_hc.h"
@@ -107,6 +108,7 @@ GymResult GymJoin(Cluster& cluster, const ConjunctiveQuery& q, const Ghd& ghd,
                   const GymOptions& options) {
   const int p = cluster.num_servers();
   MPCQP_CHECK_EQ(static_cast<int>(atoms.size()), q.num_atoms());
+  MPCQP_TRACE_SCOPE("gym", "algorithm");
   {
     const Status valid = ghd.Validate(q);
     MPCQP_CHECK(valid.ok()) << valid;

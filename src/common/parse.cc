@@ -1,0 +1,90 @@
+#include "common/parse.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+namespace mpcqp {
+
+namespace {
+
+Status BadNumber(const std::string& text, const char* kind) {
+  return InvalidArgumentError(std::string("expected ") + kind + ", got '" +
+                              text + "'");
+}
+
+}  // namespace
+
+StatusOr<uint64_t> ParseUint64(const std::string& text) {
+  if (text.empty()) return BadNumber(text, "an unsigned integer");
+  constexpr uint64_t kMax = std::numeric_limits<uint64_t>::max();
+  uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return BadNumber(text, "an unsigned integer");
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > kMax / 10 || (value == kMax / 10 && digit > kMax % 10)) {
+      return InvalidArgumentError("integer overflow in '" + text + "'");
+    }
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+StatusOr<int64_t> ParseInt64(const std::string& text) {
+  const bool negative = !text.empty() && text[0] == '-';
+  auto magnitude = ParseUint64(negative ? text.substr(1) : text);
+  if (!magnitude.ok()) {
+    if (magnitude.status().message().rfind("integer overflow", 0) == 0) {
+      return InvalidArgumentError("integer overflow in '" + text + "'");
+    }
+    return BadNumber(text, "an integer");
+  }
+  constexpr uint64_t kMaxMagnitude =
+      static_cast<uint64_t>(std::numeric_limits<int64_t>::max());
+  // -2^63 is representable but its magnitude is kMaxMagnitude + 1; keep
+  // the check symmetric (reject it) so negation below cannot overflow.
+  if (*magnitude > kMaxMagnitude) {
+    return InvalidArgumentError("integer overflow in '" + text + "'");
+  }
+  const int64_t value = static_cast<int64_t>(*magnitude);
+  return negative ? -value : value;
+}
+
+StatusOr<int64_t> ParseInt64InRange(const std::string& text, int64_t min_value,
+                                    int64_t max_value) {
+  auto value = ParseInt64(text);
+  if (!value.ok()) return value.status();
+  if (*value < min_value || *value > max_value) {
+    return InvalidArgumentError("value " + text + " out of range [" +
+                                std::to_string(min_value) + ", " +
+                                std::to_string(max_value) + "]");
+  }
+  return value;
+}
+
+StatusOr<int> ParseIntInRange(const std::string& text, int min_value,
+                              int max_value) {
+  auto value = ParseInt64InRange(text, min_value, max_value);
+  if (!value.ok()) return value.status();
+  return static_cast<int>(*value);
+}
+
+StatusOr<double> ParseDouble(const std::string& text) {
+  // strtod skips leading whitespace; reject it up front to keep the
+  // whole-string contract.
+  if (text.empty() || std::isspace(static_cast<unsigned char>(text[0]))) {
+    return BadNumber(text, "a number");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size() || errno == ERANGE ||
+      !std::isfinite(value)) {
+    return BadNumber(text, "a finite number");
+  }
+  return value;
+}
+
+}  // namespace mpcqp

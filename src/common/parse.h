@@ -1,0 +1,41 @@
+#ifndef MPCQP_COMMON_PARSE_H_
+#define MPCQP_COMMON_PARSE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/statusor.h"
+
+namespace mpcqp {
+
+// Checked numeric parsing for command-line flags and text fields.
+//
+// The std::atoi family silently turns garbage into 0 and wraps on
+// overflow; every flag and generator-spec parse in the repo goes through
+// these helpers instead. All of them require the ENTIRE string to be a
+// valid literal (no leading/trailing junk, no whitespace, empty input is
+// an error) and return InvalidArgument naming the offending text
+// otherwise.
+
+// Unsigned decimal; rejects sign characters. Overflow is an error, not a
+// wrap.
+StatusOr<uint64_t> ParseUint64(const std::string& text);
+
+// Optional leading '-'; overflow (including INT64_MIN edge) is an error.
+StatusOr<int64_t> ParseInt64(const std::string& text);
+
+// ParseInt64 plus an inclusive range check.
+StatusOr<int64_t> ParseInt64InRange(const std::string& text, int64_t min_value,
+                                    int64_t max_value);
+
+// Narrowing convenience for int-typed flags (servers, threads, fan-out).
+StatusOr<int> ParseIntInRange(const std::string& text, int min_value,
+                              int max_value);
+
+// Finite decimal floating point (strtod grammar); inf/nan and partial
+// parses are errors.
+StatusOr<double> ParseDouble(const std::string& text);
+
+}  // namespace mpcqp
+
+#endif  // MPCQP_COMMON_PARSE_H_

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/trace.h"
 
 namespace mpcqp {
 
@@ -89,6 +90,7 @@ class ScopedCount {
 void ThreadPool::ParallelFor(int64_t n,
                              const std::function<void(int64_t)>& body) {
   if (n <= 0) return;
+  MPCQP_TRACE_SCOPE_ARG("parallel_for", "pool", n);
   // The region is marked active on the inline paths too, so misuse (e.g.
   // drawing a new hash function from a loop body) is caught at every
   // thread count, not only when it would actually race.

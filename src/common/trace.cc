@@ -1,0 +1,171 @@
+#include "common/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace mpcqp {
+
+std::atomic<int64_t> TraceCounters::cow_detaches{0};
+std::atomic<int64_t> TraceCounters::cow_detach_bytes{0};
+
+namespace {
+
+// One buffered event; `kind` distinguishes complete spans ("X") from
+// counter samples ("C").
+struct Event {
+  char kind;
+  std::string name;
+  const char* category;
+  int64_t start_ns;
+  int64_t dur_ns;
+  int64_t arg;
+  int tid;
+  int64_t value;
+};
+
+int CurrentTid() {
+  // Pool workers get 1..num_threads-1; the main (or any non-pool) thread
+  // gets 0, matching the shard numbering in Cluster.
+  return ThreadPool::current_worker_index() + 1;
+}
+
+}  // namespace
+
+struct Tracer::Impl {
+  mutable std::mutex mu;
+  std::vector<Event> events;  // Guarded by mu.
+};
+
+Tracer& Tracer::Get() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+Tracer::Impl& Tracer::impl() const {
+  static Impl* impl = new Impl();
+  return *impl;
+}
+
+int64_t Tracer::NowNanos() {
+  static const std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+void Tracer::Clear() {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.events.clear();
+}
+
+void Tracer::RecordComplete(const std::string& name, const char* category,
+                            int64_t start_ns, int64_t dur_ns, int64_t arg) {
+  if (!enabled()) return;
+  Event event{'X', name, category, start_ns, dur_ns, arg, CurrentTid(), 0};
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.events.push_back(std::move(event));
+}
+
+void Tracer::RecordCounter(const char* name, int64_t value) {
+  if (!enabled()) return;
+  Event event{'C', name, "counter", NowNanos(), 0, -1, CurrentTid(), value};
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.events.push_back(std::move(event));
+}
+
+int64_t Tracer::event_count() const {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return static_cast<int64_t>(state.events.size());
+}
+
+std::string Tracer::ToChromeJson() const {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mu);
+  std::string json = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char buf[160];
+  bool first = true;
+  for (const Event& event : state.events) {
+    if (!first) json += ",";
+    first = false;
+    json += "\n{\"name\":\"" + JsonEscape(event.name) + "\",\"cat\":\"" +
+            event.category + "\",\"ph\":\"" + event.kind + "\",\"pid\":0";
+    // Chrome-trace timestamps are microseconds; keep nanosecond precision
+    // with a fractional part.
+    std::snprintf(buf, sizeof(buf), ",\"tid\":%d,\"ts\":%.3f", event.tid,
+                  static_cast<double>(event.start_ns) / 1000.0);
+    json += buf;
+    if (event.kind == 'X') {
+      std::snprintf(buf, sizeof(buf), ",\"dur\":%.3f",
+                    static_cast<double>(event.dur_ns) / 1000.0);
+      json += buf;
+      if (event.arg >= 0) {
+        std::snprintf(buf, sizeof(buf), ",\"args\":{\"arg\":%lld}",
+                      static_cast<long long>(event.arg));
+        json += buf;
+      }
+    } else {
+      std::snprintf(buf, sizeof(buf), ",\"args\":{\"value\":%lld}",
+                    static_cast<long long>(event.value));
+      json += buf;
+    }
+    json += "}";
+  }
+  json += "\n]}\n";
+  return json;
+}
+
+Status Tracer::WriteChromeTrace(const std::string& path) const {
+  const std::string json = ToChromeJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return InternalError("cannot write trace to " + path);
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (written != json.size() || !closed) {
+    return InternalError("short write to " + path);
+  }
+  return OkStatus();
+}
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace mpcqp

@@ -1,0 +1,152 @@
+#ifndef MPCQP_COMMON_TRACE_H_
+#define MPCQP_COMMON_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+// Compile-time tracing gate. Build with -DMPCQP_TRACING=0 to compile every
+// MPCQP_TRACE_* macro down to a no-op that still type-checks its arguments
+// (inside an unevaluated sizeof), so a tracing call site can never rot in a
+// tracing-disabled build.
+#ifndef MPCQP_TRACING
+#define MPCQP_TRACING 1
+#endif
+
+namespace mpcqp {
+
+// Process-wide monotonic counters incremented from hot paths that have no
+// Cluster in reach (e.g. Relation's copy-on-write detach). Metrics readers
+// snapshot-and-diff; the counters are never reset.
+struct TraceCounters {
+  // Number of payload clones forced by mutating a shared COW relation.
+  static std::atomic<int64_t> cow_detaches;
+  // Bytes copied by those clones.
+  static std::atomic<int64_t> cow_detach_bytes;
+};
+
+// Global trace-event collector emitting Chrome-trace ("chrome://tracing" /
+// Perfetto "Trace Event Format") JSON.
+//
+// Disabled by default. When disabled, recording entry points reduce to one
+// relaxed atomic load (ScopedTrace stores nothing); when enabled, events go
+// to a mutex-guarded buffer — acceptable for a simulator whose traced
+// sections are parallel regions of whole server fragments, not per-tuple
+// work. Timestamps are steady-clock nanoseconds since process start;
+// thread ids are pool worker indices (0 = main/non-pool thread).
+//
+// Tracing never feeds back into results: outputs and CostReports are
+// byte-identical with tracing on or off (tests/trace_test.cc pins this).
+class Tracer {
+ public:
+  static Tracer& Get();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+  // Drops all buffered events.
+  void Clear();
+
+  // Nanoseconds since process start (steady clock).
+  static int64_t NowNanos();
+
+  // A completed span [start_ns, start_ns + dur_ns). `arg` >= 0 is emitted
+  // as args:{"arg":N} (typically a server or task id). No-ops when
+  // disabled.
+  void RecordComplete(const std::string& name, const char* category,
+                      int64_t start_ns, int64_t dur_ns, int64_t arg = -1);
+  // A counter sample (Chrome "C" event), plotted as a time series.
+  void RecordCounter(const char* name, int64_t value);
+
+  int64_t event_count() const;
+
+  // The full buffer as {"traceEvents":[...]} JSON.
+  std::string ToChromeJson() const;
+  Status WriteChromeTrace(const std::string& path) const;
+
+ private:
+  Tracer() = default;
+  struct Impl;
+  Impl& impl() const;
+
+  std::atomic<bool> enabled_{false};
+};
+
+// RAII span: records a complete event covering its own lifetime. Name and
+// category must outlive the scope (string literals in practice).
+class ScopedTrace {
+ public:
+  ScopedTrace(const char* name, const char* category, int64_t arg = -1)
+      : active_(Tracer::Get().enabled()) {
+    if (active_) {
+      name_ = name;
+      category_ = category;
+      arg_ = arg;
+      start_ns_ = Tracer::NowNanos();
+    }
+  }
+  ~ScopedTrace() {
+    if (active_) {
+      Tracer::Get().RecordComplete(name_, category_, start_ns_,
+                                   Tracer::NowNanos() - start_ns_, arg_);
+    }
+  }
+
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+
+ private:
+  bool active_;
+  const char* name_ = nullptr;
+  const char* category_ = nullptr;
+  int64_t arg_ = -1;
+  int64_t start_ns_ = 0;
+};
+
+// Escapes `text` for embedding inside a JSON string literal (quotes,
+// backslashes, control characters). Shared by the trace and stats sinks.
+std::string JsonEscape(const std::string& text);
+
+}  // namespace mpcqp
+
+#define MPCQP_TRACE_CONCAT_INNER(a, b) a##b
+#define MPCQP_TRACE_CONCAT(a, b) MPCQP_TRACE_CONCAT_INNER(a, b)
+
+#if MPCQP_TRACING
+// Span covering the rest of the enclosing block.
+#define MPCQP_TRACE_SCOPE(name, category) \
+  ::mpcqp::ScopedTrace MPCQP_TRACE_CONCAT(mpcqp_trace_, __LINE__)( \
+      (name), (category))
+// Same, with one integer arg (server / task id) attached to the event.
+#define MPCQP_TRACE_SCOPE_ARG(name, category, arg) \
+  ::mpcqp::ScopedTrace MPCQP_TRACE_CONCAT(mpcqp_trace_, __LINE__)( \
+      (name), (category), static_cast<int64_t>(arg))
+#define MPCQP_TRACE_COUNTER(name, value)                                 \
+  do {                                                                   \
+    if (::mpcqp::Tracer::Get().enabled()) {                              \
+      ::mpcqp::Tracer::Get().RecordCounter((name),                       \
+                                           static_cast<int64_t>(value)); \
+    }                                                                    \
+  } while (0)
+#else
+// Compile-time-checked no-ops: arguments are type-checked but never
+// evaluated, and no code is generated.
+#define MPCQP_TRACE_SCOPE(name, category)                   \
+  do {                                                      \
+    (void)sizeof(::mpcqp::ScopedTrace((name), (category))); \
+  } while (0)
+#define MPCQP_TRACE_SCOPE_ARG(name, category, arg)                 \
+  do {                                                             \
+    (void)sizeof(::mpcqp::ScopedTrace((name), (category),          \
+                                      static_cast<int64_t>(arg))); \
+  } while (0)
+#define MPCQP_TRACE_COUNTER(name, value)                          \
+  do {                                                            \
+    (void)sizeof((name));                                         \
+    (void)sizeof(static_cast<int64_t>(value));                    \
+  } while (0)
+#endif  // MPCQP_TRACING
+
+#endif  // MPCQP_COMMON_TRACE_H_

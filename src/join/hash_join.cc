@@ -1,7 +1,9 @@
 #include "join/hash_join.h"
 
 #include "common/check.h"
+#include "common/trace.h"
 #include "mpc/exchange.h"
+#include "mpc/metrics.h"
 #include "relation/relation_ops.h"
 
 namespace mpcqp {
@@ -29,6 +31,7 @@ DistRelation ParallelHashJoin(Cluster& cluster, const DistRelation& left,
                               LocalJoinAlgorithm local) {
   MPCQP_CHECK_EQ(left_keys.size(), right_keys.size());
   MPCQP_CHECK(!left_keys.empty());
+  MPCQP_TRACE_SCOPE("hash_join", "algorithm");
   const int p = cluster.num_servers();
 
   // Both shuffles share one hash function (same key, same server) and one
@@ -43,7 +46,9 @@ DistRelation ParallelHashJoin(Cluster& cluster, const DistRelation& left,
 
   // Local joins: one pool task per server, each writing its own slot.
   std::vector<Relation> outputs(p);
+  ScopedPhaseTimer local_phase(cluster.metrics(), Phase::kLocalCompute);
   cluster.pool().ParallelFor(p, [&](int64_t s) {
+    MPCQP_TRACE_SCOPE_ARG("local join", "compute", s);
     outputs[s] = RunLocalJoin(left_parts.fragment(s),
                               right_parts.fragment(s), left_keys,
                               right_keys, local);

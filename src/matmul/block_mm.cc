@@ -6,11 +6,14 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/trace.h"
+#include "mpc/metrics.h"
 
 namespace mpcqp {
 
 OneRoundMmResult RectangleBlockMm(Cluster& cluster, const Matrix& a,
                                   const Matrix& b) {
+  MPCQP_TRACE_SCOPE("rect_block_mm", "algorithm");
   MPCQP_CHECK_EQ(a.cols(), b.rows());
   MPCQP_CHECK_EQ(a.rows(), a.cols());
   MPCQP_CHECK_EQ(b.rows(), b.cols());
@@ -46,6 +49,7 @@ OneRoundMmResult RectangleBlockMm(Cluster& cluster, const Matrix& a,
       }
 
       // Local compute: the (r1-r0) x (c1-c0) output panel.
+      ScopedPhaseTimer local_phase(cluster.metrics(), Phase::kLocalCompute);
       for (int r = r0; r < r1; ++r) {
         for (int col = c0; col < c1; ++col) {
           int64_t sum = 0;
@@ -64,6 +68,7 @@ SquareBlockMmResult SquareBlockMm(Cluster& cluster, const Matrix& a,
   MPCQP_CHECK_EQ(a.cols(), b.rows());
   MPCQP_CHECK_EQ(a.rows(), a.cols());
   MPCQP_CHECK_EQ(b.rows(), b.cols());
+  MPCQP_TRACE_SCOPE("square_block_mm", "algorithm");
   const int n = a.rows();
   const int h = block_dim;
   MPCQP_CHECK_GE(h, 1);
@@ -98,6 +103,7 @@ SquareBlockMmResult SquareBlockMm(Cluster& cluster, const Matrix& a,
       cluster.RecordMessage(a_owner(i, j), server, block_elems, block_elems);
       cluster.RecordMessage(b_owner(j, k), server, block_elems, block_elems);
 
+      ScopedPhaseTimer local_phase(cluster.metrics(), Phase::kLocalCompute);
       const Matrix a_block = ExtractBlock(a, h, i, j);
       const Matrix b_block = ExtractBlock(b, h, j, k);
       auto [it, inserted] =

@@ -55,6 +55,7 @@ HashFunction Cluster::NewHashFunction() {
 void Cluster::BeginRound(std::string label) {
   MPCQP_CHECK(!in_round_) << "BeginRound while a round is open";
   in_round_ = true;
+  metrics_.BeginRound(label);
   current_round_ = RoundCost(num_servers_, std::move(label));
 }
 
@@ -80,6 +81,7 @@ void Cluster::EndRound() {
   }
   report_.AddRound(std::move(current_round_));
   current_round_ = RoundCost(0);
+  metrics_.EndRound();
 }
 
 void Cluster::RecordMessage(int src, int dst, int64_t tuples, int64_t values) {
@@ -101,6 +103,7 @@ void Cluster::RecordMessage(int src, int dst, int64_t tuples, int64_t values) {
 void Cluster::ResetCosts() {
   MPCQP_CHECK(!in_round_) << "ResetCosts during a round";
   report_.Clear();
+  metrics_.Reset();
 }
 
 RoundScope::RoundScope(Cluster& cluster, std::string label)

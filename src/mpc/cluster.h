@@ -9,6 +9,7 @@
 #include "common/hash.h"
 #include "common/thread_pool.h"
 #include "mpc/cost.h"
+#include "mpc/metrics.h"
 
 namespace mpcqp {
 
@@ -77,8 +78,15 @@ class Cluster {
   void RecordMessage(int src, int dst, int64_t tuples, int64_t values);
 
   const CostReport& cost_report() const { return report_; }
-  // Forgets all recorded rounds (e.g. between benchmark repetitions).
+  // Forgets all recorded rounds (e.g. between benchmark repetitions); also
+  // resets the timing metrics below.
   void ResetCosts();
+
+  // Always-on runtime metrics (wall time per round, per-phase breakdown,
+  // peak fragment sizes, COW detaches), aligned 1:1 with cost_report()'s
+  // rounds. See mpc/metrics.h; BuildStatsReport(cluster) zips the two.
+  MpcMetrics& metrics() { return metrics_; }
+  const MpcMetrics& metrics() const { return metrics_; }
 
  private:
   struct CostShard;
@@ -88,6 +96,7 @@ class Cluster {
   bool in_round_ = false;
   RoundCost current_round_{0};
   CostReport report_;
+  MpcMetrics metrics_;
   std::unique_ptr<ThreadPool> pool_;
   // One shard per pool slot (worker threads + the caller); RecordMessage
   // picks the calling thread's shard, EndRound folds them into the round.

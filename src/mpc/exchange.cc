@@ -5,6 +5,8 @@
 
 #include "common/check.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
+#include "mpc/metrics.h"
 
 namespace mpcqp {
 
@@ -45,61 +47,76 @@ DistRelation RouteSingle(Cluster& cluster, const DistRelation& rel,
   // Phase 1: destinations + counts, one task per source.
   std::vector<std::vector<int32_t>> dest_of(p);
   std::vector<int64_t> counts(static_cast<size_t>(p) * p, 0);
-  pool.ParallelFor(p, [&](int64_t task) {
-    const int src = static_cast<int>(task);
-    const Relation& frag = rel.fragment(src);
-    std::vector<int32_t>& dests = dest_of[src];
-    dests.resize(frag.size());
-    int64_t* cnt = counts.data() + static_cast<size_t>(src) * p;
-    RouteContext ctx;
-    ctx.src = src;
-    const int64_t n = frag.size();
-    for (int64_t i = 0; i < n; ++i) {
-      ctx.row = i;
-      const int dst = target(ctx, frag.row(i));
-      MPCQP_CHECK_GE(dst, 0);
-      MPCQP_CHECK_LT(dst, p);
-      dests[i] = dst;
-      ++cnt[dst];
-    }
-    for (int dst = 0; dst < p; ++dst) {
-      if (cnt[dst] > 0) {
-        cluster.RecordMessage(src, dst, cnt[dst], cnt[dst] * arity);
+  {
+    ScopedPhaseTimer phase(cluster.metrics(), Phase::kRoute);
+    pool.ParallelFor(p, [&](int64_t task) {
+      const int src = static_cast<int>(task);
+      MPCQP_TRACE_SCOPE_ARG("route", "exchange", src);
+      const Relation& frag = rel.fragment(src);
+      std::vector<int32_t>& dests = dest_of[src];
+      dests.resize(frag.size());
+      int64_t* cnt = counts.data() + static_cast<size_t>(src) * p;
+      RouteContext ctx;
+      ctx.src = src;
+      const int64_t n = frag.size();
+      for (int64_t i = 0; i < n; ++i) {
+        ctx.row = i;
+        const int dst = target(ctx, frag.row(i));
+        MPCQP_CHECK_GE(dst, 0);
+        MPCQP_CHECK_LT(dst, p);
+        dests[i] = dst;
+        ++cnt[dst];
       }
-    }
-  });
+      for (int dst = 0; dst < p; ++dst) {
+        if (cnt[dst] > 0) {
+          cluster.RecordMessage(src, dst, cnt[dst], cnt[dst] * arity);
+        }
+      }
+    });
+  }
 
   // Offsets: rows from src land in fragment(dst) at [offset[src][dst], ...)
   // — src-major, so the layout matches sequential append order.
   std::vector<int64_t> offsets(static_cast<size_t>(p) * p);
   std::vector<Value*> base(p);
-  for (int dst = 0; dst < p; ++dst) {
-    int64_t total = 0;
-    for (int src = 0; src < p; ++src) {
-      offsets[static_cast<size_t>(src) * p + dst] = total;
-      total += counts[static_cast<size_t>(src) * p + dst];
+  {
+    ScopedPhaseTimer phase(cluster.metrics(), Phase::kCount);
+    MPCQP_TRACE_SCOPE("presize", "exchange");
+    int64_t peak = 0;
+    for (int dst = 0; dst < p; ++dst) {
+      int64_t total = 0;
+      for (int src = 0; src < p; ++src) {
+        offsets[static_cast<size_t>(src) * p + dst] = total;
+        total += counts[static_cast<size_t>(src) * p + dst];
+      }
+      base[dst] = out.fragment(dst).ResizeRowsForOverwrite(total);
+      peak = std::max(peak, total);
     }
-    base[dst] = out.fragment(dst).ResizeRowsForOverwrite(total);
+    cluster.metrics().RecordFragmentRows(peak);
   }
 
   // Phase 2: bulk copy into disjoint pre-sized ranges.
-  pool.ParallelFor(p, [&](int64_t task) {
-    const int src = static_cast<int>(task);
-    const Relation& frag = rel.fragment(src);
-    if (frag.empty()) return;
-    std::vector<int64_t> cursor(
-        offsets.begin() + static_cast<size_t>(src) * p,
-        offsets.begin() + static_cast<size_t>(src + 1) * p);
-    const std::vector<int32_t>& dests = dest_of[src];
-    const Value* in = frag.row(0);
-    const int64_t n = frag.size();
-    for (int64_t i = 0; i < n; ++i, in += arity) {
-      const int dst = dests[i];
-      std::memcpy(base[dst] + cursor[dst] * arity, in,
-                  static_cast<size_t>(arity) * sizeof(Value));
-      ++cursor[dst];
-    }
-  });
+  {
+    ScopedPhaseTimer phase(cluster.metrics(), Phase::kCopy);
+    pool.ParallelFor(p, [&](int64_t task) {
+      const int src = static_cast<int>(task);
+      MPCQP_TRACE_SCOPE_ARG("copy", "exchange", src);
+      const Relation& frag = rel.fragment(src);
+      if (frag.empty()) return;
+      std::vector<int64_t> cursor(
+          offsets.begin() + static_cast<size_t>(src) * p,
+          offsets.begin() + static_cast<size_t>(src + 1) * p);
+      const std::vector<int32_t>& dests = dest_of[src];
+      const Value* in = frag.row(0);
+      const int64_t n = frag.size();
+      for (int64_t i = 0; i < n; ++i, in += arity) {
+        const int dst = dests[i];
+        std::memcpy(base[dst] + cursor[dst] * arity, in,
+                    static_cast<size_t>(arity) * sizeof(Value));
+        ++cursor[dst];
+      }
+    });
+  }
   return out;
 }
 
@@ -122,69 +139,84 @@ DistRelation RouteMulti(Cluster& cluster, const DistRelation& rel,
   std::vector<std::vector<int32_t>> dest_of(p);
   std::vector<std::vector<int64_t>> row_end(p);
   std::vector<int64_t> counts(static_cast<size_t>(p) * p, 0);
-  pool.ParallelFor(p, [&](int64_t task) {
-    const int src = static_cast<int>(task);
-    const Relation& frag = rel.fragment(src);
-    std::vector<int32_t>& flat = dest_of[src];
-    std::vector<int64_t>& ends = row_end[src];
-    ends.resize(frag.size());
-    int64_t* cnt = counts.data() + static_cast<size_t>(src) * p;
-    std::vector<int> dests;
-    RouteContext ctx;
-    ctx.src = src;
-    const int64_t n = frag.size();
-    for (int64_t i = 0; i < n; ++i) {
-      ctx.row = i;
-      dests.clear();
-      targets(ctx, frag.row(i), dests);
-      for (int dst : dests) {
-        MPCQP_CHECK_GE(dst, 0);
-        MPCQP_CHECK_LT(dst, p);
-        flat.push_back(dst);
-        ++cnt[dst];
+  {
+    ScopedPhaseTimer phase(cluster.metrics(), Phase::kRoute);
+    pool.ParallelFor(p, [&](int64_t task) {
+      const int src = static_cast<int>(task);
+      MPCQP_TRACE_SCOPE_ARG("route", "exchange", src);
+      const Relation& frag = rel.fragment(src);
+      std::vector<int32_t>& flat = dest_of[src];
+      std::vector<int64_t>& ends = row_end[src];
+      ends.resize(frag.size());
+      int64_t* cnt = counts.data() + static_cast<size_t>(src) * p;
+      std::vector<int> dests;
+      RouteContext ctx;
+      ctx.src = src;
+      const int64_t n = frag.size();
+      for (int64_t i = 0; i < n; ++i) {
+        ctx.row = i;
+        dests.clear();
+        targets(ctx, frag.row(i), dests);
+        for (int dst : dests) {
+          MPCQP_CHECK_GE(dst, 0);
+          MPCQP_CHECK_LT(dst, p);
+          flat.push_back(dst);
+          ++cnt[dst];
+        }
+        ends[i] = static_cast<int64_t>(flat.size());
       }
-      ends[i] = static_cast<int64_t>(flat.size());
-    }
-    for (int dst = 0; dst < p; ++dst) {
-      if (cnt[dst] > 0) {
-        cluster.RecordMessage(src, dst, cnt[dst], cnt[dst] * arity);
+      for (int dst = 0; dst < p; ++dst) {
+        if (cnt[dst] > 0) {
+          cluster.RecordMessage(src, dst, cnt[dst], cnt[dst] * arity);
+        }
       }
-    }
-  });
+    });
+  }
 
   std::vector<int64_t> offsets(static_cast<size_t>(p) * p);
   std::vector<Value*> base(p);
-  for (int dst = 0; dst < p; ++dst) {
-    int64_t total = 0;
-    for (int src = 0; src < p; ++src) {
-      offsets[static_cast<size_t>(src) * p + dst] = total;
-      total += counts[static_cast<size_t>(src) * p + dst];
+  {
+    ScopedPhaseTimer phase(cluster.metrics(), Phase::kCount);
+    MPCQP_TRACE_SCOPE("presize", "exchange");
+    int64_t peak = 0;
+    for (int dst = 0; dst < p; ++dst) {
+      int64_t total = 0;
+      for (int src = 0; src < p; ++src) {
+        offsets[static_cast<size_t>(src) * p + dst] = total;
+        total += counts[static_cast<size_t>(src) * p + dst];
+      }
+      base[dst] = out.fragment(dst).ResizeRowsForOverwrite(total);
+      peak = std::max(peak, total);
     }
-    base[dst] = out.fragment(dst).ResizeRowsForOverwrite(total);
+    cluster.metrics().RecordFragmentRows(peak);
   }
 
   // Phase 2.
-  pool.ParallelFor(p, [&](int64_t task) {
-    const int src = static_cast<int>(task);
-    const Relation& frag = rel.fragment(src);
-    if (frag.empty()) return;
-    std::vector<int64_t> cursor(
-        offsets.begin() + static_cast<size_t>(src) * p,
-        offsets.begin() + static_cast<size_t>(src + 1) * p);
-    const std::vector<int32_t>& flat = dest_of[src];
-    const std::vector<int64_t>& ends = row_end[src];
-    const Value* in = frag.row(0);
-    const int64_t n = frag.size();
-    int64_t j = 0;
-    for (int64_t i = 0; i < n; ++i, in += arity) {
-      for (; j < ends[i]; ++j) {
-        const int dst = flat[j];
-        std::memcpy(base[dst] + cursor[dst] * arity, in,
-                    static_cast<size_t>(arity) * sizeof(Value));
-        ++cursor[dst];
+  {
+    ScopedPhaseTimer phase(cluster.metrics(), Phase::kCopy);
+    pool.ParallelFor(p, [&](int64_t task) {
+      const int src = static_cast<int>(task);
+      MPCQP_TRACE_SCOPE_ARG("copy", "exchange", src);
+      const Relation& frag = rel.fragment(src);
+      if (frag.empty()) return;
+      std::vector<int64_t> cursor(
+          offsets.begin() + static_cast<size_t>(src) * p,
+          offsets.begin() + static_cast<size_t>(src + 1) * p);
+      const std::vector<int32_t>& flat = dest_of[src];
+      const std::vector<int64_t>& ends = row_end[src];
+      const Value* in = frag.row(0);
+      const int64_t n = frag.size();
+      int64_t j = 0;
+      for (int64_t i = 0; i < n; ++i, in += arity) {
+        for (; j < ends[i]; ++j) {
+          const int dst = flat[j];
+          std::memcpy(base[dst] + cursor[dst] * arity, in,
+                      static_cast<size_t>(arity) * sizeof(Value));
+          ++cursor[dst];
+        }
       }
-    }
-  });
+    });
+  }
   return out;
 }
 
@@ -253,6 +285,8 @@ DistRelation Broadcast(Cluster& cluster, const DistRelation& rel,
     // payload. Zero bytes move.
     all = rel.fragment(last_nonempty);
   } else if (nonempty > 1) {
+    ScopedPhaseTimer phase(cluster.metrics(), Phase::kCopy);
+    MPCQP_TRACE_SCOPE("broadcast payload", "exchange");
     Value* base = all.ResizeRowsForOverwrite(total);
     std::vector<int64_t> offsets(p);
     int64_t at = 0;
@@ -268,14 +302,18 @@ DistRelation Broadcast(Cluster& cluster, const DistRelation& rel,
                   static_cast<size_t>(frag.size()) * arity * sizeof(Value));
     });
   }
+  cluster.metrics().RecordFragmentRows(total);
 
   // Metering is unchanged: every server still receives every tuple; the
   // shared payload is a simulator-memory optimization, not a cost one.
-  for (int src = 0; src < p; ++src) {
-    const int64_t n = rel.fragment(src).size();
-    if (n == 0) continue;
-    for (int dst = 0; dst < p; ++dst) {
-      cluster.RecordMessage(src, dst, n, n * arity);
+  {
+    ScopedPhaseTimer phase(cluster.metrics(), Phase::kCount);
+    for (int src = 0; src < p; ++src) {
+      const int64_t n = rel.fragment(src).size();
+      if (n == 0) continue;
+      for (int dst = 0; dst < p; ++dst) {
+        cluster.RecordMessage(src, dst, n, n * arity);
+      }
     }
   }
 

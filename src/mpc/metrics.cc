@@ -1,0 +1,242 @@
+#include "mpc/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/check.h"
+#include "common/trace.h"
+#include "mpc/cluster.h"
+#include "relation/relation.h"
+
+namespace mpcqp {
+
+namespace {
+
+constexpr double kNanosPerMilli = 1e6;
+
+double NanosToMs(int64_t nanos) {
+  return static_cast<double>(nanos) / kNanosPerMilli;
+}
+
+void AtomicMax(std::atomic<int64_t>& slot, int64_t value) {
+  int64_t seen = slot.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !slot.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+const char* PhaseName(Phase phase) {
+  switch (phase) {
+    case Phase::kRoute:
+      return "route";
+    case Phase::kCount:
+      return "count";
+    case Phase::kCopy:
+      return "copy";
+    case Phase::kLocalCompute:
+      return "local_compute";
+  }
+  return "unknown";
+}
+
+MpcMetrics::MpcMetrics() {
+  for (int i = 0; i < kNumPhases; ++i) {
+    current_phase_ns_[i].store(0, std::memory_order_relaxed);
+    outside_phase_ns_[i].store(0, std::memory_order_relaxed);
+  }
+  baseline_detaches_ = TraceCounters::cow_detaches.load();
+}
+
+void MpcMetrics::BeginRound(const std::string& label) {
+  MPCQP_CHECK(!in_round_);
+  in_round_ = true;
+  current_ = RoundRecord();
+  current_.label = label;
+  round_start_ns_ = Tracer::NowNanos();
+  round_start_detaches_ = TraceCounters::cow_detaches.load();
+  current_peak_rows_.store(0, std::memory_order_relaxed);
+  for (auto& slot : current_phase_ns_) {
+    slot.store(0, std::memory_order_relaxed);
+  }
+}
+
+void MpcMetrics::EndRound() {
+  MPCQP_CHECK(in_round_);
+  in_round_ = false;
+  const int64_t end_ns = Tracer::NowNanos();
+  current_.wall_ms = NanosToMs(end_ns - round_start_ns_);
+  for (int i = 0; i < kNumPhases; ++i) {
+    current_.phase_ms[i] =
+        NanosToMs(current_phase_ns_[i].load(std::memory_order_relaxed));
+  }
+  current_.cow_detaches =
+      TraceCounters::cow_detaches.load() - round_start_detaches_;
+  current_.peak_fragment_rows =
+      current_peak_rows_.load(std::memory_order_relaxed);
+  // Mirror the round as a span on the Chrome-trace timeline.
+  Tracer::Get().RecordComplete(current_.label, "round", round_start_ns_,
+                               end_ns - round_start_ns_);
+  rounds_.push_back(std::move(current_));
+  current_ = RoundRecord();
+}
+
+void MpcMetrics::AddPhaseNanos(Phase phase, int64_t nanos) {
+  auto& slots = in_round_ ? current_phase_ns_ : outside_phase_ns_;
+  slots[static_cast<int>(phase)].fetch_add(nanos, std::memory_order_relaxed);
+}
+
+void MpcMetrics::RecordFragmentRows(int64_t rows) {
+  AtomicMax(peak_fragment_rows_, rows);
+  if (in_round_) AtomicMax(current_peak_rows_, rows);
+}
+
+double MpcMetrics::outside_phase_ms(Phase phase) const {
+  return NanosToMs(
+      outside_phase_ns_[static_cast<int>(phase)].load(
+          std::memory_order_relaxed));
+}
+
+int64_t MpcMetrics::total_cow_detaches() const {
+  return TraceCounters::cow_detaches.load() - baseline_detaches_;
+}
+
+void MpcMetrics::Reset() {
+  MPCQP_CHECK(!in_round_);
+  rounds_.clear();
+  for (int i = 0; i < kNumPhases; ++i) {
+    outside_phase_ns_[i].store(0, std::memory_order_relaxed);
+  }
+  peak_fragment_rows_.store(0, std::memory_order_relaxed);
+  baseline_detaches_ = TraceCounters::cow_detaches.load();
+}
+
+ScopedPhaseTimer::ScopedPhaseTimer(MpcMetrics& metrics, Phase phase)
+    : metrics_(metrics), phase_(phase), start_ns_(Tracer::NowNanos()) {}
+
+ScopedPhaseTimer::~ScopedPhaseTimer() {
+  metrics_.AddPhaseNanos(phase_, Tracer::NowNanos() - start_ns_);
+}
+
+StatsReport BuildStatsReport(const Cluster& cluster) {
+  const CostReport& costs = cluster.cost_report();
+  const MpcMetrics& metrics = cluster.metrics();
+  StatsReport report;
+  // The metrics rounds mirror the cost rounds 1:1 (both are appended by
+  // Cluster::EndRound); tolerate a mismatch defensively by zipping the
+  // common prefix.
+  const size_t n = std::min(costs.rounds().size(), metrics.rounds().size());
+  for (size_t i = 0; i < n; ++i) {
+    const RoundCost& cost = costs.rounds()[i];
+    const MpcMetrics::RoundRecord& timing = metrics.rounds()[i];
+    StatsReport::Round round;
+    round.label = cost.label;
+    round.max_tuples_received = cost.MaxTuplesReceived();
+    round.total_tuples_received = cost.TotalTuplesReceived();
+    round.max_values_received = cost.MaxValuesReceived();
+    round.total_values_received = cost.TotalValuesReceived();
+    round.bytes_received =
+        cost.TotalValuesReceived() * static_cast<int64_t>(sizeof(Value));
+    round.wall_ms = timing.wall_ms;
+    for (int ph = 0; ph < kNumPhases; ++ph) {
+      round.phase_ms[ph] = timing.phase_ms[ph];
+    }
+    round.cow_detaches = timing.cow_detaches;
+    round.peak_fragment_rows = timing.peak_fragment_rows;
+    report.total_wall_ms += timing.wall_ms;
+    report.total_bytes += round.bytes_received;
+    report.rounds.push_back(std::move(round));
+  }
+  report.num_rounds = costs.num_rounds();
+  report.max_load_tuples = costs.MaxLoadTuples();
+  report.max_load_values = costs.MaxLoadValues();
+  report.total_comm_tuples = costs.TotalCommTuples();
+  for (int ph = 0; ph < kNumPhases; ++ph) {
+    report.outside_phase_ms[ph] =
+        metrics.outside_phase_ms(static_cast<Phase>(ph));
+    report.total_wall_ms += report.outside_phase_ms[ph];
+  }
+  report.cow_detaches = metrics.total_cow_detaches();
+  report.peak_fragment_rows = metrics.peak_fragment_rows();
+  return report;
+}
+
+namespace {
+
+void AppendKv(std::string& out, const char* key, int64_t value,
+              const char* indent) {
+  out += std::string(indent) + "\"" + key +
+         "\": " + std::to_string(value) + ",\n";
+}
+
+void AppendKv(std::string& out, const char* key, double value,
+              const char* indent, bool trailing_comma = true) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", value);
+  out += std::string(indent) + "\"" + key + "\": " + buf +
+         (trailing_comma ? ",\n" : "\n");
+}
+
+}  // namespace
+
+std::string StatsReport::ToJson() const {
+  std::string out = "{\n";
+  AppendKv(out, "num_rounds", static_cast<int64_t>(num_rounds), "  ");
+  AppendKv(out, "max_load_tuples", max_load_tuples, "  ");
+  AppendKv(out, "max_load_values", max_load_values, "  ");
+  AppendKv(out, "total_comm_tuples", total_comm_tuples, "  ");
+  AppendKv(out, "total_bytes", total_bytes, "  ");
+  AppendKv(out, "total_wall_ms", total_wall_ms, "  ");
+  for (int ph = 0; ph < kNumPhases; ++ph) {
+    const std::string key =
+        std::string("outside_") + PhaseName(static_cast<Phase>(ph)) + "_ms";
+    AppendKv(out, key.c_str(), outside_phase_ms[ph], "  ");
+  }
+  AppendKv(out, "cow_detaches", cow_detaches, "  ");
+  AppendKv(out, "peak_fragment_rows", peak_fragment_rows, "  ");
+  out += "  \"rounds\": [";
+  for (size_t i = 0; i < rounds.size(); ++i) {
+    const Round& round = rounds[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\n";
+    out += "      \"label\": \"" + JsonEscape(round.label) + "\",\n";
+    AppendKv(out, "max_tuples_received", round.max_tuples_received, "      ");
+    AppendKv(out, "total_tuples_received", round.total_tuples_received,
+             "      ");
+    AppendKv(out, "max_values_received", round.max_values_received, "      ");
+    AppendKv(out, "total_values_received", round.total_values_received,
+             "      ");
+    AppendKv(out, "bytes_received", round.bytes_received, "      ");
+    AppendKv(out, "wall_ms", round.wall_ms, "      ");
+    for (int ph = 0; ph < kNumPhases; ++ph) {
+      const std::string key =
+          std::string(PhaseName(static_cast<Phase>(ph))) + "_ms";
+      AppendKv(out, key.c_str(), round.phase_ms[ph], "      ");
+    }
+    AppendKv(out, "cow_detaches", round.cow_detaches, "      ");
+    AppendKv(out, "peak_fragment_rows", round.peak_fragment_rows, "      ");
+    // Strip the trailing ",\n" of the last key-value pair.
+    out.erase(out.size() - 2);
+    out += "\n    }";
+  }
+  out += rounds.empty() ? "],\n" : "\n  ],\n";
+  AppendKv(out, "schema_version", static_cast<int64_t>(1), "  ");
+  out.erase(out.size() - 2);
+  out += "\n}\n";
+  return out;
+}
+
+Status WriteStatsJson(const StatsReport& report, const std::string& path) {
+  const std::string json = report.ToJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return InternalError("cannot write stats to " + path);
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (written != json.size() || !closed) {
+    return InternalError("short write to " + path);
+  }
+  return OkStatus();
+}
+
+}  // namespace mpcqp

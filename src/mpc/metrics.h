@@ -1,0 +1,148 @@
+#ifndef MPCQP_MPC_METRICS_H_
+#define MPCQP_MPC_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "mpc/cost.h"
+
+namespace mpcqp {
+
+class Cluster;
+
+// Execution phases of one simulated MPC round, as seen by the data plane:
+//   kRoute        — phase 1 of an exchange: per-tuple destination
+//                   computation and per-(src, dst) tallying (no bytes move);
+//   kCount        — the serial O(p^2) offset pass plus destination-fragment
+//                   pre-sizing between the two parallel phases;
+//   kCopy         — phase 2: bulk memcpy of tuples into their final
+//                   positions (includes Broadcast payload construction);
+//   kLocalCompute — per-server algorithm work (local joins, sorts, block
+//                   multiplies), whether inside or after a metered round.
+enum class Phase {
+  kRoute = 0,
+  kCount = 1,
+  kCopy = 2,
+  kLocalCompute = 3,
+};
+inline constexpr int kNumPhases = 4;
+const char* PhaseName(Phase phase);
+
+// Always-on aggregate timing/volume metrics for one Cluster, the runtime
+// complement of the deterministic CostReport: where CostReport answers
+// "how many tuples moved" (and is bit-identical across thread counts),
+// MpcMetrics answers "how long did it take and how was the time split
+// across phases". Collection cost is a handful of steady-clock reads per
+// round — it is never compiled out and never feeds back into results.
+//
+// Thread-safety: phase times and fragment peaks may be recorded from pool
+// workers concurrently (atomics); Begin/EndRound follow Cluster's
+// single-threaded round protocol.
+class MpcMetrics {
+ public:
+  // Wall time and per-phase breakdown of one metered round, aligned 1:1
+  // with CostReport::rounds().
+  struct RoundRecord {
+    std::string label;
+    double wall_ms = 0;
+    double phase_ms[kNumPhases] = {0, 0, 0, 0};
+    // COW payload clones forced during the round (see TraceCounters).
+    int64_t cow_detaches = 0;
+    // Largest destination fragment (rows) built by an exchange this round.
+    int64_t peak_fragment_rows = 0;
+  };
+
+  MpcMetrics();
+
+  void BeginRound(const std::string& label);
+  void EndRound();
+
+  // Adds `nanos` to `phase` of the current round, or to the outside-round
+  // bucket when no round is open (e.g. post-shuffle local joins).
+  void AddPhaseNanos(Phase phase, int64_t nanos);
+  // Records a destination-fragment size; kept as a running max.
+  void RecordFragmentRows(int64_t rows);
+
+  const std::vector<RoundRecord>& rounds() const { return rounds_; }
+  double outside_phase_ms(Phase phase) const;
+  int64_t peak_fragment_rows() const {
+    return peak_fragment_rows_.load(std::memory_order_relaxed);
+  }
+  // COW detaches since construction/Reset (process-wide counter delta, so
+  // concurrent clusters see each other's detaches; in tests and the CLI
+  // there is one cluster at a time).
+  int64_t total_cow_detaches() const;
+
+  // Forgets all records (paired with Cluster::ResetCosts).
+  void Reset();
+
+ private:
+  std::vector<RoundRecord> rounds_;
+  bool in_round_ = false;
+  RoundRecord current_;
+  int64_t round_start_ns_ = 0;
+  int64_t round_start_detaches_ = 0;
+  int64_t baseline_detaches_ = 0;
+  std::atomic<int64_t> current_phase_ns_[kNumPhases];
+  std::atomic<int64_t> outside_phase_ns_[kNumPhases];
+  std::atomic<int64_t> peak_fragment_rows_{0};
+  std::atomic<int64_t> current_peak_rows_{0};
+};
+
+// RAII phase timer; records the scope's wall time into `metrics`.
+class ScopedPhaseTimer {
+ public:
+  ScopedPhaseTimer(MpcMetrics& metrics, Phase phase);
+  ~ScopedPhaseTimer();
+
+  ScopedPhaseTimer(const ScopedPhaseTimer&) = delete;
+  ScopedPhaseTimer& operator=(const ScopedPhaseTimer&) = delete;
+
+ private:
+  MpcMetrics& metrics_;
+  Phase phase_;
+  int64_t start_ns_;
+};
+
+// The machine-readable run summary: the CostReport's (L, r) extended with
+// wall time, bytes moved, phase breakdowns, peak fragment sizes, and COW
+// detach counts. Built by zipping Cluster::cost_report() with
+// Cluster::metrics().
+struct StatsReport {
+  struct Round {
+    std::string label;
+    int64_t max_tuples_received = 0;
+    int64_t total_tuples_received = 0;
+    int64_t max_values_received = 0;
+    int64_t total_values_received = 0;
+    int64_t bytes_received = 0;  // total_values_received * sizeof(Value)
+    double wall_ms = 0;
+    double phase_ms[kNumPhases] = {0, 0, 0, 0};
+    int64_t cow_detaches = 0;
+    int64_t peak_fragment_rows = 0;
+  };
+
+  std::vector<Round> rounds;
+  int num_rounds = 0;            // r
+  int64_t max_load_tuples = 0;   // L (tuples)
+  int64_t max_load_values = 0;   // L (values)
+  int64_t total_comm_tuples = 0;
+  int64_t total_bytes = 0;
+  double total_wall_ms = 0;  // Round walls + outside-round phase time.
+  double outside_phase_ms[kNumPhases] = {0, 0, 0, 0};
+  int64_t cow_detaches = 0;
+  int64_t peak_fragment_rows = 0;
+
+  // Pretty-printed JSON object (the --stats sink and the BenchJson field).
+  std::string ToJson() const;
+};
+
+StatsReport BuildStatsReport(const Cluster& cluster);
+Status WriteStatsJson(const StatsReport& report, const std::string& path);
+
+}  // namespace mpcqp
+
+#endif  // MPCQP_MPC_METRICS_H_

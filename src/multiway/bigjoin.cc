@@ -5,8 +5,10 @@
 
 #include "common/check.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "join/semi_join.h"
 #include "mpc/exchange.h"
+#include "mpc/metrics.h"
 #include "relation/key_index.h"
 #include "relation/relation_ops.h"
 
@@ -96,6 +98,7 @@ BigJoinResult BigJoin(Cluster& cluster, const ConjunctiveQuery& q,
                       const BigJoinOptions& options) {
   const int p = cluster.num_servers();
   MPCQP_CHECK_EQ(static_cast<int>(atoms.size()), q.num_atoms());
+  MPCQP_TRACE_SCOPE("bigjoin", "algorithm");
   const int rounds_before = cluster.cost_report().num_rounds();
 
   std::vector<int> order = options.var_order;
@@ -221,7 +224,9 @@ BigJoinResult BigJoin(Cluster& cluster, const ConjunctiveQuery& q,
       for (size_t c = 0; c < proj_keys.size(); ++c) {
         proj_keys[c] = static_cast<int>(c);
       }
+      ScopedPhaseTimer local_phase(cluster.metrics(), Phase::kLocalCompute);
       cluster.pool().ParallelFor(p, [&](int64_t s) {
+        MPCQP_TRACE_SCOPE_ARG("local count", "compute", s);
         const Relation deduped = Dedup(count_parts[i].proj_parts.fragment(s));
         const KeyIndex index(deduped, proj_keys);
         const Relation& pf = count_parts[i].prefix_parts.fragment(s);
@@ -336,7 +341,9 @@ BigJoinResult BigJoin(Cluster& cluster, const ConjunctiveQuery& q,
       for (size_t c = 0; c < proj_keys.size(); ++c) {
         proj_keys[c] = static_cast<int>(c);
       }
+      ScopedPhaseTimer local_phase(cluster.metrics(), Phase::kLocalCompute);
       cluster.pool().ParallelFor(p, [&](int64_t s) {
+        MPCQP_TRACE_SCOPE_ARG("local extend", "compute", s);
         const Relation proj =
             Dedup(extend_parts[i].proj_parts.fragment(s));
         // Join emits prefix columns (incl. id & choice) + the new value;
@@ -378,9 +385,12 @@ BigJoinResult BigJoin(Cluster& cluster, const ConjunctiveQuery& q,
     cols[v] = PositionsOf({v}, bound).front();
   }
   BigJoinResult result{DistRelation(q.num_vars(), p), 0};
-  cluster.pool().ParallelFor(p, [&](int64_t s) {
-    result.output.fragment(s) = Project(prefixes.fragment(s), cols);
-  });
+  {
+    ScopedPhaseTimer local_phase(cluster.metrics(), Phase::kLocalCompute);
+    cluster.pool().ParallelFor(p, [&](int64_t s) {
+      result.output.fragment(s) = Project(prefixes.fragment(s), cols);
+    });
+  }
   result.rounds = cluster.cost_report().num_rounds() - rounds_before;
   return result;
 }

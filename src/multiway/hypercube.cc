@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/trace.h"
 #include "mpc/exchange.h"
+#include "mpc/metrics.h"
 #include "query/generic_join.h"
 #include "query/local_eval.h"
 #include "relation/relation_ops.h"
@@ -74,6 +76,7 @@ HyperCubeResult HyperCubeJoin(Cluster& cluster, const ConjunctiveQuery& q,
   hashes.reserve(k);
   for (int v = 0; v < k; ++v) hashes.push_back(cluster.NewHashFunction());
 
+  MPCQP_TRACE_SCOPE("hypercube", "algorithm");
   // Round 1 (the only round): multicast every atom.
   cluster.BeginRound("hypercube: multicast");
   std::vector<DistRelation> routed;
@@ -130,7 +133,9 @@ HyperCubeResult HyperCubeJoin(Cluster& cluster, const ConjunctiveQuery& q,
   // Local evaluation on every (used) server: one pool task per server,
   // each with its own atom scratch.
   std::vector<Relation> outputs(p);
+  ScopedPhaseTimer local_phase(cluster.metrics(), Phase::kLocalCompute);
   cluster.pool().ParallelFor(p, [&](int64_t s) {
+    MPCQP_TRACE_SCOPE_ARG("local eval", "compute", s);
     std::vector<Relation> local_atoms(q.num_atoms());
     bool any = false;
     for (int j = 0; j < q.num_atoms(); ++j) {

@@ -5,7 +5,9 @@
 #include <unordered_set>
 
 #include "common/check.h"
+#include "common/trace.h"
 #include "mpc/exchange.h"
+#include "mpc/metrics.h"
 #include "query/hypergraph_lp.h"
 #include "query/local_eval.h"
 #include "relation/relation_ops.h"
@@ -47,6 +49,7 @@ SkewHcResult SkewHcJoin(Cluster& cluster, const ConjunctiveQuery& q,
                         const SkewHcOptions& options) {
   const int p = cluster.num_servers();
   const int k = q.num_vars();
+  MPCQP_TRACE_SCOPE("skew_hc", "algorithm");
   MPCQP_CHECK_LE(k, 30) << "SkewHC uses a bitmask over variables";
   MPCQP_CHECK_EQ(static_cast<int>(atoms.size()), q.num_atoms());
   for (int j = 0; j < q.num_atoms(); ++j) {
@@ -258,6 +261,8 @@ SkewHcResult SkewHcJoin(Cluster& cluster, const ConjunctiveQuery& q,
   // tuple multicast under two combos never double-counts).
   SkewHcResult result{DistRelation(k, p), {}};
   std::vector<Relation> local_atoms(q.num_atoms());
+  ScopedPhaseTimer local_phase(cluster.metrics(), Phase::kLocalCompute);
+  MPCQP_TRACE_SCOPE("local eval", "compute");
   for (size_t ci = 0; ci < plans.size(); ++ci) {
     ResidualInfo info;
     for (int v = 0; v < k; ++v) {

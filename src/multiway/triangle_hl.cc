@@ -5,7 +5,9 @@
 #include <unordered_set>
 
 #include "common/check.h"
+#include "common/trace.h"
 #include "join/heavy_hitters.h"
+#include "mpc/metrics.h"
 #include "multiway/binary_plan.h"
 #include "multiway/hypercube.h"
 #include "query/query.h"
@@ -22,6 +24,7 @@ TriangleHlResult TriangleHeavyLightJoin(Cluster& cluster,
   MPCQP_CHECK_EQ(r.arity(), 2);
   MPCQP_CHECK_EQ(s.arity(), 2);
   MPCQP_CHECK_EQ(t.arity(), 2);
+  MPCQP_TRACE_SCOPE("triangle_hl", "algorithm");
   const int rounds_before = cluster.cost_report().num_rounds();
 
   const int64_t total_in = r.TotalSize() + s.TotalSize() + t.TotalSize();
@@ -45,19 +48,22 @@ TriangleHlResult TriangleHeavyLightJoin(Cluster& cluster,
   DistRelation s_heavy(2, p);
   DistRelation t_light(2, p);
   DistRelation t_heavy(2, p);
-  for (int srv = 0; srv < p; ++srv) {
-    s_light.fragment(srv) = Filter(s.fragment(srv), [&](const Value* row) {
-      return heavy.count(row[1]) == 0;
-    });
-    s_heavy.fragment(srv) = Filter(s.fragment(srv), [&](const Value* row) {
-      return heavy.count(row[1]) > 0;
-    });
-    t_light.fragment(srv) = Filter(t.fragment(srv), [&](const Value* row) {
-      return heavy.count(row[0]) == 0;
-    });
-    t_heavy.fragment(srv) = Filter(t.fragment(srv), [&](const Value* row) {
-      return heavy.count(row[0]) > 0;
-    });
+  {
+    ScopedPhaseTimer split_phase(cluster.metrics(), Phase::kLocalCompute);
+    for (int srv = 0; srv < p; ++srv) {
+      s_light.fragment(srv) = Filter(s.fragment(srv), [&](const Value* row) {
+        return heavy.count(row[1]) == 0;
+      });
+      s_heavy.fragment(srv) = Filter(s.fragment(srv), [&](const Value* row) {
+        return heavy.count(row[1]) > 0;
+      });
+      t_light.fragment(srv) = Filter(t.fragment(srv), [&](const Value* row) {
+        return heavy.count(row[0]) == 0;
+      });
+      t_heavy.fragment(srv) = Filter(t.fragment(srv), [&](const Value* row) {
+        return heavy.count(row[0]) > 0;
+      });
+    }
   }
 
   const ConjunctiveQuery q = ConjunctiveQuery::Triangle();

@@ -7,6 +7,10 @@
 namespace mpcqp {
 
 StatusOr<Relation> ParseCsvText(const std::string& text, int expected_arity) {
+  if (expected_arity < -1) {
+    return InvalidArgumentError("expected_arity must be >= -1, got " +
+                                std::to_string(expected_arity));
+  }
   Relation result(std::max(expected_arity, 0));
   bool arity_known = expected_arity >= 0;
   std::vector<Value> row;
@@ -37,9 +41,18 @@ StatusOr<Relation> ParseCsvText(const std::string& text, int expected_arity) {
         ++i;
       }
       size_t digits = 0;
+      constexpr Value kMax = ~Value{0};
       while (i < field.size() &&
              std::isdigit(static_cast<unsigned char>(field[i]))) {
-        value = value * 10 + static_cast<Value>(field[i] - '0');
+        const Value digit = static_cast<Value>(field[i] - '0');
+        // value * 10 + digit would wrap past 2^64; report instead of
+        // silently storing a garbage value.
+        if (value > kMax / 10 || (value == kMax / 10 && digit > kMax % 10)) {
+          return InvalidArgumentError(
+              "line " + std::to_string(line_no) +
+              ": integer overflow in field '" + field + "'");
+        }
+        value = value * 10 + digit;
         ++i;
         ++digits;
       }

@@ -13,7 +13,9 @@ namespace mpcqp {
 // skipped. All rows must share one arity.
 
 // Parses CSV text. `expected_arity` >= 0 enforces the arity; -1 infers it
-// from the first row.
+// from the first row; anything below -1 is an InvalidArgument error.
+// Fields that do not fit in a 64-bit Value are an error (named by line
+// number), never a silent wrap.
 StatusOr<Relation> ParseCsvText(const std::string& text,
                                 int expected_arity = -1);
 

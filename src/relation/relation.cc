@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "common/trace.h"
 
 namespace mpcqp {
 
@@ -61,6 +62,10 @@ std::vector<Value>& Relation::Mutable() {
     auto owned = std::make_shared<Payload>();
     owned->data = payload_->data;
     payload_ = std::move(owned);
+    TraceCounters::cow_detaches.fetch_add(1, std::memory_order_relaxed);
+    TraceCounters::cow_detach_bytes.fetch_add(
+        static_cast<int64_t>(payload_->data.size() * sizeof(Value)),
+        std::memory_order_relaxed);
   }
   return payload_->data;
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/trace.h"
+#include "mpc/metrics.h"
 
 namespace mpcqp {
 
@@ -24,6 +26,7 @@ MultiRoundSortResult MultiRoundSort(Cluster& cluster, const DistRelation& rel,
   MPCQP_CHECK_LT(col, rel.arity());
   const int p = cluster.num_servers();
   MPCQP_CHECK_EQ(rel.num_servers(), p);
+  MPCQP_TRACE_SCOPE("multi_round_sort", "algorithm");
   if (samples_per_server <= 0) samples_per_server = 8 * fan_out;
 
   DistRelation data = rel;
@@ -123,7 +126,9 @@ MultiRoundSortResult MultiRoundSort(Cluster& cluster, const DistRelation& rel,
     buckets = std::move(next_buckets);
   }
 
+  ScopedPhaseTimer local_phase(cluster.metrics(), Phase::kLocalCompute);
   cluster.pool().ParallelFor(p, [&](int64_t s) {
+    MPCQP_TRACE_SCOPE_ARG("local sort", "compute", s);
     data.fragment(s).SortRowsBy({col});
   });
   return MultiRoundSortResult{std::move(data), rounds};

@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/trace.h"
 #include "mpc/exchange.h"
+#include "mpc/metrics.h"
 
 namespace mpcqp {
 
@@ -44,14 +46,19 @@ PsrsResult PsrsSort(Cluster& cluster, const DistRelation& rel,
   }
   const int p = cluster.num_servers();
   MPCQP_CHECK_EQ(rel.num_servers(), p);
+  MPCQP_TRACE_SCOPE("psrs", "algorithm");
 
   // Local sort (free compute, one pool task per server), then per-server
   // splitter candidates. Candidate selection stays serial: in sampling
   // mode it draws from the shared Rng sequentially, and its cost is O(p).
   DistRelation local = rel;
-  cluster.pool().ParallelFor(p, [&](int64_t s) {
-    local.fragment(s).SortRowsBy(options.key_cols);
-  });
+  {
+    ScopedPhaseTimer local_phase(cluster.metrics(), Phase::kLocalCompute);
+    cluster.pool().ParallelFor(p, [&](int64_t s) {
+      MPCQP_TRACE_SCOPE_ARG("local sort", "compute", s);
+      local.fragment(s).SortRowsBy(options.key_cols);
+    });
+  }
 
   DistRelation candidates(rel.arity(), p);
   const int per_server = options.use_sampling && options.samples_per_server > 0
@@ -120,7 +127,9 @@ PsrsResult PsrsSort(Cluster& cluster, const DistRelation& rel,
         dests.push_back(lo);
       },
       "psrs: range partition");
+  ScopedPhaseTimer local_phase(cluster.metrics(), Phase::kLocalCompute);
   cluster.pool().ParallelFor(p, [&](int64_t s) {
+    MPCQP_TRACE_SCOPE_ARG("local sort", "compute", s);
     sorted.fragment(s).SortRowsBy(options.key_cols);
   });
 

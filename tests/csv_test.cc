@@ -66,5 +66,31 @@ TEST(CsvTest, MaxValueSurvives) {
   EXPECT_EQ(rel->at(0, 0), ~Value{0});
 }
 
+TEST(CsvTest, OverflowIsAnErrorNamingTheLine) {
+  // 2^64 used to wrap silently to 0; it must be rejected, and the error
+  // must name the offending line.
+  const auto rel = ParseCsvText("1,2\n18446744073709551616,3\n");
+  ASSERT_FALSE(rel.ok());
+  EXPECT_EQ(rel.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(rel.status().message().find("line 2"), std::string::npos)
+      << rel.status();
+  EXPECT_NE(rel.status().message().find("18446744073709551616"),
+            std::string::npos)
+      << rel.status();
+}
+
+TEST(CsvTest, WildlyLongDigitStringIsAnError) {
+  const auto rel = ParseCsvText("99999999999999999999999999999999\n");
+  ASSERT_FALSE(rel.ok());
+  EXPECT_EQ(rel.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, BogusExpectedArityIsAnError) {
+  // -1 means "infer"; anything below that is a caller bug, not "infer".
+  const auto rel = ParseCsvText("1,2\n", /*expected_arity=*/-2);
+  ASSERT_FALSE(rel.ok());
+  EXPECT_EQ(rel.status().code(), StatusCode::kInvalidArgument);
+}
+
 }  // namespace
 }  // namespace mpcqp

@@ -1,0 +1,85 @@
+#include "common/parse.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace mpcqp {
+namespace {
+
+TEST(ParseUint64Test, ParsesPlainDecimals) {
+  EXPECT_EQ(ParseUint64("0").value(), 0u);
+  EXPECT_EQ(ParseUint64("42").value(), 42u);
+  EXPECT_EQ(ParseUint64("18446744073709551615").value(), UINT64_MAX);
+}
+
+TEST(ParseUint64Test, RejectsGarbage) {
+  EXPECT_FALSE(ParseUint64("").ok());
+  EXPECT_FALSE(ParseUint64("banana").ok());
+  EXPECT_FALSE(ParseUint64("12x").ok());    // Trailing junk.
+  EXPECT_FALSE(ParseUint64("x12").ok());    // Leading junk.
+  EXPECT_FALSE(ParseUint64(" 12").ok());    // Whitespace.
+  EXPECT_FALSE(ParseUint64("12 ").ok());
+  EXPECT_FALSE(ParseUint64("-1").ok());     // Signed.
+  EXPECT_FALSE(ParseUint64("+1").ok());
+  EXPECT_FALSE(ParseUint64("1.5").ok());
+}
+
+TEST(ParseUint64Test, OverflowIsAnErrorNotAWrap) {
+  // UINT64_MAX + 1: atoi-family helpers would wrap this to 0.
+  const auto parsed = ParseUint64("18446744073709551616");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(ParseUint64("99999999999999999999999999").ok());
+}
+
+TEST(ParseInt64Test, ParsesSignedDecimals) {
+  EXPECT_EQ(ParseInt64("0").value(), 0);
+  EXPECT_EQ(ParseInt64("-7").value(), -7);
+  EXPECT_EQ(ParseInt64("9223372036854775807").value(), INT64_MAX);
+}
+
+TEST(ParseInt64Test, RejectsOverflowAndGarbage) {
+  EXPECT_FALSE(ParseInt64("9223372036854775808").ok());   // INT64_MAX + 1.
+  EXPECT_FALSE(ParseInt64("-9223372036854775808").ok());  // By contract.
+  EXPECT_FALSE(ParseInt64("-").ok());
+  EXPECT_FALSE(ParseInt64("--3").ok());
+  EXPECT_FALSE(ParseInt64("3-").ok());
+  EXPECT_FALSE(ParseInt64("").ok());
+}
+
+TEST(ParseIntInRangeTest, EnforcesBounds) {
+  EXPECT_EQ(ParseIntInRange("16", 1, 1024).value(), 16);
+  EXPECT_EQ(ParseIntInRange("1", 1, 1024).value(), 1);
+  EXPECT_EQ(ParseIntInRange("1024", 1, 1024).value(), 1024);
+  EXPECT_FALSE(ParseIntInRange("0", 1, 1024).ok());
+  EXPECT_FALSE(ParseIntInRange("-3", 1, 1024).ok());
+  EXPECT_FALSE(ParseIntInRange("1025", 1, 1024).ok());
+  EXPECT_FALSE(ParseIntInRange("banana", 1, 1024).ok());
+}
+
+TEST(ParseInt64InRangeTest, EnforcesBounds) {
+  EXPECT_EQ(ParseInt64InRange("-5", -10, 10).value(), -5);
+  EXPECT_FALSE(ParseInt64InRange("-11", -10, 10).ok());
+  EXPECT_FALSE(ParseInt64InRange("11", -10, 10).ok());
+}
+
+TEST(ParseDoubleTest, ParsesFiniteDecimals) {
+  EXPECT_DOUBLE_EQ(ParseDouble("1.5").value(), 1.5);
+  EXPECT_DOUBLE_EQ(ParseDouble("-0.25").value(), -0.25);
+  EXPECT_DOUBLE_EQ(ParseDouble("2").value(), 2.0);
+  EXPECT_DOUBLE_EQ(ParseDouble("1e3").value(), 1000.0);
+}
+
+TEST(ParseDoubleTest, RejectsGarbageAndNonFinite) {
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("1.x").ok());
+  EXPECT_FALSE(ParseDouble("x1").ok());
+  EXPECT_FALSE(ParseDouble(" 1.5").ok());
+  EXPECT_FALSE(ParseDouble("inf").ok());
+  EXPECT_FALSE(ParseDouble("nan").ok());
+  EXPECT_FALSE(ParseDouble("1e9999").ok());  // Overflows to infinity.
+}
+
+}  // namespace
+}  // namespace mpcqp

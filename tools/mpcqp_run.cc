@@ -17,6 +17,7 @@
 //                  degree:rows:deg (binary, exact-degree column 1) |
 //                  graph:nodes:edges (binary edge list)
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -24,8 +25,11 @@
 #include <vector>
 
 #include "acyclic/gym.h"
+#include "common/parse.h"
+#include "common/trace.h"
 #include "join/hash_join.h"
 #include "mpc/cluster.h"
+#include "mpc/metrics.h"
 #include "multiway/binary_plan.h"
 #include "multiway/hypercube.h"
 #include "multiway/skew_hc.h"
@@ -51,6 +55,8 @@ struct Options {
   std::map<std::string, std::string> generators;  // atom name -> spec.
   std::map<std::string, std::string> inputs;      // atom name -> csv path.
   std::string output_path;
+  std::string trace_path;  // Chrome-trace JSON sink (empty = tracing off).
+  std::string stats_path;  // StatsReport JSON sink.
   bool analyze_only = false;
   bool verify = false;
   uint64_t seed = 42;
@@ -62,7 +68,11 @@ struct Options {
       "usage: %s --query Q [--servers P] [--threads T] [--algorithm "
       "hypercube|skewhc|binary|gym|planner|auto]\n"
       "          [--gen NAME=SPEC]... [--input NAME=FILE.csv]...\n"
-      "          [--output FILE.csv] [--seed N] [--analyze] [--verify]\n",
+      "          [--output FILE.csv] [--seed N] [--analyze] [--verify]\n"
+      "          [--trace FILE.json] [--stats FILE.json]\n"
+      "  --trace writes a Chrome-trace (chrome://tracing / Perfetto) "
+      "timeline\n"
+      "  --stats writes a machine-readable per-round stats report\n",
       argv0);
   std::exit(2);
 }
@@ -95,26 +105,59 @@ StatusOr<Relation> Generate(const std::string& spec, int arity, Rng& rng) {
   const std::vector<std::string> parts = SplitColons(spec);
   const std::string& kind = parts[0];
   auto need = [&](size_t n) { return parts.size() == n; };
+  // Every numeric field goes through the checked parsers: "20k" or a
+  // wrapped 2^64 row count is a spec error, not a silent zero.
+  auto count = [&](const std::string& text) -> StatusOr<int64_t> {
+    auto parsed = ParseInt64InRange(text, 0, INT64_MAX);
+    if (!parsed.ok()) {
+      return InvalidArgumentError("bad generator spec '" + spec +
+                                  "': " + parsed.status().message());
+    }
+    return parsed;
+  };
+  auto domain = [&](const std::string& text) -> StatusOr<uint64_t> {
+    auto parsed = ParseUint64(text);
+    if (!parsed.ok()) {
+      return InvalidArgumentError("bad generator spec '" + spec +
+                                  "': " + parsed.status().message());
+    }
+    return parsed;
+  };
   if (kind == "uniform" && need(3)) {
-    return GenerateUniform(rng, std::atoll(parts[1].c_str()), arity,
-                           std::strtoull(parts[2].c_str(), nullptr, 10));
+    auto rows = count(parts[1]);
+    if (!rows.ok()) return rows.status();
+    auto dom = domain(parts[2]);
+    if (!dom.ok()) return dom.status();
+    return GenerateUniform(rng, *rows, arity, *dom);
   }
   if (kind == "zipf" && need(4)) {
     if (arity < 1) return InvalidArgumentError("zipf needs arity >= 1");
-    return GenerateZipf(rng, std::atoll(parts[1].c_str()), arity,
-                        std::strtoull(parts[2].c_str(), nullptr, 10),
-                        /*zipf_col=*/0, std::atof(parts[3].c_str()));
+    auto rows = count(parts[1]);
+    if (!rows.ok()) return rows.status();
+    auto dom = domain(parts[2]);
+    if (!dom.ok()) return dom.status();
+    auto skew = ParseDouble(parts[3]);
+    if (!skew.ok()) {
+      return InvalidArgumentError("bad generator spec '" + spec +
+                                  "': " + skew.status().message());
+    }
+    return GenerateZipf(rng, *rows, arity, *dom, /*zipf_col=*/0, *skew);
   }
   if (kind == "degree" && need(3)) {
     if (arity != 2) return InvalidArgumentError("degree needs arity 2");
-    return GenerateMatchingDegree(rng, std::atoll(parts[1].c_str()),
-                                  std::atoll(parts[2].c_str()));
+    auto rows = count(parts[1]);
+    if (!rows.ok()) return rows.status();
+    auto deg = count(parts[2]);
+    if (!deg.ok()) return deg.status();
+    return GenerateMatchingDegree(rng, *rows, *deg);
   }
   if (kind == "graph" && need(3)) {
     if (arity != 2) return InvalidArgumentError("graph needs arity 2");
-    return GenerateRandomGraph(rng,
-                               std::strtoull(parts[1].c_str(), nullptr, 10),
-                               std::atoll(parts[2].c_str()));
+    auto nodes = domain(parts[1]);
+    if (!nodes.ok()) return nodes.status();
+    auto edges = count(parts[2]);
+    if (!edges.ok()) return edges.status();
+    return GenerateRandomGraph(rng, *nodes, *edges);
   }
   return InvalidArgumentError("bad generator spec: " + spec);
 }
@@ -218,6 +261,7 @@ int Run(const Options& options) {
   if (options.analyze_only) return 0;
 
   // --- Execution ---
+  if (!options.trace_path.empty()) Tracer::Get().Enable();
   ClusterOptions cluster_options;
   cluster_options.num_threads = options.threads;
   Cluster cluster(options.servers, options.seed + 1, cluster_options);
@@ -272,6 +316,25 @@ int Run(const Options& options) {
               static_cast<long long>(output.TotalSize()),
               cluster.cost_report().ToString().c_str());
 
+  if (!options.trace_path.empty()) {
+    const Status written = Tracer::Get().WriteChromeTrace(options.trace_path);
+    if (!written.ok()) {
+      std::fprintf(stderr, "trace: %s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote trace %s (%lld events)\n", options.trace_path.c_str(),
+                static_cast<long long>(Tracer::Get().event_count()));
+  }
+  if (!options.stats_path.empty()) {
+    const Status written =
+        WriteStatsJson(BuildStatsReport(cluster), options.stats_path);
+    if (!written.ok()) {
+      std::fprintf(stderr, "stats: %s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote stats %s\n", options.stats_path.c_str());
+  }
+
   if (options.verify) {
     const Relation expected = EvalJoinLocal(q, atoms);
     const bool ok = MultisetEqual(output.Collect(), expected);
@@ -297,37 +360,73 @@ int Run(const Options& options) {
 int main(int argc, char** argv) {
   mpcqp::Options options;
   for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
+    std::string arg = argv[i];
     auto next = [&]() -> std::string {
       if (i + 1 >= argc) mpcqp::Usage(argv[0]);
       return argv[++i];
     };
+    // Flags also accept the --flag=value spelling.
+    std::string inline_value;
+    bool has_inline_value = false;
+    if (arg.size() > 2 && arg[0] == '-' && arg[1] == '-') {
+      const size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        inline_value = arg.substr(eq + 1);
+        has_inline_value = true;
+        arg = arg.substr(0, eq);
+      }
+    }
+    auto value = [&]() -> std::string {
+      return has_inline_value ? inline_value : next();
+    };
+    // atoi-free integer flags: the whole string must parse and be >= 1.
+    auto int_flag = [&](const char* flag) -> int {
+      const std::string text = value();
+      const auto parsed = mpcqp::ParseIntInRange(text, 1, 1 << 20);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "%s: %s\n", flag,
+                     parsed.status().message().c_str());
+        mpcqp::Usage(argv[0]);
+      }
+      return *parsed;
+    };
     if (arg == "--query") {
-      options.query_text = next();
+      options.query_text = value();
     } else if (arg == "--servers" || arg == "-p") {
-      options.servers = std::atoi(next().c_str());
+      options.servers = int_flag("--servers");
     } else if (arg == "--threads") {
-      options.threads = std::atoi(next().c_str());
+      options.threads = int_flag("--threads");
     } else if (arg == "--algorithm") {
-      options.algorithm = next();
+      options.algorithm = value();
     } else if (arg == "--gen") {
       std::string key;
-      std::string value;
-      if (!mpcqp::SplitKeyValue(next(), &key, &value)) {
+      std::string spec;
+      if (!mpcqp::SplitKeyValue(value(), &key, &spec)) {
         mpcqp::Usage(argv[0]);
       }
-      options.generators[key] = value;
+      options.generators[key] = spec;
     } else if (arg == "--input") {
       std::string key;
-      std::string value;
-      if (!mpcqp::SplitKeyValue(next(), &key, &value)) {
+      std::string path;
+      if (!mpcqp::SplitKeyValue(value(), &key, &path)) {
         mpcqp::Usage(argv[0]);
       }
-      options.inputs[key] = value;
+      options.inputs[key] = path;
     } else if (arg == "--output") {
-      options.output_path = next();
+      options.output_path = value();
+    } else if (arg == "--trace") {
+      options.trace_path = value();
+    } else if (arg == "--stats") {
+      options.stats_path = value();
     } else if (arg == "--seed") {
-      options.seed = std::strtoull(next().c_str(), nullptr, 10);
+      const std::string text = value();
+      const auto parsed = mpcqp::ParseUint64(text);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "--seed: %s\n",
+                     parsed.status().message().c_str());
+        mpcqp::Usage(argv[0]);
+      }
+      options.seed = *parsed;
     } else if (arg == "--analyze") {
       options.analyze_only = true;
     } else if (arg == "--verify") {
