@@ -4,6 +4,7 @@
 #include <map>
 
 #include "common/check.h"
+#include "common/flat_counter.h"
 #include "common/trace.h"
 #include "join/hash_join.h"
 #include "mpc/exchange.h"
@@ -356,18 +357,19 @@ GymResult GymJoin(Cluster& cluster, const ConjunctiveQuery& q, const Ghd& ghd,
           const int id_col = parts[0].arity() - 1;
           std::vector<Relation> frags;
           for (int s = 0; s < p; ++s) {
-            std::map<Value, int> count;
+            FlatCounter count;
             for (const DistRelation& part : parts) {
               const Relation& f = part.fragment(s);
               for (int64_t i = 0; i < f.size(); ++i) {
-                ++count[f.at(i, id_col)];
+                count.Add(f.at(i, id_col));
               }
             }
             // Representative rows come from the first copy.
             const Relation& rep = parts[0].fragment(s);
             Relation out(rep.arity());
             for (int64_t i = 0; i < rep.size(); ++i) {
-              if (count[rep.at(i, id_col)] == static_cast<int>(need)) {
+              if (count.Get(rep.at(i, id_col)) ==
+                  static_cast<int64_t>(need)) {
                 out.AppendRowFrom(rep, i);
               }
             }

@@ -1,0 +1,104 @@
+#ifndef MPCQP_COMMON_FLAT_COUNTER_H_
+#define MPCQP_COMMON_FLAT_COUNTER_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace mpcqp {
+
+// An open-addressing uint64 -> int64 counter for the statistics hot paths
+// (degree counts, heavy-hitter detection, semijoin-copy intersection).
+// Counting is O(1) per key with no per-node allocation; the deterministic
+// sorted output the old std::map counters produced is recovered by one
+// final sort over the distinct keys (SortedEntries), which is cheaper than
+// paying a red-black-tree rebalance per input row.
+class FlatCounter {
+ public:
+  explicit FlatCounter(int64_t expected_keys = 0) {
+    int64_t cap = 16;
+    while (cap < 2 * expected_keys) cap <<= 1;
+    slots_.resize(static_cast<size_t>(cap));
+  }
+
+  // counts[key] += delta, inserting the key at count 0 first.
+  void Add(uint64_t key, int64_t delta = 1) { Slot(key)->count += delta; }
+
+  // The count for `key`, or 0 if it was never added.
+  int64_t Get(uint64_t key) const {
+    const uint64_t mask = slots_.size() - 1;
+    for (uint64_t i = Mix(key) & mask;; i = (i + 1) & mask) {
+      const SlotEntry& s = slots_[i];
+      if (!s.used) return 0;
+      if (s.key == key) return s.count;
+    }
+  }
+
+  int64_t num_keys() const { return num_keys_; }
+
+  // All (key, count) pairs sorted by key — the iteration order of the
+  // std::map-based counters this class replaces.
+  std::vector<std::pair<uint64_t, int64_t>> SortedEntries() const {
+    std::vector<std::pair<uint64_t, int64_t>> entries;
+    entries.reserve(static_cast<size_t>(num_keys_));
+    for (const SlotEntry& s : slots_) {
+      if (s.used) entries.push_back({s.key, s.count});
+    }
+    std::sort(entries.begin(), entries.end());
+    return entries;
+  }
+
+ private:
+  struct SlotEntry {
+    uint64_t key = 0;
+    int64_t count = 0;
+    bool used = false;
+  };
+
+  // splitmix64 finalizer: full avalanche, so linear probing stays short
+  // even on structured keys (sequential ids, strided values).
+  static uint64_t Mix(uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+  SlotEntry* Slot(uint64_t key) {
+    if (2 * (num_keys_ + 1) > static_cast<int64_t>(slots_.size())) Grow();
+    const uint64_t mask = slots_.size() - 1;
+    for (uint64_t i = Mix(key) & mask;; i = (i + 1) & mask) {
+      SlotEntry& s = slots_[i];
+      if (!s.used) {
+        s.used = true;
+        s.key = key;
+        ++num_keys_;
+        return &s;
+      }
+      if (s.key == key) return &s;
+    }
+  }
+
+  void Grow() {
+    std::vector<SlotEntry> old = std::move(slots_);
+    slots_.assign(old.size() * 2, SlotEntry{});
+    const uint64_t mask = slots_.size() - 1;
+    for (const SlotEntry& s : old) {
+      if (!s.used) continue;
+      for (uint64_t i = Mix(s.key) & mask;; i = (i + 1) & mask) {
+        if (!slots_[i].used) {
+          slots_[i] = s;
+          break;
+        }
+      }
+    }
+  }
+
+  std::vector<SlotEntry> slots_;
+  int64_t num_keys_ = 0;
+};
+
+}  // namespace mpcqp
+
+#endif  // MPCQP_COMMON_FLAT_COUNTER_H_

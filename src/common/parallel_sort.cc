@@ -1,0 +1,49 @@
+#include "common/parallel_sort.h"
+
+#include <numeric>
+
+namespace mpcqp {
+
+void SortRowsBuffer(ThreadPool* pool, int arity, std::vector<uint64_t>& data,
+                    const std::vector<int>& key_cols) {
+  const int64_t n = static_cast<int64_t>(data.size()) / arity;
+  if (n <= 1) return;
+  MPCQP_TRACE_SCOPE_ARG("sort_rows", "compute", n);
+
+  std::vector<int64_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  const uint64_t* rows = data.data();
+  ParallelSort(pool, order, [&](int64_t a, int64_t b) {
+    const uint64_t* ra = rows + static_cast<size_t>(a) * arity;
+    const uint64_t* rb = rows + static_cast<size_t>(b) * arity;
+    for (int c : key_cols) {
+      if (ra[c] != rb[c]) return ra[c] < rb[c];
+    }
+    for (int c = 0; c < arity; ++c) {
+      if (ra[c] != rb[c]) return ra[c] < rb[c];
+    }
+    return false;
+  });
+
+  std::vector<uint64_t> sorted(data.size());
+  const auto gather = [&](int64_t begin, int64_t end) {
+    uint64_t* out = sorted.data() + static_cast<size_t>(begin) * arity;
+    for (int64_t i = begin; i < end; ++i) {
+      const uint64_t* r = rows + static_cast<size_t>(order[i]) * arity;
+      out = std::copy(r, r + arity, out);
+    }
+  };
+  if (pool != nullptr && pool->num_threads() > 1 &&
+      n >= kParallelSortMinItems) {
+    const int64_t chunks = pool->num_threads();
+    const std::vector<int64_t> bounds =
+        parallel_sort_internal::RunBounds(n, chunks);
+    pool->ParallelFor(chunks,
+                      [&](int64_t c) { gather(bounds[c], bounds[c + 1]); });
+  } else {
+    gather(0, n);
+  }
+  data = std::move(sorted);
+}
+
+}  // namespace mpcqp

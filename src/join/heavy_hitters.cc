@@ -1,8 +1,7 @@
 #include "join/heavy_hitters.h"
 
-#include <map>
-
 #include "common/check.h"
+#include "common/flat_counter.h"
 
 namespace mpcqp {
 
@@ -10,13 +9,13 @@ std::vector<HeavyHitter> FindHeavyHitters(const DistRelation& rel, int col,
                                           int64_t threshold) {
   MPCQP_CHECK_GE(col, 0);
   MPCQP_CHECK_LT(col, rel.arity());
-  std::map<Value, int64_t> counts;
+  FlatCounter counts;
   for (int s = 0; s < rel.num_servers(); ++s) {
     const Relation& frag = rel.fragment(s);
-    for (int64_t i = 0; i < frag.size(); ++i) ++counts[frag.at(i, col)];
+    for (int64_t i = 0; i < frag.size(); ++i) counts.Add(frag.at(i, col));
   }
   std::vector<HeavyHitter> result;
-  for (const auto& [value, count] : counts) {
+  for (const auto& [value, count] : counts.SortedEntries()) {
     if (count > threshold) result.push_back({value, count});
   }
   return result;

@@ -32,8 +32,8 @@ DistRelation PartitionAndCombine(Cluster& cluster, const DistRelation& a,
   DistRelation a_local(a.arity(), p);
   DistRelation b_local(b.arity(), p);
   for (int s = 0; s < p; ++s) {
-    a_local.fragment(s) = Dedup(a.fragment(s));
-    b_local.fragment(s) = Dedup(b.fragment(s));
+    a_local.fragment(s) = Dedup(a.fragment(s), &cluster.pool());
+    b_local.fragment(s) = Dedup(b.fragment(s), &cluster.pool());
   }
   const DistRelation a_parts = HashPartition(cluster, a_local, cols, hash, "");
   const DistRelation b_parts = HashPartition(cluster, b_local, cols, hash, "");
@@ -43,7 +43,8 @@ DistRelation PartitionAndCombine(Cluster& cluster, const DistRelation& a,
   outputs.reserve(p);
   for (int s = 0; s < p; ++s) {
     outputs.push_back(
-        combine(Dedup(a_parts.fragment(s)), Dedup(b_parts.fragment(s))));
+        combine(Dedup(a_parts.fragment(s), &cluster.pool()),
+                Dedup(b_parts.fragment(s), &cluster.pool())));
   }
   return DistRelation::FromFragments(std::move(outputs));
 }
@@ -56,7 +57,7 @@ DistRelation DistributedDistinct(Cluster& cluster, const DistRelation& rel) {
   const std::vector<int> cols = AllColumns(rel.arity());
   DistRelation local(rel.arity(), p);
   for (int s = 0; s < p; ++s) {
-    local.fragment(s) = Dedup(rel.fragment(s));
+    local.fragment(s) = Dedup(rel.fragment(s), &cluster.pool());
   }
   const HashFunction hash = cluster.NewHashFunction();
   const DistRelation parts =
@@ -64,7 +65,7 @@ DistRelation DistributedDistinct(Cluster& cluster, const DistRelation& rel) {
   std::vector<Relation> outputs;
   outputs.reserve(p);
   for (int s = 0; s < p; ++s) {
-    outputs.push_back(Dedup(parts.fragment(s)));
+    outputs.push_back(Dedup(parts.fragment(s), &cluster.pool()));
   }
   return DistRelation::FromFragments(std::move(outputs));
 }

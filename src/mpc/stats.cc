@@ -1,9 +1,9 @@
 #include "mpc/stats.h"
 
 #include <algorithm>
-#include <map>
 
 #include "common/check.h"
+#include "common/flat_counter.h"
 #include "mpc/exchange.h"
 #include "relation/relation_ops.h"
 
@@ -15,10 +15,10 @@ namespace {
 DistRelation LocalCounts(const DistRelation& rel, int col) {
   DistRelation partials(2, rel.num_servers());
   for (int s = 0; s < rel.num_servers(); ++s) {
-    std::map<Value, int64_t> counts;
+    FlatCounter counts;
     const Relation& frag = rel.fragment(s);
-    for (int64_t i = 0; i < frag.size(); ++i) ++counts[frag.at(i, col)];
-    for (const auto& [value, count] : counts) {
+    for (int64_t i = 0; i < frag.size(); ++i) counts.Add(frag.at(i, col));
+    for (const auto& [value, count] : counts.SortedEntries()) {
       partials.fragment(s).AppendRow({value, static_cast<Value>(count)});
     }
   }

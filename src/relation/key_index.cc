@@ -1,50 +1,236 @@
 #include "relation/key_index.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "common/check.h"
 #include "common/hash.h"
+#include "common/thread_pool.h"
+#include "common/trace.h"
 
 namespace mpcqp {
 
 namespace {
+
 // A fixed seed: the index is an in-memory structure, not a partitioning
 // decision, so it does not need to vary across runs.
 constexpr uint64_t kIndexSeed = 0x1d8af066u;
+
+// Inputs below this row count build serially in one partition; the
+// partitioned two-phase build only pays for itself on large fragments.
+constexpr int64_t kPartitionMinRows = int64_t{1} << 13;
+// Directory partitions (top hash bits) for large builds; independent of
+// the thread count so the index layout is identical for every pool size.
+constexpr int kLargeBuildPartitionBits = 6;
+// Target rows per counting/scatter morsel.
+constexpr int64_t kMorselRows = 8192;
+
+int64_t NextPow2(int64_t v) {
+  int64_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
 }  // namespace
 
-KeyIndex::KeyIndex(RelationView view, std::vector<int> key_cols)
+KeyIndex::KeyIndex(RelationView view, std::vector<int> key_cols,
+                   ThreadPool* pool)
     : view_(view), key_cols_(std::move(key_cols)) {
+  Build(pool);
+}
+
+KeyIndex::KeyIndex(RelationView view, std::vector<int> key_cols,
+                   KeyHashFn test_hash, ThreadPool* pool)
+    : view_(view),
+      key_cols_(std::move(key_cols)),
+      test_hash_(std::move(test_hash)) {
+  Build(pool);
+}
+
+void KeyIndex::Build(ThreadPool* pool) {
   for (int c : key_cols_) {
     MPCQP_CHECK_GE(c, 0);
     MPCQP_CHECK_LT(c, view_.arity());
   }
-  std::vector<Value> key(key_cols_.size());
-  for (int64_t r = 0; r < view_.size(); ++r) {
-    const Value* row = view_.row(r);
-    for (size_t i = 0; i < key_cols_.size(); ++i) key[i] = row[key_cols_[i]];
-    const uint64_t h = HashKey(key.data());
-    std::vector<std::vector<int64_t>>& groups = buckets_[h];
-    bool placed = false;
-    for (std::vector<int64_t>& group : groups) {
-      // Compare against the group's representative row by key columns.
-      const Value* rep = view_.row(group.front());
-      bool same = true;
-      for (int c : key_cols_) {
-        if (rep[c] != row[c]) {
-          same = false;
+  const int64_t n = view_.size();
+  MPCQP_TRACE_SCOPE_ARG("key_index build", "compute", n);
+
+  part_bits_ = n < kPartitionMinRows ? 0 : kLargeBuildPartitionBits;
+  const int64_t num_parts = int64_t{1} << part_bits_;
+  const int64_t morsels =
+      (pool == nullptr || pool->num_threads() <= 1 || n < kPartitionMinRows)
+          ? 1
+          : std::min<int64_t>(static_cast<int64_t>(pool->num_threads()) * 4,
+                              std::max<int64_t>(1, (n + kMorselRows - 1) /
+                                                       kMorselRows));
+
+  // Phase 1 (morsel-parallel): hash every row's key and count rows per
+  // (morsel, partition).
+  std::vector<uint64_t> hashes(static_cast<size_t>(n));
+  std::vector<int64_t> counts(static_cast<size_t>(morsels * num_parts), 0);
+  const auto morsel_range = [&](int64_t m) {
+    return std::pair<int64_t, int64_t>{m * n / morsels,
+                                       (m + 1) * n / morsels};
+  };
+  const auto part_of = [&](uint64_t h) {
+    return part_bits_ == 0 ? int64_t{0}
+                           : static_cast<int64_t>(h >> (64 - part_bits_));
+  };
+  const auto count_morsel = [&](int64_t m) {
+    const auto [begin, end] = morsel_range(m);
+    std::vector<Value> key(key_cols_.size());
+    int64_t* my_counts = counts.data() + m * num_parts;
+    for (int64_t r = begin; r < end; ++r) {
+      const Value* row = view_.row(r);
+      for (size_t i = 0; i < key_cols_.size(); ++i) {
+        key[i] = row[key_cols_[i]];
+      }
+      const uint64_t h = HashKey(key.data());
+      hashes[r] = h;
+      ++my_counts[part_of(h)];
+    }
+  };
+  if (morsels == 1) {
+    if (n > 0) count_morsel(0);
+  } else {
+    pool->ParallelFor(morsels, count_morsel);
+  }
+
+  // Prefix sum (partition-major, then morsel order within a partition):
+  // every (morsel, partition) cell gets its exact scatter offset, so the
+  // partitioned arrays stay in ascending row order for any morsel count.
+  std::vector<int64_t> part_begin(static_cast<size_t>(num_parts) + 1, 0);
+  std::vector<int64_t> offsets(static_cast<size_t>(morsels * num_parts), 0);
+  int64_t pos = 0;
+  for (int64_t part = 0; part < num_parts; ++part) {
+    part_begin[part] = pos;
+    for (int64_t m = 0; m < morsels; ++m) {
+      offsets[m * num_parts + part] = pos;
+      pos += counts[m * num_parts + part];
+    }
+  }
+  part_begin[num_parts] = n;
+
+  // Phase 2 (morsel-parallel): scatter (row, hash) into partition-major
+  // order.
+  std::vector<int64_t> part_rows(static_cast<size_t>(n));
+  std::vector<uint64_t> part_hashes(static_cast<size_t>(n));
+  const auto scatter_morsel = [&](int64_t m) {
+    const auto [begin, end] = morsel_range(m);
+    int64_t* my_offsets = offsets.data() + m * num_parts;
+    for (int64_t r = begin; r < end; ++r) {
+      const uint64_t h = hashes[r];
+      const int64_t at = my_offsets[part_of(h)]++;
+      part_rows[at] = r;
+      part_hashes[at] = h;
+    }
+  };
+  if (morsels == 1) {
+    if (n > 0) scatter_morsel(0);
+  } else {
+    pool->ParallelFor(morsels, scatter_morsel);
+  }
+
+  // Directory layout: one power-of-two linear-probe slice per partition at
+  // load factor <= 0.5 (so probes always hit an empty slot and terminate).
+  dir_begin_.assign(static_cast<size_t>(num_parts) + 1, 0);
+  dir_mask_.assign(static_cast<size_t>(num_parts), 0);
+  int64_t dir_size = 0;
+  for (int64_t part = 0; part < num_parts; ++part) {
+    const int64_t rows = part_begin[part + 1] - part_begin[part];
+    const int64_t cap = NextPow2(std::max<int64_t>(2, 2 * rows));
+    dir_begin_[part] = dir_size;
+    dir_mask_[part] = static_cast<uint64_t>(cap - 1);
+    dir_size += cap;
+  }
+  dir_begin_[num_parts] = dir_size;
+  dir_.assign(static_cast<size_t>(dir_size), Slot{});
+  arena_.resize(static_cast<size_t>(n));
+
+  // Phase 3 (partition-parallel): group each partition's rows by exact
+  // key. Rows arrive in ascending row order, so groups form in
+  // first-occurrence order and each group's arena range is ascending —
+  // the layout is identical for every thread count.
+  std::vector<int64_t> distinct(static_cast<size_t>(num_parts), 0);
+  const auto build_partition = [&](int64_t part) {
+    const int64_t base = part_begin[part];
+    const int64_t rows = part_begin[part + 1] - base;
+    if (rows == 0) return;
+    const int64_t dbase = dir_begin_[part];
+    const uint64_t mask = dir_mask_[part];
+    // Local groups in first-occurrence order; slots hold the local group
+    // id in `offset` until the counts are final.
+    struct LocalGroup {
+      int64_t rep_row;
+      int64_t count;
+      int64_t slot;
+    };
+    std::vector<LocalGroup> groups;
+    std::vector<int64_t> gid(static_cast<size_t>(rows));
+    for (int64_t i = 0; i < rows; ++i) {
+      const int64_t r = part_rows[base + i];
+      const uint64_t h = part_hashes[base + i];
+      uint64_t idx = h & mask;
+      while (true) {
+        Slot& s = dir_[dbase + static_cast<int64_t>(idx)];
+        if (s.len == 0) {
+          s.hash = h;
+          s.offset = static_cast<int64_t>(groups.size());
+          s.len = 1;  // Occupied; rewritten with the true length below.
+          gid[i] = static_cast<int64_t>(groups.size());
+          groups.push_back({r, 1, dbase + static_cast<int64_t>(idx)});
           break;
         }
-      }
-      if (same) {
-        group.push_back(r);
-        placed = true;
-        break;
+        if (s.hash == h) {
+          // Hash match: confirm exact key equality against the group's
+          // representative row (distinct keys can share a 64-bit hash).
+          const Value* rep = view_.row(groups[s.offset].rep_row);
+          const Value* row = view_.row(r);
+          bool same = true;
+          for (int c : key_cols_) {
+            if (rep[c] != row[c]) {
+              same = false;
+              break;
+            }
+          }
+          if (same) {
+            ++groups[s.offset].count;
+            gid[i] = s.offset;
+            break;
+          }
+        }
+        idx = (idx + 1) & mask;
       }
     }
-    if (!placed) groups.push_back({r});
+    // Local prefix sum -> arena offsets, then scatter rows in order.
+    std::vector<int64_t> cursor(groups.size());
+    int64_t at = base;
+    for (size_t g = 0; g < groups.size(); ++g) {
+      Slot& s = dir_[groups[g].slot];
+      s.offset = at;
+      s.len = groups[g].count;
+      cursor[g] = at;
+      at += groups[g].count;
+    }
+    for (int64_t i = 0; i < rows; ++i) {
+      arena_[cursor[gid[i]]++] = part_rows[base + i];
+    }
+    distinct[part] = static_cast<int64_t>(groups.size());
+  };
+  if (num_parts == 1 || pool == nullptr || pool->num_threads() <= 1) {
+    for (int64_t part = 0; part < num_parts; ++part) build_partition(part);
+  } else {
+    pool->ParallelFor(num_parts, build_partition);
+  }
+  for (int64_t part = 0; part < num_parts; ++part) {
+    num_distinct_keys_ += distinct[part];
   }
 }
 
 uint64_t KeyIndex::HashKey(const Value* key) const {
+  if (test_hash_) {
+    return test_hash_(key, static_cast<int>(key_cols_.size()));
+  }
   static const HashFunction kHash(kIndexSeed);
   return kHash.HashSpan(key, static_cast<int>(key_cols_.size()));
 }
@@ -57,13 +243,19 @@ bool KeyIndex::RowMatchesKey(int64_t row, const Value* key) const {
   return true;
 }
 
-const std::vector<int64_t>& KeyIndex::Lookup(const Value* key) const {
-  const auto it = buckets_.find(HashKey(key));
-  if (it == buckets_.end()) return empty_;
-  for (const std::vector<int64_t>& group : it->second) {
-    if (RowMatchesKey(group.front(), key)) return group;
+std::span<const int64_t> KeyIndex::Lookup(const Value* key) const {
+  const uint64_t h = HashKey(key);
+  const int64_t part =
+      part_bits_ == 0 ? 0 : static_cast<int64_t>(h >> (64 - part_bits_));
+  const int64_t dbase = dir_begin_[part];
+  const uint64_t mask = dir_mask_[part];
+  for (uint64_t idx = h & mask;; idx = (idx + 1) & mask) {
+    const Slot& s = dir_[dbase + static_cast<int64_t>(idx)];
+    if (s.len == 0) return {};
+    if (s.hash == h && RowMatchesKey(arena_[s.offset], key)) {
+      return {arena_.data() + s.offset, static_cast<size_t>(s.len)};
+    }
   }
-  return empty_;
 }
 
 }  // namespace mpcqp

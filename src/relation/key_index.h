@@ -2,7 +2,8 @@
 #define MPCQP_RELATION_KEY_INDEX_H_
 
 #include <cstdint>
-#include <unordered_map>
+#include <functional>
+#include <span>
 #include <vector>
 
 #include "relation/relation.h"
@@ -10,8 +11,26 @@
 
 namespace mpcqp {
 
+class ThreadPool;
+
 // A hash index over a relation view keyed by a subset of its columns.
 // Probes verify exact key equality (the 64-bit row hash only buckets).
+//
+// Storage is a flat open-addressing table over one contiguous arena: a
+// count -> prefix-sum -> scatter build pass (the two-phase shape of the
+// exchange router) groups the view's row indices by key in a single
+// int64 arena, and a linear-probe directory of (hash, offset, len) slots
+// maps each key to its arena range. Lookup returns a span into the arena,
+// so probe results are never invalidated by later probes — the miss-
+// invalidated-reference footgun of the old nested-map index is gone by
+// construction. There are no per-key heap nodes to chase: a probe costs
+// one hashed directory walk plus one contiguous arena read.
+//
+// Passing a ThreadPool morsel-parallelizes the build (per-worker partition
+// counts merged by prefix sum, then independent per-partition grouping),
+// and the resulting index is bit-identical for every thread count: row
+// indices within a group are always ascending and groups within a
+// partition always appear in first-occurrence order.
 //
 // The index borrows the viewed rows; the underlying Relation (and the
 // selection vector, for selection views) must outlive the index and must
@@ -20,12 +39,21 @@ namespace mpcqp {
 // join family avoid materializing their inputs.
 class KeyIndex {
  public:
-  KeyIndex(RelationView view, std::vector<int> key_cols);
+  // Builds the index; `pool` (optional) parallelizes the build passes.
+  KeyIndex(RelationView view, std::vector<int> key_cols,
+           ThreadPool* pool = nullptr);
+
+  // Test-only: overrides the 64-bit key hash so collision handling can be
+  // forced deterministically (distinct keys, equal hashes).
+  using KeyHashFn = std::function<uint64_t(const Value* key, int key_arity)>;
+  KeyIndex(RelationView view, std::vector<int> key_cols, KeyHashFn test_hash,
+           ThreadPool* pool = nullptr);
 
   // Row indices (into the view) whose key columns equal `key`
-  // (key_cols.size() values). The returned reference is invalidated by the
-  // next Lookup call only if probing missed; treat it as a transient view.
-  const std::vector<int64_t>& Lookup(const Value* key) const;
+  // (key_cols.size() values), in ascending row order. The span points into
+  // the index's arena and stays valid for the index's lifetime, across any
+  // number of later probes (hit or miss).
+  std::span<const int64_t> Lookup(const Value* key) const;
 
   // True if some row matches `key`.
   bool Contains(const Value* key) const { return !Lookup(key).empty(); }
@@ -34,22 +62,37 @@ class KeyIndex {
   const RelationView& view() const { return view_; }
   const std::vector<int>& key_cols() const { return key_cols_; }
 
-  // Number of distinct key values present.
-  int64_t num_distinct_keys() const {
-    return static_cast<int64_t>(buckets_.size());
-  }
+  // Number of distinct key values present (exact, even when distinct keys
+  // collide on their 64-bit hash).
+  int64_t num_distinct_keys() const { return num_distinct_keys_; }
 
  private:
+  // One directory entry: a key's 64-bit hash plus its arena range.
+  // len == 0 marks an empty slot (real groups always have len >= 1).
+  struct Slot {
+    uint64_t hash = 0;
+    int64_t offset = 0;
+    int64_t len = 0;
+  };
+
+  void Build(ThreadPool* pool);
   uint64_t HashKey(const Value* key) const;
   bool RowMatchesKey(int64_t row, const Value* key) const;
 
   RelationView view_;
   std::vector<int> key_cols_;
-  // Bucket hash -> list of (first-row, rows...) groups. To handle 64-bit
-  // hash collisions between distinct keys, each bucket stores groups of
-  // rows by exact key; see implementation.
-  std::unordered_map<uint64_t, std::vector<std::vector<int64_t>>> buckets_;
-  std::vector<int64_t> empty_;
+  KeyHashFn test_hash_;  // Null outside tests.
+
+  // Row indices grouped by key: group g occupies
+  // arena_[slot.offset, slot.offset + slot.len).
+  std::vector<int64_t> arena_;
+  // Linear-probe directory, partitioned by the hash's top bits; partition
+  // P occupies dir_[dir_begin_[P], dir_begin_[P] + dir_mask_[P] + 1).
+  std::vector<Slot> dir_;
+  std::vector<int64_t> dir_begin_;
+  std::vector<uint64_t> dir_mask_;  // Per-partition capacity - 1 (pow2).
+  int part_bits_ = 0;
+  int64_t num_distinct_keys_ = 0;
 };
 
 }  // namespace mpcqp

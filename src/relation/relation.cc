@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <cstring>
-#include <numeric>
 #include <sstream>
 
 #include "common/check.h"
+#include "common/parallel_sort.h"
 #include "common/trace.h"
 
 namespace mpcqp {
@@ -66,6 +66,15 @@ std::vector<Value>& Relation::Mutable() {
     TraceCounters::cow_detach_bytes.fetch_add(
         static_cast<int64_t>(payload_->data.size() * sizeof(Value)),
         std::memory_order_relaxed);
+  } else {
+    // Uniquely owned — but use_count() is a relaxed load, so observing
+    // the last sharer's release does not order this thread after that
+    // sharer's detach (its clone may still be reading these bytes when
+    // an in-place write below reallocates them). Touching the control
+    // block with an acquire-release RMW pair adopts the sharer's work
+    // before any mutation.
+    std::shared_ptr<Payload> acquire_last_detach(payload_);
+    acquire_last_detach.reset();
   }
   return payload_->data;
 }
@@ -163,49 +172,19 @@ void Relation::Clear() {
   nullary_count_ = 0;
 }
 
-namespace {
-
-// Sorts row indices of `rel` by `key_cols` then all columns, and rebuilds
-// the flat buffer in that order.
-void SortRowsImpl(int arity, std::vector<Value>& data,
-                  const std::vector<int>& key_cols) {
-  const int64_t n = static_cast<int64_t>(data.size()) / arity;
-  std::vector<int64_t> order(n);
-  std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
-    const Value* ra = data.data() + static_cast<size_t>(a) * arity;
-    const Value* rb = data.data() + static_cast<size_t>(b) * arity;
-    for (int c : key_cols) {
-      if (ra[c] != rb[c]) return ra[c] < rb[c];
-    }
-    for (int c = 0; c < arity; ++c) {
-      if (ra[c] != rb[c]) return ra[c] < rb[c];
-    }
-    return false;
-  });
-  std::vector<Value> sorted;
-  sorted.reserve(data.size());
-  for (int64_t i : order) {
-    const Value* r = data.data() + static_cast<size_t>(i) * arity;
-    sorted.insert(sorted.end(), r, r + arity);
-  }
-  data = std::move(sorted);
-}
-
-}  // namespace
-
-void Relation::SortRows() {
+void Relation::SortRows(ThreadPool* pool) {
   if (arity_ == 0 || empty()) return;
-  SortRowsImpl(arity_, Mutable(), {});
+  SortRowsBuffer(pool, arity_, Mutable(), {});
 }
 
-void Relation::SortRowsBy(const std::vector<int>& key_cols) {
+void Relation::SortRowsBy(const std::vector<int>& key_cols,
+                          ThreadPool* pool) {
   for (int c : key_cols) {
     MPCQP_CHECK_GE(c, 0);
     MPCQP_CHECK_LT(c, arity_);
   }
   if (arity_ == 0 || empty()) return;
-  SortRowsImpl(arity_, Mutable(), key_cols);
+  SortRowsBuffer(pool, arity_, Mutable(), key_cols);
 }
 
 bool operator==(const Relation& a, const Relation& b) {

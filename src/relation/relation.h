@@ -9,6 +9,8 @@
 
 namespace mpcqp {
 
+class ThreadPool;
+
 // Attribute values. The whole library works over 64-bit integer domains;
 // the MPC theory is agnostic to the value type, and integers keep the
 // simulator exact and fast.
@@ -86,11 +88,14 @@ class Relation {
   void Reserve(int64_t rows);
   void Clear();
 
-  // Sorts rows lexicographically (all columns). In-place.
-  void SortRows();
+  // Sorts rows lexicographically (all columns). In-place. A non-null
+  // `pool` runs the parallel sort kernel (common/parallel_sort.h); the
+  // result is bit-identical for every pool size.
+  void SortRows(ThreadPool* pool = nullptr);
   // Sorts rows by the given key columns (then remaining columns for
   // determinism). In-place.
-  void SortRowsBy(const std::vector<int>& key_cols);
+  void SortRowsBy(const std::vector<int>& key_cols,
+                  ThreadPool* pool = nullptr);
 
   const std::vector<Value>& data() const {
     return payload_ ? payload_->data : EmptyData();

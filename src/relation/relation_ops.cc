@@ -5,6 +5,9 @@
 #include <numeric>
 
 #include "common/check.h"
+#include "common/flat_counter.h"
+#include "common/parallel_sort.h"
+#include "common/trace.h"
 #include "relation/key_index.h"
 
 namespace mpcqp {
@@ -55,11 +58,12 @@ void EmitJoinRow(RelationView left, int64_t lrow, RelationView right,
 // of a materialized copy. Exact duplicates tie, which is harmless: they
 // are byte-identical.
 std::vector<int64_t> SortedOrder(RelationView rel,
-                                 const std::vector<int>& key_cols) {
+                                 const std::vector<int>& key_cols,
+                                 ThreadPool* pool = nullptr) {
   std::vector<int64_t> order(rel.size());
   std::iota(order.begin(), order.end(), 0);
   const int arity = rel.arity();
-  std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+  ParallelSort(pool, order, [&](int64_t a, int64_t b) {
     const Value* ra = rel.row(a);
     const Value* rb = rel.row(b);
     for (int c : key_cols) {
@@ -95,13 +99,13 @@ Relation Project(RelationView rel, const std::vector<int>& cols) {
   return out;
 }
 
-Relation Dedup(RelationView rel) {
+Relation Dedup(RelationView rel, ThreadPool* pool) {
   if (rel.arity() == 0) {
     Relation out(0);
     if (rel.size() > 0) out.AppendNullaryRow();
     return out;
   }
-  const std::vector<int64_t> order = SortedOrder(rel, {});
+  const std::vector<int64_t> order = SortedOrder(rel, {}, pool);
   Relation out(rel.arity());
   out.Reserve(rel.size());
   const Value* prev = nullptr;
@@ -148,6 +152,7 @@ Relation HashJoinLocal(RelationView left, RelationView right,
   // Build on the smaller side conceptually; for simplicity always build on
   // `right` (callers pass the smaller side right in hot paths).
   KeyIndex index(right, right_keys);
+  MPCQP_TRACE_SCOPE_ARG("key_index probe", "compute", left.size());
   std::vector<Value> key(left_keys.size());
   std::vector<Value> scratch;
   for (int64_t i = 0; i < left.size(); ++i) {
@@ -263,6 +268,7 @@ Relation SemijoinLocal(RelationView left, RelationView right,
   Relation out(left.arity());
   if (left.empty() || right.empty()) return out;
   KeyIndex index(right, right_keys);
+  MPCQP_TRACE_SCOPE_ARG("key_index probe", "compute", left.size());
   std::vector<Value> key(left_keys.size());
   for (int64_t i = 0; i < left.size(); ++i) {
     const Value* lrow = left.row(i);
@@ -280,6 +286,7 @@ Relation AntijoinLocal(RelationView left, RelationView right,
   if (right.empty()) return left.ToRelation();
   Relation out(left.arity());
   KeyIndex index(right, right_keys);
+  MPCQP_TRACE_SCOPE_ARG("key_index probe", "compute", left.size());
   std::vector<Value> key(left_keys.size());
   for (int64_t i = 0; i < left.size(); ++i) {
     const Value* lrow = left.row(i);
@@ -336,12 +343,12 @@ Relation GroupByAggregate(RelationView rel,
   return out;
 }
 
-bool MultisetEqual(RelationView a, RelationView b) {
+bool MultisetEqual(RelationView a, RelationView b, ThreadPool* pool) {
   if (a.arity() != b.arity() || a.size() != b.size()) return false;
   if (a.arity() == 0) return true;  // Equal nullary counts.
   // Compare through sorted permutations; neither input is copied.
-  const std::vector<int64_t> ao = SortedOrder(a, {});
-  const std::vector<int64_t> bo = SortedOrder(b, {});
+  const std::vector<int64_t> ao = SortedOrder(a, {}, pool);
+  const std::vector<int64_t> bo = SortedOrder(b, {}, pool);
   for (int64_t i = 0; i < a.size(); ++i) {
     const Value* ra = a.row(ao[i]);
     const Value* rb = b.row(bo[i]);
@@ -353,10 +360,12 @@ bool MultisetEqual(RelationView a, RelationView b) {
 Relation DegreeCount(RelationView rel, int col) {
   MPCQP_CHECK_GE(col, 0);
   MPCQP_CHECK_LT(col, rel.arity());
-  std::map<Value, Value> counts;
-  for (int64_t i = 0; i < rel.size(); ++i) ++counts[rel.at(i, col)];
+  FlatCounter counts;
+  for (int64_t i = 0; i < rel.size(); ++i) counts.Add(rel.at(i, col));
   Relation out(2);
-  for (const auto& [value, count] : counts) out.AppendRow({value, count});
+  for (const auto& [value, count] : counts.SortedEntries()) {
+    out.AppendRow({value, static_cast<Value>(count)});
+  }
   return out;
 }
 

@@ -24,8 +24,9 @@ namespace mpcqp {
 Relation Project(RelationView rel, const std::vector<int>& cols);
 
 // Removes duplicate rows (sorts an index permutation internally — the
-// input is not copied; output is sorted).
-Relation Dedup(RelationView rel);
+// input is not copied; output is sorted). `pool` (optional) parallelizes
+// the permutation sort on large inputs.
+Relation Dedup(RelationView rel, ThreadPool* pool = nullptr);
 
 // Rows for which `pred` returns true.
 Relation Filter(RelationView rel,
@@ -84,8 +85,10 @@ Relation GroupByAggregate(RelationView rel,
                           AggregateOp op);
 
 // True if `a` and `b` contain the same rows with the same multiplicities
-// (order-insensitive). The workhorse of correctness tests.
-bool MultisetEqual(RelationView a, RelationView b);
+// (order-insensitive). The workhorse of correctness tests. `pool`
+// (optional) parallelizes the permutation sorts on large inputs.
+bool MultisetEqual(RelationView a, RelationView b,
+                   ThreadPool* pool = nullptr);
 
 // Per-value frequency ("degree") of column `col`; returned sorted by value.
 // Output arity 2: (value, count).

@@ -129,7 +129,7 @@ MultiRoundSortResult MultiRoundSort(Cluster& cluster, const DistRelation& rel,
   ScopedPhaseTimer local_phase(cluster.metrics(), Phase::kLocalCompute);
   cluster.pool().ParallelFor(p, [&](int64_t s) {
     MPCQP_TRACE_SCOPE_ARG("local sort", "compute", s);
-    data.fragment(s).SortRowsBy({col});
+    data.fragment(s).SortRowsBy({col}, &cluster.pool());
   });
   return MultiRoundSortResult{std::move(data), rounds};
 }

@@ -56,7 +56,10 @@ PsrsResult PsrsSort(Cluster& cluster, const DistRelation& rel,
     ScopedPhaseTimer local_phase(cluster.metrics(), Phase::kLocalCompute);
     cluster.pool().ParallelFor(p, [&](int64_t s) {
       MPCQP_TRACE_SCOPE_ARG("local sort", "compute", s);
-      local.fragment(s).SortRowsBy(options.key_cols);
+      // Pass the pool through: when fragments outnumber threads the sort
+      // kernel stays serial per fragment, but idle workers (p < threads,
+      // or straggler fragments) pick up chunk-sort/merge subtasks.
+      local.fragment(s).SortRowsBy(options.key_cols, &cluster.pool());
     });
   }
 
@@ -90,7 +93,7 @@ PsrsResult PsrsSort(Cluster& cluster, const DistRelation& rel,
   DistRelation all_samples =
       Broadcast(cluster, candidates, "psrs: sample broadcast");
   Relation sample_pool = all_samples.fragment(0);
-  sample_pool.SortRowsBy(options.key_cols);
+  sample_pool.SortRowsBy(options.key_cols, &cluster.pool());
 
   std::vector<std::vector<Value>> splitters;
   const int64_t m = sample_pool.size();
@@ -130,7 +133,7 @@ PsrsResult PsrsSort(Cluster& cluster, const DistRelation& rel,
   ScopedPhaseTimer local_phase(cluster.metrics(), Phase::kLocalCompute);
   cluster.pool().ParallelFor(p, [&](int64_t s) {
     MPCQP_TRACE_SCOPE_ARG("local sort", "compute", s);
-    sorted.fragment(s).SortRowsBy(options.key_cols);
+    sorted.fragment(s).SortRowsBy(options.key_cols, &cluster.pool());
   });
 
   return PsrsResult{std::move(sorted), std::move(splitters)};

@@ -25,9 +25,11 @@
 #include "mpc/cluster.h"
 #include "mpc/cost.h"
 #include "mpc/dist_relation.h"
+#include "mpc/stats.h"
 #include "multiway/hypercube.h"
 #include "query/ghd.h"
 #include "query/query.h"
+#include "sort/multi_round_sort.h"
 #include "sort/psrs.h"
 #include "workload/generator.h"
 
@@ -187,6 +189,68 @@ TEST(CostGoldenTest, Psrs) {
   options.key_cols = {0, 1};
   PsrsSort(cluster, DistRelation::Scatter(input, kServers), options);
   ExpectMatchesGolden("Psrs", cluster.cost_report(), kPsrs);
+}
+
+// ---------- Multi-round distribution sort ----------
+
+const GoldenRound kMultiRoundSort[] = {
+    {"multi-round sort: split level 1", 246, 1824, 0x0200f3f86c4e9cfdULL},
+    {"multi-round sort: split level 2", 190, 1312, 0x813e7da5722d0625ULL},
+    {"multi-round sort: split level 3", 188, 1056, 0x735f75de1913405bULL},
+};
+
+TEST(CostGoldenTest, MultiRoundSort) {
+  Rng rng(31);
+  const Relation input = GenerateUniform(rng, 800, 2, 1000);
+  Cluster cluster(kServers, kSeed);
+  Rng sort_rng(33);
+  MultiRoundSort(cluster, DistRelation::Scatter(input, kServers), /*col=*/0,
+                 /*fan_out=*/2, sort_rng);
+  ExpectMatchesGolden("MultiRoundSort", cluster.cost_report(),
+                      kMultiRoundSort);
+}
+
+// ---------- Distributed heavy-hitter detection ----------
+
+const GoldenRound kHeavyHitters[] = {
+    {"stats: count shuffle", 61, 330, 0x100c29561e7a02e9ULL},
+    {"stats: hitter broadcast", 10, 80, 0x5d0a0abd294599e5ULL},
+};
+
+TEST(CostGoldenTest, DistributedHeavyHitters) {
+  Rng rng(7);
+  const Relation input = GenerateZipf(rng, 2000, 2, 60, 0, 1.3);
+  Cluster cluster(kServers, kSeed);
+  DetectHeavyHittersDistributed(cluster,
+                                DistRelation::Scatter(input, kServers),
+                                /*col=*/0, /*threshold=*/40);
+  ExpectMatchesGolden("HeavyHitters", cluster.cost_report(), kHeavyHitters);
+}
+
+// ---------- Optimized GYM on a star query (intersect path) ----------
+
+const GoldenRound kGymStarOptimized[] = {
+    {"gym: upward semijoin level", 288, 1200, 0xbbfdc9ac20c58935ULL},
+    {"gym: upward semijoin intersect", 87, 600, 0xf6311042248c0221ULL},
+    {"gym: downward semijoin level", 254, 1200, 0xa1baeeaf845d4489ULL},
+    {"skew-hc: multicast residual classes", 281, 800, 0x0d665ea38711ad11ULL},
+};
+
+TEST(CostGoldenTest, GymStarOptimized) {
+  const ConjunctiveQuery q = ConjunctiveQuery::Star(4);
+  Rng data_rng(25);
+  Rng rng(26);
+  std::vector<DistRelation> atoms;
+  for (int j = 0; j < 4; ++j) {
+    atoms.push_back(DistRelation::Scatter(
+        GenerateUniform(data_rng, 200, 2, 12), kServers));
+  }
+  Cluster cluster(kServers, kSeed);
+  GymOptions options;
+  options.optimized = true;
+  GymJoin(cluster, q, StarGhd(q), atoms, rng, options);
+  ExpectMatchesGolden("GymStarOptimized", cluster.cost_report(),
+                      kGymStarOptimized);
 }
 
 // ---------- Square-block matrix multiplication ----------

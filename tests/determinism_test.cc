@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "acyclic/gym.h"
 #include "join/broadcast_join.h"
 #include "join/cartesian.h"
 #include "join/hash_join.h"
@@ -20,10 +21,13 @@
 #include "mpc/cluster.h"
 #include "mpc/dist_relation.h"
 #include "mpc/exchange.h"
+#include "mpc/stats.h"
 #include "multiway/bigjoin.h"
 #include "multiway/hypercube.h"
+#include "query/ghd.h"
 #include "query/query.h"
 #include "relation/relation_ops.h"
+#include "sort/multi_round_sort.h"
 #include "sort/psrs.h"
 #include "workload/generator.h"
 
@@ -266,6 +270,60 @@ TEST(DeterminismTest, PsrsRandomSampling) {
     return PsrsSort(cluster, DistRelation::Scatter(input, kServers), options,
                     &sample_rng)
         .sorted;
+  });
+}
+
+// Sort-heavy: the final per-server sorts run through the parallel sort
+// kernel, whose output must not depend on the thread count.
+TEST(DeterminismTest, MultiRoundSort) {
+  Rng rng(47);
+  const Relation input = GenerateUniform(rng, 900, 2, 500);
+  ExpectThreadCountInvariant([&](Cluster& cluster) {
+    Rng sort_rng(53);
+    return MultiRoundSort(cluster, DistRelation::Scatter(input, kServers),
+                          /*col=*/0, /*fan_out=*/2, sort_rng)
+        .sorted;
+  });
+}
+
+// Counter-heavy: the per-fragment pre-aggregation and the final sorted
+// hitter list exercise the flat counting pass end to end.
+TEST(DeterminismTest, DistributedHeavyHitters) {
+  Rng rng(59);
+  const Relation input = GenerateZipf(rng, 1500, 2, 50, 0, 1.3);
+  ExpectThreadCountInvariant([&](Cluster& cluster) {
+    const std::vector<DistributedHeavyHitter> hitters =
+        DetectHeavyHittersDistributed(
+            cluster, DistRelation::Scatter(input, kServers), /*col=*/0,
+            /*threshold=*/30);
+    // Re-encode the (sorted) hitters as a relation so the harness can
+    // compare them bit-for-bit across thread counts.
+    std::vector<Relation> frags(kServers, Relation(2));
+    for (const DistributedHeavyHitter& h : hitters) {
+      frags[0].AppendRow({h.value, static_cast<Value>(h.count)});
+    }
+    return DistRelation::FromFragments(std::move(frags));
+  });
+}
+
+// The optimized GYM upward phase intersects semijoin copies via per-id
+// counting; the intersect survivors must be thread-count invariant.
+TEST(DeterminismTest, GymStarOptimized) {
+  const ConjunctiveQuery q = ConjunctiveQuery::Star(4);
+  Rng data_rng(61);
+  std::vector<Relation> inputs;
+  for (int j = 0; j < 4; ++j) {
+    inputs.push_back(GenerateUniform(data_rng, 200, 2, 12));
+  }
+  ExpectThreadCountInvariant([&](Cluster& cluster) {
+    Rng rng(67);
+    std::vector<DistRelation> atoms;
+    for (const Relation& r : inputs) {
+      atoms.push_back(DistRelation::Scatter(r, kServers));
+    }
+    GymOptions options;
+    options.optimized = true;
+    return GymJoin(cluster, q, StarGhd(q), atoms, rng, options).output;
   });
 }
 

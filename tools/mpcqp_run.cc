@@ -337,7 +337,8 @@ int Run(const Options& options) {
 
   if (options.verify) {
     const Relation expected = EvalJoinLocal(q, atoms);
-    const bool ok = MultisetEqual(output.Collect(), expected);
+    const bool ok =
+        MultisetEqual(output.Collect(), expected, &cluster.pool());
     std::printf("verify against serial evaluation: %s\n",
                 ok ? "PASS" : "FAIL");
     if (!ok) return 1;
