@@ -30,6 +30,24 @@ int HashFunction::Bucket(uint64_t value, int num_buckets) const {
       (static_cast<unsigned __int128>(Hash(value)) * num_buckets) >> 64);
 }
 
+void HashFunction::HashMany(const uint64_t* values, int64_t count,
+                            uint64_t* out) const {
+  const uint64_t x = xor_;
+  for (int64_t i = 0; i < count; ++i) {
+    out[i] = Mix64(values[i] ^ x);
+  }
+}
+
+void HashFunction::BucketMany(const uint64_t* values, int64_t count,
+                              int num_buckets, int32_t* out) const {
+  MPCQP_CHECK_GT(num_buckets, 0);
+  const uint64_t x = xor_;
+  const auto p = static_cast<unsigned __int128>(num_buckets);
+  for (int64_t i = 0; i < count; ++i) {
+    out[i] = static_cast<int32_t>((Mix64(values[i] ^ x) * p) >> 64);
+  }
+}
+
 uint64_t HashFunction::HashSpan(const uint64_t* values, int count) const {
   uint64_t acc = xor_;
   for (int i = 0; i < count; ++i) {

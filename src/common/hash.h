@@ -26,6 +26,14 @@ class HashFunction {
   // Hashes a composite key (e.g. a multi-attribute join key).
   uint64_t HashSpan(const uint64_t* values, int count) const;
 
+  // Batched spans: out[i] == Hash(values[i]) / Bucket(values[i], ...) for
+  // every i in [0, count). One out-of-line call per span instead of one
+  // per value, and the splitmix64 mix runs as a straight element-wise
+  // loop the compiler can vectorize — this is the route pass's hot loop.
+  void HashMany(const uint64_t* values, int64_t count, uint64_t* out) const;
+  void BucketMany(const uint64_t* values, int64_t count, int num_buckets,
+                  int32_t* out) const;
+
   uint64_t seed() const { return seed_; }
 
  private:

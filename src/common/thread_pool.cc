@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <memory>
 #include <utility>
 
 #include "common/check.h"
+#include "common/parse.h"
 #include "common/trace.h"
 
 namespace mpcqp {
@@ -13,6 +15,25 @@ namespace mpcqp {
 namespace {
 
 thread_local int tls_worker_index = -1;
+
+// Parallel loops never enqueue more helpers than there are spare cores:
+// the caller already occupies one, and on an oversubscribed pool (threads
+// > cores) every extra helper is pure context-switch overhead. This caps
+// the execution fan-out only — iteration/chunk decomposition and results
+// are identical for every thread count. MPCQP_LOOP_HELPERS overrides the
+// detected count (the concurrency test binaries use it to force the
+// multi-participant steal path even on single-core machines).
+int64_t MaxLoopHelpers() {
+  static const int64_t spare = [] {
+    if (const char* env = std::getenv("MPCQP_LOOP_HELPERS")) {
+      const auto parsed = ParseInt64InRange(env, 0, INT64_MAX);
+      if (parsed.ok()) return *parsed;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? INT64_MAX : static_cast<int64_t>(hw) - 1;
+  }();
+  return spare;
+}
 
 }  // namespace
 
@@ -140,8 +161,8 @@ void ThreadPool::ParallelFor(int64_t n,
     }
   };
 
-  const int64_t helpers =
-      std::min<int64_t>(static_cast<int64_t>(num_threads_) - 1, n - 1);
+  const int64_t helpers = std::min(
+      {static_cast<int64_t>(num_threads_) - 1, n - 1, MaxLoopHelpers()});
   for (int64_t h = 0; h < helpers; ++h) {
     Enqueue([state, drain] { drain(state); });
   }
@@ -149,6 +170,137 @@ void ThreadPool::ParallelFor(int64_t n,
 
   std::unique_lock<std::mutex> lock(state->mu);
   state->done_cv.wait(lock, [&state] { return state->done == state->n; });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+void ThreadPool::ParallelForGrained(
+    int64_t n, int64_t grain,
+    const std::function<void(int64_t, int64_t)>& body) {
+  MPCQP_CHECK_GE(grain, 1);
+  if (n <= 0) return;
+  MPCQP_TRACE_SCOPE_ARG("parallel_for_grained", "pool", n);
+  ScopedCount in_region(active_parallel_);
+  const int64_t chunks = (n + grain - 1) / grain;
+  if (num_threads_ <= 1 || chunks == 1) {
+    for (int64_t c = 0; c < chunks; ++c) {
+      body(c * grain, std::min(n, (c + 1) * grain));
+    }
+    return;
+  }
+
+  // Each participant owns a contiguous block of chunks in its own deque:
+  // deque i holds [i * chunks / P, (i+1) * chunks / P). Owners pop from
+  // the FRONT (sequential chunk order — prefetch-friendly) and thieves
+  // steal from the BACK, so an owner and a thief only collide on the last
+  // chunk of a deque. The deques are tiny (two indices), so a per-deque
+  // mutex costs one uncontended lock per claimed chunk — noise at morsel
+  // granularity — and keeps the pool trivially TSan-clean.
+  struct Deque {
+    std::mutex mu;
+    int64_t head = 0;  // Next chunk the owner takes.
+    int64_t tail = 0;  // One past the last unclaimed chunk.
+  };
+  struct LoopState {
+    int64_t n = 0;
+    int64_t grain = 0;
+    int64_t chunks = 0;
+    int participants = 0;
+    const std::function<void(int64_t, int64_t)>* body = nullptr;
+    std::vector<Deque> deques;
+    std::atomic<int> next_slot{0};
+    std::mutex mu;
+    std::condition_variable done_cv;
+    int64_t done_chunks = 0;    // Guarded by mu.
+    int64_t error_begin = -1;   // Guarded by mu.
+    std::exception_ptr error;   // Guarded by mu.
+  };
+  auto state = std::make_shared<LoopState>();
+  state->n = n;
+  state->grain = grain;
+  state->chunks = chunks;
+  state->participants = static_cast<int>(std::min(
+      {static_cast<int64_t>(num_threads_), chunks, MaxLoopHelpers() + 1}));
+  if (state->participants <= 1) {
+    // The core cap squeezed a multi-threaded pool down to one participant
+    // (threads > cores). Unlike the threads==1 serial path above, this
+    // pool promises the multi-threaded exception contract: every chunk
+    // runs, and the surviving exception is the lowest-begin one — which
+    // in ascending chunk order is simply the first.
+    std::exception_ptr error;
+    for (int64_t c = 0; c < chunks; ++c) {
+      try {
+        body(c * grain, std::min(n, (c + 1) * grain));
+      } catch (...) {
+        if (!error) error = std::current_exception();
+      }
+    }
+    if (error) std::rethrow_exception(error);
+    return;
+  }
+  state->body = &body;
+  state->deques = std::vector<Deque>(state->participants);
+  for (int i = 0; i < state->participants; ++i) {
+    state->deques[i].head = i * chunks / state->participants;
+    state->deques[i].tail = (i + 1) * chunks / state->participants;
+  }
+
+  const auto drain = [](const std::shared_ptr<LoopState>& s) {
+    const int slot = s->next_slot.fetch_add(1, std::memory_order_relaxed);
+    const int P = s->participants;
+    int64_t finished = 0;
+    const auto run_chunk = [&](int64_t c) {
+      const int64_t begin = c * s->grain;
+      const int64_t end = std::min(s->n, begin + s->grain);
+      try {
+        (*s->body)(begin, end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(s->mu);
+        if (s->error_begin < 0 || begin < s->error_begin) {
+          s->error_begin = begin;
+          s->error = std::current_exception();
+        }
+      }
+      ++finished;
+    };
+    // Own deque first, front to back.
+    Deque& mine = s->deques[slot % P];
+    while (true) {
+      int64_t c;
+      {
+        std::lock_guard<std::mutex> lock(mine.mu);
+        if (mine.head >= mine.tail) break;
+        c = mine.head++;
+      }
+      run_chunk(c);
+    }
+    // Then steal from the back of the other deques until nothing is left.
+    for (int offset = 1; offset < P; ++offset) {
+      Deque& victim = s->deques[(slot + offset) % P];
+      while (true) {
+        int64_t c;
+        {
+          std::lock_guard<std::mutex> lock(victim.mu);
+          if (victim.head >= victim.tail) break;
+          c = --victim.tail;
+        }
+        run_chunk(c);
+      }
+    }
+    if (finished > 0) {
+      std::lock_guard<std::mutex> lock(s->mu);
+      s->done_chunks += finished;
+      if (s->done_chunks == s->chunks) s->done_cv.notify_all();
+    }
+  };
+
+  for (int h = 0; h < state->participants - 1; ++h) {
+    Enqueue([state, drain] { drain(state); });
+  }
+  drain(state);
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done_cv.wait(lock,
+                      [&state] { return state->done_chunks == state->chunks; });
   if (state->error) std::rethrow_exception(state->error);
 }
 

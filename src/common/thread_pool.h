@@ -19,7 +19,11 @@ namespace mpcqp {
 // num_threads - 1 worker threads, and ParallelFor additionally runs loop
 // bodies on the calling thread. A pool of 1 spawns no threads and executes
 // everything inline on the caller, which makes `threads=1` exactly the
-// historic serial execution (no locks taken, no scheduling).
+// historic serial execution (no locks taken, no scheduling). Parallel
+// loops fan out to at most the machine's core count (the caller plus
+// spare cores): past that, helper tasks only add context switches. The
+// cap affects scheduling only — results are identical either way — and
+// the MPCQP_LOOP_HELPERS env var overrides the detected spare-core count.
 //
 // Guarantees:
 //  - Submit: tasks start in FIFO submission order (one shared queue); the
@@ -32,6 +36,15 @@ namespace mpcqp {
 //    simply runs its whole iteration space inline. Every iteration runs
 //    exactly once; if bodies throw, the exception raised by the lowest
 //    iteration index is rethrown after all iterations have finished.
+//  - ParallelForGrained: the morsel-driven variant. The iteration space
+//    [0, n) is cut into chunks of `grain` iterations; each participant
+//    (caller + helpers) owns a contiguous block of chunks in a per-worker
+//    deque, drains it front to back (sequential memory order), and when
+//    empty steals half-open work from the BACK of a victim's deque — the
+//    classic work-stealing layout, so a straggler chunk never serializes
+//    the loop behind one task. Same nesting/participation/exception
+//    contract as ParallelFor (the winning exception is the one from the
+//    chunk with the lowest begin; every chunk still runs).
 //  - Destruction: every task already submitted completes before the
 //    workers join (shutdown-while-busy drains the queue, it does not
 //    cancel).
@@ -51,6 +64,15 @@ class ThreadPool {
   // Runs body(i) for every i in [0, n); see the class comment for the
   // participation, nesting, and exception contract.
   void ParallelFor(int64_t n, const std::function<void(int64_t)>& body);
+
+  // Runs body(begin, end) over disjoint ranges tiling [0, n), each at most
+  // `grain` long (grain >= 1; the final chunk may be shorter). Ranges are
+  // claimed through work-stealing per-worker deques; see the class
+  // comment. The decomposition depends only on (n, grain) — never on the
+  // thread count — so callers that aggregate per-chunk state in chunk
+  // order get thread-count-independent results.
+  void ParallelForGrained(int64_t n, int64_t grain,
+                          const std::function<void(int64_t, int64_t)>& body);
 
   // Index of the calling pool worker thread in [0, num_threads() - 1), or
   // -1 when the caller is not a pool worker (e.g. the main thread).

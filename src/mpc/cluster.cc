@@ -26,8 +26,12 @@ struct Cluster::CostShard {
 };
 
 Cluster::Cluster(int num_servers, uint64_t seed, ClusterOptions options)
-    : num_servers_(num_servers), next_seed_(seed) {
+    : num_servers_(num_servers),
+      morsel_rows_(options.morsel_rows),
+      next_seed_(seed) {
   MPCQP_CHECK_GT(num_servers, 0);
+  MPCQP_CHECK_GE(options.morsel_rows, 1)
+      << "ClusterOptions::morsel_rows must be >= 1";
   pool_ = std::make_unique<ThreadPool>(options.num_threads);
   // Shard 0 belongs to non-worker callers (the main thread); shard w + 1
   // to pool worker w.

@@ -21,6 +21,13 @@ struct ClusterOptions {
   // CostReport are bit-identical for every thread count (see DESIGN.md,
   // "Execution model"); 1 reproduces the historic single-threaded run.
   int num_threads = 1;
+  // Rows per exchange morsel: the two-phase routers tile their route and
+  // copy passes over (source, row-range) morsels of at most this many
+  // rows, decoupling the parallelism grain from the server count p. Must
+  // be >= 1. Like num_threads, the value never changes results — the
+  // morsel decomposition derives from input sizes only, and counts
+  // aggregate in fixed morsel order (see DESIGN.md, "Execution model").
+  int64_t morsel_rows = 8192;
 };
 
 // A simulated shared-nothing MPC cluster of p servers.
@@ -46,6 +53,7 @@ class Cluster {
 
   int num_servers() const { return num_servers_; }
   int num_threads() const { return pool_->num_threads(); }
+  int64_t morsel_rows() const { return morsel_rows_; }
 
   // The pool algorithms use for parallel per-server work within a round.
   // With num_threads == 1 every ParallelFor runs inline on the caller.
@@ -92,6 +100,7 @@ class Cluster {
   struct CostShard;
 
   int num_servers_;
+  int64_t morsel_rows_;
   uint64_t next_seed_;
   bool in_round_ = false;
   RoundCost current_round_{0};

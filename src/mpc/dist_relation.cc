@@ -1,10 +1,21 @@
 #include "mpc/dist_relation.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace mpcqp {
+
+namespace {
+
+// Rows per tile for the pool-backed bulk paths (Scatter/Collect). These
+// helpers run outside any Cluster, so the grain is a local constant; like
+// the exchange morsels it derives from input sizes only.
+constexpr int64_t kBulkMorselRows = 8192;
+
+}  // namespace
 
 DistRelation::DistRelation(int arity, int num_servers) : arity_(arity) {
   MPCQP_CHECK_GT(num_servers, 0);
@@ -22,7 +33,8 @@ DistRelation DistRelation::FromFragments(std::vector<Relation> fragments) {
   return DistRelation(std::move(fragments));
 }
 
-DistRelation DistRelation::Scatter(const Relation& input, int num_servers) {
+DistRelation DistRelation::Scatter(const Relation& input, int num_servers,
+                                   ThreadPool* pool) {
   MPCQP_CHECK_GT(num_servers, 0);
   DistRelation out(input.arity(), num_servers);
   if (num_servers == 1) {
@@ -30,11 +42,19 @@ DistRelation DistRelation::Scatter(const Relation& input, int num_servers) {
     return out;
   }
   const int64_t n = input.size();
-  for (int s = 0; s < num_servers; ++s) {
+  const auto place = [&](int s) {
     // Server s gets rows [s*n/p, (s+1)*n/p), copied in one block.
     const int64_t begin = s * n / num_servers;
     const int64_t end = (s + 1) * n / num_servers;
     out.fragments_[s].AppendRange(input, begin, end);
+  };
+  if (pool == nullptr || pool->num_threads() <= 1) {
+    for (int s = 0; s < num_servers; ++s) place(s);
+  } else {
+    // Fragments are distinct objects reading one shared immutable payload,
+    // so the block copies are embarrassingly parallel.
+    pool->ParallelFor(num_servers,
+                      [&](int64_t s) { place(static_cast<int>(s)); });
   }
   return out;
 }
@@ -63,11 +83,44 @@ const Relation& DistRelation::fragment(int server) const {
   return fragments_[server];
 }
 
-Relation DistRelation::Collect() const {
+Relation DistRelation::Collect(ThreadPool* pool) const {
   if (fragments_.size() == 1) return fragments_[0];  // COW handle.
   Relation out(arity_);
-  out.Reserve(TotalSize());
-  for (const Relation& f : fragments_) out.Append(f);
+  if (arity_ == 0 || pool == nullptr || pool->num_threads() <= 1) {
+    out.Reserve(TotalSize());
+    for (const Relation& f : fragments_) out.Append(f);
+    return out;
+  }
+  // Pool path: pre-size once, then memcpy (fragment, row-range) tiles into
+  // their exact offsets — the same bytes the serial append writes.
+  struct Tile {
+    int src;
+    int64_t begin;
+    int64_t end;
+    int64_t at;  // Destination row offset.
+  };
+  std::vector<Tile> tiles;
+  int64_t total = 0;
+  for (int s = 0; s < num_servers(); ++s) {
+    const int64_t n = fragments_[s].size();
+    for (int64_t begin = 0; begin < n; begin += kBulkMorselRows) {
+      const int64_t end = std::min(n, begin + kBulkMorselRows);
+      tiles.push_back({s, begin, end, total + begin});
+    }
+    total += n;
+  }
+  Value* base = out.ResizeRowsForOverwrite(total);
+  pool->ParallelForGrained(
+      static_cast<int64_t>(tiles.size()), 1, [&](int64_t tb, int64_t te) {
+        for (int64_t t = tb; t < te; ++t) {
+          const Tile& tile = tiles[t];
+          const Relation& f = fragments_[tile.src];
+          std::memcpy(base + tile.at * arity_,
+                      f.row(0) + tile.begin * arity_,
+                      static_cast<size_t>(tile.end - tile.begin) * arity_ *
+                          sizeof(Value));
+        }
+      });
   return out;
 }
 

@@ -1,11 +1,14 @@
 #ifndef MPCQP_MPC_DIST_RELATION_H_
 #define MPCQP_MPC_DIST_RELATION_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "relation/relation.h"
 
 namespace mpcqp {
+
+class ThreadPool;
 
 // A relation horizontally partitioned across the servers of a cluster:
 // fragment s lives on server s. The simulator's algorithms transform
@@ -22,8 +25,10 @@ class DistRelation {
   // Initial placement of an input: block-partitions `input` evenly across
   // servers (each gets ceil/floor of size/p contiguous rows). Initial
   // placement is NOT communication: the MPC model assumes inputs start
-  // spread O(IN/p) per server (deck slide 6).
-  static DistRelation Scatter(const Relation& input, int num_servers);
+  // spread O(IN/p) per server (deck slide 6). A non-null `pool` tiles the
+  // per-fragment block copies over its workers (the result is identical).
+  static DistRelation Scatter(const Relation& input, int num_servers,
+                              ThreadPool* pool = nullptr);
 
   int arity() const { return arity_; }
   int num_servers() const { return static_cast<int>(fragments_.size()); }
@@ -35,8 +40,9 @@ class DistRelation {
   const Relation& fragment(int server) const;
 
   // Concatenates all fragments into one local relation (test/verification
-  // helper; not metered).
-  Relation Collect() const;
+  // helper; not metered). A non-null `pool` runs the fragment copies as
+  // morsel-tiled tasks (identical result).
+  Relation Collect(ThreadPool* pool = nullptr) const;
 
  private:
   explicit DistRelation(std::vector<Relation> fragments);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <memory>
 
 #include "common/check.h"
 #include "common/thread_pool.h"
@@ -13,27 +14,130 @@ namespace mpcqp {
 namespace {
 
 // ---------------------------------------------------------------------------
-// Two-phase index-routed exchange.
+// Morsel-driven two-phase index-routed exchange.
 //
-// Phase 1 (parallel over sources): compute every tuple's destination(s),
-// tally exact per-(src, dst) row counts, and meter. No tuple bytes move.
+// The unit of parallelism is a morsel: a (source, row-range) tile of at
+// most ClusterOptions::morsel_rows rows. The morsel decomposition derives
+// from fragment sizes only — never from the thread count — and morsels are
+// ordered by (src, begin), so per-morsel counts aggregate in a fixed order
+// and the output layout is identical for every thread count AND every
+// morsel size.
 //
-// Between phases (serial, O(p^2)): turn the count matrix into src-major
-// offsets and pre-size each destination fragment to its exact final size.
+// Phase 1 (morsel-parallel, work-stealing): compute every tuple's
+// destination(s) and tally exact per-(morsel, dst) row counts. No tuple
+// bytes move.
 //
-// Phase 2 (parallel over sources): copy each tuple straight to its final
-// position — base[dst] + offset[src][dst] onward, in source row order. The
-// per-(src, dst) ranges are disjoint, so the copies need no locks, and the
-// src-major layout reproduces the serial append order exactly: output
-// fragments and costs are bit-identical for every thread count.
+// Between phases (parallel over destinations): for each destination d,
+// walk the morsels in order turning counts into exact write offsets
+// (src-major, row-ascending — the serial append order), meter the
+// per-(src, d) message, and pre-size fragment d to its final size.
+//
+// Phase 2 (morsel-parallel, work-stealing): copy each tuple straight to
+// its final position. Per-(morsel, dst) ranges are disjoint, so the
+// copies need no locks. At large p the scattered per-tuple writes would
+// touch p cache-line streams per task, so the copy stages rows per
+// destination in small cache-resident write-combining blocks and flushes
+// them with bulk memcpy.
 // ---------------------------------------------------------------------------
 
+// One (source, row-range) tile. `begin`/`end` are row indices within
+// fragment `src`.
+struct Morsel {
+  int32_t src;
+  int64_t begin;
+  int64_t end;
+};
+
+// Cuts every non-empty fragment into tiles of at most `morsel_rows` rows,
+// ordered by (src, begin). Depends only on fragment sizes and the morsel
+// size, so the tiling — and everything whose aggregation order follows it
+// — is thread-count independent.
+std::vector<Morsel> TileSources(const DistRelation& rel, int64_t morsel_rows) {
+  std::vector<Morsel> morsels;
+  for (int src = 0; src < rel.num_servers(); ++src) {
+    const int64_t n = rel.fragment(src).size();
+    for (int64_t begin = 0; begin < n; begin += morsel_rows) {
+      morsels.push_back(
+          {src, begin, std::min<int64_t>(n, begin + morsel_rows)});
+    }
+  }
+  return morsels;
+}
+
+// Destination stream count at or above which the copy phase stages rows in
+// write-combining blocks instead of scattering per-tuple writes across all
+// p fragments. Up to a couple hundred streams the scattered writes stay
+// cache/TLB-resident and staging only adds bytes (measured: a 5-15% loss
+// at p = 64); past that the p write streams thrash and staging wins.
+constexpr int kWriteCombineMinDests = 256;
+// Staging block footprint per destination. Cache-resident: p blocks of
+// this size stay within L2 for the p this path targets.
+constexpr int64_t kWriteCombineBlockBytes = 1024;
+
+// Per-thread write-combining scratch. Pool workers are long-lived, so the
+// buffers are allocated once per thread and reused across morsels and
+// exchanges (the satellite fix for the per-task cursor/scratch churn).
+struct WriteCombineScratch {
+  std::vector<Value> rows;    // p blocks of block_rows rows each.
+  std::vector<int32_t> fill;  // Rows currently staged per destination.
+};
+WriteCombineScratch& LocalWriteCombineScratch() {
+  thread_local WriteCombineScratch scratch;
+  return scratch;
+}
+
+// Copies `rows[i]` of `frag` (for i in [begin, end), destinations in
+// `dests[i - begin]`) into the pre-sized fragments at `base`, advancing
+// `cursor[dst]` (this morsel's private offset row). The write-combining
+// variant stages per-destination blocks and flushes with bulk memcpy.
+void CopyMorselDirect(const Value* in, const int32_t* dests, int64_t rows,
+                      int arity, Value* const* base, int64_t* cursor) {
+  for (int64_t i = 0; i < rows; ++i, in += arity) {
+    const int dst = dests[i];
+    std::memcpy(base[dst] + cursor[dst] * arity, in,
+                static_cast<size_t>(arity) * sizeof(Value));
+    ++cursor[dst];
+  }
+}
+
+void CopyMorselWriteCombining(const Value* in, const int32_t* dests,
+                              int64_t rows, int arity, int p,
+                              Value* const* base, int64_t* cursor) {
+  const int64_t block_rows =
+      std::max<int64_t>(4, kWriteCombineBlockBytes /
+                               (static_cast<int64_t>(arity) * sizeof(Value)));
+  WriteCombineScratch& wc = LocalWriteCombineScratch();
+  wc.rows.resize(static_cast<size_t>(p) * block_rows * arity);
+  wc.fill.assign(p, 0);
+  Value* const stage = wc.rows.data();
+  int32_t* const fill = wc.fill.data();
+  const auto flush = [&](int dst) {
+    const int64_t staged = fill[dst];
+    std::memcpy(base[dst] + cursor[dst] * arity,
+                stage + dst * block_rows * arity,
+                static_cast<size_t>(staged) * arity * sizeof(Value));
+    cursor[dst] += staged;
+    fill[dst] = 0;
+  };
+  for (int64_t i = 0; i < rows; ++i, in += arity) {
+    const int dst = dests[i];
+    std::memcpy(stage + (dst * block_rows + fill[dst]) * arity, in,
+                static_cast<size_t>(arity) * sizeof(Value));
+    if (++fill[dst] == block_rows) flush(dst);
+  }
+  for (int dst = 0; dst < p; ++dst) {
+    if (fill[dst] > 0) flush(dst);
+  }
+}
+
 // Router for exchanges where every tuple has exactly one destination
-// (hash/range partition, gather). `target(ctx, row)` returns the
-// destination server; it is called concurrently from per-source tasks.
-template <typename SingleTargetFn>
+// (hash/range partition, gather). `target(src, frag, begin, end, dests)`
+// computes the destinations of rows [begin, end) of fragment `src` into
+// dests[0 .. end - begin); it is called concurrently from morsel tasks and
+// its result for a row may depend only on that row and its coordinates.
+template <typename BatchTargetFn>
 DistRelation RouteSingle(Cluster& cluster, const DistRelation& rel,
-                         const SingleTargetFn& target,
+                         const BatchTargetFn& target,
                          const std::string& label) {
   const int p = cluster.num_servers();
   MPCQP_CHECK_EQ(rel.num_servers(), p);
@@ -43,77 +147,93 @@ DistRelation RouteSingle(Cluster& cluster, const DistRelation& rel,
   const int arity = rel.arity();
   DistRelation out(arity, p);
   ThreadPool& pool = cluster.pool();
+  const std::vector<Morsel> morsels =
+      TileSources(rel, cluster.morsel_rows());
+  const int64_t num_morsels = static_cast<int64_t>(morsels.size());
 
-  // Phase 1: destinations + counts, one task per source.
-  std::vector<std::vector<int32_t>> dest_of(p);
-  std::vector<int64_t> counts(static_cast<size_t>(p) * p, 0);
+  // Row offset of each fragment in the flat destination array.
+  std::vector<int64_t> row_base(static_cast<size_t>(p) + 1, 0);
+  for (int src = 0; src < p; ++src) {
+    row_base[src + 1] = row_base[src] + rel.fragment(src).size();
+  }
+  const int64_t total_rows = row_base[p];
+  auto dests = std::make_unique_for_overwrite<int32_t[]>(
+      static_cast<size_t>(std::max<int64_t>(total_rows, 1)));
+
+  // Phase 1: destinations + per-(morsel, dst) counts, one work-stealing
+  // task per morsel.
+  std::vector<int64_t> counts(static_cast<size_t>(num_morsels) * p, 0);
   {
     ScopedPhaseTimer phase(cluster.metrics(), Phase::kRoute);
-    pool.ParallelFor(p, [&](int64_t task) {
-      const int src = static_cast<int>(task);
-      MPCQP_TRACE_SCOPE_ARG("route", "exchange", src);
-      const Relation& frag = rel.fragment(src);
-      std::vector<int32_t>& dests = dest_of[src];
-      dests.resize(frag.size());
-      int64_t* cnt = counts.data() + static_cast<size_t>(src) * p;
-      RouteContext ctx;
-      ctx.src = src;
-      const int64_t n = frag.size();
-      for (int64_t i = 0; i < n; ++i) {
-        ctx.row = i;
-        const int dst = target(ctx, frag.row(i));
-        MPCQP_CHECK_GE(dst, 0);
-        MPCQP_CHECK_LT(dst, p);
-        dests[i] = dst;
-        ++cnt[dst];
-      }
-      for (int dst = 0; dst < p; ++dst) {
-        if (cnt[dst] > 0) {
-          cluster.RecordMessage(src, dst, cnt[dst], cnt[dst] * arity);
+    pool.ParallelForGrained(num_morsels, 1, [&](int64_t mb, int64_t me) {
+      for (int64_t m = mb; m < me; ++m) {
+        const Morsel& mo = morsels[m];
+        MPCQP_TRACE_SCOPE_ARG("route morsel", "exchange", m);
+        const Relation& frag = rel.fragment(mo.src);
+        int32_t* const d = dests.get() + row_base[mo.src] + mo.begin;
+        const int64_t rows = mo.end - mo.begin;
+        target(mo.src, frag, mo.begin, mo.end, d);
+        int64_t* const cnt = counts.data() + m * p;
+        for (int64_t i = 0; i < rows; ++i) {
+          const int32_t dst = d[i];
+          MPCQP_CHECK_GE(dst, 0);
+          MPCQP_CHECK_LT(dst, p);
+          ++cnt[dst];
         }
       }
     });
   }
 
-  // Offsets: rows from src land in fragment(dst) at [offset[src][dst], ...)
-  // — src-major, so the layout matches sequential append order.
-  std::vector<int64_t> offsets(static_cast<size_t>(p) * p);
+  // Offsets + presize, parallel over destinations: for destination d, walk
+  // the morsels in (src, begin) order so rows land src-major and
+  // row-ascending — the serial append order — for any morsel size; meter
+  // each (src, d) message as its total closes.
+  std::vector<int64_t> offsets(static_cast<size_t>(num_morsels) * p);
   std::vector<Value*> base(p);
   {
     ScopedPhaseTimer phase(cluster.metrics(), Phase::kCount);
     MPCQP_TRACE_SCOPE("presize", "exchange");
-    int64_t peak = 0;
-    for (int dst = 0; dst < p; ++dst) {
+    pool.ParallelFor(p, [&](int64_t task) {
+      const int dst = static_cast<int>(task);
       int64_t total = 0;
-      for (int src = 0; src < p; ++src) {
-        offsets[static_cast<size_t>(src) * p + dst] = total;
-        total += counts[static_cast<size_t>(src) * p + dst];
+      int64_t src_total = 0;
+      for (int64_t m = 0; m < num_morsels; ++m) {
+        offsets[m * p + dst] = total;
+        total += counts[m * p + dst];
+        src_total += counts[m * p + dst];
+        if (m + 1 == num_morsels || morsels[m + 1].src != morsels[m].src) {
+          if (src_total > 0) {
+            cluster.RecordMessage(morsels[m].src, dst, src_total,
+                                  src_total * arity);
+          }
+          src_total = 0;
+        }
       }
       base[dst] = out.fragment(dst).ResizeRowsForOverwrite(total);
-      peak = std::max(peak, total);
-    }
-    cluster.metrics().RecordFragmentRows(peak);
+      cluster.metrics().RecordFragmentRows(total);
+    });
   }
 
-  // Phase 2: bulk copy into disjoint pre-sized ranges.
+  // Phase 2: bulk copy into disjoint pre-sized ranges. Each morsel's
+  // offsets row doubles as its private cursor — no per-task allocation.
   {
     ScopedPhaseTimer phase(cluster.metrics(), Phase::kCopy);
-    pool.ParallelFor(p, [&](int64_t task) {
-      const int src = static_cast<int>(task);
-      MPCQP_TRACE_SCOPE_ARG("copy", "exchange", src);
-      const Relation& frag = rel.fragment(src);
-      if (frag.empty()) return;
-      std::vector<int64_t> cursor(
-          offsets.begin() + static_cast<size_t>(src) * p,
-          offsets.begin() + static_cast<size_t>(src + 1) * p);
-      const std::vector<int32_t>& dests = dest_of[src];
-      const Value* in = frag.row(0);
-      const int64_t n = frag.size();
-      for (int64_t i = 0; i < n; ++i, in += arity) {
-        const int dst = dests[i];
-        std::memcpy(base[dst] + cursor[dst] * arity, in,
-                    static_cast<size_t>(arity) * sizeof(Value));
-        ++cursor[dst];
+    const bool write_combine = p >= kWriteCombineMinDests;
+    pool.ParallelForGrained(num_morsels, 1, [&](int64_t mb, int64_t me) {
+      for (int64_t m = mb; m < me; ++m) {
+        const Morsel& mo = morsels[m];
+        MPCQP_TRACE_SCOPE_ARG("copy morsel", "exchange", m);
+        const Relation& frag = rel.fragment(mo.src);
+        const Value* in = frag.row(0) + mo.begin * arity;
+        const int32_t* const d = dests.get() + row_base[mo.src] + mo.begin;
+        int64_t* const cursor = offsets.data() + m * p;
+        const int64_t rows = mo.end - mo.begin;
+        if (write_combine) {
+          CopyMorselWriteCombining(in, d, rows, arity, p, base.data(),
+                                   cursor);
+        } else {
+          CopyMorselDirect(in, d, rows, arity, base.data(), cursor);
+        }
       }
     });
   }
@@ -121,7 +241,8 @@ DistRelation RouteSingle(Cluster& cluster, const DistRelation& rel,
 }
 
 // Router for exchanges where a tuple may go to zero or several servers
-// (multicast). Same two phases; per-row destination lists are stored flat.
+// (multicast). Same morsel phases; each morsel stores a flat destination
+// list plus per-row end indices (relative to the morsel).
 template <typename MultiTargetFn>
 DistRelation RouteMulti(Cluster& cluster, const DistRelation& rel,
                         const MultiTargetFn& targets,
@@ -134,85 +255,127 @@ DistRelation RouteMulti(Cluster& cluster, const DistRelation& rel,
   const int arity = rel.arity();
   DistRelation out(arity, p);
   ThreadPool& pool = cluster.pool();
+  const std::vector<Morsel> morsels =
+      TileSources(rel, cluster.morsel_rows());
+  const int64_t num_morsels = static_cast<int64_t>(morsels.size());
 
-  // Phase 1: per source, a flat destination list plus per-row end indices.
-  std::vector<std::vector<int32_t>> dest_of(p);
-  std::vector<std::vector<int64_t>> row_end(p);
-  std::vector<int64_t> counts(static_cast<size_t>(p) * p, 0);
+  // Phase 1: per morsel, a flat destination list plus per-row end indices.
+  std::vector<std::vector<int32_t>> flat(morsels.size());
+  std::vector<std::vector<int64_t>> row_end(morsels.size());
+  std::vector<int64_t> counts(static_cast<size_t>(num_morsels) * p, 0);
   {
     ScopedPhaseTimer phase(cluster.metrics(), Phase::kRoute);
-    pool.ParallelFor(p, [&](int64_t task) {
-      const int src = static_cast<int>(task);
-      MPCQP_TRACE_SCOPE_ARG("route", "exchange", src);
-      const Relation& frag = rel.fragment(src);
-      std::vector<int32_t>& flat = dest_of[src];
-      std::vector<int64_t>& ends = row_end[src];
-      ends.resize(frag.size());
-      int64_t* cnt = counts.data() + static_cast<size_t>(src) * p;
-      std::vector<int> dests;
-      RouteContext ctx;
-      ctx.src = src;
-      const int64_t n = frag.size();
-      for (int64_t i = 0; i < n; ++i) {
-        ctx.row = i;
-        dests.clear();
-        targets(ctx, frag.row(i), dests);
-        for (int dst : dests) {
-          MPCQP_CHECK_GE(dst, 0);
-          MPCQP_CHECK_LT(dst, p);
-          flat.push_back(dst);
-          ++cnt[dst];
-        }
-        ends[i] = static_cast<int64_t>(flat.size());
-      }
-      for (int dst = 0; dst < p; ++dst) {
-        if (cnt[dst] > 0) {
-          cluster.RecordMessage(src, dst, cnt[dst], cnt[dst] * arity);
+    pool.ParallelForGrained(num_morsels, 1, [&](int64_t mb, int64_t me) {
+      std::vector<int> row_dests;  // Reused across the block's morsels.
+      for (int64_t m = mb; m < me; ++m) {
+        const Morsel& mo = morsels[m];
+        MPCQP_TRACE_SCOPE_ARG("route morsel", "exchange", m);
+        const Relation& frag = rel.fragment(mo.src);
+        std::vector<int32_t>& my_flat = flat[m];
+        std::vector<int64_t>& ends = row_end[m];
+        ends.resize(mo.end - mo.begin);
+        // Floor: one destination per row (multicasts grow past it once).
+        my_flat.reserve(mo.end - mo.begin);
+        int64_t* const cnt = counts.data() + m * p;
+        RouteContext ctx;
+        ctx.src = mo.src;
+        for (int64_t i = mo.begin; i < mo.end; ++i) {
+          ctx.row = i;
+          row_dests.clear();
+          targets(ctx, frag.row(i), row_dests);
+          for (int dst : row_dests) {
+            MPCQP_CHECK_GE(dst, 0);
+            MPCQP_CHECK_LT(dst, p);
+            my_flat.push_back(static_cast<int32_t>(dst));
+            ++cnt[dst];
+          }
+          ends[i - mo.begin] = static_cast<int64_t>(my_flat.size());
         }
       }
     });
   }
 
-  std::vector<int64_t> offsets(static_cast<size_t>(p) * p);
+  std::vector<int64_t> offsets(static_cast<size_t>(num_morsels) * p);
   std::vector<Value*> base(p);
   {
     ScopedPhaseTimer phase(cluster.metrics(), Phase::kCount);
     MPCQP_TRACE_SCOPE("presize", "exchange");
-    int64_t peak = 0;
-    for (int dst = 0; dst < p; ++dst) {
+    pool.ParallelFor(p, [&](int64_t task) {
+      const int dst = static_cast<int>(task);
       int64_t total = 0;
-      for (int src = 0; src < p; ++src) {
-        offsets[static_cast<size_t>(src) * p + dst] = total;
-        total += counts[static_cast<size_t>(src) * p + dst];
+      int64_t src_total = 0;
+      for (int64_t m = 0; m < num_morsels; ++m) {
+        offsets[m * p + dst] = total;
+        total += counts[m * p + dst];
+        src_total += counts[m * p + dst];
+        if (m + 1 == num_morsels || morsels[m + 1].src != morsels[m].src) {
+          if (src_total > 0) {
+            cluster.RecordMessage(morsels[m].src, dst, src_total,
+                                  src_total * arity);
+          }
+          src_total = 0;
+        }
       }
       base[dst] = out.fragment(dst).ResizeRowsForOverwrite(total);
-      peak = std::max(peak, total);
-    }
-    cluster.metrics().RecordFragmentRows(peak);
+      cluster.metrics().RecordFragmentRows(total);
+    });
   }
 
   // Phase 2.
   {
     ScopedPhaseTimer phase(cluster.metrics(), Phase::kCopy);
-    pool.ParallelFor(p, [&](int64_t task) {
-      const int src = static_cast<int>(task);
-      MPCQP_TRACE_SCOPE_ARG("copy", "exchange", src);
-      const Relation& frag = rel.fragment(src);
-      if (frag.empty()) return;
-      std::vector<int64_t> cursor(
-          offsets.begin() + static_cast<size_t>(src) * p,
-          offsets.begin() + static_cast<size_t>(src + 1) * p);
-      const std::vector<int32_t>& flat = dest_of[src];
-      const std::vector<int64_t>& ends = row_end[src];
-      const Value* in = frag.row(0);
-      const int64_t n = frag.size();
-      int64_t j = 0;
-      for (int64_t i = 0; i < n; ++i, in += arity) {
-        for (; j < ends[i]; ++j) {
-          const int dst = flat[j];
-          std::memcpy(base[dst] + cursor[dst] * arity, in,
-                      static_cast<size_t>(arity) * sizeof(Value));
-          ++cursor[dst];
+    const bool write_combine = p >= kWriteCombineMinDests;
+    pool.ParallelForGrained(num_morsels, 1, [&](int64_t mb, int64_t me) {
+      for (int64_t m = mb; m < me; ++m) {
+        const Morsel& mo = morsels[m];
+        MPCQP_TRACE_SCOPE_ARG("copy morsel", "exchange", m);
+        const Relation& frag = rel.fragment(mo.src);
+        const std::vector<int32_t>& my_flat = flat[m];
+        const std::vector<int64_t>& ends = row_end[m];
+        int64_t* const cursor = offsets.data() + m * p;
+        if (write_combine) {
+          // Stage per-destination blocks exactly as the single-target
+          // copy does, but walking the flat multicast list.
+          const int64_t block_rows = std::max<int64_t>(
+              4, kWriteCombineBlockBytes /
+                     (static_cast<int64_t>(arity) * sizeof(Value)));
+          WriteCombineScratch& wc = LocalWriteCombineScratch();
+          wc.rows.resize(static_cast<size_t>(p) * block_rows * arity);
+          wc.fill.assign(p, 0);
+          Value* const stage = wc.rows.data();
+          int32_t* const fill = wc.fill.data();
+          const auto flush = [&](int dst) {
+            std::memcpy(base[dst] + cursor[dst] * arity,
+                        stage + dst * block_rows * arity,
+                        static_cast<size_t>(fill[dst]) * arity *
+                            sizeof(Value));
+            cursor[dst] += fill[dst];
+            fill[dst] = 0;
+          };
+          const Value* in = frag.row(0) + mo.begin * arity;
+          int64_t j = 0;
+          for (int64_t i = 0; i < mo.end - mo.begin; ++i, in += arity) {
+            for (; j < ends[i]; ++j) {
+              const int dst = my_flat[j];
+              std::memcpy(stage + (dst * block_rows + fill[dst]) * arity,
+                          in, static_cast<size_t>(arity) * sizeof(Value));
+              if (++fill[dst] == block_rows) flush(dst);
+            }
+          }
+          for (int dst = 0; dst < p; ++dst) {
+            if (fill[dst] > 0) flush(dst);
+          }
+        } else {
+          const Value* in = frag.row(0) + mo.begin * arity;
+          int64_t j = 0;
+          for (int64_t i = 0; i < mo.end - mo.begin; ++i, in += arity) {
+            for (; j < ends[i]; ++j) {
+              const int dst = my_flat[j];
+              std::memcpy(base[dst] + cursor[dst] * arity, in,
+                          static_cast<size_t>(arity) * sizeof(Value));
+              ++cursor[dst];
+            }
+          }
         }
       }
     });
@@ -232,27 +395,46 @@ DistRelation HashPartition(Cluster& cluster, const DistRelation& rel,
     MPCQP_CHECK_LT(c, rel.arity());
   }
   const int p = cluster.num_servers();
-  const auto bucket = [p](uint64_t h) {
-    return static_cast<int>((static_cast<unsigned __int128>(h) * p) >> 64);
-  };
   if (key_cols.size() == 1) {
-    // Hash the key value in place — no gather.
+    // Single-column key: gather the column (a no-op for arity 1) and
+    // bucket the whole morsel in one batched, vectorizable pass.
     const int col = key_cols.front();
     return RouteSingle(
         cluster, rel,
-        [&hash, bucket, col](const RouteContext&, const Value* row) {
-          return bucket(hash.HashSpan(row + col, 1));
+        [&hash, p, col](int /*src*/, const Relation& frag, int64_t begin,
+                        int64_t end, int32_t* dests) {
+          const int arity = frag.arity();
+          const int64_t rows = end - begin;
+          const Value* in = frag.row(0) + begin * arity + col;
+          if (arity == 1) {
+            hash.BucketMany(in, rows, p, dests);
+            return;
+          }
+          // Per-thread scratch: morsel tasks run concurrently.
+          thread_local std::vector<Value> keys;
+          keys.resize(static_cast<size_t>(rows));
+          for (int64_t i = 0; i < rows; ++i, in += arity) keys[i] = *in;
+          hash.BucketMany(keys.data(), rows, p, dests);
         },
         label);
   }
+  const auto bucket = [p](uint64_t h) {
+    return static_cast<int>((static_cast<unsigned __int128>(h) * p) >> 64);
+  };
   return RouteSingle(
       cluster, rel,
-      [&](const RouteContext&, const Value* row) {
-        // Per-thread scratch: the callback runs concurrently on workers.
+      [&, bucket](int /*src*/, const Relation& frag, int64_t begin,
+                  int64_t end, int32_t* dests) {
         thread_local std::vector<Value> key;
         key.resize(key_cols.size());
-        for (size_t k = 0; k < key_cols.size(); ++k) key[k] = row[key_cols[k]];
-        return bucket(hash.HashSpan(key.data(), static_cast<int>(key.size())));
+        for (int64_t i = begin; i < end; ++i) {
+          const Value* row = frag.row(i);
+          for (size_t k = 0; k < key_cols.size(); ++k) {
+            key[k] = row[key_cols[k]];
+          }
+          dests[i - begin] = static_cast<int32_t>(bucket(
+              hash.HashSpan(key.data(), static_cast<int>(key.size()))));
+        }
       },
       label);
 }
@@ -272,8 +454,10 @@ DistRelation Broadcast(Cluster& cluster, const DistRelation& rel,
   int nonempty = 0;
   int last_nonempty = -1;
   int64_t total = 0;
+  std::vector<int64_t> offsets(p);
   for (int src = 0; src < p; ++src) {
     const int64_t n = rel.fragment(src).size();
+    offsets[src] = total;
     if (n > 0) {
       ++nonempty;
       last_nonempty = src;
@@ -288,33 +472,39 @@ DistRelation Broadcast(Cluster& cluster, const DistRelation& rel,
     ScopedPhaseTimer phase(cluster.metrics(), Phase::kCopy);
     MPCQP_TRACE_SCOPE("broadcast payload", "exchange");
     Value* base = all.ResizeRowsForOverwrite(total);
-    std::vector<int64_t> offsets(p);
-    int64_t at = 0;
-    for (int src = 0; src < p; ++src) {
-      offsets[src] = at;
-      at += rel.fragment(src).size();
-    }
-    cluster.pool().ParallelFor(p, [&](int64_t task) {
-      const int src = static_cast<int>(task);
-      const Relation& frag = rel.fragment(src);
-      if (frag.empty()) return;
-      std::memcpy(base + offsets[src] * arity, frag.row(0),
-                  static_cast<size_t>(frag.size()) * arity * sizeof(Value));
-    });
+    // Tile the concatenation over morsels so one huge fragment does not
+    // serialize the payload build.
+    const std::vector<Morsel> morsels =
+        TileSources(rel, cluster.morsel_rows());
+    cluster.pool().ParallelForGrained(
+        static_cast<int64_t>(morsels.size()), 1,
+        [&](int64_t mb, int64_t me) {
+          for (int64_t m = mb; m < me; ++m) {
+            const Morsel& mo = morsels[m];
+            const Relation& frag = rel.fragment(mo.src);
+            std::memcpy(
+                base + (offsets[mo.src] + mo.begin) * arity,
+                frag.row(0) + mo.begin * arity,
+                static_cast<size_t>(mo.end - mo.begin) * arity *
+                    sizeof(Value));
+          }
+        });
   }
   cluster.metrics().RecordFragmentRows(total);
 
   // Metering is unchanged: every server still receives every tuple; the
   // shared payload is a simulator-memory optimization, not a cost one.
+  // Parallel over destinations (integer sums — order-free).
   {
     ScopedPhaseTimer phase(cluster.metrics(), Phase::kCount);
-    for (int src = 0; src < p; ++src) {
-      const int64_t n = rel.fragment(src).size();
-      if (n == 0) continue;
-      for (int dst = 0; dst < p; ++dst) {
+    cluster.pool().ParallelFor(p, [&](int64_t task) {
+      const int dst = static_cast<int>(task);
+      for (int src = 0; src < p; ++src) {
+        const int64_t n = rel.fragment(src).size();
+        if (n == 0) continue;
         cluster.RecordMessage(src, dst, n, n * arity);
       }
-    }
+    });
   }
 
   DistRelation out(arity, p);
@@ -332,10 +522,15 @@ DistRelation RangePartition(Cluster& cluster, const DistRelation& rel, int col,
   MPCQP_CHECK(std::is_sorted(splitters.begin(), splitters.end()));
   return RouteSingle(
       cluster, rel,
-      [&](const RouteContext&, const Value* row) {
-        const auto it =
-            std::upper_bound(splitters.begin(), splitters.end(), row[col]);
-        return static_cast<int>(it - splitters.begin());
+      [&](int /*src*/, const Relation& frag, int64_t begin, int64_t end,
+          int32_t* dests) {
+        const int arity = frag.arity();
+        const Value* in = frag.row(0) + begin * arity + col;
+        for (int64_t i = 0; i < end - begin; ++i, in += arity) {
+          const auto it =
+              std::upper_bound(splitters.begin(), splitters.end(), *in);
+          dests[i] = static_cast<int32_t>(it - splitters.begin());
+        }
       },
       label);
 }
@@ -366,7 +561,11 @@ Relation GatherToServer(Cluster& cluster, const DistRelation& rel, int dst,
   MPCQP_CHECK_LT(dst, cluster.num_servers());
   DistRelation gathered = RouteSingle(
       cluster, rel,
-      [dst](const RouteContext&, const Value*) { return dst; }, label);
+      [dst](int /*src*/, const Relation&, int64_t begin, int64_t end,
+            int32_t* dests) {
+        std::fill(dests, dests + (end - begin), static_cast<int32_t>(dst));
+      },
+      label);
   return std::move(gathered.fragment(dst));
 }
 

@@ -17,19 +17,25 @@ namespace mpcqp {
 // round unless the caller has a round open (RoundScope semantics), in which
 // case it merges into that round.
 //
-// Execution model: two-phase index-routed exchange. Phase 1 routes each
-// source fragment concurrently (one task per source server), computing
-// per-tuple destinations and exact per-(src, dst) row counts — no tuple
-// bytes move. After a serial O(p^2) pass turns the counts into src-major
-// offsets and pre-sizes every destination fragment, phase 2 copies each
-// tuple directly to its final position; the per-(src, dst) ranges are
+// Execution model: morsel-driven two-phase index-routed exchange. Both
+// parallel passes tile the input over (source, row-range) morsels of at
+// most ClusterOptions::morsel_rows rows, claimed through the pool's
+// work-stealing deques — the parallelism grain is decoupled from p, so a
+// skewed fragment no longer serializes a round behind one task. Phase 1
+// routes each morsel, computing per-tuple destinations and exact
+// per-(morsel, dst) row counts — no tuple bytes move. A pass parallel
+// over destinations turns the counts into src-major, row-ascending
+// offsets and pre-sizes every destination fragment; phase 2 copies each
+// tuple directly to its final position (with per-destination
+// write-combining staging at large p); the per-(morsel, dst) ranges are
 // disjoint, so the copies run lock-free and in parallel. The src-major
 // layout reproduces sequential append order, so the output fragments and
-// the metered costs are bit-identical for every thread count. Routing
-// callbacks run concurrently: they must not mutate shared state, and
-// their decision for a tuple may depend only on the tuple itself (and,
-// for the context-aware variant, its source coordinates) — never on how
-// many tuples were visited before it.
+// the metered costs are bit-identical for every thread count and every
+// morsel size. Routing callbacks run concurrently: they must not mutate
+// shared state (thread_local scratch is fine), and their decision for a
+// tuple may depend only on the tuple itself (and, for the context-aware
+// variant, its source coordinates) — never on how many tuples were
+// visited before it.
 //
 // Broadcast is zero-copy: it materializes the src-major concatenation
 // once and returns p copy-on-write handles to that single payload (a

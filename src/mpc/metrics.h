@@ -14,12 +14,15 @@ namespace mpcqp {
 class Cluster;
 
 // Execution phases of one simulated MPC round, as seen by the data plane:
-//   kRoute        — phase 1 of an exchange: per-tuple destination
-//                   computation and per-(src, dst) tallying (no bytes move);
-//   kCount        — the serial O(p^2) offset pass plus destination-fragment
-//                   pre-sizing between the two parallel phases;
-//   kCopy         — phase 2: bulk memcpy of tuples into their final
-//                   positions (includes Broadcast payload construction);
+//   kRoute        — phase 1 of an exchange: morsel-parallel per-tuple
+//                   destination computation and per-(morsel, dst) tallying
+//                   (no bytes move);
+//   kCount        — the offset/prefix-sum pass plus destination-fragment
+//                   pre-sizing between the two morsel phases (parallel
+//                   over destinations, includes per-(src, dst) metering);
+//   kCopy         — phase 2: morsel-parallel bulk memcpy of tuples into
+//                   their final positions, write-combining at large p
+//                   (includes Broadcast payload construction);
 //   kLocalCompute — per-server algorithm work (local joins, sorts, block
 //                   multiplies), whether inside or after a metered round.
 enum class Phase {

@@ -131,6 +131,36 @@ TEST(HashTest, HashSpanSensitiveToEveryPosition) {
   EXPECT_EQ(h.HashSpan(a, 3), h.HashSpan(a, 3));
 }
 
+// The batched span APIs feed the vectorized exchange route pass; they must
+// agree element-for-element with the scalar calls.
+TEST(HashTest, HashManyMatchesScalarHash) {
+  const HashFunction h(13);
+  std::vector<uint64_t> values;
+  for (uint64_t v = 0; v < 1000; ++v) values.push_back(v * 2654435761u + 17);
+  std::vector<uint64_t> batched(values.size());
+  h.HashMany(values.data(), static_cast<int64_t>(values.size()),
+             batched.data());
+  for (size_t i = 0; i < values.size(); ++i) {
+    ASSERT_EQ(batched[i], h.Hash(values[i])) << "index " << i;
+  }
+}
+
+TEST(HashTest, BucketManyMatchesScalarBucket) {
+  const HashFunction h(17);
+  const int buckets[] = {1, 2, 7, 64, 1000};
+  std::vector<uint64_t> values;
+  for (uint64_t v = 0; v < 1000; ++v) values.push_back(v * 11400714819323198485ull);
+  std::vector<int32_t> batched(values.size());
+  for (const int p : buckets) {
+    h.BucketMany(values.data(), static_cast<int64_t>(values.size()), p,
+                 batched.data());
+    for (size_t i = 0; i < values.size(); ++i) {
+      ASSERT_EQ(batched[i], h.Bucket(values[i], p))
+          << "index " << i << " buckets " << p;
+    }
+  }
+}
+
 TEST(HashFamilyTest, MembersIndependent) {
   const HashFamily family(99, 3);
   ASSERT_EQ(family.size(), 3);

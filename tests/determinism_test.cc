@@ -4,9 +4,17 @@
 // contract of ClusterOptions::num_threads (DESIGN.md, "Execution model"):
 // per-fragment row order, per-round per-server tuple/value counts, and
 // round labels are all compared exactly against the single-threaded run.
+//
+// The morsel-driven exchange adds a second axis to the contract: results
+// must also be invariant under ClusterOptions::morsel_rows, the grain of
+// the (source, row-range) tiles both exchange phases are scheduled in.
+// The MorselBoundary tests sweep thread counts x morsel sizes over the
+// tiling edge cases (empty fragments, fragments smaller than one morsel,
+// p = 1, more threads than rows, all rows on one source).
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <functional>
 #include <string>
 #include <vector>
@@ -34,22 +42,38 @@
 namespace mpcqp {
 namespace {
 
+// Force real helper threads before the first cluster runs: on a small CI
+// machine the spare-core cap would fold every parallel loop down to one
+// participant, and the multi-threaded runs below would exercise nothing
+// the t=1 baseline doesn't. Scheduling-only — results must be (and are)
+// identical either way; that is what this file proves.
+[[maybe_unused]] const bool kForceHelpers = [] {
+  ::setenv("MPCQP_LOOP_HELPERS", "7", /*overwrite=*/0);
+  return true;
+}();
+
 constexpr int kServers = 8;
 constexpr uint64_t kSeed = 42;
 const int kThreadCounts[] = {1, 2, 8};
+// Tiny (splits even small fragments into many morsels) vs. default.
+const int64_t kMorselSizes[] = {3, ClusterOptions{}.morsel_rows};
 
 struct RunResult {
   std::vector<Relation> fragments;
   CostReport report;
 };
 
-// Runs `body` on a fresh cluster with the given thread count and captures
-// the output fragments plus the full cost report.
+// Runs `body` on a fresh cluster with the given thread count (and
+// optionally morsel size / server count) and captures the output fragments
+// plus the full cost report.
 RunResult RunWith(int threads,
-                  const std::function<DistRelation(Cluster&)>& body) {
+                  const std::function<DistRelation(Cluster&)>& body,
+                  int64_t morsel_rows = ClusterOptions{}.morsel_rows,
+                  int servers = kServers) {
   ClusterOptions options;
   options.num_threads = threads;
-  Cluster cluster(kServers, kSeed, options);
+  options.morsel_rows = morsel_rows;
+  Cluster cluster(servers, kSeed, options);
   const DistRelation out = body(cluster);
   RunResult result;
   for (int s = 0; s < out.num_servers(); ++s) {
@@ -92,6 +116,58 @@ void ExpectThreadCountInvariant(
     }
     ExpectSameReport(base.report, got.report, threads);
   }
+}
+
+// Runs `body` across thread counts x morsel sizes and checks outputs and
+// costs against the single-threaded default-morsel baseline.
+void ExpectMorselInvariant(const std::function<DistRelation(Cluster&)>& body,
+                           int servers = kServers) {
+  const RunResult base =
+      RunWith(1, body, ClusterOptions{}.morsel_rows, servers);
+  EXPECT_GT(base.report.num_rounds(), 0) << "body metered nothing";
+  for (const int threads : kThreadCounts) {
+    for (const int64_t morsel_rows : kMorselSizes) {
+      const RunResult got = RunWith(threads, body, morsel_rows, servers);
+      ASSERT_EQ(base.fragments.size(), got.fragments.size());
+      for (size_t s = 0; s < base.fragments.size(); ++s) {
+        EXPECT_EQ(base.fragments[s], got.fragments[s])
+            << "fragment " << s << " differs at threads=" << threads
+            << " morsel_rows=" << morsel_rows;
+      }
+      ExpectSameReport(base.report, got.report, threads);
+    }
+  }
+}
+
+// Chains every exchange router over `in` so one morsel sweep covers the
+// single-destination path (hash/range), the shared-payload path
+// (broadcast), the multicast path (0..2 copies per tuple, one of them
+// context-derived), and the gather path.
+DistRelation ExerciseAllRouters(Cluster& cluster, const DistRelation& in) {
+  const int p = cluster.num_servers();
+  const HashFunction hash = cluster.NewHashFunction();
+  const DistRelation hashed =
+      HashPartition(cluster, in, {0}, hash, "morsel: hash");
+  const DistRelation wide = Broadcast(cluster, hashed, "morsel: broadcast");
+  std::vector<Value> splitters;
+  for (int i = 1; i < p; ++i) splitters.push_back(i * 8);
+  const DistRelation ranged =
+      RangePartition(cluster, wide, 0, splitters, "morsel: range");
+  const DistRelation multi = RouteWithContext(
+      cluster, ranged,
+      [p](const RouteContext& ctx, const Value* row, std::vector<int>& dests) {
+        if (row[0] % 3 == 0) return;  // Dropped tuples.
+        dests.push_back(static_cast<int>(row[0] % p));
+        if (row[0] % 3 == 1) {  // A second, context-derived copy.
+          dests.push_back(static_cast<int>((ctx.src + ctx.row) % p));
+        }
+      },
+      "morsel: multicast");
+  const Relation gathered =
+      GatherToServer(cluster, multi, /*dst=*/p / 2, "morsel: gather");
+  std::vector<Relation> frags(p, Relation(gathered.arity()));
+  frags[p / 2] = gathered;
+  return DistRelation::FromFragments(std::move(frags));
 }
 
 // Two binary inputs with a mild Zipf skew on the join column: exercises
@@ -343,6 +419,101 @@ TEST(DeterminismTest, MoreThreadsThanServers) {
     EXPECT_EQ(base.fragments[s], wide.fragments[s]) << "fragment " << s;
   }
   ExpectSameReport(base.report, wide.report, kServers * 2 + 3);
+}
+
+// Mid-sized skewed input through every router: the core morsel-size
+// invariance lock (tiny morsels split each fragment ~200 ways).
+TEST(DeterminismTest, MorselSizeInvarianceAllRouters) {
+  Rng rng(71);
+  const Relation input = GenerateZipf(rng, 700, 2, 64, 0, 1.1);
+  ExpectMorselInvariant([&](Cluster& cluster) {
+    return ExerciseAllRouters(cluster,
+                              DistRelation::Scatter(input, kServers));
+  });
+}
+
+// Half the source fragments are empty: the tiling must skip them without
+// perturbing the src-major output order of the survivors.
+TEST(DeterminismTest, MorselBoundaryEmptyFragments) {
+  Rng rng(73);
+  std::vector<Relation> frags(kServers, Relation(2));
+  for (int s = 1; s < kServers; s += 2) {
+    frags[s] = GenerateUniform(rng, 40 + 13 * s, 2, 30);
+  }
+  const DistRelation in = DistRelation::FromFragments(std::move(frags));
+  ExpectMorselInvariant(
+      [&](Cluster& cluster) { return ExerciseAllRouters(cluster, in); });
+}
+
+// Every fragment is far smaller than the default morsel: one morsel per
+// fragment, and with the tiny size still only a handful.
+TEST(DeterminismTest, MorselBoundaryFragmentsSmallerThanOneMorsel) {
+  Rng rng(79);
+  const Relation input = GenerateUniform(rng, 10, 2, 20);
+  ExpectMorselInvariant([&](Cluster& cluster) {
+    return ExerciseAllRouters(cluster,
+                              DistRelation::Scatter(input, kServers));
+  });
+}
+
+// p = 1: every router degenerates to a self-copy, which must still be
+// metered and tiled identically.
+TEST(DeterminismTest, MorselBoundarySingleServer) {
+  Rng rng(83);
+  const Relation input = GenerateUniform(rng, 200, 2, 20);
+  ExpectMorselInvariant(
+      [&](Cluster& cluster) {
+        return ExerciseAllRouters(cluster, DistRelation::Scatter(input, 1));
+      },
+      /*servers=*/1);
+}
+
+// More threads than input rows: most participants find their deques empty
+// immediately and must idle (or steal nothing) without perturbing results.
+TEST(DeterminismTest, MorselBoundaryThreadsExceedRows) {
+  Rng rng(89);
+  const Relation input = GenerateUniform(rng, 5, 2, 20);
+  ExpectMorselInvariant([&](Cluster& cluster) {
+    return ExerciseAllRouters(cluster,
+                              DistRelation::Scatter(input, kServers));
+  });
+}
+
+// All rows on one source: without morsels this serializes phase 1 and
+// phase 2 behind a single per-source task; with them the single fragment
+// tiles into ~1000 stealable ranges. Results must not change either way.
+TEST(DeterminismTest, MorselBoundarySkewedSingleSource) {
+  Rng rng(97);
+  std::vector<Relation> frags(kServers, Relation(2));
+  frags[0] = GenerateZipf(rng, 3000, 2, 40, 0, 1.4);
+  const DistRelation in = DistRelation::FromFragments(std::move(frags));
+  ExpectMorselInvariant(
+      [&](Cluster& cluster) { return ExerciseAllRouters(cluster, in); });
+}
+
+// p large enough to engage the write-combining copy path (p >= 256), for
+// both the single-destination and the multicast router: staged + flushed
+// rows must land exactly where the direct path would put them.
+TEST(DeterminismTest, MorselBoundaryWriteCombiningCopy) {
+  static constexpr int kWideServers = 256;
+  Rng rng(101);
+  const Relation input = GenerateUniform(rng, 6000, 2, 5000);
+  ExpectMorselInvariant(
+      [&](Cluster& cluster) {
+        const HashFunction hash = cluster.NewHashFunction();
+        const DistRelation in =
+            DistRelation::Scatter(input, kWideServers);
+        const DistRelation hashed =
+            HashPartition(cluster, in, {0}, hash, "wc: hash");
+        return Route(
+            cluster, hashed,
+            [](const Value* row, std::vector<int>& dests) {
+              dests.push_back(static_cast<int>(row[0] % kWideServers));
+              dests.push_back(static_cast<int>(row[1] % kWideServers));
+            },
+            "wc: multicast");
+      },
+      /*servers=*/kWideServers);
 }
 
 }  // namespace

@@ -7,16 +7,28 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <mutex>
 #include <set>
 #include <stdexcept>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace mpcqp {
 namespace {
+
+// Force real helper threads before the first pool runs: on a small CI
+// machine the spare-core cap would fold every parallel loop down to one
+// participant and the work-stealing paths (and their tsan coverage) would
+// never execute. Scheduling-only — results are identical either way.
+[[maybe_unused]] const bool kForceHelpers = [] {
+  ::setenv("MPCQP_LOOP_HELPERS", "7", /*overwrite=*/0);
+  return true;
+}();
 
 TEST(ThreadPoolTest, SingleThreadRunsInline) {
   ThreadPool pool(1);
@@ -148,6 +160,140 @@ TEST(ThreadPoolTest, ZeroAndNegativeIterationCountsAreNoOps) {
   int calls = 0;
   pool.ParallelFor(0, [&](int64_t) { ++calls; });
   EXPECT_EQ(calls, 0);
+}
+
+// --- ParallelForGrained (work-stealing deques) ---
+
+TEST(ThreadPoolTest, GrainedTilesExactlyByGrain) {
+  // The chunk decomposition is part of the determinism contract: chunk c
+  // must be [c*grain, min(n, (c+1)*grain)) regardless of thread count.
+  ThreadPool pool(4);
+  constexpr int64_t kN = 257;
+  const int64_t grains[] = {1, 3, 7, 100, 1000};
+  for (const int64_t grain : grains) {
+    std::mutex mu;
+    std::vector<std::pair<int64_t, int64_t>> ranges;
+    pool.ParallelForGrained(kN, grain, [&](int64_t begin, int64_t end) {
+      std::lock_guard<std::mutex> lock(mu);
+      ranges.push_back({begin, end});
+    });
+    std::sort(ranges.begin(), ranges.end());
+    const int64_t chunks = (kN + grain - 1) / grain;
+    ASSERT_EQ(static_cast<int64_t>(ranges.size()), chunks)
+        << "grain " << grain;
+    for (int64_t c = 0; c < chunks; ++c) {
+      EXPECT_EQ(ranges[c].first, c * grain) << "grain " << grain;
+      EXPECT_EQ(ranges[c].second, std::min(kN, (c + 1) * grain))
+          << "grain " << grain;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, GrainedCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(8);
+  constexpr int64_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelForGrained(kN, 37, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (int64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, GrainedEdgeCases) {
+  ThreadPool pool(4);
+  // grain > n: one inline chunk covering everything.
+  std::atomic<int> calls{0};
+  int64_t begin = -1, end = -1;
+  pool.ParallelForGrained(5, 100, [&](int64_t b, int64_t e) {
+    calls.fetch_add(1);
+    begin = b;
+    end = e;
+  });
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(begin, 0);
+  EXPECT_EQ(end, 5);
+  // n = 0: no-op.
+  pool.ParallelForGrained(0, 8, [&](int64_t, int64_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPoolTest, GrainedSingleThreadRunsInline) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  int64_t sum = 0;  // No atomics needed: everything runs on the caller.
+  pool.ParallelForGrained(100, 7, [&](int64_t begin, int64_t end) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    for (int64_t i = begin; i < end; ++i) sum += i;
+  });
+  EXPECT_EQ(sum, 4950);
+}
+
+TEST(ThreadPoolTest, NestedGrainedDoesNotDeadlock) {
+  // Grained loops nested inside grained loops while all workers are busy:
+  // the caller-participates/steal design must drain them like ParallelFor.
+  ThreadPool pool(4);
+  std::atomic<int64_t> total{0};
+  pool.ParallelForGrained(16, 2, [&](int64_t ob, int64_t oe) {
+    for (int64_t o = ob; o < oe; ++o) {
+      pool.ParallelForGrained(64, 5, [&](int64_t b, int64_t e) {
+        total.fetch_add(e - b);
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 16 * 64);
+}
+
+TEST(ThreadPoolTest, GrainedRethrowsLowestBeginException) {
+  ThreadPool pool(4);
+  // Run several times: stealing varies, the winning exception must not.
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int64_t> covered{0};
+    try {
+      pool.ParallelForGrained(200, 10, [&](int64_t b, int64_t e) {
+        covered.fetch_add(e - b);
+        if (b == 40 || b == 120 || b == 190) {
+          throw std::runtime_error("boom " + std::to_string(b));
+        }
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& ex) {
+      EXPECT_STREQ(ex.what(), "boom 40");
+    }
+    // Every chunk still ran (no early abort mid-loop).
+    EXPECT_EQ(covered.load(), 200);
+  }
+}
+
+TEST(ThreadPoolTest, GrainedStealHeavySkewedLoad) {
+  // Chunk 0 is a deliberate straggler: the rest of its owner's block must
+  // migrate to thieves instead of queueing behind it. Run under tsan this
+  // also locks down the deque handoff (owner front-pop vs. thief
+  // back-steal) as race-free.
+  ThreadPool pool(8);
+  constexpr int64_t kN = 256;
+  std::vector<std::atomic<int>> hits(kN);
+  const auto start = std::chrono::steady_clock::now();
+  pool.ParallelForGrained(kN, 1, [&](int64_t b, int64_t e) {
+    if (b == 0) std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    for (int64_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  (void)start;
+  for (int64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, InParallelRegionDuringGrained) {
+  ThreadPool pool(4);
+  EXPECT_FALSE(pool.in_parallel_region());
+  std::atomic<bool> always_in_region{true};
+  pool.ParallelForGrained(64, 4, [&](int64_t, int64_t) {
+    if (!pool.in_parallel_region()) always_in_region = false;
+  });
+  EXPECT_TRUE(always_in_region.load());
+  EXPECT_FALSE(pool.in_parallel_region());
 }
 
 }  // namespace

@@ -51,6 +51,7 @@ struct Options {
   std::string query_text;
   int servers = 16;
   int threads = 1;
+  int64_t morsel_rows = ClusterOptions{}.morsel_rows;
   std::string algorithm = "hypercube";
   std::map<std::string, std::string> generators;  // atom name -> spec.
   std::map<std::string, std::string> inputs;      // atom name -> csv path.
@@ -65,11 +66,13 @@ struct Options {
 [[noreturn]] void Usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s --query Q [--servers P] [--threads T] [--algorithm "
-      "hypercube|skewhc|binary|gym|planner|auto]\n"
+      "usage: %s --query Q [--servers P] [--threads T] [--morsel-rows N] "
+      "[--algorithm hypercube|skewhc|binary|gym|planner|auto]\n"
       "          [--gen NAME=SPEC]... [--input NAME=FILE.csv]...\n"
       "          [--output FILE.csv] [--seed N] [--analyze] [--verify]\n"
       "          [--trace FILE.json] [--stats FILE.json]\n"
+      "  --morsel-rows sets the rows-per-morsel grain of the parallel\n"
+      "  exchange passes (>= 1; never changes results)\n"
       "  --trace writes a Chrome-trace (chrome://tracing / Perfetto) "
       "timeline\n"
       "  --stats writes a machine-readable per-round stats report\n",
@@ -264,10 +267,12 @@ int Run(const Options& options) {
   if (!options.trace_path.empty()) Tracer::Get().Enable();
   ClusterOptions cluster_options;
   cluster_options.num_threads = options.threads;
+  cluster_options.morsel_rows = options.morsel_rows;
   Cluster cluster(options.servers, options.seed + 1, cluster_options);
   std::vector<DistRelation> dist;
   for (const Relation& r : atoms) {
-    dist.push_back(DistRelation::Scatter(r, options.servers));
+    dist.push_back(
+        DistRelation::Scatter(r, options.servers, &cluster.pool()));
   }
   Rng algo_rng(options.seed + 2);
 
@@ -337,15 +342,15 @@ int Run(const Options& options) {
 
   if (options.verify) {
     const Relation expected = EvalJoinLocal(q, atoms);
-    const bool ok =
-        MultisetEqual(output.Collect(), expected, &cluster.pool());
+    const bool ok = MultisetEqual(output.Collect(&cluster.pool()), expected,
+                                  &cluster.pool());
     std::printf("verify against serial evaluation: %s\n",
                 ok ? "PASS" : "FAIL");
     if (!ok) return 1;
   }
   if (!options.output_path.empty()) {
     const Status written =
-        WriteCsvFile(output.Collect(), options.output_path);
+        WriteCsvFile(output.Collect(&cluster.pool()), options.output_path);
     if (!written.ok()) {
       std::fprintf(stderr, "output: %s\n", written.ToString().c_str());
       return 1;
@@ -397,6 +402,15 @@ int main(int argc, char** argv) {
       options.servers = int_flag("--servers");
     } else if (arg == "--threads") {
       options.threads = int_flag("--threads");
+    } else if (arg == "--morsel-rows") {
+      const std::string text = value();
+      const auto parsed = mpcqp::ParseInt64InRange(text, 1, INT64_MAX);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "--morsel-rows: %s\n",
+                     parsed.status().message().c_str());
+        mpcqp::Usage(argv[0]);
+      }
+      options.morsel_rows = *parsed;
     } else if (arg == "--algorithm") {
       options.algorithm = value();
     } else if (arg == "--gen") {
