@@ -87,4 +87,15 @@ StatusOr<double> ParseDouble(const std::string& text) {
   return value;
 }
 
+StatusOr<bool> ParseBool(const std::string& text) {
+  std::string lower;
+  for (char c : text) {
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "on" || lower == "true" || lower == "1") return true;
+  if (lower == "off" || lower == "false" || lower == "0") return false;
+  return InvalidArgumentError("expected on/off, true/false or 1/0, got '" +
+                              text + "'");
+}
+
 }  // namespace mpcqp

@@ -36,6 +36,10 @@ StatusOr<int> ParseIntInRange(const std::string& text, int min_value,
 // parses are errors.
 StatusOr<double> ParseDouble(const std::string& text);
 
+// Boolean flag value: accepts on/off, true/false, 1/0 (case-insensitive);
+// anything else is InvalidArgument.
+StatusOr<bool> ParseBool(const std::string& text);
+
 }  // namespace mpcqp
 
 #endif  // MPCQP_COMMON_PARSE_H_

@@ -92,6 +92,15 @@ void MpcMetrics::RecordFragmentRows(int64_t rows) {
   if (in_round_) AtomicMax(current_peak_rows_, rows);
 }
 
+void MpcMetrics::RecordPlanning(double planning_ms, bool cache_hit) {
+  planning_ms_ += planning_ms;
+  if (cache_hit) {
+    ++plan_cache_hits_;
+  } else {
+    ++plan_cache_misses_;
+  }
+}
+
 double MpcMetrics::outside_phase_ms(Phase phase) const {
   return NanosToMs(
       outside_phase_ns_[static_cast<int>(phase)].load(
@@ -110,6 +119,9 @@ void MpcMetrics::Reset() {
   }
   peak_fragment_rows_.store(0, std::memory_order_relaxed);
   baseline_detaches_ = TraceCounters::cow_detaches.load();
+  planning_ms_ = 0;
+  plan_cache_hits_ = 0;
+  plan_cache_misses_ = 0;
 }
 
 ScopedPhaseTimer::ScopedPhaseTimer(MpcMetrics& metrics, Phase phase)
@@ -159,6 +171,9 @@ StatsReport BuildStatsReport(const Cluster& cluster) {
   }
   report.cow_detaches = metrics.total_cow_detaches();
   report.peak_fragment_rows = metrics.peak_fragment_rows();
+  report.planning_ms = metrics.planning_ms();
+  report.plan_cache_hits = metrics.plan_cache_hits();
+  report.plan_cache_misses = metrics.plan_cache_misses();
   return report;
 }
 
@@ -188,6 +203,9 @@ std::string StatsReport::ToJson() const {
   AppendKv(out, "total_comm_tuples", total_comm_tuples, "  ");
   AppendKv(out, "total_bytes", total_bytes, "  ");
   AppendKv(out, "total_wall_ms", total_wall_ms, "  ");
+  AppendKv(out, "planning_ms", planning_ms, "  ");
+  AppendKv(out, "plan_cache_hits", plan_cache_hits, "  ");
+  AppendKv(out, "plan_cache_misses", plan_cache_misses, "  ");
   for (int ph = 0; ph < kNumPhases; ++ph) {
     const std::string key =
         std::string("outside_") + PhaseName(static_cast<Phase>(ph)) + "_ms";

@@ -69,8 +69,16 @@ class MpcMetrics {
   // Records a destination-fragment size; kept as a running max.
   void RecordFragmentRows(int64_t rows);
 
+  // Records one planner invocation (ExecutePlannedQuery calls this): time
+  // spent planning and whether the plan cache served it. Cache-hit counts
+  // are the observable proof that warm queries skip enumeration.
+  void RecordPlanning(double planning_ms, bool cache_hit);
+
   const std::vector<RoundRecord>& rounds() const { return rounds_; }
   double outside_phase_ms(Phase phase) const;
+  double planning_ms() const { return planning_ms_; }
+  int64_t plan_cache_hits() const { return plan_cache_hits_; }
+  int64_t plan_cache_misses() const { return plan_cache_misses_; }
   int64_t peak_fragment_rows() const {
     return peak_fragment_rows_.load(std::memory_order_relaxed);
   }
@@ -93,6 +101,9 @@ class MpcMetrics {
   std::atomic<int64_t> outside_phase_ns_[kNumPhases];
   std::atomic<int64_t> peak_fragment_rows_{0};
   std::atomic<int64_t> current_peak_rows_{0};
+  double planning_ms_ = 0;
+  int64_t plan_cache_hits_ = 0;
+  int64_t plan_cache_misses_ = 0;
 };
 
 // RAII phase timer; records the scope's wall time into `metrics`.
@@ -135,6 +146,9 @@ struct StatsReport {
   int64_t total_comm_tuples = 0;
   int64_t total_bytes = 0;
   double total_wall_ms = 0;  // Round walls + outside-round phase time.
+  double planning_ms = 0;    // Time inside PlanQuery (not in total_wall_ms).
+  int64_t plan_cache_hits = 0;
+  int64_t plan_cache_misses = 0;
   double outside_phase_ms[kNumPhases] = {0, 0, 0, 0};
   int64_t cow_detaches = 0;
   int64_t peak_fragment_rows = 0;

@@ -11,8 +11,6 @@
 
 namespace mpcqp {
 
-namespace {
-
 // Locally normalizes one atom instance: drops rows violating intra-atom
 // repeated variables and projects to one column per distinct variable.
 // Returns the normalized distributed relation and its variable list.
@@ -47,8 +45,6 @@ std::pair<DistRelation, std::vector<int>> NormalizeAtomDist(
   }
   return {std::move(out), std::move(vars)};
 }
-
-}  // namespace
 
 BinaryPlanResult IterativeBinaryJoin(Cluster& cluster,
                                      const ConjunctiveQuery& q,

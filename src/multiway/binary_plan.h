@@ -2,6 +2,7 @@
 #define MPCQP_MULTIWAY_BINARY_PLAN_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/random.h"
@@ -39,6 +40,14 @@ BinaryPlanResult IterativeBinaryJoin(Cluster& cluster,
                                      const std::vector<DistRelation>& atoms,
                                      Rng& rng,
                                      const BinaryPlanOptions& options = {});
+
+// Locally normalizes one atom instance: drops rows violating intra-atom
+// repeated variables and projects to one column per distinct variable.
+// Returns the normalized distributed relation and its variable list.
+// Shared with the planner's plan-tree executor, which must reproduce
+// IterativeBinaryJoin's data path bit for bit.
+std::pair<DistRelation, std::vector<int>> NormalizeAtomDist(
+    const Atom& atom, const DistRelation& rel);
 
 }  // namespace mpcqp
 

@@ -1,6 +1,7 @@
 #include "planner/planner.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <set>
 
@@ -13,6 +14,8 @@
 #include "multiway/join_order.h"
 #include "multiway/shares.h"
 #include "multiway/skew_hc.h"
+#include "planner/enumerator.h"
+#include "planner/plan_cache.h"
 #include "query/ghd.h"
 #include "query/hypergraph_lp.h"
 #include "relation/relation_ops.h"
@@ -51,19 +54,12 @@ std::vector<std::pair<int, int>> DistinctVarCols(const Atom& atom) {
   return var_cols;
 }
 
-// Cheap catalog statistics, computed exactly (the model's free stats).
-struct Stats {
-  std::vector<int64_t> sizes;                    // Per atom.
-  std::vector<std::vector<int64_t>> distinct;    // distinct[j][v] or 0.
-  std::vector<bool> var_is_heavy;                // Per query variable.
-  std::vector<bool> atom_has_duplicates;         // Per atom.
-  int64_t total_in = 0;
-};
+}  // namespace
 
-Stats GatherStats(const ConjunctiveQuery& q,
-                  const std::vector<DistRelation>& atoms,
-                  int64_t heavy_threshold) {
-  Stats stats;
+PlannerStats GatherPlannerStats(const ConjunctiveQuery& q,
+                                const std::vector<DistRelation>& atoms,
+                                int64_t heavy_threshold) {
+  PlannerStats stats;
   stats.distinct.assign(q.num_atoms(),
                         std::vector<int64_t>(q.num_vars(), 0));
   stats.var_is_heavy.assign(q.num_vars(), false);
@@ -86,6 +82,8 @@ Stats GatherStats(const ConjunctiveQuery& q,
   return stats;
 }
 
+namespace {
+
 // Estimated tuples a server receives under HyperCube with given shares:
 // Σ_j size_j / Π_{v ∈ vars(j)} shares_v.
 double HyperCubeLoadForShares(const ConjunctiveQuery& q,
@@ -100,8 +98,8 @@ double HyperCubeLoadForShares(const ConjunctiveQuery& q,
   return total;
 }
 
-CandidatePlan EstimateHyperCube(const ConjunctiveQuery& q, const Stats& stats,
-                                int p) {
+CandidatePlan EstimateHyperCube(const ConjunctiveQuery& q,
+                                const PlannerStats& stats, int p) {
   CandidatePlan plan;
   plan.algorithm = PlanAlgorithm::kHyperCube;
   plan.estimated_rounds = 1;
@@ -120,8 +118,8 @@ CandidatePlan EstimateHyperCube(const ConjunctiveQuery& q, const Stats& stats,
   return plan;
 }
 
-CandidatePlan EstimateSkewHc(const ConjunctiveQuery& q, const Stats& stats,
-                             int p) {
+CandidatePlan EstimateSkewHc(const ConjunctiveQuery& q,
+                             const PlannerStats& stats, int p) {
   CandidatePlan plan;
   plan.algorithm = PlanAlgorithm::kSkewHc;
   plan.estimated_rounds = 1;
@@ -180,13 +178,13 @@ CandidatePlan EstimateSkewHc(const ConjunctiveQuery& q, const Stats& stats,
 }
 
 // Expected number of matches in atom j for one binding of `var`.
-double AvgCandidates(const Stats& stats, int j, int v) {
+double AvgCandidates(const PlannerStats& stats, int j, int v) {
   const int64_t d = std::max<int64_t>(1, stats.distinct[j][v]);
   return static_cast<double>(stats.sizes[j]) / static_cast<double>(d);
 }
 
 CandidatePlan EstimateBinaryPlan(const ConjunctiveQuery& q,
-                                 const Stats& stats, int p) {
+                                 const PlannerStats& stats, int p) {
   CandidatePlan plan;
   plan.algorithm = PlanAlgorithm::kBinaryPlan;
   plan.estimated_rounds = q.num_atoms() - 1;
@@ -215,8 +213,8 @@ CandidatePlan EstimateBinaryPlan(const ConjunctiveQuery& q,
   return plan;
 }
 
-CandidatePlan EstimateGym(const ConjunctiveQuery& q, const Stats& stats,
-                          int p) {
+CandidatePlan EstimateGym(const ConjunctiveQuery& q,
+                          const PlannerStats& stats, int p) {
   CandidatePlan plan;
   plan.algorithm = PlanAlgorithm::kGym;
   if (!IsAcyclic(q)) {
@@ -237,8 +235,8 @@ CandidatePlan EstimateGym(const ConjunctiveQuery& q, const Stats& stats,
   return plan;
 }
 
-CandidatePlan EstimateBigJoin(const ConjunctiveQuery& q, const Stats& stats,
-                              int p) {
+CandidatePlan EstimateBigJoin(const ConjunctiveQuery& q,
+                              const PlannerStats& stats, int p) {
   CandidatePlan plan;
   plan.algorithm = PlanAlgorithm::kBigJoin;
   for (int j = 0; j < q.num_atoms(); ++j) {
@@ -279,7 +277,35 @@ CandidatePlan EstimateBigJoin(const ConjunctiveQuery& q, const Stats& stats,
   return plan;
 }
 
+int64_t HeavyThreshold(const std::vector<DistRelation>& atoms, int p,
+                       double threshold_factor) {
+  int64_t total_in = 0;
+  for (const DistRelation& a : atoms) total_in += a.TotalSize();
+  return std::max<int64_t>(
+      1, static_cast<int64_t>(threshold_factor *
+                              static_cast<double>(total_in) / p));
+}
+
 }  // namespace
+
+CandidatePlan EstimateCandidate(PlanAlgorithm algorithm,
+                                const ConjunctiveQuery& q,
+                                const PlannerStats& stats, int p) {
+  switch (algorithm) {
+    case PlanAlgorithm::kHyperCube:
+      return EstimateHyperCube(q, stats, p);
+    case PlanAlgorithm::kSkewHc:
+      return EstimateSkewHc(q, stats, p);
+    case PlanAlgorithm::kBinaryPlan:
+      return EstimateBinaryPlan(q, stats, p);
+    case PlanAlgorithm::kGym:
+      return EstimateGym(q, stats, p);
+    case PlanAlgorithm::kBigJoin:
+      return EstimateBigJoin(q, stats, p);
+  }
+  MPCQP_CHECK(false) << "unknown algorithm";
+  return CandidatePlan();
+}
 
 PlanChoice ChoosePlan(const ConjunctiveQuery& q,
                       const std::vector<DistRelation>& atoms,
@@ -288,12 +314,9 @@ PlanChoice ChoosePlan(const ConjunctiveQuery& q,
   MPCQP_CHECK_GE(cluster_size, 1);
   const int p = cluster_size;
 
-  int64_t total_in = 0;
-  for (const DistRelation& a : atoms) total_in += a.TotalSize();
-  const int64_t threshold = std::max<int64_t>(
-      1, static_cast<int64_t>(options.threshold_factor *
-                              static_cast<double>(total_in) / p));
-  const Stats stats = GatherStats(q, atoms, threshold);
+  const int64_t threshold =
+      HeavyThreshold(atoms, p, options.threshold_factor);
+  const PlannerStats stats = GatherPlannerStats(q, atoms, threshold);
 
   PlanChoice choice;
   for (bool heavy : stats.var_is_heavy) {
@@ -307,26 +330,9 @@ PlanChoice ChoosePlan(const ConjunctiveQuery& q,
                PlanAlgorithm::kBigJoin};
   }
   for (const PlanAlgorithm algorithm : allowed) {
-    CandidatePlan plan;
-    switch (algorithm) {
-      case PlanAlgorithm::kHyperCube:
-        plan = EstimateHyperCube(q, stats, p);
-        break;
-      case PlanAlgorithm::kSkewHc:
-        plan = EstimateSkewHc(q, stats, p);
-        break;
-      case PlanAlgorithm::kBinaryPlan:
-        plan = EstimateBinaryPlan(q, stats, p);
-        break;
-      case PlanAlgorithm::kGym:
-        plan = EstimateGym(q, stats, p);
-        break;
-      case PlanAlgorithm::kBigJoin:
-        plan = EstimateBigJoin(q, stats, p);
-        break;
-    }
-    plan.total_cost = plan.estimated_load +
-                      options.round_cost_tuples * plan.estimated_rounds;
+    CandidatePlan plan = EstimateCandidate(algorithm, q, stats, p);
+    plan.total_cost = PriceCandidate(plan.estimated_load,
+                                     plan.estimated_rounds, q, options);
     choice.candidates.push_back(std::move(plan));
   }
 
@@ -358,6 +364,78 @@ DistRelation ExecutePlan(Cluster& cluster, const ConjunctiveQuery& q,
       options.order = GreedyJoinOrder(q, atoms);
       return IterativeBinaryJoin(cluster, q, atoms, rng, options).output;
     }
+    case PlanAlgorithm::kGym: {
+      const auto tree = BuildJoinTree(q);
+      MPCQP_CHECK(tree.ok());
+      GymOptions options;
+      options.optimized = true;
+      return GymJoin(cluster, q, *tree, atoms, rng, options).output;
+    }
+    case PlanAlgorithm::kBigJoin:
+      return BigJoin(cluster, q, atoms).output;
+  }
+  MPCQP_CHECK(false) << "unknown algorithm";
+  return DistRelation(q.num_vars(), cluster.num_servers());
+}
+
+PlannedQuery PlanQuery(const ConjunctiveQuery& q,
+                       const std::vector<DistRelation>& atoms,
+                       int cluster_size, const PlannerOptions& options,
+                       PlanCache* cache) {
+  MPCQP_CHECK_EQ(static_cast<int>(atoms.size()), q.num_atoms());
+  MPCQP_CHECK_GE(cluster_size, 1);
+  const auto start = std::chrono::steady_clock::now();
+  const int p = cluster_size;
+
+  PlannedQuery out;
+  std::vector<int64_t> sizes;
+  for (const DistRelation& a : atoms) sizes.push_back(a.TotalSize());
+
+  CanonicalQueryShape shape;
+  if (cache != nullptr) {
+    // Shape + sizes are the cheap part of planning; a hit skips the stats
+    // scan (Collect + degree counts) and the enumeration entirely.
+    shape = CanonicalizeShape(q);
+    if (cache->Lookup(q, shape, sizes, p, options, &out.plan)) {
+      out.cache_hit = true;
+      out.planning_ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+      return out;
+    }
+  }
+
+  const int64_t threshold =
+      HeavyThreshold(atoms, p, options.threshold_factor);
+  const PlannerStats stats = GatherPlannerStats(q, atoms, threshold);
+  EnumerationResult enumerated = EnumeratePlans(q, stats, p, options);
+  out.plan = std::move(enumerated.best);
+  out.candidates = std::move(enumerated.candidates);
+  out.input_is_skewed = enumerated.input_is_skewed;
+  out.dp_states = enumerated.dp_states;
+
+  if (cache != nullptr) {
+    cache->Insert(q, shape, sizes, p, options, out.plan);
+  }
+  out.planning_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  return out;
+}
+
+DistRelation ExecutePlannedQuery(Cluster& cluster, const ConjunctiveQuery& q,
+                                 const std::vector<DistRelation>& atoms,
+                                 const PlannedQuery& planned, Rng& rng) {
+  cluster.metrics().RecordPlanning(planned.planning_ms, planned.cache_hit);
+  switch (planned.plan.family) {
+    case PlanAlgorithm::kHyperCube:
+      return HyperCubeJoin(cluster, q, atoms).output;
+    case PlanAlgorithm::kSkewHc:
+      return SkewHcJoin(cluster, q, atoms).output;
+    case PlanAlgorithm::kBinaryPlan:
+      // Walk the explicit tree; bit-identical to IterativeBinaryJoin with
+      // the same order and skew flag (shared data path).
+      return ExecuteJoinOrderTree(cluster, q, atoms, planned.plan.tree, rng);
     case PlanAlgorithm::kGym: {
       const auto tree = BuildJoinTree(q);
       MPCQP_CHECK(tree.ok());

@@ -1,18 +1,23 @@
 #ifndef MPCQP_PLANNER_PLANNER_H_
 #define MPCQP_PLANNER_PLANNER_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "common/random.h"
 #include "mpc/cluster.h"
 #include "mpc/dist_relation.h"
+#include "planner/calibration.h"
+#include "planner/plan_tree.h"
 #include "query/query.h"
 
 namespace mpcqp {
 
-// A cost-based chooser among the library's parallel join strategies,
-// operationalizing the deck's takeaways (slides 129-131):
+class PlanCache;
+
+// The cost-based distributed query planner, operationalizing the deck's
+// takeaways (slides 129-131):
 //
 //  - skew-free inputs: the 1-round optimum is IN/p^{1/τ*} (HyperCube);
 //    multi-round binary plans reach IN/p when intermediates do not grow;
@@ -23,10 +28,15 @@ namespace mpcqp {
 //  - skew with large outputs on cyclic queries: the BiGJoin-style
 //    variable-at-a-time plan bounds traffic by the true prefix counts.
 //
-// The planner estimates loads from cheap statistics (atom sizes, per-atom
-// distinct counts, heavy-hitter presence) and charges a configurable
-// fixed cost per round (the synchronization price that makes one-round
-// algorithms attractive in practice).
+// Two layers:
+//  - ChoosePlan ranks the five whole-query strategies from cheap catalog
+//    statistics (the original advisory ranker, kept as the macro layer);
+//  - PlanQuery additionally runs a System-R-style DP over binary join
+//    orders, prices every candidate with a cost model calibrated from
+//    measured phase timings (see planner/calibration.h), emits an
+//    executable PlanTree with exchange operators at the shuffle points,
+//    and consults/fills a PlanCache keyed by canonical query shape +
+//    relation statistics so repeated queries skip planning entirely.
 
 enum class PlanAlgorithm {
   kHyperCube,
@@ -41,18 +51,29 @@ const char* PlanAlgorithmName(PlanAlgorithm algorithm);
 struct PlannerOptions {
   // λ: tuples-equivalent charge per round (0 = rounds are free, pure
   // load minimization; large = rounds dominate, one-round plans win).
+  // Used whenever `cost.calibrated` is false; a calibrated cost model
+  // replaces it with measured microseconds (round_overhead_us as the
+  // round price).
   double round_cost_tuples = 0.0;
   // Heavy-hitter threshold factor over IN/p for the skew probe.
   double threshold_factor = 1.0;
   // Candidates the planner is allowed to pick from; empty = all.
   std::vector<PlanAlgorithm> allowed;
+  // Measured per-tuple phase costs (CalibrateCostModel); when
+  // `cost.calibrated` the planner prices candidates in microseconds.
+  CostCoefficients cost;
+  // PlanQuery only: run the join-order DP (ChoosePlan never does).
+  bool enumerate_join_orders = true;
+  // DP state space guard: queries with more atoms than this skip the
+  // subset DP and fall back to the greedy order.
+  int max_dp_atoms = 12;
 };
 
 struct CandidatePlan {
   PlanAlgorithm algorithm = PlanAlgorithm::kHyperCube;
   double estimated_load = 0.0;  // Tuples per server.
   int estimated_rounds = 0;
-  double total_cost = 0.0;      // load + λ·rounds.
+  double total_cost = 0.0;      // load + λ·rounds, or calibrated µs.
   bool feasible = true;         // E.g. GYM needs acyclicity.
   std::string rationale;
 };
@@ -62,6 +83,27 @@ struct PlanChoice {
   std::vector<CandidatePlan> candidates;  // All evaluated, feasible or not.
   bool input_is_skewed = false;
 };
+
+// Cheap catalog statistics (exact, as the theory assumes them free):
+// per-atom sizes and per-variable distinct counts, per-variable heavy
+// flags against the given threshold, and duplicate presence per atom.
+struct PlannerStats {
+  std::vector<int64_t> sizes;                  // Per atom.
+  std::vector<std::vector<int64_t>> distinct;  // distinct[j][v] or 0.
+  std::vector<bool> var_is_heavy;              // Per query variable.
+  std::vector<bool> atom_has_duplicates;       // Per atom.
+  int64_t total_in = 0;
+};
+
+PlannerStats GatherPlannerStats(const ConjunctiveQuery& q,
+                                const std::vector<DistRelation>& atoms,
+                                int64_t heavy_threshold);
+
+// Load/rounds estimate of one whole-query strategy from the statistics
+// (the macro layer's scoring; exposed for the enumerator and tests).
+CandidatePlan EstimateCandidate(PlanAlgorithm algorithm,
+                                const ConjunctiveQuery& q,
+                                const PlannerStats& stats, int p);
 
 // Inspects the data (free statistics, as the theory assumes) and ranks
 // the strategies for running `q` on `atoms` over `cluster_size` servers.
@@ -75,6 +117,56 @@ PlanChoice ChoosePlan(const ConjunctiveQuery& q,
 DistRelation ExecutePlan(Cluster& cluster, const ConjunctiveQuery& q,
                          const std::vector<DistRelation>& atoms,
                          const PlanChoice& choice, Rng& rng);
+
+// --- Full planner: DP enumeration + plan tree + cache ---
+
+// One executable plan: the strategy family plus everything needed to run
+// it. For kBinaryPlan the join order (original atom indices) and skew flag
+// reproduce IterativeBinaryJoin exactly; other families dispatch to their
+// whole-query driver. `tree` is the explicit operator tree (EXPLAIN,
+// goldens); it is rebuilt deterministically from the fields on cache hits.
+struct EnumeratedPlan {
+  PlanAlgorithm family = PlanAlgorithm::kHyperCube;
+  std::vector<int> join_order;  // kBinaryPlan only.
+  bool skew_aware = false;      // kBinaryPlan only.
+  double estimated_load = 0.0;
+  int estimated_rounds = 0;
+  double total_cost = 0.0;
+  std::string rationale;
+  // kBinaryPlan: estimated rows after each join step (len = atoms-1);
+  // annotates the tree and is cached so hits rebuild identical EXPLAINs.
+  std::vector<double> step_est_rows;
+  PlanTree tree;
+};
+
+struct PlannedQuery {
+  EnumeratedPlan plan;
+  // The macro ranking that competed with the DP order (for EXPLAIN).
+  std::vector<CandidatePlan> candidates;
+  bool input_is_skewed = false;
+  bool cache_hit = false;
+  // DP states expanded while planning; 0 on a cache hit — the warm-path
+  // assertion that enumeration was skipped.
+  int64_t dp_states = 0;
+  double planning_ms = 0.0;
+};
+
+// Plans `q` end to end: gathers statistics, scores the whole-query
+// strategies, runs the join-order DP, prices everything with the options'
+// cost model, and emits the winner as an executable plan tree. A non-null
+// `cache` is consulted first (hit = no stats scan, no enumeration) and
+// filled on miss.
+PlannedQuery PlanQuery(const ConjunctiveQuery& q,
+                       const std::vector<DistRelation>& atoms,
+                       int cluster_size, const PlannerOptions& options = {},
+                       PlanCache* cache = nullptr);
+
+// Executes a planned query: kBinaryPlan plans walk the tree node by node
+// (ExecuteJoinOrderTree); the other families dispatch to their driver.
+// Output columns = query variables in id order.
+DistRelation ExecutePlannedQuery(Cluster& cluster, const ConjunctiveQuery& q,
+                                 const std::vector<DistRelation>& atoms,
+                                 const PlannedQuery& planned, Rng& rng);
 
 }  // namespace mpcqp
 

@@ -234,6 +234,60 @@ std::vector<int> ConjunctiveQuery::AtomsWithVar(int var) const {
   return result;
 }
 
+namespace {
+
+// Shape string of the atoms taken in `order`, with variables renamed to
+// 0,1,2,... by first occurrence along that order.
+std::string ShapeForOrder(const ConjunctiveQuery& q,
+                          const std::vector<int>& order) {
+  std::vector<int> rename(q.num_vars(), -1);
+  int next_id = 0;
+  std::string shape;
+  for (size_t k = 0; k < order.size(); ++k) {
+    const Atom& atom = q.atom(order[k]);
+    if (k > 0) shape += '|';
+    shape += std::to_string(atom.arity());
+    shape += ':';
+    for (size_t c = 0; c < atom.vars.size(); ++c) {
+      int& id = rename[atom.vars[c]];
+      if (id < 0) id = next_id++;
+      if (c > 0) shape += ',';
+      shape += std::to_string(id);
+    }
+  }
+  return shape;
+}
+
+}  // namespace
+
+CanonicalQueryShape CanonicalizeShape(const ConjunctiveQuery& q) {
+  std::vector<int> order(q.num_atoms());
+  for (int j = 0; j < q.num_atoms(); ++j) order[j] = j;
+
+  CanonicalQueryShape best;
+  best.shape = ShapeForOrder(q, order);
+  best.atom_order = order;
+  if (q.num_atoms() > 7) {
+    // Exact canonicalization is factorial in the atom count; fall back to
+    // a deterministic greedy order (stable sort by each atom's
+    // self-contained signature, ties kept in input order).
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+      return ShapeForOrder(q, {a}) < ShapeForOrder(q, {b});
+    });
+    best.shape = ShapeForOrder(q, order);
+    best.atom_order = order;
+    return best;
+  }
+  while (std::next_permutation(order.begin(), order.end())) {
+    std::string shape = ShapeForOrder(q, order);
+    if (shape < best.shape) {
+      best.shape = std::move(shape);
+      best.atom_order = order;
+    }
+  }
+  return best;
+}
+
 std::string ConjunctiveQuery::ToString() const {
   std::ostringstream os;
   os << "Q(";

@@ -71,6 +71,26 @@ class ConjunctiveQuery {
   std::vector<Atom> atoms_;
 };
 
+// The structural identity of a query, independent of variable names, atom
+// (relation) names, and atom order: two queries get the same `shape` string
+// iff they are isomorphic as hypergraphs with ordered atom columns. This is
+// the plan-cache key — a cached plan for R(x,y),S(y,z) serves E(a,b),F(b,c).
+struct CanonicalQueryShape {
+  // E.g. the triangle canonicalizes to "2:0,1|2:1,2|2:2,0": per canonical
+  // atom its arity and variable ids renamed by first occurrence.
+  std::string shape;
+  // atom_order[k] = original index of the atom at canonical position k (a
+  // permutation of 0..num_atoms-1). Plans cached in canonical atom space
+  // are remapped through this to the query at hand.
+  std::vector<int> atom_order;
+};
+
+// Canonicalizes by taking the lexicographically least shape string over all
+// atom permutations (exact for queries of up to 7 atoms; larger queries
+// fall back to a deterministic greedy order, which is still a valid cache
+// key — it just may miss some cross-query sharing).
+CanonicalQueryShape CanonicalizeShape(const ConjunctiveQuery& q);
+
 }  // namespace mpcqp
 
 #endif  // MPCQP_QUERY_QUERY_H_

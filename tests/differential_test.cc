@@ -12,12 +12,16 @@
 #include "join/semi_join.h"
 #include "join/skew_join.h"
 #include "join/sort_join.h"
+#include "acyclic/gym.h"
 #include "mpc/cluster.h"
 #include "multiway/bigjoin.h"
 #include "multiway/binary_plan.h"
 #include "multiway/hypercube.h"
 #include "multiway/skew_hc.h"
+#include "planner/plan_cache.h"
+#include "planner/planner.h"
 #include "query/generic_join.h"
+#include "query/ghd.h"
 #include "query/local_eval.h"
 #include "relation/relation_ops.h"
 #include "workload/generator.h"
@@ -216,6 +220,129 @@ TEST_P(TwoWayDifferentialTest, JoinAndSemijoinPathsAgreeWithLocalReference) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TwoWayDifferentialTest,
                          ::testing::Range(uint64_t{1}, TrialSeedEnd()));
+
+// Planner differential: the planner-picked executable plan vs every
+// feasible static driver on the same inputs, across {1, 2, 8} worker
+// threads. Inputs are deduplicated, which makes the join output
+// duplicate-free, so bag- and set-semantics drivers (including BigJoin)
+// are all comparable by multiset equality. When the planner picks the
+// binary family, its tree-walking executor is additionally required to be
+// fragment-for-fragment identical to IterativeBinaryJoin run with the
+// same order and skew flag — the planner must never change results, only
+// schedules.
+uint64_t PlannerTrialSeedEnd() {
+  const char* heavy = std::getenv("MPCQP_HEAVY_TESTS");
+  const bool on = heavy != nullptr && heavy[0] != '\0' &&
+                  !(heavy[0] == '0' && heavy[1] == '\0');
+  return on ? 61 : 13;
+}
+
+bool FragmentsIdentical(const DistRelation& a, const DistRelation& b) {
+  if (a.num_servers() != b.num_servers() || a.arity() != b.arity()) {
+    return false;
+  }
+  for (int s = 0; s < a.num_servers(); ++s) {
+    const Relation& fa = a.fragment(s);
+    const Relation& fb = b.fragment(s);
+    if (fa.size() != fb.size()) return false;
+    for (int64_t i = 0; i < fa.size(); ++i) {
+      for (int c = 0; c < fa.arity(); ++c) {
+        if (fa.at(i, c) != fb.at(i, c)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+class PlannerDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PlannerDifferentialTest, PlannedPlanAgreesWithEveryStaticDriver) {
+  Rng shape_rng(GetParam() * 131 + 17);
+  const ConjunctiveQuery q = RandomConnectedQuery(shape_rng);
+  SCOPED_TRACE(q.ToString());
+
+  Rng data_rng(GetParam() + 9000);
+  std::vector<Relation> atoms;
+  for (int j = 0; j < q.num_atoms(); ++j) {
+    const int64_t rows = 40 + static_cast<int64_t>(data_rng.Uniform(80));
+    atoms.push_back(
+        Dedup(GenerateUniform(data_rng, rows, q.atom(j).arity(), 25)));
+  }
+  const Relation expected = EvalJoinLocal(q, atoms);
+  if (expected.size() > 200000) GTEST_SKIP() << "output too large";
+
+  const int p = 8;
+  for (const int threads : {1, 2, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ClusterOptions cluster_options;
+    cluster_options.num_threads = threads;
+
+    PlanCache cache;
+    Cluster cluster(p, 5, cluster_options);
+    Rng rng(GetParam() + 7000);
+    const PlannedQuery planned =
+        PlanQuery(q, Scatter(atoms, p), p, PlannerOptions{}, &cache);
+    const DistRelation out =
+        ExecutePlannedQuery(cluster, q, Scatter(atoms, p), planned, rng);
+    EXPECT_TRUE(MultisetEqual(out.Collect(), expected))
+        << "planner chose " << PlanAlgorithmName(planned.plan.family);
+
+    if (planned.plan.family == PlanAlgorithm::kBinaryPlan) {
+      // Same cluster seed, same rng seed, same order: the tree walk must
+      // reproduce the static driver bit for bit, not just as a multiset.
+      Cluster ref_cluster(p, 5, cluster_options);
+      Rng ref_rng(GetParam() + 7000);
+      BinaryPlanOptions ref_options;
+      ref_options.skew_aware = planned.plan.skew_aware;
+      ref_options.order = planned.plan.join_order;
+      const BinaryPlanResult ref = IterativeBinaryJoin(
+          ref_cluster, q, Scatter(atoms, p), ref_rng, ref_options);
+      EXPECT_TRUE(FragmentsIdentical(out, ref.output))
+          << "tree executor diverged from IterativeBinaryJoin";
+    }
+
+    // Every feasible static driver agrees on the same inputs.
+    {
+      Cluster c2(p, 5, cluster_options);
+      EXPECT_TRUE(MultisetEqual(
+          HyperCubeJoin(c2, q, Scatter(atoms, p)).output.Collect(), expected))
+          << "hypercube";
+    }
+    {
+      Cluster c2(p, 5, cluster_options);
+      EXPECT_TRUE(MultisetEqual(
+          SkewHcJoin(c2, q, Scatter(atoms, p)).output.Collect(), expected))
+          << "skew-hc";
+    }
+    {
+      Cluster c2(p, 5, cluster_options);
+      Rng r2(GetParam() + 7000);
+      EXPECT_TRUE(MultisetEqual(
+          IterativeBinaryJoin(c2, q, Scatter(atoms, p), r2).output.Collect(),
+          expected))
+          << "binary (identity order)";
+    }
+    {
+      Cluster c2(p, 5, cluster_options);
+      EXPECT_TRUE(MultisetEqual(
+          BigJoin(c2, q, Scatter(atoms, p)).output.Collect(), expected))
+          << "bigjoin";
+    }
+    if (IsAcyclic(q)) {
+      const auto tree = BuildJoinTree(q);
+      ASSERT_TRUE(tree.ok());
+      Cluster c2(p, 5, cluster_options);
+      Rng r2(GetParam() + 7000);
+      EXPECT_TRUE(MultisetEqual(
+          GymJoin(c2, q, *tree, Scatter(atoms, p), r2).output.Collect(),
+          expected))
+          << "gym";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlannerDifferentialTest,
+                         ::testing::Range(uint64_t{1}, PlannerTrialSeedEnd()));
 
 }  // namespace
 }  // namespace mpcqp

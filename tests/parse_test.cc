@@ -81,5 +81,24 @@ TEST(ParseDoubleTest, RejectsGarbageAndNonFinite) {
   EXPECT_FALSE(ParseDouble("1e9999").ok());  // Overflows to infinity.
 }
 
+TEST(ParseBoolTest, AcceptsAllSpellings) {
+  for (const char* text : {"on", "true", "1", "ON", "True"}) {
+    EXPECT_TRUE(ParseBool(text).value()) << text;
+  }
+  for (const char* text : {"off", "false", "0", "OFF", "False"}) {
+    EXPECT_FALSE(ParseBool(text).value()) << text;
+  }
+}
+
+TEST(ParseBoolTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseBool("").ok());
+  EXPECT_FALSE(ParseBool("yes").ok());
+  EXPECT_FALSE(ParseBool("no").ok());
+  EXPECT_FALSE(ParseBool("2").ok());
+  EXPECT_FALSE(ParseBool(" on").ok());   // Whitespace.
+  EXPECT_FALSE(ParseBool("on ").ok());
+  EXPECT_FALSE(ParseBool("truee").ok());
+}
+
 }  // namespace
 }  // namespace mpcqp

@@ -1,0 +1,161 @@
+#include "planner/plan_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "mpc/cluster.h"
+#include "planner/planner.h"
+#include "query/local_eval.h"
+#include "relation/relation_ops.h"
+#include "workload/generator.h"
+
+namespace mpcqp {
+namespace {
+
+std::vector<DistRelation> Scatter(const std::vector<Relation>& atoms, int p) {
+  std::vector<DistRelation> out;
+  for (const Relation& r : atoms) out.push_back(DistRelation::Scatter(r, p));
+  return out;
+}
+
+std::vector<Relation> TriangleData(uint64_t seed, int64_t rows) {
+  Rng rng(seed);
+  std::vector<Relation> atoms;
+  for (int j = 0; j < 3; ++j) {
+    atoms.push_back(GenerateUniform(rng, rows, 2, 40));
+  }
+  return atoms;
+}
+
+TEST(PlanCacheTest, SecondPlanIsAHitAndSkipsEnumeration) {
+  const ConjunctiveQuery q = ConjunctiveQuery::Triangle();
+  const std::vector<Relation> atoms = TriangleData(11, 500);
+  PlanCache cache;
+
+  const PlannedQuery cold = PlanQuery(q, Scatter(atoms, 8), 8, {}, &cache);
+  EXPECT_FALSE(cold.cache_hit);
+  EXPECT_GT(cold.dp_states, 0);
+  EXPECT_EQ(cache.counters().misses, 1);
+  EXPECT_EQ(cache.counters().hits, 0);
+  EXPECT_EQ(cache.size(), 1);
+
+  const PlannedQuery warm = PlanQuery(q, Scatter(atoms, 8), 8, {}, &cache);
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_EQ(warm.dp_states, 0);  // The warm path skipped the DP.
+  EXPECT_EQ(cache.counters().hits, 1);
+  EXPECT_EQ(cache.counters().misses, 1);
+
+  EXPECT_EQ(warm.plan.family, cold.plan.family);
+  EXPECT_EQ(warm.plan.join_order, cold.plan.join_order);
+  EXPECT_EQ(warm.plan.skew_aware, cold.plan.skew_aware);
+  EXPECT_FALSE(warm.plan.tree.empty());
+  EXPECT_EQ(warm.plan.tree.ToString(q), cold.plan.tree.ToString(q));
+}
+
+TEST(PlanCacheTest, DifferentOptionsMissSeparately) {
+  const ConjunctiveQuery q = ConjunctiveQuery::Triangle();
+  const std::vector<Relation> atoms = TriangleData(12, 400);
+  PlanCache cache;
+
+  PlannerOptions free_rounds;
+  free_rounds.round_cost_tuples = 0.0;
+  PlannerOptions costly_rounds;
+  costly_rounds.round_cost_tuples = 1e7;
+
+  PlanQuery(q, Scatter(atoms, 8), 8, free_rounds, &cache);
+  const PlannedQuery other =
+      PlanQuery(q, Scatter(atoms, 8), 8, costly_rounds, &cache);
+  EXPECT_FALSE(other.cache_hit);  // λ participates in the key.
+  EXPECT_EQ(cache.counters().misses, 2);
+  EXPECT_EQ(cache.size(), 2);
+
+  // A different cluster size is a different key too.
+  const PlannedQuery other_p =
+      PlanQuery(q, Scatter(atoms, 16), 16, free_rounds, &cache);
+  EXPECT_FALSE(other_p.cache_hit);
+  EXPECT_EQ(cache.size(), 3);
+}
+
+TEST(PlanCacheTest, StatsChangeInvalidatesEntry) {
+  const ConjunctiveQuery q = ConjunctiveQuery::Triangle();
+  const std::vector<Relation> before = TriangleData(13, 500);
+  std::vector<Relation> after = before;
+  Rng rng(14);
+  // Grow one atom: the size fingerprint no longer matches.
+  after[1] = UnionAll(after[1], GenerateUniform(rng, 200, 2, 40));
+
+  PlanCache cache;
+  PlanQuery(q, Scatter(before, 8), 8, {}, &cache);
+  const PlannedQuery replanned = PlanQuery(q, Scatter(after, 8), 8, {}, &cache);
+  EXPECT_FALSE(replanned.cache_hit);
+  EXPECT_GT(replanned.dp_states, 0);
+  EXPECT_EQ(cache.counters().invalidations, 1);
+  EXPECT_EQ(cache.counters().misses, 2);
+  EXPECT_EQ(cache.counters().hits, 0);
+
+  // The replanned entry is fresh: the same stats now hit.
+  const PlannedQuery warm = PlanQuery(q, Scatter(after, 8), 8, {}, &cache);
+  EXPECT_TRUE(warm.cache_hit);
+}
+
+TEST(PlanCacheTest, IsomorphicQueryHitsAndExecutesCorrectly) {
+  // The same triangle spelled with permuted atoms and renamed variables
+  // must hit the entry planted by the canonical spelling, and the remapped
+  // join order must still compute the right answer.
+  const auto first = ConjunctiveQuery::Parse("R(x,y), S(y,z), T(z,x)");
+  const auto second = ConjunctiveQuery::Parse("E(b,c), F(c,a), D(a,b)");
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+
+  const std::vector<Relation> atoms = TriangleData(15, 400);
+  // second's atom k must carry the same data as the matching atom of
+  // first under the isomorphism D↔R, E↔S, F↔T (a=x, b=y, c=z).
+  const std::vector<Relation> permuted = {atoms[1], atoms[2], atoms[0]};
+
+  PlanCache cache;
+  PlanQuery(*first, Scatter(atoms, 8), 8, {}, &cache);
+  const PlannedQuery warm =
+      PlanQuery(*second, Scatter(permuted, 8), 8, {}, &cache);
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_EQ(cache.counters().hits, 1);
+
+  Cluster cluster(8, 3);
+  Rng rng(5);
+  const DistRelation out =
+      ExecutePlannedQuery(cluster, *second, Scatter(permuted, 8), warm, rng);
+  EXPECT_TRUE(MultisetEqual(out.Collect(), EvalJoinLocal(*second, permuted)));
+}
+
+TEST(PlanCacheTest, MetricsReportPlanningAndCacheCounts) {
+  const ConjunctiveQuery q = ConjunctiveQuery::Triangle();
+  const std::vector<Relation> atoms = TriangleData(16, 300);
+  PlanCache cache;
+
+  Cluster cluster(8, 3);
+  Rng rng(6);
+  const PlannedQuery cold = PlanQuery(q, Scatter(atoms, 8), 8, {}, &cache);
+  ExecutePlannedQuery(cluster, q, Scatter(atoms, 8), cold, rng);
+  const PlannedQuery warm = PlanQuery(q, Scatter(atoms, 8), 8, {}, &cache);
+  ExecutePlannedQuery(cluster, q, Scatter(atoms, 8), warm, rng);
+
+  const StatsReport report = BuildStatsReport(cluster);
+  EXPECT_EQ(report.plan_cache_misses, 1);
+  EXPECT_EQ(report.plan_cache_hits, 1);
+  EXPECT_GE(report.planning_ms, 0.0);
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"plan_cache_hits\": 1"), std::string::npos) << json;
+}
+
+TEST(PlanCacheTest, ClearEmptiesEntriesButKeepsCounters) {
+  const ConjunctiveQuery q = ConjunctiveQuery::Triangle();
+  const std::vector<Relation> atoms = TriangleData(17, 300);
+  PlanCache cache;
+  PlanQuery(q, Scatter(atoms, 8), 8, {}, &cache);
+  ASSERT_EQ(cache.size(), 1);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0);
+  const PlannedQuery replanned = PlanQuery(q, Scatter(atoms, 8), 8, {}, &cache);
+  EXPECT_FALSE(replanned.cache_hit);
+}
+
+}  // namespace
+}  // namespace mpcqp

@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
 #include "mpc/cluster.h"
+#include "multiway/binary_plan.h"
+#include "planner/calibration.h"
+#include "planner/enumerator.h"
+#include "planner/plan_cache.h"
 #include "planner/planner.h"
 #include "query/local_eval.h"
 #include "relation/relation_ops.h"
@@ -144,6 +148,143 @@ TEST(PlannerTest, ExecuteGymPlanOnAcyclicQuery) {
   const DistRelation out =
       ExecutePlan(cluster, q, Scatter(atoms, 8), choice, rng);
   EXPECT_TRUE(MultisetEqual(out.Collect(), EvalJoinLocal(q, atoms)));
+}
+
+// ---------- Cost-based enumeration (PlanQuery) ----------
+
+// Path query A(x,y) ⋈ B(y,z) ⋈ C(z,w) where y is a single constant in A
+// and B: the identity order materializes the full |A|·|B| cross product on
+// y before C can cut it down. The DP must not start with A ⋈ B.
+std::vector<Relation> BlowupPathData(int64_t rows) {
+  Rng rng(41);
+  Relation a(2);
+  Relation b(2);
+  for (int64_t i = 0; i < rows; ++i) {
+    a.AppendRow({Value(1000 + i), Value(7)});
+    b.AppendRow({Value(7), Value(i)});
+  }
+  // C keeps only a sliver of B's z values: the selective edge.
+  Relation c(2);
+  for (int64_t i = 0; i < rows / 20; ++i) {
+    c.AppendRow({Value(i * 20), Value(5000 + i)});
+  }
+  return {a, b, c};
+}
+
+TEST(PlannerTest, DpAvoidsBlowupJoinOrder) {
+  const auto parsed = ConjunctiveQuery::Parse("A(x,y), B(y,z), C(z,w)");
+  ASSERT_TRUE(parsed.ok());
+  const ConjunctiveQuery& q = *parsed;
+  const std::vector<Relation> atoms = BlowupPathData(300);
+
+  PlannerOptions options;
+  options.allowed = {PlanAlgorithm::kBinaryPlan};
+  const PlannedQuery planned =
+      PlanQuery(q, Scatter(atoms, 8), 8, options, nullptr);
+  ASSERT_EQ(planned.plan.family, PlanAlgorithm::kBinaryPlan);
+  ASSERT_EQ(planned.plan.join_order.size(), 3u);
+  // The first joined pair must not be {A, B} (the blowup pair).
+  const int first = planned.plan.join_order[0];
+  const int second = planned.plan.join_order[1];
+  EXPECT_FALSE((first == 0 && second == 1) || (first == 1 && second == 0))
+      << "DP kept the exploding A-B prefix";
+  EXPECT_GT(planned.dp_states, 0);
+  EXPECT_FALSE(planned.plan.tree.empty());
+
+  // The reordered plan still computes the right answer.
+  Cluster cluster(8, 5);
+  Rng rng(6);
+  const DistRelation out =
+      ExecutePlannedQuery(cluster, q, Scatter(atoms, 8), planned, rng);
+  EXPECT_TRUE(MultisetEqual(out.Collect(), EvalJoinLocal(q, atoms)));
+}
+
+TEST(PlannerTest, TreeExecutorBitIdenticalToBinaryDriver) {
+  const ConjunctiveQuery q = ConjunctiveQuery::Triangle();
+  Rng data_rng(17);
+  std::vector<Relation> atoms;
+  for (int j = 0; j < 3; ++j) {
+    atoms.push_back(GenerateZipf(data_rng, 400, 2, 30, 0, 1.1));
+  }
+  PlannerOptions options;
+  options.allowed = {PlanAlgorithm::kBinaryPlan};
+  const PlannedQuery planned =
+      PlanQuery(q, Scatter(atoms, 8), 8, options, nullptr);
+  ASSERT_EQ(planned.plan.family, PlanAlgorithm::kBinaryPlan);
+
+  Cluster tree_cluster(8, 9);
+  Rng tree_rng(12);
+  const DistRelation via_tree = ExecutePlannedQuery(
+      tree_cluster, q, Scatter(atoms, 8), planned, tree_rng);
+
+  Cluster ref_cluster(8, 9);
+  Rng ref_rng(12);
+  BinaryPlanOptions ref;
+  ref.skew_aware = planned.plan.skew_aware;
+  ref.order = planned.plan.join_order;
+  const BinaryPlanResult expected =
+      IterativeBinaryJoin(ref_cluster, q, Scatter(atoms, 8), ref_rng, ref);
+
+  ASSERT_EQ(via_tree.num_servers(), expected.output.num_servers());
+  for (int s = 0; s < via_tree.num_servers(); ++s) {
+    const Relation& got = via_tree.fragment(s);
+    const Relation& want = expected.output.fragment(s);
+    ASSERT_EQ(got.size(), want.size()) << "server " << s;
+    for (int64_t i = 0; i < got.size(); ++i) {
+      for (int c = 0; c < got.arity(); ++c) {
+        ASSERT_EQ(got.at(i, c), want.at(i, c))
+            << "server " << s << " row " << i << " col " << c;
+      }
+    }
+  }
+  // And the metered cost reports agree round for round.
+  EXPECT_EQ(tree_cluster.cost_report().num_rounds(),
+            ref_cluster.cost_report().num_rounds());
+}
+
+TEST(PlannerTest, CalibrationProducesUsableCoefficients) {
+  const CostCoefficients c = CalibrateCostModel(4, 1);
+  EXPECT_TRUE(c.calibrated);
+  EXPECT_GT(c.route_us_per_tuple, 0.0);
+  EXPECT_GT(c.copy_us_per_value, 0.0);
+  EXPECT_GT(c.local_us_per_tuple, 0.0);
+  EXPECT_GE(c.round_overhead_us, 1.0);
+  EXPECT_FALSE(c.ToString().empty());
+  EXPECT_EQ(c.ToString().find("uncalibrated"), std::string::npos);
+}
+
+TEST(PlannerTest, CalibratedPricingIsMonotoneInLoadAndRounds) {
+  const ConjunctiveQuery q = ConjunctiveQuery::Triangle();
+  PlannerOptions options;
+  options.cost.calibrated = true;  // Defaults give positive coefficients.
+  const double cheap = PriceCandidate(1000, 1, q, options);
+  const double heavier = PriceCandidate(2000, 1, q, options);
+  const double more_rounds = PriceCandidate(1000, 3, q, options);
+  EXPECT_LT(cheap, heavier);
+  EXPECT_LT(cheap, more_rounds);
+}
+
+TEST(PlannerTest, UncalibratedPricingMatchesLegacyLambdaFormula) {
+  const ConjunctiveQuery q = ConjunctiveQuery::Triangle();
+  PlannerOptions options;
+  options.round_cost_tuples = 250.0;
+  EXPECT_DOUBLE_EQ(PriceCandidate(1000, 2, q, options), 1000 + 2 * 250.0);
+}
+
+TEST(PlannerTest, PlanQueryMatchesChoosePlanWhenEnumerationIsOff) {
+  const ConjunctiveQuery q = ConjunctiveQuery::Triangle();
+  Rng rng(19);
+  std::vector<Relation> atoms;
+  for (int j = 0; j < 3; ++j) {
+    atoms.push_back(GenerateUniform(rng, 600, 2, 40));
+  }
+  PlannerOptions options;
+  options.enumerate_join_orders = false;
+  const PlanChoice choice = ChoosePlan(q, Scatter(atoms, 16), 16, options);
+  const PlannedQuery planned =
+      PlanQuery(q, Scatter(atoms, 16), 16, options, nullptr);
+  EXPECT_EQ(planned.plan.family, choice.chosen.algorithm);
+  EXPECT_EQ(planned.dp_states, 0);
 }
 
 TEST(PlannerTest, RationalesAndNamesPopulated) {

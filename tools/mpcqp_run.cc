@@ -33,6 +33,8 @@
 #include "multiway/binary_plan.h"
 #include "multiway/hypercube.h"
 #include "multiway/skew_hc.h"
+#include "planner/calibration.h"
+#include "planner/plan_cache.h"
 #include "planner/planner.h"
 #include "query/ghd.h"
 #include "query/hypergraph_lp.h"
@@ -61,18 +63,29 @@ struct Options {
   bool analyze_only = false;
   bool verify = false;
   uint64_t seed = 42;
+  // Planner controls (--algorithm auto/planner).
+  double round_cost = 0.0;   // λ: tuples-equivalent charge per round.
+  bool plan_cache = true;    // --plan-cache on|off.
+  bool calibrate = false;    // Measure per-tuple costs before planning.
 };
 
 [[noreturn]] void Usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s --query Q [--servers P] [--threads T] [--morsel-rows N] "
-      "[--algorithm hypercube|skewhc|binary|gym|planner|auto]\n"
+      "[--algorithm hypercube|skewhc|binary|gym|auto|planner]\n"
       "          [--gen NAME=SPEC]... [--input NAME=FILE.csv]...\n"
       "          [--output FILE.csv] [--seed N] [--analyze] [--verify]\n"
       "          [--trace FILE.json] [--stats FILE.json]\n"
+      "          [--round-cost LAMBDA] [--plan-cache on|off] [--calibrate]\n"
       "  --morsel-rows sets the rows-per-morsel grain of the parallel\n"
       "  exchange passes (>= 1; never changes results)\n"
+      "  --algorithm auto (alias: planner) runs the cost-based planner:\n"
+      "  join-order enumeration + plan cache; prints the chosen plan tree\n"
+      "  --round-cost charges LAMBDA tuples per round (planner only)\n"
+      "  --plan-cache on|off toggles the shape+stats plan cache\n"
+      "  --calibrate measures per-tuple phase costs first and plans in "
+      "microseconds\n"
       "  --trace writes a Chrome-trace (chrome://tracing / Perfetto) "
       "timeline\n"
       "  --stats writes a machine-readable per-round stats report\n",
@@ -277,23 +290,35 @@ int Run(const Options& options) {
   Rng algo_rng(options.seed + 2);
 
   std::string algorithm = options.algorithm;
-  if (algorithm == "auto") {
-    algorithm = IsAcyclic(q) ? "gym" : "skewhc";
-  }
   DistRelation output(q.num_vars(), options.servers);
-  if (algorithm == "planner") {
-    const PlanChoice choice = ChoosePlan(q, dist, options.servers);
+  if (algorithm == "auto" || algorithm == "planner") {
+    PlannerOptions planner_options;
+    planner_options.round_cost_tuples = options.round_cost;
+    if (options.calibrate) {
+      planner_options.cost =
+          CalibrateCostModel(options.servers, options.threads);
+      std::printf("calibrated cost model: %s\n",
+                  planner_options.cost.ToString().c_str());
+    }
+    PlanCache cache;
+    const PlannedQuery planned =
+        PlanQuery(q, dist, options.servers, planner_options,
+                  options.plan_cache ? &cache : nullptr);
     std::printf("planner candidates:\n");
-    for (const CandidatePlan& plan : choice.candidates) {
-      std::printf("  %-12s %s est L=%.0f r=%d  (%s)\n",
+    for (const CandidatePlan& plan : planned.candidates) {
+      std::printf("  %-12s %s est L=%.0f r=%d cost=%.0f  (%s)\n",
                   PlanAlgorithmName(plan.algorithm),
                   plan.feasible ? "ok " : "n/a", plan.estimated_load,
-                  plan.estimated_rounds, plan.rationale.c_str());
+                  plan.estimated_rounds, plan.total_cost,
+                  plan.rationale.c_str());
     }
-    std::printf("planner chose: %s\n",
-                PlanAlgorithmName(choice.chosen.algorithm));
-    output = ExecutePlan(cluster, q, dist, choice, algo_rng);
-    algorithm = PlanAlgorithmName(choice.chosen.algorithm);
+    std::printf("planner chose: %s (%s, %lld dp states)\n",
+                PlanAlgorithmName(planned.plan.family),
+                planned.cache_hit ? "plan cache hit" : "planned",
+                static_cast<long long>(planned.dp_states));
+    std::printf("plan tree:\n%s", planned.plan.tree.ToString(q).c_str());
+    output = ExecutePlannedQuery(cluster, q, dist, planned, algo_rng);
+    algorithm = PlanAlgorithmName(planned.plan.family);
   } else if (algorithm == "hypercube") {
     output = HyperCubeJoin(cluster, q, dist).output;
   } else if (algorithm == "skewhc") {
@@ -442,6 +467,27 @@ int main(int argc, char** argv) {
         mpcqp::Usage(argv[0]);
       }
       options.seed = *parsed;
+    } else if (arg == "--round-cost") {
+      const std::string text = value();
+      const auto parsed = mpcqp::ParseDouble(text);
+      if (!parsed.ok() || *parsed < 0) {
+        std::fprintf(stderr, "--round-cost: %s\n",
+                     parsed.ok() ? "must be >= 0"
+                                 : parsed.status().message().c_str());
+        mpcqp::Usage(argv[0]);
+      }
+      options.round_cost = *parsed;
+    } else if (arg == "--plan-cache") {
+      const std::string text = value();
+      const auto parsed = mpcqp::ParseBool(text);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "--plan-cache: %s\n",
+                     parsed.status().message().c_str());
+        mpcqp::Usage(argv[0]);
+      }
+      options.plan_cache = *parsed;
+    } else if (arg == "--calibrate") {
+      options.calibrate = true;
     } else if (arg == "--analyze") {
       options.analyze_only = true;
     } else if (arg == "--verify") {
