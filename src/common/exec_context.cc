@@ -1,0 +1,20 @@
+#include "common/exec_context.h"
+
+namespace mpcqp {
+
+namespace {
+
+thread_local const ExecContext* tls_exec_context = nullptr;
+
+}  // namespace
+
+const ExecContext* CurrentExecContext() { return tls_exec_context; }
+
+ExecContextScope::ExecContextScope(const ExecContext* context)
+    : previous_(tls_exec_context) {
+  tls_exec_context = context;
+}
+
+ExecContextScope::~ExecContextScope() { tls_exec_context = previous_; }
+
+}  // namespace mpcqp

@@ -1,0 +1,53 @@
+#ifndef MPCQP_COMMON_EXEC_CONTEXT_H_
+#define MPCQP_COMMON_EXEC_CONTEXT_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace mpcqp {
+
+// Per-query execution attribution for the multi-query serving runtime.
+//
+// When several logical Clusters share one physical ThreadPool, hot paths
+// that have no Cluster parameter in reach (e.g. Relation's copy-on-write
+// detach) still need to charge their work to the query that caused it.
+// An ExecContext is a tiny bag of counter pointers owned by one query's
+// Cluster; the query's driver thread installs it with ExecContextScope,
+// and ThreadPool propagates it into every helper task and morsel a
+// parallel loop fans out — so a pool worker executing cluster A's morsel
+// charges cluster A even if the very next task it picks up belongs to
+// cluster B.
+//
+// The pointed-to counters must outlive every task running under the
+// context; Cluster owns both the context and the counters (inside its
+// MpcMetrics), so keeping the Cluster alive for the duration of its query
+// — which every driver already does — is sufficient.
+struct ExecContext {
+  // Incremented on each COW payload clone forced while this context is
+  // installed (mirrors TraceCounters::cow_detaches, which stays
+  // process-wide).
+  std::atomic<int64_t>* cow_detaches = nullptr;
+  std::atomic<int64_t>* cow_detach_bytes = nullptr;
+};
+
+// The context installed on the calling thread, or nullptr.
+const ExecContext* CurrentExecContext();
+
+// Installs `context` (may be nullptr) on the calling thread for the
+// scope's lifetime and restores the previous one on destruction. Scopes
+// nest; the innermost wins.
+class ExecContextScope {
+ public:
+  explicit ExecContextScope(const ExecContext* context);
+  ~ExecContextScope();
+
+  ExecContextScope(const ExecContextScope&) = delete;
+  ExecContextScope& operator=(const ExecContextScope&) = delete;
+
+ private:
+  const ExecContext* previous_;
+};
+
+}  // namespace mpcqp
+
+#endif  // MPCQP_COMMON_EXEC_CONTEXT_H_

@@ -18,6 +18,7 @@ enum class StatusCode {
   kUnimplemented = 5,
   kInternal = 6,
   kResourceExhausted = 7,
+  kUnavailable = 8,
 };
 
 // Returns a stable human-readable name for `code` (e.g. "INVALID_ARGUMENT").
@@ -67,6 +68,7 @@ Status OutOfRangeError(std::string message);
 Status UnimplementedError(std::string message);
 Status InternalError(std::string message);
 Status ResourceExhaustedError(std::string message);
+Status UnavailableError(std::string message);
 
 }  // namespace mpcqp
 

@@ -15,6 +15,21 @@ namespace mpcqp {
 namespace {
 
 thread_local int tls_worker_index = -1;
+// Open parallel-loop bodies on this thread (nested loops stack). The
+// thread-scoped counterpart of the old pool-wide counter: with many
+// clusters sharing one pool, "am I inside a parallel region" must be a
+// property of the calling thread, not of the pool.
+thread_local int tls_loop_depth = 0;
+
+// RAII bump of the calling thread's loop depth; exception-safe.
+class ScopedLoopDepth {
+ public:
+  ScopedLoopDepth() { ++tls_loop_depth; }
+  ~ScopedLoopDepth() { --tls_loop_depth; }
+
+  ScopedLoopDepth(const ScopedLoopDepth&) = delete;
+  ScopedLoopDepth& operator=(const ScopedLoopDepth&) = delete;
+};
 
 // Parallel loops never enqueue more helpers than there are spare cores:
 // the caller already occupies one, and on an oversubscribed pool (threads
@@ -56,6 +71,10 @@ ThreadPool::~ThreadPool() {
 
 int ThreadPool::current_worker_index() { return tls_worker_index; }
 
+bool ThreadPool::CallingThreadInParallelRegion() {
+  return tls_loop_depth > 0;
+}
+
 void ThreadPool::Enqueue(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -73,7 +92,13 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
     (*packaged)();
     return result;
   }
-  Enqueue([packaged] { (*packaged)(); });
+  // Charge the task to the submitter's query even though it runs on a
+  // shared worker (see the class comment on ExecContext propagation).
+  const ExecContext* context = CurrentExecContext();
+  Enqueue([packaged, context] {
+    ExecContextScope scope(context);
+    (*packaged)();
+  });
   return result;
 }
 
@@ -92,22 +117,6 @@ void ThreadPool::WorkerMain(int index) {
   }
 }
 
-namespace {
-
-// RAII bump of an atomic counter; exception-safe.
-class ScopedCount {
- public:
-  explicit ScopedCount(std::atomic<int>& counter) : counter_(counter) {
-    counter_.fetch_add(1, std::memory_order_acq_rel);
-  }
-  ~ScopedCount() { counter_.fetch_sub(1, std::memory_order_acq_rel); }
-
- private:
-  std::atomic<int>& counter_;
-};
-
-}  // namespace
-
 void ThreadPool::ParallelFor(int64_t n,
                              const std::function<void(int64_t)>& body) {
   if (n <= 0) return;
@@ -115,7 +124,7 @@ void ThreadPool::ParallelFor(int64_t n,
   // The region is marked active on the inline paths too, so misuse (e.g.
   // drawing a new hash function from a loop body) is caught at every
   // thread count, not only when it would actually race.
-  ScopedCount in_region(active_parallel_);
+  ScopedLoopDepth in_region;
   if (num_threads_ <= 1 || n == 1) {
     for (int64_t i = 0; i < n; ++i) body(i);
     return;
@@ -128,6 +137,7 @@ void ThreadPool::ParallelFor(int64_t n,
     std::atomic<int64_t> next{0};
     int64_t n = 0;
     const std::function<void(int64_t)>* body = nullptr;
+    const ExecContext* context = nullptr;  // The issuing query's context.
     std::mutex mu;
     std::condition_variable done_cv;
     int64_t done = 0;          // Guarded by mu.
@@ -137,8 +147,11 @@ void ThreadPool::ParallelFor(int64_t n,
   auto state = std::make_shared<LoopState>();
   state->n = n;
   state->body = &body;
+  state->context = CurrentExecContext();
 
   const auto drain = [](const std::shared_ptr<LoopState>& s) {
+    ExecContextScope context_scope(s->context);
+    ScopedLoopDepth in_body;
     int64_t finished = 0;
     while (true) {
       const int64_t i = s->next.fetch_add(1, std::memory_order_relaxed);
@@ -179,7 +192,7 @@ void ThreadPool::ParallelForGrained(
   MPCQP_CHECK_GE(grain, 1);
   if (n <= 0) return;
   MPCQP_TRACE_SCOPE_ARG("parallel_for_grained", "pool", n);
-  ScopedCount in_region(active_parallel_);
+  ScopedLoopDepth in_region;
   const int64_t chunks = (n + grain - 1) / grain;
   if (num_threads_ <= 1 || chunks == 1) {
     for (int64_t c = 0; c < chunks; ++c) {
@@ -206,6 +219,7 @@ void ThreadPool::ParallelForGrained(
     int64_t chunks = 0;
     int participants = 0;
     const std::function<void(int64_t, int64_t)>* body = nullptr;
+    const ExecContext* context = nullptr;  // The issuing query's context.
     std::vector<Deque> deques;
     std::atomic<int> next_slot{0};
     std::mutex mu;
@@ -238,6 +252,7 @@ void ThreadPool::ParallelForGrained(
     return;
   }
   state->body = &body;
+  state->context = CurrentExecContext();
   state->deques = std::vector<Deque>(state->participants);
   for (int i = 0; i < state->participants; ++i) {
     state->deques[i].head = i * chunks / state->participants;
@@ -245,6 +260,8 @@ void ThreadPool::ParallelForGrained(
   }
 
   const auto drain = [](const std::shared_ptr<LoopState>& s) {
+    ExecContextScope context_scope(s->context);
+    ScopedLoopDepth in_body;
     const int slot = s->next_slot.fetch_add(1, std::memory_order_relaxed);
     const int P = s->participants;
     int64_t finished = 0;
@@ -302,6 +319,37 @@ void ThreadPool::ParallelForGrained(
   state->done_cv.wait(lock,
                       [&state] { return state->done_chunks == state->chunks; });
   if (state->error) std::rethrow_exception(state->error);
+}
+
+namespace {
+
+std::mutex& RegistryMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::shared_ptr<ThreadPool>& RegistrySlot() {
+  static std::shared_ptr<ThreadPool> pool;
+  return pool;
+}
+
+}  // namespace
+
+std::shared_ptr<ThreadPool> ExecutorRegistry::Shared(int num_threads) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  std::shared_ptr<ThreadPool>& slot = RegistrySlot();
+  if (!slot) slot = std::make_shared<ThreadPool>(num_threads);
+  return slot;
+}
+
+std::shared_ptr<ThreadPool> ExecutorRegistry::SharedIfCreated() {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  return RegistrySlot();
+}
+
+void ExecutorRegistry::ResetForTesting() {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  RegistrySlot().reset();
 }
 
 }  // namespace mpcqp

@@ -7,9 +7,12 @@
 #include <deque>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/exec_context.h"
 
 namespace mpcqp {
 
@@ -48,6 +51,33 @@ namespace mpcqp {
 //  - Destruction: every task already submitted completes before the
 //    workers join (shutdown-while-busy drains the queue, it does not
 //    cancel).
+//
+// Sharing one pool across many logical clusters (the serving runtime):
+// a ThreadPool has no per-client state, so any number of Clusters — and
+// therefore any number of concurrently executing queries — may issue
+// Submit / ParallelFor / ParallelForGrained calls from their own driver
+// threads at once. Helper tasks from different loops interleave FIFO in
+// the shared queue (morsel-level interleaving across queries); each
+// loop's completion is tracked by its own call-scoped state, so loops
+// never observe each other. Two things make the sharing sound:
+//  - current_worker_index() is POOL-scoped, not loop- or cluster-scoped:
+//    a worker executing a morsel for cluster A inside a task submitted by
+//    cluster B still reports its stable pool index, so per-cluster shard
+//    arrays sized by num_threads() always index correctly.
+//  - in_parallel_region() is CALLING-THREAD-scoped (a thread-local loop
+//    depth, not a pool-wide counter): it answers "is this thread inside a
+//    parallel loop body of any pool", so cluster A's driver can draw hash
+//    functions between loops while cluster B's loops are in flight, while
+//    a draw from inside a loop body is still caught at every thread
+//    count. The MPCQP_LOOP_HELPERS fan-out cap is process-wide and
+//    per-loop: each loop independently fans out to at most the spare-core
+//    count, regardless of which cluster issued it.
+//
+// ExecContext propagation: every Submit/ParallelFor/ParallelForGrained
+// call captures the calling thread's ExecContext (see
+// common/exec_context.h) and installs it around each helper task or
+// stolen morsel, so per-query attribution survives the hop onto shared
+// workers.
 class ThreadPool {
  public:
   explicit ThreadPool(int num_threads);
@@ -75,17 +105,24 @@ class ThreadPool {
                           const std::function<void(int64_t, int64_t)>& body);
 
   // Index of the calling pool worker thread in [0, num_threads() - 1), or
-  // -1 when the caller is not a pool worker (e.g. the main thread).
+  // -1 when the caller is not a pool worker (e.g. the main thread or a
+  // query driver thread). Pool-scoped and stable: the index never depends
+  // on which cluster's work the worker happens to be executing.
   static int current_worker_index();
 
-  // True while any ParallelFor issued through this pool is still running
-  // (including single-threaded and nested inline runs, so the answer does
-  // not depend on num_threads). Lets callers reject operations that are
-  // unsafe — or would lose determinism — inside a parallel region, e.g.
-  // Cluster::NewHashFunction.
-  bool in_parallel_region() const {
-    return active_parallel_.load(std::memory_order_acquire) > 0;
-  }
+  // True while the CALLING THREAD is inside a parallel loop body (of any
+  // pool; including single-threaded and nested inline runs, so the answer
+  // does not depend on num_threads). Lets callers reject operations that
+  // are unsafe — or would lose determinism — inside a parallel region,
+  // e.g. Cluster::NewHashFunction. Deliberately thread-scoped rather than
+  // pool-scoped: when several clusters share one pool, cluster A's driver
+  // calling this between its own loops must not observe cluster B's loops
+  // (a pool-wide counter would make NewHashFunction fail spuriously under
+  // concurrent queries).
+  bool in_parallel_region() const { return CallingThreadInParallelRegion(); }
+
+  // Static spelling of the same thread-scoped predicate.
+  static bool CallingThreadInParallelRegion();
 
  private:
   void Enqueue(std::function<void()> task);
@@ -96,8 +133,23 @@ class ThreadPool {
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;  // Guarded by mu_.
   bool stopping_ = false;                    // Guarded by mu_.
-  std::atomic<int> active_parallel_{0};      // Open ParallelFor calls.
   std::vector<std::thread> workers_;
+};
+
+// Process-wide shared-pool handle for the multi-query serving runtime.
+// The first Shared() call creates THE process pool with the requested
+// thread count; every later call returns the same pool (the count is
+// fixed by the first caller — one work-stealing pool, not one per
+// configuration). Callers that genuinely want a private pool (tests,
+// single-query tools) construct a ThreadPool or shared_ptr directly.
+class ExecutorRegistry {
+ public:
+  static std::shared_ptr<ThreadPool> Shared(int num_threads);
+  // The current shared pool without creating one (nullptr if none).
+  static std::shared_ptr<ThreadPool> SharedIfCreated();
+  // Drops the registry's reference (tests; the pool itself survives while
+  // any Cluster still holds it).
+  static void ResetForTesting();
 };
 
 }  // namespace mpcqp

@@ -32,9 +32,15 @@ Cluster::Cluster(int num_servers, uint64_t seed, ClusterOptions options)
   MPCQP_CHECK_GT(num_servers, 0);
   MPCQP_CHECK_GE(options.morsel_rows, 1)
       << "ClusterOptions::morsel_rows must be >= 1";
-  pool_ = std::make_unique<ThreadPool>(options.num_threads);
-  // Shard 0 belongs to non-worker callers (the main thread); shard w + 1
-  // to pool worker w.
+  pool_ = options.shared_pool
+              ? options.shared_pool
+              : std::make_shared<ThreadPool>(options.num_threads);
+  exec_context_.cow_detaches = &metrics_.attributed_cow_detaches();
+  exec_context_.cow_detach_bytes = &metrics_.attributed_cow_detach_bytes();
+  // Shard 0 belongs to non-worker callers (query driver threads); shard
+  // w + 1 to pool worker w. The shards are per-cluster even when the pool
+  // is shared: a worker metering cluster A's morsel writes into A's shard
+  // for its pool-scoped index, so concurrent queries never mix counts.
   shards_.reserve(static_cast<size_t>(pool_->num_threads()));
   for (int i = 0; i < pool_->num_threads(); ++i) {
     shards_.push_back(std::make_unique<CostShard>(num_servers_));

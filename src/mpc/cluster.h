@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/exec_context.h"
 #include "common/hash.h"
 #include "common/thread_pool.h"
 #include "mpc/cost.h"
@@ -28,13 +29,25 @@ struct ClusterOptions {
   // morsel decomposition derives from input sizes only, and counts
   // aggregate in fixed morsel order (see DESIGN.md, "Execution model").
   int64_t morsel_rows = 8192;
+  // When set, the cluster ATTACHES to this pool instead of spawning its
+  // own threads, and num_threads is ignored. Any number of logical
+  // clusters may attach to one pool — this is how N in-flight queries
+  // interleave their morsels on one process-wide work-stealing pool (the
+  // serving runtime; see DESIGN.md, "Serving runtime"). Everything that
+  // carries query state — cost shards, the hash-seed sequence, metrics —
+  // stays strictly per-Cluster, so concurrent queries produce outputs and
+  // CostReports bit-identical to their solo runs.
+  std::shared_ptr<ThreadPool> shared_pool;
 };
 
 // A simulated shared-nothing MPC cluster of p servers.
 //
 // The cluster does not own data (DistRelation does); it owns the round
-// structure, the communication meter, and the thread pool that algorithms
-// use to execute one round's per-server work on real cores.
+// structure, the communication meter, and a handle to the thread pool
+// that algorithms use to execute one round's per-server work on real
+// cores — a private pool by default, or a process-wide shared pool when
+// ClusterOptions::shared_pool is set (many clusters, one pool: the
+// multi-query serving configuration).
 //
 // Round semantics: by default each exchange primitive opens and closes its
 // own round. An algorithm that performs several exchanges in one logical
@@ -64,8 +77,10 @@ class Cluster {
   // Contract: not thread-safe, and deliberately so — the seed sequence is
   // part of the determinism contract, and a draw whose position depended
   // on thread scheduling would change results across runs. Calling this
-  // while any pool().ParallelFor is running CHECK-fails (at every thread
-  // count, including 1, so the misuse cannot hide in serial test runs).
+  // from inside a parallel loop body CHECK-fails (at every thread count,
+  // including 1, so the misuse cannot hide in serial test runs). The
+  // check is thread-scoped, not pool-scoped: on a shared pool, another
+  // cluster's in-flight loops never trip it.
   // Draw hash functions before fanning out and copy them into tasks;
   // HashFunction is a trivially copyable value type.
   HashFunction NewHashFunction();
@@ -96,6 +111,27 @@ class Cluster {
   MpcMetrics& metrics() { return metrics_; }
   const MpcMetrics& metrics() const { return metrics_; }
 
+  // Marks the calling thread (and, via ThreadPool's ExecContext
+  // propagation, every task its parallel loops fan out) as executing on
+  // behalf of this cluster, for the scope's lifetime. Required for exact
+  // per-query COW-detach metrics when several clusters share one pool;
+  // harmless (and a no-op for results) when the cluster owns its pool.
+  // The first scope switches the cluster's metrics to attributed detach
+  // accounting (see MpcMetrics::EnableCowAttribution).
+  class ScopedExecution {
+   public:
+    explicit ScopedExecution(Cluster& cluster)
+        : scope_(&cluster.exec_context_) {
+      cluster.metrics_.EnableCowAttribution();
+    }
+
+    ScopedExecution(const ScopedExecution&) = delete;
+    ScopedExecution& operator=(const ScopedExecution&) = delete;
+
+   private:
+    ExecContextScope scope_;
+  };
+
  private:
   struct CostShard;
 
@@ -106,7 +142,9 @@ class Cluster {
   RoundCost current_round_{0};
   CostReport report_;
   MpcMetrics metrics_;
-  std::unique_ptr<ThreadPool> pool_;
+  ExecContext exec_context_;
+  // Owned or shared with other clusters (ClusterOptions::shared_pool).
+  std::shared_ptr<ThreadPool> pool_;
   // One shard per pool slot (worker threads + the caller); RecordMessage
   // picks the calling thread's shard, EndRound folds them into the round.
   std::vector<std::unique_ptr<CostShard>> shards_;

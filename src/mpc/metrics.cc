@@ -49,13 +49,26 @@ MpcMetrics::MpcMetrics() {
   baseline_detaches_ = TraceCounters::cow_detaches.load();
 }
 
+int64_t MpcMetrics::DetachesNow() const {
+  return attributed_ ? local_detaches_.load(std::memory_order_relaxed)
+                     : TraceCounters::cow_detaches.load();
+}
+
+void MpcMetrics::EnableCowAttribution() {
+  if (attributed_) return;
+  attributed_ = true;
+  // Totals restart on the attributed counter: detaches recorded before the
+  // first ScopedExecution were unattributable process-wide noise.
+  baseline_detaches_ = local_detaches_.load(std::memory_order_relaxed);
+}
+
 void MpcMetrics::BeginRound(const std::string& label) {
   MPCQP_CHECK(!in_round_);
   in_round_ = true;
   current_ = RoundRecord();
   current_.label = label;
   round_start_ns_ = Tracer::NowNanos();
-  round_start_detaches_ = TraceCounters::cow_detaches.load();
+  round_start_detaches_ = DetachesNow();
   current_peak_rows_.store(0, std::memory_order_relaxed);
   for (auto& slot : current_phase_ns_) {
     slot.store(0, std::memory_order_relaxed);
@@ -71,8 +84,7 @@ void MpcMetrics::EndRound() {
     current_.phase_ms[i] =
         NanosToMs(current_phase_ns_[i].load(std::memory_order_relaxed));
   }
-  current_.cow_detaches =
-      TraceCounters::cow_detaches.load() - round_start_detaches_;
+  current_.cow_detaches = DetachesNow() - round_start_detaches_;
   current_.peak_fragment_rows =
       current_peak_rows_.load(std::memory_order_relaxed);
   // Mirror the round as a span on the Chrome-trace timeline.
@@ -108,7 +120,7 @@ double MpcMetrics::outside_phase_ms(Phase phase) const {
 }
 
 int64_t MpcMetrics::total_cow_detaches() const {
-  return TraceCounters::cow_detaches.load() - baseline_detaches_;
+  return DetachesNow() - baseline_detaches_;
 }
 
 void MpcMetrics::Reset() {
@@ -118,7 +130,7 @@ void MpcMetrics::Reset() {
     outside_phase_ns_[i].store(0, std::memory_order_relaxed);
   }
   peak_fragment_rows_.store(0, std::memory_order_relaxed);
-  baseline_detaches_ = TraceCounters::cow_detaches.load();
+  baseline_detaches_ = DetachesNow();
   planning_ms_ = 0;
   plan_cache_hits_ = 0;
   plan_cache_misses_ = 0;

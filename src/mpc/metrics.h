@@ -74,6 +74,22 @@ class MpcMetrics {
   // are the observable proof that warm queries skip enumeration.
   void RecordPlanning(double planning_ms, bool cache_hit);
 
+  // --- Per-cluster COW attribution (multi-query serving) ---
+  // The counters a Cluster's ExecContext points at: while the cluster's
+  // ScopedExecution is installed, Relation::Mutable() charges its COW
+  // detaches here (as well as to the process-wide TraceCounters).
+  std::atomic<int64_t>& attributed_cow_detaches() { return local_detaches_; }
+  std::atomic<int64_t>& attributed_cow_detach_bytes() {
+    return local_detach_bytes_;
+  }
+  // Switches per-round and total detach accounting from the legacy
+  // process-wide snapshot diff to the attributed counters above. Sticky
+  // until Reset(); Cluster::ScopedExecution sets it, so any cluster
+  // executed under a scope reports exactly its own detaches even with
+  // other queries detaching concurrently.
+  void EnableCowAttribution();
+  bool cow_attribution_enabled() const { return attributed_; }
+
   const std::vector<RoundRecord>& rounds() const { return rounds_; }
   double outside_phase_ms(Phase phase) const;
   double planning_ms() const { return planning_ms_; }
@@ -82,21 +98,30 @@ class MpcMetrics {
   int64_t peak_fragment_rows() const {
     return peak_fragment_rows_.load(std::memory_order_relaxed);
   }
-  // COW detaches since construction/Reset (process-wide counter delta, so
-  // concurrent clusters see each other's detaches; in tests and the CLI
-  // there is one cluster at a time).
+  // COW detaches since construction/Reset. With cow_attribution_enabled()
+  // this is exactly the detaches charged to THIS cluster's queries (the
+  // serving runtime's per-query isolation); otherwise it is the legacy
+  // process-wide counter delta, where concurrent clusters see each
+  // other's detaches (fine for the single-query tools and tests).
   int64_t total_cow_detaches() const;
 
   // Forgets all records (paired with Cluster::ResetCosts).
   void Reset();
 
  private:
+  // The detach counter rounds and totals diff against: the attributed
+  // local counter when attribution is on, TraceCounters otherwise.
+  int64_t DetachesNow() const;
+
   std::vector<RoundRecord> rounds_;
   bool in_round_ = false;
   RoundRecord current_;
   int64_t round_start_ns_ = 0;
   int64_t round_start_detaches_ = 0;
   int64_t baseline_detaches_ = 0;
+  bool attributed_ = false;
+  std::atomic<int64_t> local_detaches_{0};
+  std::atomic<int64_t> local_detach_bytes_{0};
   std::atomic<int64_t> current_phase_ns_[kNumPhases];
   std::atomic<int64_t> outside_phase_ns_[kNumPhases];
   std::atomic<int64_t> peak_fragment_rows_{0};

@@ -1,6 +1,7 @@
 #include "planner/plan_cache.h"
 
 #include <cstdio>
+#include <functional>
 
 #include "common/check.h"
 #include "planner/plan_tree.h"
@@ -46,6 +47,10 @@ std::vector<int64_t> CanonicalSizes(const CanonicalQueryShape& shape,
 
 }  // namespace
 
+PlanCache::Shard& PlanCache::ShardFor(const std::string& key) {
+  return shards_[std::hash<std::string>{}(key) % kNumShards];
+}
+
 bool PlanCache::Lookup(const ConjunctiveQuery& q,
                        const CanonicalQueryShape& shape,
                        const std::vector<int64_t>& sizes, int p,
@@ -54,18 +59,19 @@ bool PlanCache::Lookup(const ConjunctiveQuery& q,
   const std::string key = CacheKey(shape, p, options);
   const std::vector<int64_t> fingerprint = CanonicalSizes(shape, sizes);
 
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = entries_.find(key);
-  if (it == entries_.end()) {
-    ++counters_.misses;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) {
+    ++shard.counters.misses;
     return false;
   }
   if (it->second.size_fingerprint != fingerprint) {
     // Statistics changed under the same shape: the cached order may now
     // be arbitrarily bad. Drop it and replan.
-    entries_.erase(it);
-    ++counters_.invalidations;
-    ++counters_.misses;
+    shard.entries.erase(it);
+    ++shard.counters.invalidations;
+    ++shard.counters.misses;
     return false;
   }
   const Entry& entry = it->second;
@@ -87,7 +93,7 @@ bool PlanCache::Lookup(const ConjunctiveQuery& q,
   } else {
     plan->tree = BuildAlgorithmTree(q, PlanAlgorithmName(entry.family));
   }
-  ++counters_.hits;
+  ++shard.counters.hits;
   return true;
 }
 
@@ -117,24 +123,38 @@ void PlanCache::Insert(const ConjunctiveQuery& q,
   }
   (void)q;
 
-  std::lock_guard<std::mutex> lock(mutex_);
-  entries_[CacheKey(shape, p, options)] = std::move(entry);
+  const std::string key = CacheKey(shape, p, options);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.entries[key] = std::move(entry);
 }
 
 PlanCache::Counters PlanCache::counters() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return counters_;
+  Counters total;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total.hits += shard.counters.hits;
+    total.misses += shard.counters.misses;
+    total.invalidations += shard.counters.invalidations;
+  }
+  return total;
 }
 
 int64_t PlanCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return static_cast<int64_t>(entries_.size());
+  int64_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total += static_cast<int64_t>(shard.entries.size());
+  }
+  return total;
 }
 
 void PlanCache::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  entries_.clear();
-  counters_ = Counters();
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.entries.clear();
+    shard.counters = Counters();
+  }
 }
 
 }  // namespace mpcqp

@@ -22,6 +22,12 @@ namespace mpcqp {
 // hits and gets the join order remapped through its own atom permutation.
 // The executable tree is rebuilt from the remapped fields on every hit —
 // rebuilding is O(atoms), the savings are the stats scan and the DP.
+//
+// Thread-safe and sharded: the serving runtime shares one PlanCache
+// across all in-flight queries, so the map is split into kNumShards
+// independently locked shards (keyed by a hash of the cache key) —
+// lookups for different shapes never contend. Counters aggregate across
+// shards on read.
 class PlanCache {
  public:
   struct Counters {
@@ -60,9 +66,17 @@ class PlanCache {
     std::vector<double> step_est_rows;
   };
 
-  mutable std::mutex mutex_;
-  std::map<std::string, Entry> entries_;
-  Counters counters_;
+  static constexpr int kNumShards = 8;
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::map<std::string, Entry> entries;
+    Counters counters;
+  };
+
+  Shard& ShardFor(const std::string& key);
+
+  Shard shards_[kNumShards];
 };
 
 }  // namespace mpcqp

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "common/exec_context.h"
 #include "common/parallel_sort.h"
 #include "common/trace.h"
 
@@ -62,10 +63,20 @@ std::vector<Value>& Relation::Mutable() {
     auto owned = std::make_shared<Payload>();
     owned->data = payload_->data;
     payload_ = std::move(owned);
+    const int64_t bytes =
+        static_cast<int64_t>(payload_->data.size() * sizeof(Value));
     TraceCounters::cow_detaches.fetch_add(1, std::memory_order_relaxed);
-    TraceCounters::cow_detach_bytes.fetch_add(
-        static_cast<int64_t>(payload_->data.size() * sizeof(Value)),
-        std::memory_order_relaxed);
+    TraceCounters::cow_detach_bytes.fetch_add(bytes,
+                                              std::memory_order_relaxed);
+    // Charge the detach to the query executing on this thread, if any
+    // (Cluster::ScopedExecution + ThreadPool's ExecContext propagation) —
+    // this is what keeps per-query COW metrics exact when many queries
+    // share one pool.
+    if (const ExecContext* context = CurrentExecContext();
+        context != nullptr && context->cow_detaches != nullptr) {
+      context->cow_detaches->fetch_add(1, std::memory_order_relaxed);
+      context->cow_detach_bytes->fetch_add(bytes, std::memory_order_relaxed);
+    }
   } else {
     // Uniquely owned — but use_count() is a relaxed load, so observing
     // the last sharer's release does not order this thread after that

@@ -1,0 +1,56 @@
+#ifndef MPCQP_SERVE_ADMISSION_H_
+#define MPCQP_SERVE_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "common/status.h"
+
+namespace mpcqp {
+
+// Bounded admission-control queue for the serving runtime: at most
+// `max_inflight` queries execute at once, at most `max_queued` more wait
+// for a slot, and anything beyond that is rejected immediately with
+// UNAVAILABLE (fail fast under overload instead of building an unbounded
+// backlog). Per-query memory budgeting happens in QueryServer before
+// admission (a query whose estimated footprint exceeds the budget never
+// takes a slot); the controller additionally tracks the total estimated
+// bytes of admitted queries so operators can see pressure.
+//
+// Thread-safe; Admit() blocks (FIFO via condition variable) until a slot
+// frees.
+class AdmissionController {
+ public:
+  struct Counters {
+    int64_t admitted = 0;
+    int64_t rejected_overload = 0;
+    int inflight = 0;
+    int peak_inflight = 0;
+    int peak_queued = 0;
+    int64_t inflight_bytes = 0;
+    int64_t peak_inflight_bytes = 0;
+  };
+
+  AdmissionController(int max_inflight, int max_queued);
+
+  // Blocks until one of the max_inflight slots is free, charging
+  // `estimated_bytes` to the in-flight total; UNAVAILABLE when the wait
+  // queue is already full. Pair every OK return with one Release().
+  Status Admit(int64_t estimated_bytes);
+  void Release(int64_t estimated_bytes);
+
+  Counters counters() const;
+
+ private:
+  const int max_inflight_;
+  const int max_queued_;
+  mutable std::mutex mutex_;
+  std::condition_variable slot_free_;
+  int queued_ = 0;  // Guarded by mutex_.
+  Counters counters_;
+};
+
+}  // namespace mpcqp
+
+#endif  // MPCQP_SERVE_ADMISSION_H_

@@ -1,0 +1,55 @@
+#include "serve/catalog.h"
+
+#include <utility>
+
+namespace mpcqp {
+
+uint64_t FingerprintRelation(const Relation& relation) {
+  // FNV-1a, folding in the shape first so (arity=2, rows=[1,2]) and
+  // (arity=1, rows=[1],[2]) differ.
+  uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](uint64_t value) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (value >> (byte * 8)) & 0xffULL;
+      h *= 1099511628211ULL;
+    }
+  };
+  mix(static_cast<uint64_t>(relation.arity()));
+  mix(static_cast<uint64_t>(relation.size()));
+  for (const Value value : relation.data()) {
+    mix(static_cast<uint64_t>(value));
+  }
+  return h;
+}
+
+int64_t Catalog::Register(const std::string& name, Relation relation) {
+  const uint64_t fingerprint = FingerprintRelation(relation);
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = entries_[name];
+  entry.relation = std::move(relation);
+  entry.fingerprint = fingerprint;
+  return ++entry.version;
+}
+
+bool Catalog::Find(const std::string& name, Entry* out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) return false;
+  *out = it->second;
+  return true;
+}
+
+std::vector<std::string> Catalog::names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(name);
+  return out;
+}
+
+int64_t Catalog::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int64_t>(entries_.size());
+}
+
+}  // namespace mpcqp

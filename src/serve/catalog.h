@@ -1,0 +1,55 @@
+#ifndef MPCQP_SERVE_CATALOG_H_
+#define MPCQP_SERVE_CATALOG_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <mutex>
+
+#include "relation/relation.h"
+
+namespace mpcqp {
+
+// The serving runtime's table of named base relations. Registration
+// computes a content fingerprint (FNV-1a over arity, size, and every
+// value) used to key the result cache: a query result stays servable from
+// cache exactly as long as every relation it read still has the
+// fingerprint it was computed against. Replacing a relation under the
+// same name bumps the fingerprint (unless the content is identical, in
+// which case cached results are — correctly — still valid).
+//
+// Thread-safe: many queries resolve atoms while an updater replaces
+// relations. Lookups hand out COW Relation handles (O(1) copies), so a
+// query keeps executing against the snapshot it resolved even if the name
+// is replaced mid-flight.
+class Catalog {
+ public:
+  struct Entry {
+    Relation relation;
+    uint64_t fingerprint = 0;
+    int64_t version = 0;  // Bumped on every Register for the same name.
+  };
+
+  // Registers (or replaces) `name`. Returns the new version number.
+  int64_t Register(const std::string& name, Relation relation);
+
+  // Snapshot of the named entry; false if absent.
+  bool Find(const std::string& name, Entry* out) const;
+
+  std::vector<std::string> names() const;
+  int64_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+};
+
+// Content fingerprint of a relation (FNV-1a over arity, row count, and
+// the payload values). Exposed for tests.
+uint64_t FingerprintRelation(const Relation& relation);
+
+}  // namespace mpcqp
+
+#endif  // MPCQP_SERVE_CATALOG_H_

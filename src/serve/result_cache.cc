@@ -1,0 +1,62 @@
+#include "serve/result_cache.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace mpcqp {
+
+ResultCache::ResultCache(int64_t max_entries) : max_entries_(max_entries) {
+  MPCQP_CHECK_GE(max_entries, 1);
+}
+
+bool ResultCache::Lookup(const std::string& key, Relation* out) {
+  MPCQP_CHECK(out != nullptr);
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++counters_.misses;
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.lru_position);
+  *out = it->second.value;
+  ++counters_.hits;
+  return true;
+}
+
+void ResultCache::Insert(const std::string& key, const Relation& value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.value = value;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_position);
+    return;
+  }
+  lru_.push_front(key);
+  entries_[key] = Entry{value, lru_.begin()};
+  ++counters_.insertions;
+  while (static_cast<int64_t>(entries_.size()) > max_entries_) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+    ++counters_.evictions;
+  }
+}
+
+ResultCache::Counters ResultCache::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+int64_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int64_t>(entries_.size());
+}
+
+void ResultCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  lru_.clear();
+  counters_ = Counters();
+}
+
+}  // namespace mpcqp

@@ -1,0 +1,66 @@
+#ifndef MPCQP_SERVE_RESULT_CACHE_H_
+#define MPCQP_SERVE_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "relation/relation.h"
+
+namespace mpcqp {
+
+// LRU cache of collected query outputs for the serving runtime, keyed by
+// (normalized query text, per-atom relation fingerprints, cluster size,
+// algorithm, seed) — the key is built by QueryServer; this class only
+// sees opaque strings. It sits ABOVE the planner's PlanCache: a result
+// hit skips execution entirely, a result miss that is a plan hit still
+// skips enumeration.
+//
+// Relation values are COW handles, so Insert/Lookup move O(1) handles,
+// never payload bytes. Entries whose relations changed never hit (their
+// fingerprints differ), so stale results are evicted by LRU pressure
+// rather than scanned for.
+//
+// Thread-safe; a single mutex is fine because the critical sections are
+// pointer swaps (the expensive part — executing a query — happens
+// outside).
+class ResultCache {
+ public:
+  struct Counters {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t insertions = 0;
+    int64_t evictions = 0;
+  };
+
+  explicit ResultCache(int64_t max_entries = 4096);
+
+  // Fills `out` and refreshes LRU position on a hit.
+  bool Lookup(const std::string& key, Relation* out);
+
+  // Inserts (or refreshes) `key`; evicts the least recently used entry
+  // when over capacity.
+  void Insert(const std::string& key, const Relation& value);
+
+  Counters counters() const;
+  int64_t size() const;
+  void Clear();
+
+ private:
+  struct Entry {
+    Relation value;
+    std::list<std::string>::iterator lru_position;
+  };
+
+  mutable std::mutex mutex_;
+  int64_t max_entries_;
+  std::list<std::string> lru_;  // Front = most recently used.
+  std::map<std::string, Entry> entries_;
+  Counters counters_;
+};
+
+}  // namespace mpcqp
+
+#endif  // MPCQP_SERVE_RESULT_CACHE_H_

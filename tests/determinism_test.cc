@@ -16,7 +16,9 @@
 
 #include <cstdlib>
 #include <functional>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "acyclic/gym.h"
@@ -489,6 +491,151 @@ TEST(DeterminismTest, MorselBoundarySkewedSingleSource) {
   const DistRelation in = DistRelation::FromFragments(std::move(frags));
   ExpectMorselInvariant(
       [&](Cluster& cluster) { return ExerciseAllRouters(cluster, in); });
+}
+
+// --- Concurrent serving determinism ---
+//
+// The third axis of the contract (DESIGN.md, "Serving runtime"): with
+// several logical clusters ATTACHED TO ONE SHARED POOL, each in-flight
+// query's output and CostReport must be bit-identical to its solo run.
+// Everything per-query lives in the Cluster (cost shards, the hash-seed
+// sequence, metrics), so interleaving morsels from K queries on the same
+// workers must be invisible to each of them.
+
+// A mixed bag of per-query workloads — different algorithms, different
+// data — so concurrent clusters stress different code paths at once.
+std::vector<std::function<DistRelation(Cluster&)>> ConcurrentBodies() {
+  std::vector<std::function<DistRelation(Cluster&)>> bodies;
+  {
+    Rng rng(103);
+    const Relation edges = GenerateRandomGraph(rng, 50, 400);
+    const ConjunctiveQuery q = ConjunctiveQuery::Make(
+        {"x", "y", "z"}, {{"R", {0, 1}}, {"S", {1, 2}}, {"T", {2, 0}}});
+    bodies.push_back([edges, q](Cluster& cluster) {
+      std::vector<DistRelation> atoms(
+          3, DistRelation::Scatter(edges, cluster.num_servers()));
+      return HyperCubeJoin(cluster, q, atoms).output;
+    });
+  }
+  {
+    Rng rng(107);
+    const Relation left = GenerateZipf(rng, 500, 2, 40, 0, 1.2);
+    const Relation right = GenerateZipf(rng, 500, 2, 40, 0, 1.2);
+    bodies.push_back([left, right](Cluster& cluster) {
+      return ParallelHashJoin(
+          cluster, DistRelation::Scatter(left, cluster.num_servers()),
+          DistRelation::Scatter(right, cluster.num_servers()), {0}, {0});
+    });
+  }
+  {
+    Rng rng(109);
+    const Relation left = GenerateZipf(rng, 500, 2, 30, 0, 1.3);
+    const Relation right = GenerateZipf(rng, 500, 2, 30, 0, 1.3);
+    bodies.push_back([left, right](Cluster& cluster) {
+      Rng join_rng(11);
+      return SkewAwareJoin(cluster,
+                           DistRelation::Scatter(left, cluster.num_servers()),
+                           DistRelation::Scatter(right, cluster.num_servers()),
+                           0, 0, join_rng);
+    });
+  }
+  {
+    Rng rng(113);
+    const Relation input = GenerateUniform(rng, 600, 2, 800);
+    bodies.push_back([input](Cluster& cluster) {
+      PsrsOptions options;
+      options.key_cols = {0, 1};
+      return PsrsSort(cluster,
+                      DistRelation::Scatter(input, cluster.num_servers()),
+                      options)
+          .sorted;
+    });
+  }
+  return bodies;
+}
+
+// Runs each body on its own Cluster attached to `pool` from its own OS
+// thread, all truly in flight at once, and returns the per-query results.
+std::vector<RunResult> RunConcurrently(
+    const std::vector<std::function<DistRelation(Cluster&)>>& bodies,
+    const std::shared_ptr<ThreadPool>& pool) {
+  std::vector<RunResult> results(bodies.size());
+  std::vector<std::thread> clients;
+  clients.reserve(bodies.size());
+  for (size_t i = 0; i < bodies.size(); ++i) {
+    clients.emplace_back([&, i] {
+      ClusterOptions options;
+      options.shared_pool = pool;
+      Cluster cluster(kServers, kSeed, options);
+      Cluster::ScopedExecution scope(cluster);
+      const DistRelation out = bodies[i](cluster);
+      for (int s = 0; s < out.num_servers(); ++s) {
+        results[i].fragments.push_back(out.fragment(s));
+      }
+      results[i].report = cluster.cost_report();
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  return results;
+}
+
+// K distinct queries on one shared pool, checked fragment-by-fragment and
+// round-by-round against their solo runs, at every thread count.
+TEST(ConcurrentDeterminismTest, SharedPoolQueriesMatchSoloRuns) {
+  const auto bodies = ConcurrentBodies();
+  // Solo baselines: each query on its own single-threaded cluster.
+  std::vector<RunResult> solo;
+  for (const auto& body : bodies) solo.push_back(RunWith(1, body));
+
+  for (const int threads : kThreadCounts) {
+    const auto pool = std::make_shared<ThreadPool>(threads);
+    const std::vector<RunResult> served = RunConcurrently(bodies, pool);
+    ASSERT_EQ(solo.size(), served.size());
+    for (size_t i = 0; i < solo.size(); ++i) {
+      ASSERT_EQ(solo[i].fragments.size(), served[i].fragments.size())
+          << "query " << i << " threads=" << threads;
+      for (size_t s = 0; s < solo[i].fragments.size(); ++s) {
+        EXPECT_EQ(solo[i].fragments[s], served[i].fragments[s])
+            << "query " << i << " fragment " << s
+            << " differs at threads=" << threads;
+      }
+      ExpectSameReport(solo[i].report, served[i].report, threads);
+    }
+  }
+}
+
+// Several clusters running the SAME query concurrently (the stampede
+// shape the serving layer coalesces) must also all match the solo run —
+// even without coalescing, sharing the pool may not leak state between
+// identical queries.
+TEST(ConcurrentDeterminismTest, IdenticalQueriesDoNotInterfere) {
+  Rng rng(127);
+  const Relation left = GenerateZipf(rng, 400, 2, 30, 0, 1.2);
+  const Relation right = GenerateZipf(rng, 400, 2, 30, 0, 1.2);
+  const auto body = [left, right](Cluster& cluster) {
+    Rng join_rng(11);
+    return SkewAwareJoin(cluster,
+                         DistRelation::Scatter(left, cluster.num_servers()),
+                         DistRelation::Scatter(right, cluster.num_servers()),
+                         0, 0, join_rng);
+  };
+  const RunResult solo = RunWith(1, body);
+
+  constexpr int kCopies = 6;
+  for (const int threads : kThreadCounts) {
+    const auto pool = std::make_shared<ThreadPool>(threads);
+    const std::vector<RunResult> served = RunConcurrently(
+        std::vector<std::function<DistRelation(Cluster&)>>(kCopies, body),
+        pool);
+    for (int i = 0; i < kCopies; ++i) {
+      ASSERT_EQ(solo.fragments.size(), served[i].fragments.size());
+      for (size_t s = 0; s < solo.fragments.size(); ++s) {
+        EXPECT_EQ(solo.fragments[s], served[i].fragments[s])
+            << "copy " << i << " fragment " << s << " threads=" << threads;
+      }
+      ExpectSameReport(solo.report, served[i].report, threads);
+    }
+  }
 }
 
 // p large enough to engage the write-combining copy path (p >= 256), for

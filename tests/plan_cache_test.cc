@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "mpc/cluster.h"
 #include "planner/planner.h"
 #include "query/local_eval.h"
@@ -143,6 +147,52 @@ TEST(PlanCacheTest, MetricsReportPlanningAndCacheCounts) {
   EXPECT_GE(report.planning_ms, 0.0);
   const std::string json = report.ToJson();
   EXPECT_NE(json.find("\"plan_cache_hits\": 1"), std::string::npos) << json;
+}
+
+TEST(PlanCacheTest, ConcurrentPlannersShareOneCacheSafely) {
+  // The serving runtime points every in-flight query at ONE PlanCache, so
+  // hits, misses, and inserts race by design. Eight threads plan four
+  // distinct keys (cluster sizes) over and over; the shards must keep the
+  // map and counters coherent: every call is accounted a hit or a miss,
+  // exactly four entries exist afterwards, and warm lookups of each key
+  // hit. Run under tsan this locks the sharding down as race-free.
+  const ConjunctiveQuery q = ConjunctiveQuery::Triangle();
+  const std::vector<Relation> atoms = TriangleData(18, 300);
+  PlanCache cache;
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 8;
+  const int cluster_sizes[] = {4, 8, 16, 32};
+  std::atomic<int64_t> planned{0};
+  std::atomic<bool> wrong_plan{false};
+  std::vector<std::thread> planners;
+  for (int t = 0; t < kThreads; ++t) {
+    planners.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        const int p = cluster_sizes[(t + round) % 4];
+        const PlannedQuery planned_query =
+            PlanQuery(q, Scatter(atoms, p), p, {}, &cache);
+        planned.fetch_add(1);
+        // Hit or miss, the caller must always receive an executable plan.
+        if (planned_query.plan.tree.empty()) wrong_plan = true;
+      }
+    });
+  }
+  for (std::thread& t : planners) t.join();
+
+  EXPECT_FALSE(wrong_plan.load());
+  EXPECT_EQ(planned.load(), kThreads * kRounds);
+  EXPECT_EQ(cache.size(), 4);
+  const PlanCache::Counters counters = cache.counters();
+  // Two threads may miss the same cold key concurrently, so misses can
+  // exceed 4 — but every call is exactly one of hit or miss.
+  EXPECT_GE(counters.misses, 4);
+  EXPECT_EQ(counters.hits + counters.misses, kThreads * kRounds);
+
+  for (const int p : cluster_sizes) {
+    const PlannedQuery warm = PlanQuery(q, Scatter(atoms, p), p, {}, &cache);
+    EXPECT_TRUE(warm.cache_hit) << "p=" << p;
+  }
 }
 
 TEST(PlanCacheTest, ClearEmptiesEntriesButKeepsCounters) {

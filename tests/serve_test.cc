@@ -1,0 +1,320 @@
+// The serving runtime: catalog fingerprints, result cache, in-flight
+// coalescing, admission control, memory budgets — and the end-to-end
+// guarantee that a served answer is exactly the solo answer.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "query/local_eval.h"
+#include "query/query.h"
+#include "relation/relation_ops.h"
+#include "serve/admission.h"
+#include "serve/catalog.h"
+#include "serve/load_driver.h"
+#include "serve/query_server.h"
+#include "serve/result_cache.h"
+#include "workload/generator.h"
+
+namespace mpcqp {
+namespace {
+
+Relation SmallRelation(uint64_t seed, int64_t rows = 300) {
+  Rng rng(seed);
+  return GenerateUniform(rng, rows, 2, 60);
+}
+
+// --- Catalog ---
+
+TEST(CatalogTest, FingerprintTracksContent) {
+  Catalog catalog;
+  const Relation a = SmallRelation(1);
+  const Relation b = SmallRelation(2);
+  EXPECT_EQ(catalog.Register("R", a), 1);
+  Catalog::Entry entry;
+  ASSERT_TRUE(catalog.Find("R", &entry));
+  const uint64_t first = entry.fingerprint;
+  EXPECT_EQ(first, FingerprintRelation(a));
+
+  // Same content re-registered: version bumps, fingerprint stays.
+  EXPECT_EQ(catalog.Register("R", a), 2);
+  ASSERT_TRUE(catalog.Find("R", &entry));
+  EXPECT_EQ(entry.fingerprint, first);
+
+  // New content: fingerprint changes.
+  EXPECT_EQ(catalog.Register("R", b), 3);
+  ASSERT_TRUE(catalog.Find("R", &entry));
+  EXPECT_NE(entry.fingerprint, first);
+
+  EXPECT_FALSE(catalog.Find("missing", &entry));
+}
+
+// --- Result cache ---
+
+TEST(ResultCacheTest, LruEvictsOldest) {
+  ResultCache cache(/*max_entries=*/2);
+  Relation r1(1);
+  r1.AppendRow({1});
+  Relation r2(1);
+  r2.AppendRow({2});
+  Relation r3(1);
+  r3.AppendRow({3});
+  cache.Insert("a", r1);
+  cache.Insert("b", r2);
+  Relation out;
+  ASSERT_TRUE(cache.Lookup("a", &out));  // Refreshes "a".
+  EXPECT_EQ(out, r1);
+  cache.Insert("c", r3);                 // Evicts "b", not "a".
+  EXPECT_FALSE(cache.Lookup("b", &out));
+  EXPECT_TRUE(cache.Lookup("a", &out));
+  EXPECT_TRUE(cache.Lookup("c", &out));
+  EXPECT_EQ(cache.counters().evictions, 1);
+}
+
+// --- Admission control ---
+
+TEST(AdmissionTest, BoundsInflightAndRejectsOverflow) {
+  AdmissionController admission(/*max_inflight=*/1, /*max_queued=*/0);
+  ASSERT_TRUE(admission.Admit(100).ok());
+  // Slot taken, queue empty: the next request is rejected immediately.
+  const Status rejected = admission.Admit(100);
+  EXPECT_EQ(rejected.code(), StatusCode::kUnavailable);
+  admission.Release(100);
+  EXPECT_TRUE(admission.Admit(100).ok());
+  admission.Release(100);
+  const AdmissionController::Counters counters = admission.counters();
+  EXPECT_EQ(counters.admitted, 2);
+  EXPECT_EQ(counters.rejected_overload, 1);
+  EXPECT_EQ(counters.inflight, 0);
+  EXPECT_EQ(counters.peak_inflight, 1);
+}
+
+TEST(AdmissionTest, QueuedRequestProceedsAfterRelease) {
+  AdmissionController admission(/*max_inflight=*/1, /*max_queued=*/4);
+  ASSERT_TRUE(admission.Admit(1).ok());
+  std::atomic<bool> second_admitted{false};
+  std::thread waiter([&] {
+    ASSERT_TRUE(admission.Admit(1).ok());
+    second_admitted = true;
+    admission.Release(1);
+  });
+  // The waiter must be blocked, not rejected.
+  EXPECT_FALSE(second_admitted.load());
+  admission.Release(1);
+  waiter.join();
+  EXPECT_TRUE(second_admitted.load());
+  EXPECT_EQ(admission.counters().rejected_overload, 0);
+}
+
+// --- QueryServer ---
+
+ServeOptions TestOptions() {
+  ServeOptions options;
+  options.num_servers = 8;
+  options.max_inflight = 2;
+  options.max_queued = 1 << 10;
+  return options;
+}
+
+TEST(QueryServerTest, AnswersMatchSerialEvaluation) {
+  Catalog catalog;
+  const Relation r = SmallRelation(11);
+  const Relation s = SmallRelation(13);
+  catalog.Register("R", r);
+  catalog.Register("S", s);
+  QueryServer server(&catalog, TestOptions());
+
+  const auto result = server.Execute("R(x,y), S(y,z)");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->result_cache_hit);
+  EXPECT_GT(result->stats.num_rounds, 0);
+
+  const auto query = ConjunctiveQuery::Parse("R(x,y), S(y,z)");
+  const Relation expected = EvalJoinLocal(*query, {r, s});
+  EXPECT_TRUE(MultisetEqual(result->output, expected));
+}
+
+TEST(QueryServerTest, ErrorsAreTyped) {
+  Catalog catalog;
+  catalog.Register("R", SmallRelation(11));
+  QueryServer server(&catalog, TestOptions());
+
+  EXPECT_EQ(server.Execute("not a query").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(server.Execute("R(x,y), Missing(y,z)").status().code(),
+            StatusCode::kNotFound);
+  // Arity mismatch between the query and the registered relation.
+  EXPECT_EQ(server.Execute("R(x,y,z), R(z,w,v)").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(QueryServerTest, ResultCacheHitsAndInvalidatesOnRegister) {
+  Catalog catalog;
+  catalog.Register("R", SmallRelation(11));
+  catalog.Register("S", SmallRelation(13));
+  QueryServer server(&catalog, TestOptions());
+
+  const auto cold = server.Execute("R(x,y), S(y,z)");
+  ASSERT_TRUE(cold.ok());
+  EXPECT_FALSE(cold->result_cache_hit);
+
+  const auto warm = server.Execute("R(x,y), S(y,z)");
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->result_cache_hit);
+  EXPECT_EQ(warm->output, cold->output);
+  EXPECT_EQ(server.counters().executed, 1);
+
+  // New data under the same name: the fingerprint changes, so the key
+  // changes and the query re-executes.
+  catalog.Register("S", SmallRelation(17));
+  const auto after = server.Execute("R(x,y), S(y,z)");
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after->result_cache_hit);
+  EXPECT_EQ(server.counters().executed, 2);
+
+  // Different spelling of the same shape is a different result key (the
+  // result cache is exact-text; the plan cache is what handles isomorphs).
+  const auto respelled = server.Execute("R(a,b), S(b,c)");
+  ASSERT_TRUE(respelled.ok());
+  EXPECT_FALSE(respelled->result_cache_hit);
+  EXPECT_TRUE(MultisetEqual(respelled->output, after->output));
+}
+
+TEST(QueryServerTest, ConcurrentIdenticalQueriesExecuteOnce) {
+  Catalog catalog;
+  catalog.Register("R", SmallRelation(19, /*rows=*/1500));
+  catalog.Register("S", SmallRelation(23, /*rows=*/1500));
+  QueryServer server(&catalog, TestOptions());
+
+  constexpr int kClients = 8;
+  std::vector<std::thread> clients;
+  std::vector<StatusOr<QueryResult>> results(kClients,
+                                             InvalidArgumentError("unset"));
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back(
+        [&, i] { results[i] = server.Execute("R(x,y), S(y,z)"); });
+  }
+  for (std::thread& t : clients) t.join();
+
+  int64_t answered = 0;
+  for (const auto& result : results) {
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ++answered;
+    EXPECT_EQ(result->output, results[0]->output);
+  }
+  EXPECT_EQ(answered, kClients);
+  // One execution; everyone else coalesced onto it or hit the cache.
+  EXPECT_EQ(server.counters().executed, 1);
+  EXPECT_EQ(server.counters().coalesced +
+                server.result_cache().counters().hits,
+            kClients - 1);
+}
+
+TEST(QueryServerTest, ServedAnswerIsBitIdenticalToSoloRun) {
+  const Relation r = SmallRelation(29);
+  const Relation s = SmallRelation(31);
+
+  // Solo: a fresh server with caching off, executing alone.
+  ExecutorRegistry::ResetForTesting();
+  Catalog solo_catalog;
+  solo_catalog.Register("R", r);
+  solo_catalog.Register("S", s);
+  ServeOptions solo_options = TestOptions();
+  solo_options.enable_result_cache = false;
+  QueryServer solo(&solo_catalog, solo_options);
+  const auto solo_result = solo.Execute("R(x,y), S(y,z)");
+  ASSERT_TRUE(solo_result.ok());
+
+  // Concurrent: the same query alongside 7 other in-flight queries on a
+  // shared pool. Caching off so every request truly executes.
+  ExecutorRegistry::ResetForTesting();
+  Catalog catalog;
+  catalog.Register("R", r);
+  catalog.Register("S", s);
+  for (int i = 0; i < 4; ++i) {
+    catalog.Register("N" + std::to_string(i), SmallRelation(100 + i));
+  }
+  ServeOptions options = TestOptions();
+  options.enable_result_cache = false;
+  options.max_inflight = 8;
+  QueryServer server(&catalog, options);
+
+  std::vector<std::thread> noise;
+  for (int i = 0; i < 4; ++i) {
+    noise.emplace_back([&, i] {
+      const std::string name = "N" + std::to_string(i);
+      const auto result =
+          server.Execute(name + "(x,y), " + name + "(y,z)");
+      EXPECT_TRUE(result.ok());
+    });
+  }
+  const auto served = server.Execute("R(x,y), S(y,z)");
+  for (std::thread& t : noise) t.join();
+  ASSERT_TRUE(served.ok());
+
+  // Bit-identical: same fragments in the same order, not just multiset
+  // equality — and the metered cost is identical too.
+  EXPECT_EQ(served->output, solo_result->output);
+  EXPECT_EQ(served->stats.num_rounds, solo_result->stats.num_rounds);
+  EXPECT_EQ(served->stats.max_load_tuples, solo_result->stats.max_load_tuples);
+  EXPECT_EQ(served->stats.total_comm_tuples,
+            solo_result->stats.total_comm_tuples);
+}
+
+TEST(QueryServerTest, MemoryBudgetRejectsBigQueries) {
+  Catalog catalog;
+  catalog.Register("R", SmallRelation(37, /*rows=*/2000));
+  catalog.Register("S", SmallRelation(41, /*rows=*/2000));
+  ServeOptions options = TestOptions();
+  options.mem_budget_bytes = 1024;  // Absurdly small: everything rejected.
+  QueryServer server(&catalog, options);
+
+  const auto result = server.Execute("R(x,y), S(y,z)");
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(server.counters().rejected_memory, 1);
+  EXPECT_EQ(server.counters().executed, 0);
+}
+
+TEST(QueryServerTest, EstimateCountsInputsAndOutput) {
+  Catalog catalog;
+  catalog.Register("R", SmallRelation(43));
+  catalog.Register("S", SmallRelation(47));
+  const int64_t estimate =
+      QueryServer::EstimateQueryBytes("R(x,y), S(y,z)", catalog);
+  // At least the inputs twice: 2 relations x 300 rows x 2 cols x 8 bytes.
+  EXPECT_GE(estimate, 2 * 2 * 300 * 2 * 8);
+}
+
+// --- Load driver ---
+
+TEST(LoadDriverTest, DrivesExactRequestCounts) {
+  Catalog catalog;
+  catalog.Register("R", SmallRelation(53));
+  catalog.Register("S", SmallRelation(59));
+  QueryServer server(&catalog, TestOptions());
+
+  LoadOptions load;
+  load.clients = 4;
+  load.requests = 37;  // Not divisible by clients or queries.
+  const LoadReport report = RunLoad(
+      server, {"R(x,y), S(y,z)", "S(x,y), R(y,z)"}, load);
+  EXPECT_EQ(report.completed, 37);
+  EXPECT_EQ(report.errors, 0);
+  EXPECT_EQ(report.executed, 2);  // One per distinct query.
+  EXPECT_GT(report.qps, 0.0);
+  EXPECT_GE(report.p99_ms, report.p50_ms);
+  // The JSON sink contains the headline numbers.
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"completed\": 37"), std::string::npos);
+  EXPECT_NE(json.find("\"clients\": 4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mpcqp

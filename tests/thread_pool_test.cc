@@ -11,12 +11,16 @@
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <stdexcept>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "common/exec_context.h"
 
 namespace mpcqp {
 namespace {
@@ -294,6 +298,168 @@ TEST(ThreadPoolTest, InParallelRegionDuringGrained) {
   });
   EXPECT_TRUE(always_in_region.load());
   EXPECT_FALSE(pool.in_parallel_region());
+}
+
+// --- Multi-cluster sharing (the serving-runtime contract) ---
+
+TEST(ThreadPoolTest, InParallelRegionIsThreadScopedNotPoolScoped) {
+  // While one thread's loop is in flight, a DIFFERENT thread asking "am I
+  // in a parallel region?" must hear no — that's what lets cluster A draw
+  // hash functions between its loops while cluster B's loops run on the
+  // same pool. A pool-wide counter would fail this.
+  ThreadPool pool(4);
+  std::atomic<bool> loop_running{false};
+  std::atomic<bool> observed{false};
+  std::atomic<bool> observer_in_region{true};
+  std::thread observer([&] {
+    while (!loop_running.load()) std::this_thread::yield();
+    observer_in_region = ThreadPool::CallingThreadInParallelRegion();
+    observed = true;
+  });
+  pool.ParallelForGrained(64, 1, [&](int64_t begin, int64_t) {
+    EXPECT_TRUE(ThreadPool::CallingThreadInParallelRegion());
+    if (begin == 0) {
+      loop_running = true;
+      while (!observed.load()) std::this_thread::yield();
+    }
+  });
+  observer.join();
+  EXPECT_FALSE(observer_in_region.load());
+  EXPECT_FALSE(pool.in_parallel_region());
+}
+
+TEST(ThreadPoolTest, WorkerIndexStaysPoolScopedAcrossClusters) {
+  // Two driver threads ("clusters") hammer the same pool with interleaved
+  // grained loops. Every physical thread must report ONE stable index for
+  // its lifetime, in [-1, kThreads - 1), no matter whose morsel it is
+  // executing — per-cluster shard arrays sized by num_threads() index with
+  // worker+1 and would corrupt memory otherwise.
+  constexpr int kThreads = 4;
+  ThreadPool pool(kThreads);
+  std::mutex mu;
+  std::map<std::thread::id, std::set<int>> indices;
+  auto driver = [&] {
+    for (int round = 0; round < 20; ++round) {
+      pool.ParallelForGrained(64, 2, [&](int64_t, int64_t) {
+        const int index = ThreadPool::current_worker_index();
+        ASSERT_GE(index, -1);
+        ASSERT_LT(index, kThreads - 1);
+        std::lock_guard<std::mutex> lock(mu);
+        indices[std::this_thread::get_id()].insert(index);
+      });
+    }
+  };
+  std::thread a(driver);
+  std::thread b(driver);
+  a.join();
+  b.join();
+  ASSERT_FALSE(indices.empty());
+  for (const auto& [id, seen] : indices) {
+    EXPECT_EQ(seen.size(), 1u) << "a thread reported two worker indices";
+  }
+  EXPECT_EQ(ThreadPool::current_worker_index(), -1);  // Main thread.
+}
+
+// --- ExecContext propagation (per-query attribution on shared workers) ---
+
+TEST(ExecContextTest, DefaultIsNullAndScopesNest) {
+  EXPECT_EQ(CurrentExecContext(), nullptr);
+  ExecContext outer;
+  ExecContext inner;
+  {
+    ExecContextScope outer_scope(&outer);
+    EXPECT_EQ(CurrentExecContext(), &outer);
+    {
+      ExecContextScope inner_scope(&inner);
+      EXPECT_EQ(CurrentExecContext(), &inner);
+    }
+    EXPECT_EQ(CurrentExecContext(), &outer);
+  }
+  EXPECT_EQ(CurrentExecContext(), nullptr);
+}
+
+TEST(ExecContextTest, PropagatesIntoSubmitAndParallelLoops) {
+  ThreadPool pool(4);
+  ExecContext context;
+  ExecContextScope scope(&context);
+
+  const ExecContext* seen_in_task = nullptr;
+  pool.Submit([&] { seen_in_task = CurrentExecContext(); }).get();
+  EXPECT_EQ(seen_in_task, &context);
+
+  std::atomic<bool> all_match{true};
+  pool.ParallelFor(512, [&](int64_t) {
+    if (CurrentExecContext() != &context) all_match = false;
+  });
+  pool.ParallelForGrained(512, 8, [&](int64_t, int64_t) {
+    if (CurrentExecContext() != &context) all_match = false;
+  });
+  EXPECT_TRUE(all_match.load());
+}
+
+TEST(ExecContextTest, ConcurrentLoopsKeepTheirOwnContexts) {
+  // Three drivers, each with its own context, fan out onto the SAME pool
+  // at once. A worker may execute driver 0's morsel right after driver
+  // 2's — each body must still see the context of the loop it belongs to
+  // (capture-at-call, not capture-at-thread), and each driver's counter
+  // must account for exactly its own iterations.
+  ThreadPool pool(4);
+  constexpr int kDrivers = 3;
+  constexpr int64_t kIters = 4096;
+  std::vector<ExecContext> contexts(kDrivers);
+  std::vector<std::atomic<int64_t>> counts(kDrivers);
+  for (int d = 0; d < kDrivers; ++d) {
+    contexts[d].cow_detaches = &counts[d];
+  }
+  std::atomic<bool> bleed{false};
+  std::vector<std::thread> drivers;
+  for (int d = 0; d < kDrivers; ++d) {
+    drivers.emplace_back([&, d] {
+      ExecContextScope scope(&contexts[d]);
+      pool.ParallelForGrained(kIters, 16, [&, d](int64_t begin, int64_t end) {
+        const ExecContext* current = CurrentExecContext();
+        if (current != &contexts[d]) {
+          bleed = true;
+          return;
+        }
+        current->cow_detaches->fetch_add(end - begin);
+      });
+    });
+  }
+  for (std::thread& t : drivers) t.join();
+  EXPECT_FALSE(bleed.load());
+  for (int d = 0; d < kDrivers; ++d) {
+    EXPECT_EQ(counts[d].load(), kIters) << "driver " << d;
+  }
+}
+
+// --- ExecutorRegistry (the process-wide shared pool) ---
+
+TEST(ExecutorRegistryTest, FirstCallerSizesTheSharedPool) {
+  ExecutorRegistry::ResetForTesting();
+  EXPECT_EQ(ExecutorRegistry::SharedIfCreated(), nullptr);
+
+  std::shared_ptr<ThreadPool> pool = ExecutorRegistry::Shared(3);
+  ASSERT_NE(pool, nullptr);
+  EXPECT_EQ(pool->num_threads(), 3);
+  // Later callers get THE pool; their requested count is ignored.
+  EXPECT_EQ(ExecutorRegistry::Shared(8), pool);
+  EXPECT_EQ(pool->num_threads(), 3);
+  EXPECT_EQ(ExecutorRegistry::SharedIfCreated(), pool);
+
+  ExecutorRegistry::ResetForTesting();
+  EXPECT_EQ(ExecutorRegistry::SharedIfCreated(), nullptr);
+  // Existing handles outlive the reset (shared_ptr, not a raw singleton).
+  std::atomic<int64_t> sum{0};
+  pool->ParallelForGrained(100, 7, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) sum.fetch_add(i);
+  });
+  EXPECT_EQ(sum.load(), 4950);
+
+  std::shared_ptr<ThreadPool> fresh = ExecutorRegistry::Shared(2);
+  EXPECT_NE(fresh, pool);
+  EXPECT_EQ(fresh->num_threads(), 2);
+  ExecutorRegistry::ResetForTesting();
 }
 
 }  // namespace

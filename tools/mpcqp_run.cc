@@ -20,11 +20,13 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "acyclic/gym.h"
+#include "common/flags.h"
 #include "common/parse.h"
 #include "common/trace.h"
 #include "join/hash_join.h"
@@ -44,6 +46,9 @@
 #include "query/query.h"
 #include "relation/csv.h"
 #include "relation/relation_ops.h"
+#include "serve/catalog.h"
+#include "serve/load_driver.h"
+#include "serve/query_server.h"
 #include "workload/generator.h"
 
 namespace mpcqp {
@@ -67,39 +72,75 @@ struct Options {
   double round_cost = 0.0;   // λ: tuples-equivalent charge per round.
   bool plan_cache = true;    // --plan-cache on|off.
   bool calibrate = false;    // Measure per-tuple costs before planning.
+  // Serving mode (--serve batch:FILE).
+  std::string serve_spec;    // Empty = one-shot mode.
+  int clients = 1;
+  int64_t requests = 0;      // 0 = 25 per client.
+  int max_inflight = 4;
+  int max_queued = 64;
+  int64_t mem_budget_mb = 0;  // Per-query estimate cap; 0 = unlimited.
+  bool result_cache = true;
+  std::string serve_stats_path;  // LoadReport JSON sink.
 };
 
-[[noreturn]] void Usage(const char* argv0) {
-  std::fprintf(
-      stderr,
-      "usage: %s --query Q [--servers P] [--threads T] [--morsel-rows N] "
-      "[--algorithm hypercube|skewhc|binary|gym|auto|planner]\n"
-      "          [--gen NAME=SPEC]... [--input NAME=FILE.csv]...\n"
-      "          [--output FILE.csv] [--seed N] [--analyze] [--verify]\n"
-      "          [--trace FILE.json] [--stats FILE.json]\n"
-      "          [--round-cost LAMBDA] [--plan-cache on|off] [--calibrate]\n"
-      "  --morsel-rows sets the rows-per-morsel grain of the parallel\n"
-      "  exchange passes (>= 1; never changes results)\n"
-      "  --algorithm auto (alias: planner) runs the cost-based planner:\n"
-      "  join-order enumeration + plan cache; prints the chosen plan tree\n"
-      "  --round-cost charges LAMBDA tuples per round (planner only)\n"
-      "  --plan-cache on|off toggles the shape+stats plan cache\n"
-      "  --calibrate measures per-tuple phase costs first and plans in "
-      "microseconds\n"
-      "  --trace writes a Chrome-trace (chrome://tracing / Perfetto) "
-      "timeline\n"
-      "  --stats writes a machine-readable per-round stats report\n",
-      argv0);
-  std::exit(2);
+// Registers every flag against `options`. One table: Parse() and the
+// usage text both come from it, so they cannot drift.
+FlagSet BuildFlags(Options* options) {
+  FlagSet flags;
+  flags.String("query", &options->query_text,
+               "conjunctive query, e.g. \"Q(x,z) :- R(x,y), S(y,z)\"");
+  flags.Int("servers", &options->servers, 1, 1 << 20,
+            "simulated MPC cluster size p", "-p");
+  flags.Int("threads", &options->threads, 1, 1 << 20,
+            "OS threads executing a round (never changes results)");
+  flags.Int64("morsel-rows", &options->morsel_rows, 1, INT64_MAX,
+              "rows per exchange morsel (never changes results)");
+  flags.String("algorithm", &options->algorithm,
+               "hypercube|skewhc|binary|gym|auto|planner");
+  flags.KeyValue("gen", &options->generators,
+                 "generator spec per atom, NAME=uniform:rows:domain | "
+                 "zipf:rows:domain:skew | degree:rows:deg | "
+                 "graph:nodes:edges");
+  flags.KeyValue("input", &options->inputs, "CSV input per atom, NAME=FILE");
+  flags.String("output", &options->output_path, "write the result as CSV");
+  flags.String("trace", &options->trace_path,
+               "write a Chrome-trace (Perfetto) timeline");
+  flags.String("stats", &options->stats_path,
+               "write a machine-readable per-round stats report");
+  flags.Uint64("seed", &options->seed, "RNG seed (data + hash functions)");
+  flags.Double("round-cost", &options->round_cost, 0.0,
+               "planner lambda: tuples-equivalent charge per round");
+  flags.Bool("plan-cache", &options->plan_cache,
+             "toggle the shape+stats plan cache");
+  flags.Switch("calibrate", &options->calibrate,
+               "measure per-tuple phase costs first, plan in microseconds");
+  flags.Switch("analyze", &options->analyze_only,
+               "plan and print analysis only, no execution");
+  flags.Switch("verify", &options->verify,
+               "check the output against serial evaluation");
+  flags.String("serve", &options->serve_spec,
+               "serving mode: batch:FILE with one query per line");
+  flags.Int("clients", &options->clients, 1, 4096,
+            "serve: concurrent client threads");
+  flags.Int64("requests", &options->requests, 0, INT64_MAX,
+              "serve: total requests (0 = 25 per client)");
+  flags.Int("max-inflight", &options->max_inflight, 1, 4096,
+            "serve: queries executing at once");
+  flags.Int("max-queued", &options->max_queued, 0, 1 << 20,
+            "serve: admission queue depth beyond max-inflight");
+  flags.Int64("mem-budget", &options->mem_budget_mb, 0, INT64_MAX,
+              "serve: per-query estimated-memory cap in MiB (0 = off)");
+  flags.Bool("result-cache", &options->result_cache,
+             "serve: toggle the fingerprint-keyed result cache");
+  flags.String("serve-stats", &options->serve_stats_path,
+               "serve: write the load report as JSON");
+  return flags;
 }
 
-bool SplitKeyValue(const std::string& arg, std::string* key,
-                   std::string* value) {
-  const size_t eq = arg.find('=');
-  if (eq == std::string::npos) return false;
-  *key = arg.substr(0, eq);
-  *value = arg.substr(eq + 1);
-  return true;
+[[noreturn]] void Usage(const char* argv0, const FlagSet& flags) {
+  std::fprintf(stderr, "usage: %s --query Q [flags]\n%s", argv0,
+               flags.Help().c_str());
+  std::exit(2);
 }
 
 std::vector<std::string> SplitColons(const std::string& s) {
@@ -385,120 +426,147 @@ int Run(const Options& options) {
   return 0;
 }
 
+// --serve batch:FILE — the multi-query serving front-end. Loads the
+// workload (one query per line, '#' comments), registers every referenced
+// atom's data in a Catalog, then drives a QueryServer with --clients
+// closed-loop threads on the process-wide shared pool.
+int RunServe(const Options& options) {
+  const std::string kPrefix = "batch:";
+  if (options.serve_spec.compare(0, kPrefix.size(), kPrefix) != 0) {
+    std::fprintf(stderr, "--serve: expected batch:FILE, got '%s'\n",
+                 options.serve_spec.c_str());
+    return 2;
+  }
+  const std::string path = options.serve_spec.substr(kPrefix.size());
+  std::ifstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "--serve: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::vector<std::string> queries;
+  for (std::string line; std::getline(file, line);) {
+    const size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
+    queries.push_back(line);
+  }
+  if (queries.empty()) {
+    std::fprintf(stderr, "--serve: no queries in %s\n", path.c_str());
+    return 1;
+  }
+
+  // Register data for every atom the workload mentions, in first-use
+  // order (which makes generated data reproducible from --seed alone).
+  Catalog catalog;
+  Rng rng(options.seed);
+  for (const std::string& text : queries) {
+    const auto query = ConjunctiveQuery::Parse(text);
+    if (!query.ok()) {
+      std::fprintf(stderr, "query '%s': %s\n", text.c_str(),
+                   query.status().ToString().c_str());
+      return 1;
+    }
+    for (int j = 0; j < query->num_atoms(); ++j) {
+      const Atom& atom = query->atom(j);
+      Catalog::Entry existing;
+      if (catalog.Find(atom.name, &existing)) continue;
+      Relation rel(atom.arity());
+      if (const auto it = options.inputs.find(atom.name);
+          it != options.inputs.end()) {
+        auto loaded = ReadCsvFile(it->second, atom.arity());
+        if (!loaded.ok()) {
+          std::fprintf(stderr, "input %s: %s\n", atom.name.c_str(),
+                       loaded.status().ToString().c_str());
+          return 1;
+        }
+        rel = std::move(loaded).value();
+      } else if (const auto git = options.generators.find(atom.name);
+                 git != options.generators.end()) {
+        auto generated = Generate(git->second, atom.arity(), rng);
+        if (!generated.ok()) {
+          std::fprintf(stderr, "gen %s: %s\n", atom.name.c_str(),
+                       generated.status().ToString().c_str());
+          return 1;
+        }
+        rel = std::move(generated).value();
+      } else {
+        std::fprintf(stderr, "no data for atom %s (use --gen or --input)\n",
+                     atom.name.c_str());
+        return 1;
+      }
+      std::printf("  %s: %lld tuples\n", atom.name.c_str(),
+                  static_cast<long long>(rel.size()));
+      catalog.Register(atom.name, std::move(rel));
+    }
+  }
+
+  ServeOptions serve;
+  serve.num_servers = options.servers;
+  serve.num_threads = options.threads;
+  serve.morsel_rows = options.morsel_rows;
+  serve.algorithm = options.algorithm;
+  serve.seed = options.seed;
+  serve.round_cost = options.round_cost;
+  serve.max_inflight = options.max_inflight;
+  serve.max_queued = options.max_queued;
+  serve.mem_budget_bytes = options.mem_budget_mb * (int64_t{1} << 20);
+  serve.enable_result_cache = options.result_cache;
+  serve.enable_plan_cache = options.plan_cache;
+  QueryServer server(&catalog, serve);
+
+  LoadOptions load;
+  load.clients = options.clients;
+  load.requests = options.requests > 0
+                      ? options.requests
+                      : int64_t{25} * options.clients;
+  std::printf("serving %zu queries: %lld requests, %d clients, "
+              "%d servers, %d threads, algorithm %s\n",
+              queries.size(), static_cast<long long>(load.requests),
+              load.clients, options.servers, options.threads,
+              options.algorithm.c_str());
+  const LoadReport report = RunLoad(server, queries, load);
+
+  std::printf(
+      "completed %lld (%lld errors) in %.1f ms: %.1f qps\n"
+      "latency ms: mean %.3f  p50 %.3f  p95 %.3f  p99 %.3f  max %.3f\n"
+      "executed %lld  result-cache hits %lld  coalesced %lld  "
+      "rejected: overload %lld, memory %lld\n",
+      static_cast<long long>(report.completed),
+      static_cast<long long>(report.errors), report.wall_ms, report.qps,
+      report.mean_ms, report.p50_ms, report.p95_ms, report.p99_ms,
+      report.max_ms, static_cast<long long>(report.executed),
+      static_cast<long long>(report.result_cache_hits),
+      static_cast<long long>(report.coalesced),
+      static_cast<long long>(report.rejected_overload),
+      static_cast<long long>(report.rejected_memory));
+
+  if (!options.serve_stats_path.empty()) {
+    std::ofstream out(options.serve_stats_path);
+    if (!out) {
+      std::fprintf(stderr, "serve-stats: cannot write %s\n",
+                   options.serve_stats_path.c_str());
+      return 1;
+    }
+    out << report.ToJson() << "\n";
+    std::printf("wrote %s\n", options.serve_stats_path.c_str());
+  }
+  return report.errors == 0 ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace mpcqp
 
 int main(int argc, char** argv) {
   mpcqp::Options options;
-  for (int i = 1; i < argc; ++i) {
-    std::string arg = argv[i];
-    auto next = [&]() -> std::string {
-      if (i + 1 >= argc) mpcqp::Usage(argv[0]);
-      return argv[++i];
-    };
-    // Flags also accept the --flag=value spelling.
-    std::string inline_value;
-    bool has_inline_value = false;
-    if (arg.size() > 2 && arg[0] == '-' && arg[1] == '-') {
-      const size_t eq = arg.find('=');
-      if (eq != std::string::npos) {
-        inline_value = arg.substr(eq + 1);
-        has_inline_value = true;
-        arg = arg.substr(0, eq);
-      }
-    }
-    auto value = [&]() -> std::string {
-      return has_inline_value ? inline_value : next();
-    };
-    // atoi-free integer flags: the whole string must parse and be >= 1.
-    auto int_flag = [&](const char* flag) -> int {
-      const std::string text = value();
-      const auto parsed = mpcqp::ParseIntInRange(text, 1, 1 << 20);
-      if (!parsed.ok()) {
-        std::fprintf(stderr, "%s: %s\n", flag,
-                     parsed.status().message().c_str());
-        mpcqp::Usage(argv[0]);
-      }
-      return *parsed;
-    };
-    if (arg == "--query") {
-      options.query_text = value();
-    } else if (arg == "--servers" || arg == "-p") {
-      options.servers = int_flag("--servers");
-    } else if (arg == "--threads") {
-      options.threads = int_flag("--threads");
-    } else if (arg == "--morsel-rows") {
-      const std::string text = value();
-      const auto parsed = mpcqp::ParseInt64InRange(text, 1, INT64_MAX);
-      if (!parsed.ok()) {
-        std::fprintf(stderr, "--morsel-rows: %s\n",
-                     parsed.status().message().c_str());
-        mpcqp::Usage(argv[0]);
-      }
-      options.morsel_rows = *parsed;
-    } else if (arg == "--algorithm") {
-      options.algorithm = value();
-    } else if (arg == "--gen") {
-      std::string key;
-      std::string spec;
-      if (!mpcqp::SplitKeyValue(value(), &key, &spec)) {
-        mpcqp::Usage(argv[0]);
-      }
-      options.generators[key] = spec;
-    } else if (arg == "--input") {
-      std::string key;
-      std::string path;
-      if (!mpcqp::SplitKeyValue(value(), &key, &path)) {
-        mpcqp::Usage(argv[0]);
-      }
-      options.inputs[key] = path;
-    } else if (arg == "--output") {
-      options.output_path = value();
-    } else if (arg == "--trace") {
-      options.trace_path = value();
-    } else if (arg == "--stats") {
-      options.stats_path = value();
-    } else if (arg == "--seed") {
-      const std::string text = value();
-      const auto parsed = mpcqp::ParseUint64(text);
-      if (!parsed.ok()) {
-        std::fprintf(stderr, "--seed: %s\n",
-                     parsed.status().message().c_str());
-        mpcqp::Usage(argv[0]);
-      }
-      options.seed = *parsed;
-    } else if (arg == "--round-cost") {
-      const std::string text = value();
-      const auto parsed = mpcqp::ParseDouble(text);
-      if (!parsed.ok() || *parsed < 0) {
-        std::fprintf(stderr, "--round-cost: %s\n",
-                     parsed.ok() ? "must be >= 0"
-                                 : parsed.status().message().c_str());
-        mpcqp::Usage(argv[0]);
-      }
-      options.round_cost = *parsed;
-    } else if (arg == "--plan-cache") {
-      const std::string text = value();
-      const auto parsed = mpcqp::ParseBool(text);
-      if (!parsed.ok()) {
-        std::fprintf(stderr, "--plan-cache: %s\n",
-                     parsed.status().message().c_str());
-        mpcqp::Usage(argv[0]);
-      }
-      options.plan_cache = *parsed;
-    } else if (arg == "--calibrate") {
-      options.calibrate = true;
-    } else if (arg == "--analyze") {
-      options.analyze_only = true;
-    } else if (arg == "--verify") {
-      options.verify = true;
-    } else {
-      mpcqp::Usage(argv[0]);
-    }
+  const mpcqp::FlagSet flags = mpcqp::BuildFlags(&options);
+  if (const mpcqp::Status parsed = flags.Parse(argc, argv); !parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.message().c_str());
+    mpcqp::Usage(argv[0], flags);
   }
-  if (options.query_text.empty() || options.servers < 1 ||
-      options.threads < 1) {
-    mpcqp::Usage(argv[0]);
+  if (!options.serve_spec.empty()) {
+    return mpcqp::RunServe(options);
+  }
+  if (options.query_text.empty()) {
+    mpcqp::Usage(argv[0], flags);
   }
   return mpcqp::Run(options);
 }
