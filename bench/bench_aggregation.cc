@@ -41,7 +41,7 @@ void JoinThenGroupBy() {
       cluster, DistRelation::Scatter(orders, p),
       DistRelation::Scatter(customers, p), {0}, {0});
   const DistRelation grouped =
-      DistributedGroupBySum(cluster, joined, {0, 1}, 2);
+      DistributedGroupBySum(cluster, joined, {0, 1}, 2).value();
 
   Table table({"stage", "rounds so far", "L (tuples)", "rows"});
   table.AddRow({"join Orders x Customers", "1",
@@ -65,10 +65,12 @@ void CombinerEffect() {
     GroupByOptions without;
     without.use_combiners = false;
     Cluster c1(p, 3);
-    const DistRelation g1 = DistributedGroupBySum(
-        c1, DistRelation::Scatter(rel, p), {0}, 1, without);
+    const DistRelation g1 =
+        DistributedGroupBySum(c1, DistRelation::Scatter(rel, p), {0}, 1,
+                              without)
+            .value();
     Cluster c2(p, 3);
-    DistributedGroupBySum(c2, DistRelation::Scatter(rel, p), {0}, 1);
+    DistributedGroupBySum(c2, DistRelation::Scatter(rel, p), {0}, 1).value();
     table.AddRow({Fmt(skew, 1), FmtInt(g1.TotalSize()),
                   FmtInt(c1.cost_report().MaxLoadTuples()),
                   FmtInt(c2.cost_report().MaxLoadTuples())});
@@ -91,7 +93,8 @@ void AggregationTree() {
   for (const int fan_in : {2, 4, 16, 256}) {
     Cluster cluster(p, 3);
     const ScalarAggregateResult result =
-        DistributedSum(cluster, DistRelation::Scatter(rel, p), 0, fan_in);
+        DistributedSum(cluster, DistRelation::Scatter(rel, p), 0, fan_in)
+            .value();
     table.AddRow({FmtInt(fan_in), FmtInt(result.rounds),
                   FmtInt(static_cast<int64_t>(
                       std::ceil(std::log(p) / std::log(fan_in) - 1e-9))),

@@ -1,0 +1,213 @@
+// Group-by engine cardinality-crossover study: the adaptive multi-strategy
+// kernel (agg/groupby_engine.h) against the seed serial std::map path,
+// over the four workload shapes of ROADMAP item 3 — few groups, millions
+// of groups, Zipf-skewed, and TPC-H-Q1-style — at 1 and 8 threads.
+//
+// Emits BENCH_groupby.json with per-shape, per-strategy wall times. CI
+// runs this binary as a Release smoke test and fails (exit 1) if
+//  - any strategy's output differs from the seed path's bytes (including
+//    across morsel sizes: the determinism contract), or
+//  - the adaptive engine loses to the seed path on any shape at 8 threads.
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "agg/groupby_engine.h"
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "relation/relation_ops.h"
+#include "workload/generator.h"
+
+namespace mpcqp {
+namespace {
+
+using bench::BenchJson;
+using bench::Fmt;
+using bench::Table;
+using bench::WallTimer;
+
+constexpr int kReps = 3;  // Best-of-N wall times (cold caches amortized).
+
+struct Shape {
+  std::string name;
+  Relation data;
+  std::vector<int> group_cols;
+  int value_col;
+  AggregateOp op;
+};
+
+std::vector<Shape> MakeShapes() {
+  std::vector<Shape> shapes;
+  {
+    // Few groups, heavy duplication: the combiner-friendly regime.
+    Rng rng(21);
+    shapes.push_back({"few_groups", GenerateUniform(rng, 2500000, 2, 64),
+                      {0}, 1, AggregateOp::kSum});
+  }
+  {
+    // Millions of (nearly all distinct) groups: the table-build-bound
+    // regime where the seed map pays a node allocation per row.
+    Rng rng(22);
+    shapes.push_back({"millions_of_groups",
+                      GenerateUniform(rng, 1500000, 2, 4000000),
+                      {0}, 1, AggregateOp::kSum});
+  }
+  {
+    // Zipf-skewed: one giant group plus a long distinct tail.
+    Rng rng(23);
+    shapes.push_back({"zipf_skew",
+                      GenerateZipf(rng, 2000000, 2, 1000000, 0, 1.1),
+                      {0}, 1, AggregateOp::kSum});
+  }
+  {
+    // TPC-H Q1 style: two low-cardinality group columns (returnflag x
+    // linestatus ~ 6 combinations) over a wide fact scan.
+    Rng rng(24);
+    Relation q1(4);
+    q1.Reserve(2500000);
+    for (int64_t i = 0; i < 2500000; ++i) {
+      q1.AppendRow({rng.Uniform(3), rng.Uniform(2), rng.Uniform(10000),
+                    1 + rng.Uniform(50)});
+    }
+    shapes.push_back({"tpch_q1_style", std::move(q1),
+                      {0, 1}, 3, AggregateOp::kSum});
+  }
+  return shapes;
+}
+
+double TimeRun(const Shape& shape, GroupByStrategy strategy, ThreadPool* pool,
+               Relation* out) {
+  double best = 1e300;
+  for (int rep = 0; rep < kReps; ++rep) {
+    GroupByEngineOptions options;
+    options.strategy = strategy;
+    options.pool = pool;
+    WallTimer timer;
+    StatusOr<Relation> result = GroupByAggregateParallel(
+        shape.data, shape.group_cols, shape.value_col, shape.op, options);
+    const double ms = timer.ElapsedMs();
+    if (!result.ok()) {
+      std::printf("FAIL: %s %s: %s\n", shape.name.c_str(),
+                  GroupByStrategyName(strategy),
+                  result.status().ToString().c_str());
+      std::exit(1);
+    }
+    if (rep == 0) *out = std::move(result).value();
+    if (ms < best) best = ms;
+  }
+  return best;
+}
+
+double TimeSeedPath(const Shape& shape, Relation* out) {
+  double best = 1e300;
+  for (int rep = 0; rep < kReps; ++rep) {
+    WallTimer timer;
+    StatusOr<Relation> result = GroupByAggregate(
+        shape.data, shape.group_cols, shape.value_col, shape.op);
+    const double ms = timer.ElapsedMs();
+    if (!result.ok()) {
+      std::printf("FAIL: %s seed path errored\n", shape.name.c_str());
+      std::exit(1);
+    }
+    if (rep == 0) *out = std::move(result).value();
+    if (ms < best) best = ms;
+  }
+  return best;
+}
+
+}  // namespace
+}  // namespace mpcqp
+
+int main() {
+  using namespace mpcqp;  // NOLINT
+  BenchJson json("groupby");
+  bool ok = true;
+
+  ThreadPool pool1(1);
+  ThreadPool pool8(8);
+  const std::vector<Shape> shapes = MakeShapes();
+
+  bench::Banner(
+      "Group-by engine vs seed std::map path — four workload shapes, "
+      "threads {1, 8}, best of " +
+      std::to_string(kReps));
+  Table table({"shape", "rows", "groups", "chosen", "seed ms", "adapt t1",
+               "adapt t8", "tree t8", "radix t8", "speedup t8"});
+
+  for (const Shape& shape : shapes) {
+    Relation seed_out;
+    const double seed_ms = TimeSeedPath(shape, &seed_out);
+
+    const GroupByStrategy chosen =
+        ChooseGroupByStrategy({RelationView(shape.data)}, shape.group_cols);
+
+    Relation adapt1, adapt8, tree8, radix8;
+    const double adapt1_ms =
+        TimeRun(shape, GroupByStrategy::kAdaptive, &pool1, &adapt1);
+    const double adapt8_ms =
+        TimeRun(shape, GroupByStrategy::kAdaptive, &pool8, &adapt8);
+    const double tree8_ms =
+        TimeRun(shape, GroupByStrategy::kTreeMerge, &pool8, &tree8);
+    const double radix8_ms =
+        TimeRun(shape, GroupByStrategy::kRadix, &pool8, &radix8);
+
+    // Bit-identical outputs: every strategy, every thread count, and a
+    // coarse + fine morsel decomposition must match the seed path.
+    for (const Relation* r : {&adapt1, &adapt8, &tree8, &radix8}) {
+      if (!(*r == seed_out)) {
+        std::printf("FAIL: %s output mismatch vs seed path\n",
+                    shape.name.c_str());
+        ok = false;
+      }
+    }
+    for (const int64_t morsel : {int64_t{1024}, int64_t{65536}}) {
+      GroupByEngineOptions options;
+      options.pool = &pool8;
+      options.morsel_rows = morsel;
+      const StatusOr<Relation> r = GroupByAggregateParallel(
+          shape.data, shape.group_cols, shape.value_col, shape.op, options);
+      if (!r.ok() || !(r.value() == seed_out)) {
+        std::printf("FAIL: %s output mismatch at morsel_rows=%lld\n",
+                    shape.name.c_str(), static_cast<long long>(morsel));
+        ok = false;
+      }
+    }
+
+    // The CI gate: adaptive at 8 threads never loses to the seed path.
+    if (adapt8_ms > seed_ms) {
+      std::printf("FAIL: %s adaptive t8 %.1fms slower than seed %.1fms\n",
+                  shape.name.c_str(), adapt8_ms, seed_ms);
+      ok = false;
+    }
+
+    table.AddRow({shape.name, bench::FmtInt(shape.data.size()),
+                  bench::FmtInt(seed_out.size()), GroupByStrategyName(chosen),
+                  Fmt(seed_ms, 1), Fmt(adapt1_ms, 1), Fmt(adapt8_ms, 1),
+                  Fmt(tree8_ms, 1), Fmt(radix8_ms, 1),
+                  Fmt(seed_ms / adapt8_ms, 2)});
+
+    json.Set(shape.name + "_rows", shape.data.size());
+    json.Set(shape.name + "_groups", seed_out.size());
+    json.Set(shape.name + "_chosen", GroupByStrategyName(chosen));
+    json.Set(shape.name + "_seed_ms", seed_ms);
+    json.Set(shape.name + "_adaptive_t1_ms", adapt1_ms);
+    json.Set(shape.name + "_adaptive_t8_ms", adapt8_ms);
+    json.Set(shape.name + "_tree_merge_t8_ms", tree8_ms);
+    json.Set(shape.name + "_radix_t8_ms", radix8_ms);
+    json.Set(shape.name + "_speedup_t8", seed_ms / adapt8_ms);
+  }
+  table.Print();
+
+  json.Set("gate_ok", ok ? "pass" : "fail");
+  json.Write();
+  if (!ok) {
+    std::printf("\ngroup-by bench gate FAILED\n");
+    return 1;
+  }
+  std::printf("\ngroup-by bench gate passed: adaptive >= seed on every "
+              "shape at t=8, outputs bit-identical\n");
+  return 0;
+}

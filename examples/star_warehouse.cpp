@@ -71,7 +71,8 @@ int main() {
       HashPartition(cluster, joined.output, {0}, hash, "group-by shuffle");
   DistRelation aggregated(2, p);
   for (int s = 0; s < p; ++s) {
-    aggregated.fragment(s) = GroupBySum(by_customer.fragment(s), {0}, 2);
+    aggregated.fragment(s) =
+        GroupBySum(by_customer.fragment(s), {0}, 2).value();
   }
 
   std::printf("orders=%lld customers=%lld products=%lld\n",

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "agg/groupby_engine.h"
+#include "common/statusor.h"
 #include "mpc/cluster.h"
 #include "mpc/dist_relation.h"
 #include "relation/relation_ops.h"
@@ -12,7 +14,9 @@ namespace mpcqp {
 
 // Distributed aggregation (the deck's slide-52 query: SELECT keys,
 // SUM(...) GROUP BY keys — "queries are typically executed in multiple
-// rounds" because a join round feeds an aggregation round).
+// rounds" because a join round feeds an aggregation round). Local compute
+// on both sides of the shuffle runs through the adaptive multi-strategy
+// kernel in agg/groupby_engine.h.
 
 struct GroupByOptions {
   // Pre-aggregate locally before the shuffle (the standard combiner
@@ -20,35 +24,44 @@ struct GroupByOptions {
   // group concentrates its entire weight on one server; on, each server
   // contributes at most one partial per group.
   bool use_combiners = true;
+  // Local aggregation strategy; kAdaptive picks per fragment from sampled
+  // group cardinality (see groupby_engine.h).
+  GroupByStrategy strategy = GroupByStrategy::kAdaptive;
 };
 
 // SELECT group_cols..., SUM(value_col) GROUP BY group_cols in one round:
 // shuffle by hash of the group key, aggregate locally. Output columns:
-// group columns then the sum; each group on exactly one server.
-DistRelation DistributedGroupBySum(Cluster& cluster, const DistRelation& rel,
-                                   const std::vector<int>& group_cols,
-                                   int value_col,
-                                   const GroupByOptions& options = {});
+// group columns then the sum; each group on exactly one server. Empty
+// group_cols forms one global scalar group (on the key's hash owner) —
+// the same contract as the local GroupByAggregate. Fails with kOutOfRange
+// when any group's sum exceeds the Value range.
+StatusOr<DistRelation> DistributedGroupBySum(
+    Cluster& cluster, const DistRelation& rel,
+    const std::vector<int>& group_cols, int value_col,
+    const GroupByOptions& options = {});
 
 // General algebraic aggregates (SUM / COUNT / MIN / MAX): same round
 // structure; combiner partials are merged with the op's re-aggregation
-// (partial COUNTs are SUMmed, MIN of MINs, ...).
-DistRelation DistributedGroupByAggregate(Cluster& cluster,
-                                         const DistRelation& rel,
-                                         const std::vector<int>& group_cols,
-                                         int value_col, AggregateOp op,
-                                         const GroupByOptions& options = {});
+// (partial COUNTs are SUMmed, MIN of MINs, ...). For kCount, value_col
+// may be -1; without combiners the shuffle then ships only the group
+// columns (counting rows needs no value payload).
+StatusOr<DistRelation> DistributedGroupByAggregate(
+    Cluster& cluster, const DistRelation& rel,
+    const std::vector<int>& group_cols, int value_col, AggregateOp op,
+    const GroupByOptions& options = {});
 
 // Global SUM(value_col) (no grouping) via a fan_in-ary aggregation tree:
 // ceil(log_fan_in(p)) rounds, O(fan_in) load per round. This is the
 // log_L(N) round structure behind the slide-105/125 aggregation lower
-// bounds.
+// bounds. Local partials run through the scalar-group engine path; both
+// the partials and every tree merge are overflow-checked.
 struct ScalarAggregateResult {
   Value sum = 0;
   int rounds = 0;
 };
-ScalarAggregateResult DistributedSum(Cluster& cluster, const DistRelation& rel,
-                                     int value_col, int fan_in = 2);
+StatusOr<ScalarAggregateResult> DistributedSum(Cluster& cluster,
+                                               const DistRelation& rel,
+                                               int value_col, int fan_in = 2);
 
 }  // namespace mpcqp
 

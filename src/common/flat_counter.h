@@ -25,6 +25,25 @@ class FlatCounter {
   // counts[key] += delta, inserting the key at count 0 first.
   void Add(uint64_t key, int64_t delta = 1) { Slot(key)->count += delta; }
 
+  // Pre-grows the table so `expected_keys` distinct keys insert without a
+  // rehash (bulk counting passes size once instead of doubling log times).
+  void Reserve(int64_t expected_keys) {
+    int64_t cap = static_cast<int64_t>(slots_.size());
+    while (cap < 2 * expected_keys) cap <<= 1;
+    if (cap > static_cast<int64_t>(slots_.size())) Rehash(cap);
+  }
+
+  // counts[key] += other.counts[key] for every key of `other` — the merge
+  // step of per-worker partial counters (tree-merge aggregation, partial
+  // degree counts). Order-insensitive: integer sums commute, so merging
+  // in any order yields the same table contents.
+  void MergeFrom(const FlatCounter& other) {
+    Reserve(num_keys_ + other.num_keys_);
+    for (const SlotEntry& s : other.slots_) {
+      if (s.used) Add(s.key, s.count);
+    }
+  }
+
   // The count for `key`, or 0 if it was never added.
   int64_t Get(uint64_t key) const {
     const uint64_t mask = slots_.size() - 1;
@@ -80,9 +99,11 @@ class FlatCounter {
     }
   }
 
-  void Grow() {
+  void Grow() { Rehash(static_cast<int64_t>(slots_.size()) * 2); }
+
+  void Rehash(int64_t cap) {
     std::vector<SlotEntry> old = std::move(slots_);
-    slots_.assign(old.size() * 2, SlotEntry{});
+    slots_.assign(static_cast<size_t>(cap), SlotEntry{});
     const uint64_t mask = slots_.size() - 1;
     for (const SlotEntry& s : old) {
       if (!s.used) continue;

@@ -1,22 +1,39 @@
 #include "join/heavy_hitters.h"
 
+#include <utility>
+#include <vector>
+
+#include "agg/groupby_engine.h"
 #include "common/check.h"
-#include "common/flat_counter.h"
 
 namespace mpcqp {
 
 std::vector<HeavyHitter> FindHeavyHitters(const DistRelation& rel, int col,
-                                          int64_t threshold) {
+                                          int64_t threshold,
+                                          ThreadPool* pool) {
   MPCQP_CHECK_GE(col, 0);
   MPCQP_CHECK_LT(col, rel.arity());
-  FlatCounter counts;
+  // COUNT(*) GROUP BY col over all fragments at once — the engine output
+  // is (value, count) sorted by value, exactly the order the old serial
+  // FlatCounter scan produced.
+  std::vector<RelationView> inputs;
+  inputs.reserve(static_cast<size_t>(rel.num_servers()));
   for (int s = 0; s < rel.num_servers(); ++s) {
-    const Relation& frag = rel.fragment(s);
-    for (int64_t i = 0; i < frag.size(); ++i) counts.Add(frag.at(i, col));
+    inputs.push_back(rel.fragment(s));
   }
+  GroupByEngineOptions options;
+  options.pool = pool;
+  StatusOr<Relation> counts = GroupByAggregateParallel(
+      inputs, {col}, /*value_col=*/-1, AggregateOp::kCount, options);
+  // COUNT cannot overflow here: the total is bounded by the row count.
+  MPCQP_CHECK(counts.ok()) << counts.status();
+  const Relation& table = counts.value();
   std::vector<HeavyHitter> result;
-  for (const auto& [value, count] : counts.SortedEntries()) {
-    if (count > threshold) result.push_back({value, count});
+  for (int64_t i = 0; i < table.size(); ++i) {
+    const int64_t count = static_cast<int64_t>(table.at(i, 1));
+    if (count > threshold) {
+      result.push_back({table.at(i, 0), count});
+    }
   }
   return result;
 }

@@ -8,6 +8,8 @@
 
 namespace mpcqp {
 
+class ThreadPool;
+
 // A join value and its frequency in a relation column.
 struct HeavyHitter {
   Value value = 0;
@@ -26,8 +28,13 @@ struct HeavyHitter {
 // holding at most p candidates above IN/p locally); the simulator computes
 // it directly and the algorithms treat it as free statistics, matching the
 // theory's assumption that degrees are known.
+//
+// Counting runs through the adaptive group-by engine over all fragments
+// at once; a non-null `pool` morsel-parallelizes the scan (the result is
+// identical — same determinism contract as the engine).
 std::vector<HeavyHitter> FindHeavyHitters(const DistRelation& rel, int col,
-                                          int64_t threshold);
+                                          int64_t threshold,
+                                          ThreadPool* pool = nullptr);
 
 // Frequency of one value in a column (exact, across all fragments).
 int64_t CountValue(const DistRelation& rel, int col, Value value);

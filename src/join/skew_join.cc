@@ -53,11 +53,11 @@ DistRelation SkewAwareJoin(Cluster& cluster, const DistRelation& left,
     }
   } else {
     for (const HeavyHitter& h :
-         FindHeavyHitters(left, left_key, threshold)) {
+         FindHeavyHitters(left, left_key, threshold, &cluster.pool())) {
       heavy_degrees[h.value].first = h.count;
     }
-    for (const HeavyHitter& h :
-         FindHeavyHitters(right, right_key, threshold)) {
+    for (const HeavyHitter& h : FindHeavyHitters(right, right_key, threshold,
+                                                 &cluster.pool())) {
       heavy_degrees[h.value].second = h.count;
     }
   }

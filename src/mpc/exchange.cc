@@ -389,12 +389,28 @@ DistRelation HashPartition(Cluster& cluster, const DistRelation& rel,
                            const std::vector<int>& key_cols,
                            const HashFunction& hash,
                            const std::string& label) {
-  MPCQP_CHECK(!key_cols.empty());
   for (int c : key_cols) {
     MPCQP_CHECK_GE(c, 0);
     MPCQP_CHECK_LT(c, rel.arity());
   }
   const int p = cluster.num_servers();
+  if (key_cols.empty()) {
+    // Empty key: every row belongs to one (scalar) group, so all rows
+    // route to that group's hash owner. HashSpan over zero columns is the
+    // hash function's deterministic seed constant — same owner on every
+    // server, chosen by the draw like any other key.
+    const int owner = static_cast<int>(
+        (static_cast<unsigned __int128>(hash.HashSpan(nullptr, 0)) * p) >>
+        64);
+    return RouteSingle(
+        cluster, rel,
+        [owner](int /*src*/, const Relation& /*frag*/, int64_t begin,
+                int64_t end, int32_t* dests) {
+          std::fill(dests, dests + (end - begin),
+                    static_cast<int32_t>(owner));
+        },
+        label);
+  }
   if (key_cols.size() == 1) {
     // Single-column key: gather the column (a no-op for arity 1) and
     // bucket the whole morsel in one batched, vectorizable pass.

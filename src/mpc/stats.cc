@@ -42,7 +42,8 @@ std::vector<DistributedHeavyHitter> DetectHeavyHittersDistributed(
   // Local finalize: totals per owned value; keep the heavy survivors.
   DistRelation survivors(2, p);
   for (int s = 0; s < p; ++s) {
-    const Relation totals = GroupBySum(routed.fragment(s), {0}, 1);
+    // Counts are bounded by the row count, so the sum cannot overflow.
+    const Relation totals = GroupBySum(routed.fragment(s), {0}, 1).value();
     for (int64_t i = 0; i < totals.size(); ++i) {
       if (static_cast<int64_t>(totals.at(i, 1)) > threshold) {
         survivors.fragment(s).AppendRowFrom(totals, i);
@@ -74,7 +75,7 @@ Relation DistributedDegreeTable(Cluster& cluster, const DistRelation& rel,
       cluster, LocalCounts(rel, col), {0}, hash, "stats: count shuffle");
   DistRelation totals(2, cluster.num_servers());
   for (int s = 0; s < cluster.num_servers(); ++s) {
-    totals.fragment(s) = GroupBySum(routed.fragment(s), {0}, 1);
+    totals.fragment(s) = GroupBySum(routed.fragment(s), {0}, 1).value();
   }
   Relation gathered =
       GatherToServer(cluster, totals, gather_to, "stats: gather degrees");

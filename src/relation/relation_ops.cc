@@ -296,33 +296,44 @@ Relation AntijoinLocal(RelationView left, RelationView right,
   return out;
 }
 
-Relation GroupBySum(RelationView rel, const std::vector<int>& group_cols,
-                    int value_col) {
+StatusOr<Relation> GroupBySum(RelationView rel,
+                              const std::vector<int>& group_cols,
+                              int value_col) {
   return GroupByAggregate(rel, group_cols, value_col, AggregateOp::kSum);
 }
 
-Relation GroupByAggregate(RelationView rel,
-                          const std::vector<int>& group_cols, int value_col,
-                          AggregateOp op) {
-  MPCQP_CHECK_GE(value_col, 0);
-  MPCQP_CHECK_LT(value_col, rel.arity());
+StatusOr<Relation> GroupByAggregate(RelationView rel,
+                                    const std::vector<int>& group_cols,
+                                    int value_col, AggregateOp op) {
+  // kCount never reads the value column; value_col = -1 lets callers count
+  // over relations that carry no value column at all (e.g. a shuffle that
+  // shipped only the group columns).
+  MPCQP_CHECK(value_col >= 0 || op == AggregateOp::kCount);
+  if (value_col >= 0) MPCQP_CHECK_LT(value_col, rel.arity());
   for (int c : group_cols) {
     MPCQP_CHECK_GE(c, 0);
     MPCQP_CHECK_LT(c, rel.arity());
   }
-  // std::map keeps output deterministic (sorted by group key).
+  // std::map keeps output deterministic (sorted by group key). With empty
+  // group_cols the map holds at most one entry: the scalar group.
   std::map<std::vector<Value>, Value> accumulators;
   std::vector<Value> key(group_cols.size());
   for (int64_t i = 0; i < rel.size(); ++i) {
     const Value* row = rel.row(i);
     for (size_t k = 0; k < group_cols.size(); ++k) key[k] = row[group_cols[k]];
-    const Value value = row[value_col];
+    const Value value = value_col >= 0 ? row[value_col] : 0;
     auto [it, inserted] = accumulators.try_emplace(key, 0);
     switch (op) {
       case AggregateOp::kSum:
+        if (it->second + value < it->second) {
+          return OutOfRangeError("group-by SUM overflows Value");
+        }
         it->second += value;
         break;
       case AggregateOp::kCount:
+        if (it->second + 1 == 0) {
+          return OutOfRangeError("group-by COUNT overflows Value");
+        }
         it->second += 1;
         break;
       case AggregateOp::kMin:

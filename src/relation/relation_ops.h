@@ -4,6 +4,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/statusor.h"
 #include "relation/relation.h"
 #include "relation/relation_view.h"
 
@@ -65,24 +66,33 @@ Relation AntijoinLocal(RelationView left, RelationView right,
 
 // SELECT group_cols, SUM(value_col) ... GROUP BY group_cols.
 // Output: group columns then the sum. Output sorted by group columns.
-Relation GroupBySum(RelationView rel, const std::vector<int>& group_cols,
-                    int value_col);
+// Fails with kOutOfRange if any group's sum overflows Value.
+StatusOr<Relation> GroupBySum(RelationView rel,
+                              const std::vector<int>& group_cols,
+                              int value_col);
 
 // The aggregate functions GroupByAggregate supports. All are algebraic
 // (partials combine associatively), which is what lets the distributed
 // group-by pre-aggregate with combiners.
 enum class AggregateOp {
   kSum,
-  kCount,  // value_col ignored.
+  kCount,  // value_col ignored; pass value_col = -1 to skip it entirely.
   kMin,
   kMax,
 };
 
 // SELECT group_cols, OP(value_col) ... GROUP BY group_cols.
 // Output: group columns then the aggregate; sorted by group columns.
-Relation GroupByAggregate(RelationView rel,
-                          const std::vector<int>& group_cols, int value_col,
-                          AggregateOp op);
+// `group_cols` may be empty: every row falls into one scalar group, so a
+// non-empty input yields exactly one output row (and an empty input yields
+// none — SQL's GROUP BY () semantics, which keeps partial aggregation of
+// empty fragments neutral). kSum and kCount fail with kOutOfRange instead
+// of silently wrapping when an accumulator exceeds the Value range; since
+// addends are non-negative, partial sums are monotone and the error is
+// independent of accumulation order.
+StatusOr<Relation> GroupByAggregate(RelationView rel,
+                                    const std::vector<int>& group_cols,
+                                    int value_col, AggregateOp op);
 
 // True if `a` and `b` contain the same rows with the same multiplicities
 // (order-insensitive). The workhorse of correctness tests. `pool`

@@ -20,9 +20,12 @@ TEST_P(GroupByTest, MatchesLocalGroupBy) {
   Cluster cluster(p, 3);
   GroupByOptions options;
   options.use_combiners = combiners;
-  const DistRelation result = DistributedGroupBySum(
-      cluster, DistRelation::Scatter(rel, p), {0, 1}, 2, options);
-  EXPECT_TRUE(MultisetEqual(result.Collect(), GroupBySum(rel, {0, 1}, 2)));
+  const DistRelation result =
+      DistributedGroupBySum(cluster, DistRelation::Scatter(rel, p), {0, 1}, 2,
+                            options)
+          .value();
+  EXPECT_TRUE(
+      MultisetEqual(result.Collect(), GroupBySum(rel, {0, 1}, 2).value()));
   EXPECT_EQ(cluster.cost_report().num_rounds(), 1);
 }
 
@@ -35,8 +38,9 @@ TEST(GroupByTest, EachGroupOnOneServer) {
   Rng rng(2);
   const Relation rel = GenerateUniform(rng, 2000, 2, 20);
   Cluster cluster(p, 3);
-  const DistRelation result = DistributedGroupBySum(
-      cluster, DistRelation::Scatter(rel, p), {0}, 1);
+  const DistRelation result =
+      DistributedGroupBySum(cluster, DistRelation::Scatter(rel, p), {0}, 1)
+          .value();
   // 20 possible groups; every group key appears in exactly one fragment.
   for (Value g = 0; g < 20; ++g) {
     int holders = 0;
@@ -64,9 +68,13 @@ TEST(GroupByTest, CombinersCutSkewedShuffleLoad) {
   without.use_combiners = false;
 
   Cluster c1(p, 3);
-  DistributedGroupBySum(c1, DistRelation::Scatter(rel, p), {0}, 1, with);
+  ASSERT_TRUE(
+      DistributedGroupBySum(c1, DistRelation::Scatter(rel, p), {0}, 1, with)
+          .ok());
   Cluster c2(p, 3);
-  DistributedGroupBySum(c2, DistRelation::Scatter(rel, p), {0}, 1, without);
+  ASSERT_TRUE(DistributedGroupBySum(c2, DistRelation::Scatter(rel, p), {0}, 1,
+                                    without)
+                  .ok());
 
   EXPECT_EQ(c1.cost_report().MaxLoadTuples(), p);     // One partial each.
   EXPECT_EQ(c2.cost_report().MaxLoadTuples(), 8000);  // The whole group.
@@ -75,15 +83,31 @@ TEST(GroupByTest, CombinersCutSkewedShuffleLoad) {
 TEST(GroupByAggregateTest, LocalOpsByHand) {
   const Relation r =
       Relation::FromRows({{1, 10}, {1, 3}, {2, 7}, {1, 5}, {2, 9}});
-  const Relation count = GroupByAggregate(r, {0}, 1, AggregateOp::kCount);
+  const Relation count =
+      GroupByAggregate(r, {0}, 1, AggregateOp::kCount).value();
   EXPECT_EQ(count.at(0, 1), 3u);
   EXPECT_EQ(count.at(1, 1), 2u);
-  const Relation mn = GroupByAggregate(r, {0}, 1, AggregateOp::kMin);
+  // COUNT never reads the value column; -1 skips it entirely.
+  EXPECT_EQ(GroupByAggregate(r, {0}, -1, AggregateOp::kCount).value(), count);
+  const Relation mn = GroupByAggregate(r, {0}, 1, AggregateOp::kMin).value();
   EXPECT_EQ(mn.at(0, 1), 3u);
   EXPECT_EQ(mn.at(1, 1), 7u);
-  const Relation mx = GroupByAggregate(r, {0}, 1, AggregateOp::kMax);
+  const Relation mx = GroupByAggregate(r, {0}, 1, AggregateOp::kMax).value();
   EXPECT_EQ(mx.at(0, 1), 10u);
   EXPECT_EQ(mx.at(1, 1), 9u);
+}
+
+TEST(GroupByAggregateTest, ScalarGroupLocal) {
+  // Empty group_cols: one all-rows group, output arity 1.
+  const Relation r = Relation::FromRows({{4, 10}, {9, 3}, {2, 7}});
+  const Relation sum = GroupByAggregate(r, {}, 1, AggregateOp::kSum).value();
+  EXPECT_EQ(sum, Relation::FromRows({{20}}));
+  const Relation count =
+      GroupByAggregate(r, {}, -1, AggregateOp::kCount).value();
+  EXPECT_EQ(count, Relation::FromRows({{3}}));
+  // An empty input has no groups at all — not a zero row.
+  const Relation empty(2);
+  EXPECT_TRUE(GroupByAggregate(empty, {}, 1, AggregateOp::kSum)->empty());
 }
 
 class DistributedAggregateTest
@@ -97,10 +121,58 @@ TEST_P(DistributedAggregateTest, MatchesLocalReference) {
   Cluster cluster(p, 3);
   GroupByOptions options;
   options.use_combiners = combiners;
-  const DistRelation result = DistributedGroupByAggregate(
-      cluster, DistRelation::Scatter(rel, p), {0}, 1, op, options);
+  const DistRelation result =
+      DistributedGroupByAggregate(cluster, DistRelation::Scatter(rel, p), {0},
+                                  1, op, options)
+          .value();
   EXPECT_TRUE(MultisetEqual(result.Collect(),
-                            GroupByAggregate(rel, {0}, 1, op)));
+                            GroupByAggregate(rel, {0}, 1, op).value()));
+}
+
+// The combiner toggle is a pure optimization: on and off must produce the
+// same multiset for every op (the regression for the kCount no-combiner
+// shape bug, which returned row counts only by accident of arity).
+TEST_P(DistributedAggregateTest, CombinersOnOffAgree) {
+  const auto [op, combiners] = GetParam();
+  if (combiners) GTEST_SKIP() << "pair covered by the combiners=false run";
+  const int p = 8;
+  Rng rng(7);
+  const Relation rel = GenerateZipf(rng, 3000, 2, 100, 0, 1.2);
+  GroupByOptions on;
+  on.use_combiners = true;
+  GroupByOptions off;
+  off.use_combiners = false;
+  Cluster c1(p, 3);
+  Cluster c2(p, 3);
+  const DistRelation with =
+      DistributedGroupByAggregate(c1, DistRelation::Scatter(rel, p), {0}, 1,
+                                  op, on)
+          .value();
+  const DistRelation without =
+      DistributedGroupByAggregate(c2, DistRelation::Scatter(rel, p), {0}, 1,
+                                  op, off)
+          .value();
+  EXPECT_TRUE(MultisetEqual(with.Collect(), without.Collect()));
+}
+
+// Distributed and local agree on the scalar (empty group_cols) group —
+// the contract divergence the CHECK at the old aggregate.cc:22 left open.
+TEST_P(DistributedAggregateTest, ScalarGroupMatchesLocal) {
+  const auto [op, combiners] = GetParam();
+  const int p = 8;
+  Rng rng(8);
+  const Relation rel = GenerateUniform(rng, 2000, 2, 64);
+  Cluster cluster(p, 3);
+  GroupByOptions options;
+  options.use_combiners = combiners;
+  const DistRelation result =
+      DistributedGroupByAggregate(cluster, DistRelation::Scatter(rel, p), {},
+                                  1, op, options)
+          .value();
+  const Relation collected = result.Collect();
+  EXPECT_EQ(collected.size(), 1);
+  EXPECT_TRUE(
+      MultisetEqual(collected, GroupByAggregate(rel, {}, 1, op).value()));
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -111,6 +183,40 @@ INSTANTIATE_TEST_SUITE_P(
                                          AggregateOp::kMax),
                        ::testing::Values(false, true)));
 
+TEST(DistributedAggregateTest, CountWithoutCombinersShipsOnlyGroupColumns) {
+  const int p = 8;
+  Rng rng(9);
+  const Relation rel = GenerateUniform(rng, 2000, 3, 40);
+  GroupByOptions off;
+  off.use_combiners = false;
+  Cluster cluster(p, 3);
+  ASSERT_TRUE(DistributedGroupByAggregate(cluster,
+                                          DistRelation::Scatter(rel, p), {0},
+                                          1, AggregateOp::kCount, off)
+                  .ok());
+  const RoundCost& shuffle = cluster.cost_report().rounds()[0];
+  // Every shuffled tuple is exactly the 1-column group key — no value
+  // payload rides along for COUNT.
+  EXPECT_EQ(shuffle.TotalValuesReceived(), shuffle.TotalTuplesReceived());
+}
+
+TEST(DistributedAggregateTest, SumOverflowSurfacesTypedError) {
+  const Value half = Value{1} << 63;
+  Relation rel(2);
+  rel.AppendRow({7, half});
+  rel.AppendRow({7, half});  // Exact wrap to 0.
+  for (const bool combiners : {false, true}) {
+    Cluster cluster(4, 3);
+    GroupByOptions options;
+    options.use_combiners = combiners;
+    const auto result = DistributedGroupByAggregate(
+        cluster, DistRelation::Scatter(rel, 4), {0}, 1, AggregateOp::kSum,
+        options);
+    ASSERT_FALSE(result.ok()) << "combiners=" << combiners;
+    EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+  }
+}
+
 TEST(ScalarSumTest, CorrectAcrossFanIns) {
   Rng rng(4);
   const Relation rel = GenerateUniform(rng, 5000, 1, 1000);
@@ -119,8 +225,9 @@ TEST(ScalarSumTest, CorrectAcrossFanIns) {
   for (const int p : {1, 7, 16, 64}) {
     for (const int fan_in : {2, 4, 8}) {
       Cluster cluster(p, 3);
-      const ScalarAggregateResult result = DistributedSum(
-          cluster, DistRelation::Scatter(rel, p), 0, fan_in);
+      const ScalarAggregateResult result =
+          DistributedSum(cluster, DistRelation::Scatter(rel, p), 0, fan_in)
+              .value();
       EXPECT_EQ(result.sum, expected) << "p=" << p << " f=" << fan_in;
       const int expected_rounds =
           p == 1 ? 0
@@ -138,9 +245,24 @@ TEST(ScalarSumTest, TreeLoadIsFanIn) {
   Rng rng(5);
   const Relation rel = GenerateUniform(rng, 640, 1, 10);
   Cluster cluster(p, 3);
-  DistributedSum(cluster, DistRelation::Scatter(rel, p), 0, 4);
+  ASSERT_TRUE(
+      DistributedSum(cluster, DistRelation::Scatter(rel, p), 0, 4).ok());
   // Each round a leader receives at most fan_in - 1 partials.
   EXPECT_LE(cluster.cost_report().MaxLoadTuples(), 3);
+}
+
+TEST(ScalarSumTest, OverflowSurfacesTypedError) {
+  // Two fragments whose partials are each fine but whose tree merge wraps.
+  const Value half = Value{1} << 63;
+  Relation rel(1);
+  rel.AppendRow({half});
+  rel.AppendRow({half});
+  rel.AppendRow({1});
+  Cluster cluster(4, 3);
+  const auto result =
+      DistributedSum(cluster, DistRelation::Scatter(rel, 4), 0, 2);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
 }
 
 }  // namespace

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "acyclic/gym.h"
+#include "agg/aggregate.h"
 #include "join/broadcast_join.h"
 #include "join/cartesian.h"
 #include "join/hash_join.h"
@@ -493,6 +494,33 @@ TEST(DeterminismTest, MorselBoundarySkewedSingleSource) {
       [&](Cluster& cluster) { return ExerciseAllRouters(cluster, in); });
 }
 
+// The adaptive group-by engine runs inside both phases of the distributed
+// aggregate (per-fragment combiners, post-shuffle merge). Its strategy
+// choice derives only from the data, so output AND cost report must hold
+// across thread counts x morsel sizes.
+TEST(DeterminismTest, DistributedGroupByAggregate) {
+  Rng rng(131);
+  const Relation input = GenerateZipf(rng, 4000, 3, 300, 0, 1.2);
+  for (const AggregateOp op :
+       {AggregateOp::kSum, AggregateOp::kCount, AggregateOp::kMax}) {
+    ExpectMorselInvariant([&](Cluster& cluster) {
+      return DistributedGroupByAggregate(
+                 cluster, DistRelation::Scatter(input, kServers), {0, 1}, 2,
+                 op)
+          .value();
+    });
+  }
+  // The no-combiner shuffle path routes raw rows through HashPartition.
+  ExpectMorselInvariant([&](Cluster& cluster) {
+    GroupByOptions options;
+    options.use_combiners = false;
+    return DistributedGroupByAggregate(cluster,
+                                       DistRelation::Scatter(input, kServers),
+                                       {0}, 1, AggregateOp::kSum, options)
+        .value();
+  });
+}
+
 // --- Concurrent serving determinism ---
 //
 // The third axis of the contract (DESIGN.md, "Serving runtime"): with
@@ -549,6 +577,17 @@ std::vector<std::function<DistRelation(Cluster&)>> ConcurrentBodies() {
                       DistRelation::Scatter(input, cluster.num_servers()),
                       options)
           .sorted;
+    });
+  }
+  {
+    Rng rng(115);
+    const Relation input = GenerateZipf(rng, 1200, 3, 200, 0, 1.3);
+    bodies.push_back([input](Cluster& cluster) {
+      return DistributedGroupByAggregate(
+                 cluster,
+                 DistRelation::Scatter(input, cluster.num_servers()), {0}, 2,
+                 AggregateOp::kSum)
+          .value();
     });
   }
   return bodies;

@@ -104,11 +104,22 @@ TEST(OpsTest, UnionAllKeepsMultiplicity) {
 TEST(OpsTest, GroupBySum) {
   const Relation r =
       Relation::FromRows({{1, 10}, {1, 5}, {2, 7}, {1, 1}});
-  const Relation g = GroupBySum(r, {0}, 1);
+  const Relation g = GroupBySum(r, {0}, 1).value();
   ASSERT_EQ(g.size(), 2);
   EXPECT_EQ(g.at(0, 0), 1u);
   EXPECT_EQ(g.at(0, 1), 16u);
   EXPECT_EQ(g.at(1, 1), 7u);
+}
+
+TEST(OpsTest, GroupBySumOverflowIsAnError) {
+  const Value max = ~Value{0};
+  // Exactly the Value range is fine; one more is a typed error, not a wrap.
+  const Relation fits = Relation::FromRows({{1, max - 2}, {1, 2}});
+  EXPECT_EQ(GroupBySum(fits, {0}, 1).value().at(0, 1), max);
+  const Relation wraps = Relation::FromRows({{1, max - 2}, {1, 2}, {1, 1}});
+  const auto result = GroupBySum(wraps, {0}, 1);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
 }
 
 TEST(OpsTest, DegreeCount) {

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "acyclic/gym.h"
+#include "agg/aggregate.h"
 #include "common/flags.h"
 #include "common/parse.h"
 #include "common/trace.h"
@@ -63,6 +64,8 @@ struct Options {
   std::map<std::string, std::string> generators;  // atom name -> spec.
   std::map<std::string, std::string> inputs;      // atom name -> csv path.
   std::string output_path;
+  std::string group_by;  // Comma-separated output variables to group on.
+  std::string agg;       // sum:var | count | count:var | min:var | max:var.
   std::string trace_path;  // Chrome-trace JSON sink (empty = tracing off).
   std::string stats_path;  // StatsReport JSON sink.
   bool analyze_only = false;
@@ -103,6 +106,12 @@ FlagSet BuildFlags(Options* options) {
                  "graph:nodes:edges");
   flags.KeyValue("input", &options->inputs, "CSV input per atom, NAME=FILE");
   flags.String("output", &options->output_path, "write the result as CSV");
+  flags.String("group-by", &options->group_by,
+               "aggregate: comma-separated output variables to group on "
+               "(empty with --agg = one scalar group)");
+  flags.String("agg", &options->agg,
+               "aggregate the join output: sum:VAR | count | count:VAR | "
+               "min:VAR | max:VAR");
   flags.String("trace", &options->trace_path,
                "write a Chrome-trace (Perfetto) timeline");
   flags.String("stats", &options->stats_path,
@@ -141,6 +150,21 @@ FlagSet BuildFlags(Options* options) {
   std::fprintf(stderr, "usage: %s --query Q [flags]\n%s", argv0,
                flags.Help().c_str());
   std::exit(2);
+}
+
+std::vector<std::string> SplitCommas(const std::string& s) {
+  std::vector<std::string> parts;
+  size_t pos = 0;
+  while (pos < s.size()) {
+    const size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) {
+      parts.push_back(s.substr(pos));
+      break;
+    }
+    parts.push_back(s.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+  return parts;
 }
 
 std::vector<std::string> SplitColons(const std::string& s) {
@@ -382,6 +406,69 @@ int Run(const Options& options) {
     return 1;
   }
 
+  // --agg runs the distributed group-by engine over the join output (with
+  // per-fragment combiners and a hash shuffle), so its rounds show up in
+  // the cost report below.
+  bool aggregated = false;
+  std::vector<int> group_cols;
+  int agg_value_col = -1;
+  AggregateOp agg_op = AggregateOp::kCount;
+  if (!options.agg.empty()) {
+    auto var_index = [&](const std::string& name) {
+      for (int v = 0; v < q.num_vars(); ++v) {
+        if (q.var_name(v) == name) return v;
+      }
+      return -1;
+    };
+    for (const std::string& name : SplitCommas(options.group_by)) {
+      const int v = var_index(name);
+      if (v < 0) {
+        std::fprintf(stderr, "--group-by: unknown variable '%s'\n",
+                     name.c_str());
+        return 1;
+      }
+      group_cols.push_back(v);
+    }
+    const std::vector<std::string> parts = SplitColons(options.agg);
+    if (parts[0] == "sum") {
+      agg_op = AggregateOp::kSum;
+    } else if (parts[0] == "count") {
+      agg_op = AggregateOp::kCount;
+    } else if (parts[0] == "min") {
+      agg_op = AggregateOp::kMin;
+    } else if (parts[0] == "max") {
+      agg_op = AggregateOp::kMax;
+    } else {
+      std::fprintf(stderr, "--agg: unknown op '%s'\n", parts[0].c_str());
+      return 1;
+    }
+    if (parts.size() == 2) {
+      agg_value_col = var_index(parts[1]);
+      if (agg_value_col < 0) {
+        std::fprintf(stderr, "--agg: unknown variable '%s'\n",
+                     parts[1].c_str());
+        return 1;
+      }
+    } else if (parts.size() != 1 || agg_op != AggregateOp::kCount) {
+      std::fprintf(stderr,
+                   "--agg: expected OP:VAR (only bare 'count' may omit the "
+                   "value variable)\n");
+      return 1;
+    }
+    auto agg_result = DistributedGroupByAggregate(cluster, output, group_cols,
+                                                  agg_value_col, agg_op);
+    if (!agg_result.ok()) {
+      std::fprintf(stderr, "aggregate: %s\n",
+                   agg_result.status().ToString().c_str());
+      return 1;
+    }
+    output = std::move(agg_result).value();
+    aggregated = true;
+    std::printf("aggregate: %s over %zu group column(s) -> %lld groups\n",
+                options.agg.c_str(), group_cols.size(),
+                static_cast<long long>(output.TotalSize()));
+  }
+
   std::printf("\nalgorithm: %s\noutput: %lld tuples\n%s\n",
               algorithm.c_str(),
               static_cast<long long>(output.TotalSize()),
@@ -407,7 +494,17 @@ int Run(const Options& options) {
   }
 
   if (options.verify) {
-    const Relation expected = EvalJoinLocal(q, atoms);
+    Relation expected = EvalJoinLocal(q, atoms);
+    if (aggregated) {
+      auto agg_expected =
+          GroupByAggregate(expected, group_cols, agg_value_col, agg_op);
+      if (!agg_expected.ok()) {
+        std::fprintf(stderr, "verify aggregate: %s\n",
+                     agg_expected.status().ToString().c_str());
+        return 1;
+      }
+      expected = std::move(agg_expected).value();
+    }
     const bool ok = MultisetEqual(output.Collect(&cluster.pool()), expected,
                                   &cluster.pool());
     std::printf("verify against serial evaluation: %s\n",
