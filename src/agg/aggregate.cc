@@ -1,10 +1,12 @@
 #include "agg/aggregate.h"
 
+#include <optional>
 #include <string>
 #include <utility>
 
 #include "common/check.h"
 #include "mpc/exchange.h"
+#include "mpc/metrics.h"
 #include "relation/relation_ops.h"
 
 namespace mpcqp {
@@ -12,14 +14,15 @@ namespace mpcqp {
 namespace {
 
 // Engine options for local aggregation inside a cluster: the cluster's
-// pool and morsel grain, the caller's strategy. Neither affects output
-// bytes (determinism contract of the engine).
+// pool, morsel grain and layout mode, the caller's strategy. None affect
+// output bytes (determinism contract of the engine).
 GroupByEngineOptions EngineOptions(Cluster& cluster,
                                    const GroupByOptions& options) {
   GroupByEngineOptions engine;
   engine.strategy = options.strategy;
   engine.pool = &cluster.pool();
   engine.morsel_rows = cluster.morsel_rows();
+  engine.layout = cluster.layout();
   return engine;
 }
 
@@ -81,6 +84,14 @@ StatusOr<DistRelation> DistributedGroupByAggregate(
   DistRelation staged(width + (drop_value ? 0 : 1), p);
   std::vector<Status> errors(p, OkStatus());
   if (use_combiners) {
+    // Meter the stage-1 scans as columnar when the engine's (data-only)
+    // heuristic will compact columns; stage 2 scans the staged shape,
+    // which reads every column, so it never goes columnar.
+    const int columns_read = width + (value_col >= 0 ? 1 : 0);
+    std::optional<ScopedPhaseTimer> phase;
+    if (UseColumnarScan(cluster.layout(), rel.arity(), columns_read)) {
+      phase.emplace(cluster.metrics(), Phase::kColumnarScan);
+    }
     cluster.pool().ParallelFor(p, [&](int64_t s) {
       StatusOr<Relation> partial = GroupByAggregateParallel(
           rel.fragment(static_cast<int>(s)), group_cols, value_col, op,
@@ -141,18 +152,27 @@ StatusOr<ScalarAggregateResult> DistributedSum(Cluster& cluster,
   GroupByEngineOptions engine;
   engine.pool = &cluster.pool();
   engine.morsel_rows = cluster.morsel_rows();
+  engine.layout = cluster.layout();
   std::vector<Value> partial(p, 0);
   std::vector<Status> errors(p, OkStatus());
-  cluster.pool().ParallelFor(p, [&](int64_t s) {
-    StatusOr<Relation> scalar =
-        GroupByAggregateParallel(rel.fragment(static_cast<int>(s)), {},
-                                 value_col, AggregateOp::kSum, engine);
-    if (!scalar.ok()) {
-      errors[s] = scalar.status();
-      return;
+  {
+    // Metered as a columnar scan when the engine's (data-only) heuristic
+    // will compact the value column out of the wide rows.
+    std::optional<ScopedPhaseTimer> scan_phase;
+    if (UseColumnarScan(cluster.layout(), rel.arity(), 1)) {
+      scan_phase.emplace(cluster.metrics(), Phase::kColumnarScan);
     }
-    partial[s] = scalar.value().empty() ? 0 : scalar.value().at(0, 0);
-  });
+    cluster.pool().ParallelFor(p, [&](int64_t s) {
+      StatusOr<Relation> scalar =
+          GroupByAggregateParallel(rel.fragment(static_cast<int>(s)), {},
+                                   value_col, AggregateOp::kSum, engine);
+      if (!scalar.ok()) {
+        errors[s] = scalar.status();
+        return;
+      }
+      partial[s] = scalar.value().empty() ? 0 : scalar.value().at(0, 0);
+    });
+  }
   if (Status s = FirstError(errors); !s.ok()) return s;
 
   // Aggregation tree: each round, server s with s % stride != 0 sends its

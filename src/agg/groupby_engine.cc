@@ -248,6 +248,30 @@ StatusOr<Relation> RunSortedMap(const std::vector<RelationView>& inputs,
   return out;
 }
 
+// Compacts a scan range's grouping columns into row-major `keys` (width
+// values per row) and its value column into `vals` — the columnar scan
+// front-end: one pass over the wide rows, after which the hot
+// hash/accumulate loops run over contiguous compact arrays. width == 1
+// lowers to the shared GatherKeyColumn kernel (unit-stride output).
+void CompactScanColumns(const RelationView& in,
+                        const std::vector<int>& group_cols, int value_col,
+                        int64_t begin, int64_t end, Value* keys,
+                        Value* vals) {
+  const int width = static_cast<int>(group_cols.size());
+  if (width == 1) {
+    GatherKeyColumn(in, group_cols[0], begin, end, keys);
+  } else if (width > 1) {
+    const int64_t n = end - begin;
+    for (int64_t i = 0; i < n; ++i) {
+      const Value* row = in.row(begin + i);
+      for (int k = 0; k < width; ++k) {
+        keys[i * width + k] = row[group_cols[k]];
+      }
+    }
+  }
+  if (value_col >= 0) GatherKeyColumn(in, value_col, begin, end, vals);
+}
+
 // Per-worker partial tables over a morsel-grained scan, then a pairwise
 // merge tree. Which worker sees which rows varies run to run; the final
 // accumulators do not (exact algebraic partials + unique-key sort).
@@ -255,7 +279,7 @@ StatusOr<Relation> RunTreeMerge(const std::vector<RelationView>& inputs,
                                 const std::vector<int>& group_cols,
                                 int value_col, AggregateOp op,
                                 const GroupByEngineOptions& options,
-                                uint64_t hash_mask) {
+                                uint64_t hash_mask, bool columnar) {
   const int width = static_cast<int>(group_cols.size());
   const int slots =
       options.pool != nullptr ? options.pool->num_threads() : 1;
@@ -269,6 +293,29 @@ StatusOr<Relation> RunTreeMerge(const std::vector<RelationView>& inputs,
       const int slot = ThreadPool::current_worker_index() + 1;
       GroupTable& table = tables[slot];
       if (!errors[slot].ok()) return;  // Drain remaining morsels cheaply.
+      if (columnar) {
+        // Columnar scan: compact the grouping + value columns for this
+        // morsel, then hash/accumulate over the contiguous copies — the
+        // wide rows are read exactly once. Hashes and accumulation order
+        // match the row path, so outputs are bit-identical.
+        const int64_t n = end - begin;
+        std::vector<Value> keys(static_cast<size_t>(n) * width);
+        std::vector<Value> vals(value_col >= 0 ? static_cast<size_t>(n) : 0);
+        CompactScanColumns(in, group_cols, value_col, begin, end,
+                           keys.data(), vals.data());
+        for (int64_t i = 0; i < n; ++i) {
+          const Value* key = keys.data() + i * width;
+          const uint64_t h = HashKey(key, width) & hash_mask;
+          auto [acc, inserted] = table.Upsert(h, key);
+          const Value value = value_col >= 0 ? vals[i] : 0;
+          if (!AccumulateRow(acc, inserted, value, op)) {
+            errors[slot] =
+                OutOfRangeError("group-by aggregate overflows Value");
+            return;
+          }
+        }
+        return;
+      }
       std::vector<Value> key(width);
       for (int64_t i = begin; i < end; ++i) {
         const Value* row = in.row(i);
@@ -323,14 +370,16 @@ StatusOr<Relation> RunTreeMerge(const std::vector<RelationView>& inputs,
 }
 
 // Two-phase radix: count rows per (morsel, partition), prefix-sum exact
-// scatter offsets, scatter (hash, row pointer) pairs, then aggregate each
-// partition with its own table — partitions are disjoint by construction,
-// so the per-partition builds need no merge and no locks.
+// scatter offsets, scatter (hash, row pointer) pairs — or (hash, compact
+// key, value) triples when `columnar` — then aggregate each partition with
+// its own table; partitions are disjoint by construction, so the
+// per-partition builds need no merge and no locks.
 StatusOr<Relation> RunRadix(const std::vector<RelationView>& inputs,
                             const std::vector<int>& group_cols, int value_col,
                             AggregateOp op,
                             const GroupByEngineOptions& options,
-                            uint64_t hash_mask, int64_t total_rows) {
+                            uint64_t hash_mask, int64_t total_rows,
+                            bool columnar) {
   const int width = static_cast<int>(group_cols.size());
   const int64_t grain = std::max<int64_t>(1, options.morsel_rows);
   constexpr int P = kRadixPartitions;
@@ -353,12 +402,35 @@ StatusOr<Relation> RunRadix(const std::vector<RelationView>& inputs,
   }
   const int64_t num_chunks = static_cast<int64_t>(chunks.size());
 
+  // Columnar: the grouping + value columns are compacted into flat arrays
+  // (aligned with `hashes`) during pass 1, so the scatter and build
+  // passes below never touch the wide input rows again.
+  std::vector<Value> all_keys;
+  std::vector<Value> all_vals;
+  if (columnar) {
+    all_keys.resize(static_cast<size_t>(total_rows) * width);
+    if (value_col >= 0) all_vals.resize(static_cast<size_t>(total_rows));
+  }
+
   // Pass 1: per-chunk hashes + per-(chunk, partition) counts.
   std::vector<uint64_t> hashes(static_cast<size_t>(total_rows));
   std::vector<int64_t> counts(static_cast<size_t>(num_chunks) * P, 0);
   const auto count_pass = [&](int64_t c) {
     const Chunk& ch = chunks[c];
     int64_t* my_counts = counts.data() + c * P;
+    if (columnar) {
+      const int64_t n = ch.end - ch.begin;
+      Value* keys = all_keys.data() + ch.offset * width;
+      Value* vals = value_col >= 0 ? all_vals.data() + ch.offset : nullptr;
+      CompactScanColumns(*ch.input, group_cols, value_col, ch.begin, ch.end,
+                         keys, vals);
+      for (int64_t i = 0; i < n; ++i) {
+        const uint64_t h = HashKey(keys + i * width, width) & hash_mask;
+        hashes[static_cast<size_t>(ch.offset + i)] = h;
+        ++my_counts[h >> kRadixShift];
+      }
+      return;
+    }
     std::vector<Value> key(width);
     for (int64_t i = ch.begin; i < ch.end; ++i) {
       const Value* row = ch.input->row(i);
@@ -387,13 +459,40 @@ StatusOr<Relation> RunRadix(const std::vector<RelationView>& inputs,
   }
   part_begin[P] = run;
 
-  // Pass 2: scatter (hash, row pointer) into partition-contiguous arrays
-  // at the precomputed disjoint offsets.
+  // Pass 2: scatter into partition-contiguous arrays at the precomputed
+  // disjoint offsets — (hash, row pointer) pairs on the row path, (hash,
+  // compact key, value) triples on the columnar path. Scatter order within
+  // a partition is flat-offset order either way, so the partition builds
+  // upsert in the same sequence and produce identical tables.
   std::vector<uint64_t> part_hash(static_cast<size_t>(total_rows));
-  std::vector<const Value*> part_row(static_cast<size_t>(total_rows));
+  std::vector<const Value*> part_row;
+  std::vector<Value> part_keys;
+  std::vector<Value> part_vals;
+  if (columnar) {
+    part_keys.resize(static_cast<size_t>(total_rows) * width);
+    if (value_col >= 0) part_vals.resize(static_cast<size_t>(total_rows));
+  } else {
+    part_row.resize(static_cast<size_t>(total_rows));
+  }
   const auto scatter_pass = [&](int64_t c) {
     const Chunk& ch = chunks[c];
     int64_t* cursor = chunk_offsets.data() + c * P;
+    if (columnar) {
+      const int64_t n = ch.end - ch.begin;
+      const Value* keys = all_keys.data() + ch.offset * width;
+      for (int64_t i = 0; i < n; ++i) {
+        const uint64_t h = hashes[static_cast<size_t>(ch.offset + i)];
+        const int64_t pos = cursor[h >> kRadixShift]++;
+        part_hash[static_cast<size_t>(pos)] = h;
+        std::copy(keys + i * width, keys + (i + 1) * width,
+                  part_keys.data() + pos * width);
+        if (value_col >= 0) {
+          part_vals[static_cast<size_t>(pos)] =
+              all_vals[static_cast<size_t>(ch.offset + i)];
+        }
+      }
+      return;
+    }
     for (int64_t i = ch.begin; i < ch.end; ++i) {
       const uint64_t h =
           hashes[static_cast<size_t>(ch.offset + (i - ch.begin))];
@@ -413,6 +512,19 @@ StatusOr<Relation> RunRadix(const std::vector<RelationView>& inputs,
   std::vector<Status> errors(P, OkStatus());
   const auto build_pass = [&](int64_t p) {
     GroupTable& table = tables[p];
+    if (columnar) {
+      for (int64_t i = part_begin[p]; i < part_begin[p + 1]; ++i) {
+        auto [acc, inserted] = table.Upsert(
+            part_hash[static_cast<size_t>(i)], part_keys.data() + i * width);
+        const Value value =
+            value_col >= 0 ? part_vals[static_cast<size_t>(i)] : 0;
+        if (!AccumulateRow(acc, inserted, value, op)) {
+          errors[p] = OutOfRangeError("group-by aggregate overflows Value");
+          return;
+        }
+      }
+      return;
+    }
     std::vector<Value> key(width);
     for (int64_t i = part_begin[p]; i < part_begin[p + 1]; ++i) {
       const Value* row = part_row[static_cast<size_t>(i)];
@@ -531,16 +643,23 @@ StatusOr<Relation> GroupByAggregateParallel(
                                  ? ~uint64_t{0}
                                  : (uint64_t{1} << options.hash_bits) - 1;
 
+  // Columnar scan decision: derived from (layout mode, arity, columns
+  // read) only — never thread count or morsel size — so the same path
+  // runs in every decomposition and outputs stay bit-identical.
+  const int columns_read =
+      static_cast<int>(group_cols.size()) + (value_col >= 0 ? 1 : 0);
+  const bool columnar = UseColumnarScan(options.layout, arity, columns_read);
+
   MPCQP_TRACE_SCOPE_ARG("group-by engine", "compute", total_rows);
   switch (strategy) {
     case GroupByStrategy::kSortedMap:
       return RunSortedMap(inputs, group_cols, value_col, op);
     case GroupByStrategy::kTreeMerge:
       return RunTreeMerge(inputs, group_cols, value_col, op, options,
-                          hash_mask);
+                          hash_mask, columnar);
     case GroupByStrategy::kRadix:
       return RunRadix(inputs, group_cols, value_col, op, options, hash_mask,
-                      total_rows);
+                      total_rows, columnar);
     case GroupByStrategy::kAdaptive:
       break;  // Resolved above.
   }

@@ -8,6 +8,7 @@
 #include "common/thread_pool.h"
 #include "common/trace.h"
 #include "mpc/metrics.h"
+#include "relation/columnar.h"
 
 namespace mpcqp {
 
@@ -411,25 +412,91 @@ DistRelation HashPartition(Cluster& cluster, const DistRelation& rel,
         },
         label);
   }
-  if (key_cols.size() == 1) {
-    // Single-column key: gather the column (a no-op for arity 1) and
-    // bucket the whole morsel in one batched, vectorizable pass.
+  // Single-column keys route through one of three physical plans, picked
+  // by ClusterOptions::layout (destinations — and therefore outputs and
+  // CostReports — are byte-identical for all three, since HashSpan(v, 1)
+  // == Hash(v) == HashMany element-wise and Bucket == BucketMany):
+  //   kRow            the seed per-row loop (arity-strided loads, one
+  //                   HashSpan per row) — via the generic path below;
+  //   kColumnar/kAuto over the UseColumnarRoute thresholds: extract the
+  //                   key column into one contiguous buffer (metered as
+  //                   kTranspose), then a pure vectorized BucketMany;
+  //   kAuto otherwise a fused per-morsel gather + batched BucketMany —
+  //                   columnar hashing without the extraction pass, the
+  //                   right trade below the thresholds.
+  // An arity-1 relation is already a contiguous column: direct BucketMany
+  // under every mode.
+  if (key_cols.size() == 1 && rel.arity() == 1) {
+    return RouteSingle(
+        cluster, rel,
+        [&hash, p](int /*src*/, const Relation& frag, int64_t begin,
+                   int64_t end, int32_t* dests) {
+          hash.BucketMany(frag.data().data() + begin, end - begin, p, dests);
+        },
+        label);
+  }
+  if (key_cols.size() == 1 && cluster.layout() != LayoutMode::kRow) {
     const int col = key_cols.front();
+    int64_t total_rows = 0;
+    for (int src = 0; src < rel.num_servers(); ++src) {
+      total_rows += rel.fragment(src).size();
+    }
+    if (UseColumnarRoute(cluster.layout(), rel.arity(), total_rows)) {
+      // Columnar route: extract the key column of every fragment into one
+      // contiguous buffer first (morsel-parallel, metered as kTranspose),
+      // then the route phase is a pure unit-stride BucketMany — the
+      // splitmix loop vectorizes with no arity-stride gathers left in it.
+      // Destinations are computed from the same values with the same hash,
+      // and phase 2 still copies the row-major payloads, so outputs and
+      // CostReports are byte-identical to the other plans.
+      RoundScope scope(cluster, label);
+      std::vector<int64_t> row_base(static_cast<size_t>(p) + 1, 0);
+      for (int src = 0; src < p; ++src) {
+        row_base[src + 1] = row_base[src] + rel.fragment(src).size();
+      }
+      auto keys = std::make_unique_for_overwrite<Value[]>(
+          static_cast<size_t>(std::max<int64_t>(total_rows, 1)));
+      {
+        ScopedPhaseTimer phase(cluster.metrics(), Phase::kTranspose);
+        const std::vector<Morsel> morsels =
+            TileSources(rel, cluster.morsel_rows());
+        cluster.pool().ParallelForGrained(
+            static_cast<int64_t>(morsels.size()), 1,
+            [&](int64_t mb, int64_t me) {
+              for (int64_t m = mb; m < me; ++m) {
+                const Morsel& mo = morsels[m];
+                const Relation& frag = rel.fragment(mo.src);
+                GatherKeyColumn(frag.data().data(), frag.arity(), col,
+                                mo.begin, mo.end,
+                                keys.get() + row_base[mo.src] + mo.begin);
+              }
+            });
+      }
+      const Value* const key_base = keys.get();
+      const int64_t* const bases = row_base.data();
+      return RouteSingle(
+          cluster, rel,
+          [&hash, p, key_base, bases](int src, const Relation& /*frag*/,
+                                      int64_t begin, int64_t end,
+                                      int32_t* dests) {
+            hash.BucketMany(key_base + bases[src] + begin, end - begin, p,
+                            dests);
+          },
+          label);
+    }
+    // Fused path (kAuto below the extraction thresholds): gather the
+    // column per morsel and bucket the whole morsel in one batched,
+    // vectorizable pass.
     return RouteSingle(
         cluster, rel,
         [&hash, p, col](int /*src*/, const Relation& frag, int64_t begin,
                         int64_t end, int32_t* dests) {
-          const int arity = frag.arity();
           const int64_t rows = end - begin;
-          const Value* in = frag.row(0) + begin * arity + col;
-          if (arity == 1) {
-            hash.BucketMany(in, rows, p, dests);
-            return;
-          }
           // Per-thread scratch: morsel tasks run concurrently.
           thread_local std::vector<Value> keys;
           keys.resize(static_cast<size_t>(rows));
-          for (int64_t i = 0; i < rows; ++i, in += arity) keys[i] = *in;
+          GatherKeyColumn(frag.data().data(), frag.arity(), col, begin, end,
+                          keys.data());
           hash.BucketMany(keys.data(), rows, p, dests);
         },
         label);

@@ -37,6 +37,10 @@ const char* PhaseName(Phase phase) {
       return "copy";
     case Phase::kLocalCompute:
       return "local_compute";
+    case Phase::kTranspose:
+      return "transpose";
+    case Phase::kColumnarScan:
+      return "columnar_scan";
   }
   return "unknown";
 }

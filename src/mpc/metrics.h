@@ -24,14 +24,24 @@ class Cluster;
 //                   their final positions, write-combining at large p
 //                   (includes Broadcast payload construction);
 //   kLocalCompute — per-server algorithm work (local joins, sorts, block
-//                   multiplies), whether inside or after a metered round.
+//                   multiplies), whether inside or after a metered round;
+//   kTranspose    — row<->column layout conversions: key-column extraction
+//                   ahead of a columnar route pass and ColumnarRelation
+//                   transposes on metered paths (subset of the round wall,
+//                   runs inside kRoute's bracket but is tallied apart so
+//                   the layout cost is observable);
+//   kColumnarScan — local scans that ran the columnar kernel (selection /
+//                   semijoin / group-by fast paths), split out from
+//                   kLocalCompute so `--layout` effects show in --stats.
 enum class Phase {
   kRoute = 0,
   kCount = 1,
   kCopy = 2,
   kLocalCompute = 3,
+  kTranspose = 4,
+  kColumnarScan = 5,
 };
-inline constexpr int kNumPhases = 4;
+inline constexpr int kNumPhases = 6;
 const char* PhaseName(Phase phase);
 
 // Always-on aggregate timing/volume metrics for one Cluster, the runtime
@@ -51,7 +61,7 @@ class MpcMetrics {
   struct RoundRecord {
     std::string label;
     double wall_ms = 0;
-    double phase_ms[kNumPhases] = {0, 0, 0, 0};
+    double phase_ms[kNumPhases] = {};
     // COW payload clones forced during the round (see TraceCounters).
     int64_t cow_detaches = 0;
     // Largest destination fragment (rows) built by an exchange this round.
@@ -159,7 +169,7 @@ struct StatsReport {
     int64_t total_values_received = 0;
     int64_t bytes_received = 0;  // total_values_received * sizeof(Value)
     double wall_ms = 0;
-    double phase_ms[kNumPhases] = {0, 0, 0, 0};
+    double phase_ms[kNumPhases] = {};
     int64_t cow_detaches = 0;
     int64_t peak_fragment_rows = 0;
   };
@@ -174,7 +184,7 @@ struct StatsReport {
   double planning_ms = 0;    // Time inside PlanQuery (not in total_wall_ms).
   int64_t plan_cache_hits = 0;
   int64_t plan_cache_misses = 0;
-  double outside_phase_ms[kNumPhases] = {0, 0, 0, 0};
+  double outside_phase_ms[kNumPhases] = {};
   int64_t cow_detaches = 0;
   int64_t peak_fragment_rows = 0;
 

@@ -7,6 +7,7 @@
 #include "common/hash.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
+#include "relation/columnar.h"
 
 namespace mpcqp {
 
@@ -29,6 +30,13 @@ int64_t NextPow2(int64_t v) {
   int64_t p = 1;
   while (p < v) p <<= 1;
   return p;
+}
+
+// The index's (seeded, fixed) hash function; shared by the per-key and
+// batched paths so both produce identical hashes.
+const HashFunction& IndexHash() {
+  static const HashFunction kHash(kIndexSeed);
+  return kHash;
 }
 
 }  // namespace
@@ -76,10 +84,24 @@ void KeyIndex::Build(ThreadPool* pool) {
     return part_bits_ == 0 ? int64_t{0}
                            : static_cast<int64_t>(h >> (64 - part_bits_));
   };
+  // Single-column keys without a test hash take the columnar build path:
+  // gather the key column into a contiguous scratch (the shared
+  // GatherKeyColumn kernel) and hash it with one vectorized HashMany pass
+  // — bit-identical to the per-row HashSpan by the splitmix identity.
+  const bool single_col_hash = key_cols_.size() == 1 && !test_hash_;
   const auto count_morsel = [&](int64_t m) {
     const auto [begin, end] = morsel_range(m);
-    std::vector<Value> key(key_cols_.size());
     int64_t* my_counts = counts.data() + m * num_parts;
+    if (single_col_hash) {
+      std::vector<Value> keys(static_cast<size_t>(end - begin));
+      GatherKeyColumn(view_, key_cols_[0], begin, end, keys.data());
+      IndexHash().HashMany(keys.data(), end - begin, hashes.data() + begin);
+      for (int64_t r = begin; r < end; ++r) {
+        ++my_counts[part_of(hashes[r])];
+      }
+      return;
+    }
+    std::vector<Value> key(key_cols_.size());
     for (int64_t r = begin; r < end; ++r) {
       const Value* row = view_.row(r);
       for (size_t i = 0; i < key_cols_.size(); ++i) {
@@ -231,8 +253,19 @@ uint64_t KeyIndex::HashKey(const Value* key) const {
   if (test_hash_) {
     return test_hash_(key, static_cast<int>(key_cols_.size()));
   }
-  static const HashFunction kHash(kIndexSeed);
-  return kHash.HashSpan(key, static_cast<int>(key_cols_.size()));
+  return IndexHash().HashSpan(key, static_cast<int>(key_cols_.size()));
+}
+
+void KeyIndex::HashKeys(const Value* keys, int64_t count,
+                        uint64_t* out) const {
+  if (!test_hash_ && key_cols_.size() == 1) {
+    IndexHash().HashMany(keys, count, out);
+    return;
+  }
+  const int width = static_cast<int>(key_cols_.size());
+  for (int64_t i = 0; i < count; ++i) {
+    out[i] = HashKey(keys + static_cast<size_t>(i) * width);
+  }
 }
 
 bool KeyIndex::RowMatchesKey(int64_t row, const Value* key) const {
@@ -244,7 +277,11 @@ bool KeyIndex::RowMatchesKey(int64_t row, const Value* key) const {
 }
 
 std::span<const int64_t> KeyIndex::Lookup(const Value* key) const {
-  const uint64_t h = HashKey(key);
+  return LookupWithHash(HashKey(key), key);
+}
+
+std::span<const int64_t> KeyIndex::LookupWithHash(uint64_t h,
+                                                  const Value* key) const {
   const int64_t part =
       part_bits_ == 0 ? 0 : static_cast<int64_t>(h >> (64 - part_bits_));
   const int64_t dbase = dir_begin_[part];

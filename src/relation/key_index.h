@@ -55,6 +55,20 @@ class KeyIndex {
   // number of later probes (hit or miss).
   std::span<const int64_t> Lookup(const Value* key) const;
 
+  // Lookup with the key's hash already computed (by HashKeys below): the
+  // columnar probe loops hash a whole contiguous key column in one
+  // vectorized pass, then walk the directory per key. `hash` MUST equal
+  // HashKeys'/the index's hash of `key`; exact key equality is still
+  // verified, so collisions behave exactly as in Lookup.
+  std::span<const int64_t> LookupWithHash(uint64_t hash,
+                                          const Value* key) const;
+
+  // Batched probe hashing: out[i] = the index's hash of keys[i * key_arity
+  // .. (i+1) * key_arity). For single-column keys without a test hash this
+  // is one contiguous HashMany pass (the vectorizable splitmix loop) and
+  // is bit-identical to per-key hashing.
+  void HashKeys(const Value* keys, int64_t count, uint64_t* out) const;
+
   // True if some row matches `key`.
   bool Contains(const Value* key) const { return !Lookup(key).empty(); }
 

@@ -45,6 +45,7 @@ Relation Relation::FromRows(std::initializer_list<std::vector<Value>> rows) {
 Relation Relation::FromRows(const std::vector<std::vector<Value>>& rows) {
   MPCQP_CHECK(!rows.empty()) << "use Relation(arity) for empty relations";
   Relation result(static_cast<int>(rows.begin()->size()));
+  result.Reserve(static_cast<int64_t>(rows.size()));
   for (const auto& row : rows) result.AppendRow(row);
   return result;
 }
@@ -161,6 +162,15 @@ void Relation::AppendRange(const Relation& other, int64_t begin, int64_t end) {
   // instead of reading through a reallocated buffer.
   const std::shared_ptr<Payload> keep = other.payload_;
   std::vector<Value>& data = Mutable();
+  // Reserve the exact target up front (one reallocation instead of a
+  // geometric growth chain), but never below 1.5x the current capacity:
+  // repeated AppendRange calls (Collect-style concatenation loops) must
+  // keep their amortized-O(1) growth rather than reallocating per call.
+  const size_t needed =
+      data.size() + static_cast<size_t>(end - begin) * arity_;
+  if (needed > data.capacity()) {
+    data.reserve(std::max(needed, data.capacity() + data.capacity() / 2));
+  }
   const Value* src = keep->data.data() + static_cast<size_t>(begin) * arity_;
   data.insert(data.end(), src, src + static_cast<size_t>(end - begin) * arity_);
 }

@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "common/flat_counter.h"
 #include "common/parallel_sort.h"
+#include "common/thread_pool.h"
 #include "common/trace.h"
 #include "relation/key_index.h"
 
@@ -127,6 +128,119 @@ Relation Filter(RelationView rel,
     if (pred(row)) out.AppendRow(row);
   }
   return out;
+}
+
+namespace {
+
+// Shared two-pass driver for the SelectRange overloads: `count` returns
+// the number of matches in a row range, `fill` writes their (ascending)
+// row indices at a given cursor. Morsels cover disjoint ranges and land
+// at exact prefix-summed offsets, so the output is the ascending match
+// list for every (pool, morsel_rows).
+std::vector<int64_t> SelectByRange(
+    int64_t rows, ThreadPool* pool, int64_t morsel_rows,
+    const std::function<int64_t(int64_t, int64_t)>& count,
+    const std::function<void(int64_t, int64_t, int64_t*)>& fill) {
+  const bool parallel =
+      pool != nullptr && morsel_rows > 0 && rows > morsel_rows;
+  if (!parallel) {
+    std::vector<int64_t> out(static_cast<size_t>(count(0, rows)));
+    fill(0, rows, out.data());
+    return out;
+  }
+  const int64_t morsels = (rows + morsel_rows - 1) / morsel_rows;
+  std::vector<int64_t> counts(static_cast<size_t>(morsels), 0);
+  pool->ParallelForGrained(rows, morsel_rows,
+                           [&](int64_t begin, int64_t end) {
+                             counts[begin / morsel_rows] = count(begin, end);
+                           });
+  std::vector<int64_t> offsets(static_cast<size_t>(morsels) + 1, 0);
+  for (int64_t m = 0; m < morsels; ++m) {
+    offsets[m + 1] = offsets[m] + counts[m];
+  }
+  std::vector<int64_t> out(static_cast<size_t>(offsets[morsels]));
+  pool->ParallelForGrained(
+      rows, morsel_rows, [&](int64_t begin, int64_t end) {
+        fill(begin, end, out.data() + offsets[begin / morsel_rows]);
+      });
+  return out;
+}
+
+// Tight unit-stride predicate kernels over a contiguous column slice
+// (values[i] holds row begin + i).
+int64_t CountInRange(const Value* values, int64_t n, Value lo, Value hi) {
+  int64_t hits = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    hits += values[i] >= lo && values[i] <= hi;
+  }
+  return hits;
+}
+
+void FillInRange(const Value* values, int64_t begin, int64_t n, Value lo,
+                 Value hi, int64_t* out) {
+  for (int64_t i = 0; i < n; ++i) {
+    if (values[i] >= lo && values[i] <= hi) *out++ = begin + i;
+  }
+}
+
+}  // namespace
+
+std::vector<int64_t> SelectRange(RelationView rel, int col, Value lo,
+                                 Value hi, ThreadPool* pool,
+                                 int64_t morsel_rows, LayoutMode layout) {
+  MPCQP_CHECK_GE(col, 0);
+  MPCQP_CHECK_LT(col, rel.arity());
+  MPCQP_TRACE_SCOPE_ARG("select range", "compute", rel.size());
+  if (UseColumnarScan(layout, rel.arity(), 1) || rel.selection() != nullptr) {
+    // Compact the column out of the wide rows (the shared gather kernel),
+    // then run the unit-stride predicate. Selection views always take
+    // this path: their rows are not contiguous to begin with.
+    const auto count = [&](int64_t begin, int64_t end) {
+      std::vector<Value> keys(static_cast<size_t>(end - begin));
+      GatherKeyColumn(rel, col, begin, end, keys.data());
+      return CountInRange(keys.data(), end - begin, lo, hi);
+    };
+    const auto fill = [&](int64_t begin, int64_t end, int64_t* out) {
+      std::vector<Value> keys(static_cast<size_t>(end - begin));
+      GatherKeyColumn(rel, col, begin, end, keys.data());
+      FillInRange(keys.data(), begin, end - begin, lo, hi, out);
+    };
+    return SelectByRange(rel.size(), pool, morsel_rows, count, fill);
+  }
+  const Value* base = rel.base();
+  const int arity = rel.arity();
+  const auto count = [&](int64_t begin, int64_t end) {
+    int64_t hits = 0;
+    const Value* p = base + static_cast<size_t>(begin) * arity + col;
+    for (int64_t r = begin; r < end; ++r, p += arity) {
+      hits += *p >= lo && *p <= hi;
+    }
+    return hits;
+  };
+  const auto fill = [&](int64_t begin, int64_t end, int64_t* out) {
+    const Value* p = base + static_cast<size_t>(begin) * arity + col;
+    for (int64_t r = begin; r < end; ++r, p += arity) {
+      if (*p >= lo && *p <= hi) *out++ = r;
+    }
+  };
+  return SelectByRange(rel.size(), pool, morsel_rows, count, fill);
+}
+
+std::vector<int64_t> SelectRange(const ColumnarRelation& rel, int col,
+                                 Value lo, Value hi, ThreadPool* pool,
+                                 int64_t morsel_rows) {
+  MPCQP_CHECK_GE(col, 0);
+  MPCQP_CHECK_LT(col, rel.arity());
+  MPCQP_TRACE_SCOPE_ARG("select range columnar", "compute", rel.size());
+  if (rel.empty()) return {};
+  const Value* column = rel.column(col);
+  const auto count = [&](int64_t begin, int64_t end) {
+    return CountInRange(column + begin, end - begin, lo, hi);
+  };
+  const auto fill = [&](int64_t begin, int64_t end, int64_t* out) {
+    FillInRange(column + begin, begin, end - begin, lo, hi, out);
+  };
+  return SelectByRange(rel.size(), pool, morsel_rows, count, fill);
 }
 
 Relation UnionAll(RelationView a, RelationView b) {
@@ -261,21 +375,54 @@ Relation NestedLoopJoinLocal(RelationView left, RelationView right,
   return out;
 }
 
-Relation SemijoinLocal(RelationView left, RelationView right,
-                       const std::vector<int>& left_keys,
-                       const std::vector<int>& right_keys) {
-  CheckJoinArgs(left, right, left_keys, right_keys);
+namespace {
+
+// Shared probe loop of the (anti)semijoin pair: appends every left row
+// whose membership in the index equals `want_match`, in ascending row
+// order. Single-column keys run the columnar probe: per block, gather the
+// key column (shared kernel), hash it in one vectorized HashKeys pass,
+// then walk the directory per key — identical hits and output order to
+// the per-row path, only the memory access pattern differs.
+Relation FilterByIndex(RelationView left, const std::vector<int>& left_keys,
+                       const KeyIndex& index, bool want_match) {
   Relation out(left.arity());
-  if (left.empty() || right.empty()) return out;
-  KeyIndex index(right, right_keys);
   MPCQP_TRACE_SCOPE_ARG("key_index probe", "compute", left.size());
+  if (left_keys.size() == 1) {
+    constexpr int64_t kBlockRows = 8192;
+    std::vector<Value> keys(static_cast<size_t>(
+        std::min<int64_t>(kBlockRows, left.size())));
+    std::vector<uint64_t> hashes(keys.size());
+    for (int64_t begin = 0; begin < left.size(); begin += kBlockRows) {
+      const int64_t end = std::min<int64_t>(begin + kBlockRows, left.size());
+      GatherKeyColumn(left, left_keys[0], begin, end, keys.data());
+      index.HashKeys(keys.data(), end - begin, hashes.data());
+      for (int64_t i = begin; i < end; ++i) {
+        const bool hit =
+            !index.LookupWithHash(hashes[i - begin], &keys[i - begin])
+                 .empty();
+        if (hit == want_match) out.AppendRow(left.row(i));
+      }
+    }
+    return out;
+  }
   std::vector<Value> key(left_keys.size());
   for (int64_t i = 0; i < left.size(); ++i) {
     const Value* lrow = left.row(i);
     for (size_t k = 0; k < left_keys.size(); ++k) key[k] = lrow[left_keys[k]];
-    if (index.Contains(key.data())) out.AppendRow(lrow);
+    if (index.Contains(key.data()) == want_match) out.AppendRow(lrow);
   }
   return out;
+}
+
+}  // namespace
+
+Relation SemijoinLocal(RelationView left, RelationView right,
+                       const std::vector<int>& left_keys,
+                       const std::vector<int>& right_keys) {
+  CheckJoinArgs(left, right, left_keys, right_keys);
+  if (left.empty() || right.empty()) return Relation(left.arity());
+  KeyIndex index(right, right_keys);
+  return FilterByIndex(left, left_keys, index, /*want_match=*/true);
 }
 
 Relation AntijoinLocal(RelationView left, RelationView right,
@@ -284,16 +431,8 @@ Relation AntijoinLocal(RelationView left, RelationView right,
   CheckJoinArgs(left, right, left_keys, right_keys);
   if (left.empty()) return Relation(left.arity());
   if (right.empty()) return left.ToRelation();
-  Relation out(left.arity());
   KeyIndex index(right, right_keys);
-  MPCQP_TRACE_SCOPE_ARG("key_index probe", "compute", left.size());
-  std::vector<Value> key(left_keys.size());
-  for (int64_t i = 0; i < left.size(); ++i) {
-    const Value* lrow = left.row(i);
-    for (size_t k = 0; k < left_keys.size(); ++k) key[k] = lrow[left_keys[k]];
-    if (!index.Contains(key.data())) out.AppendRow(lrow);
-  }
-  return out;
+  return FilterByIndex(left, left_keys, index, /*want_match=*/false);
 }
 
 StatusOr<Relation> GroupBySum(RelationView rel,

@@ -71,6 +71,13 @@ class RelationView {
     return row(i)[col];
   }
 
+  // Raw access for the tight gather/scan kernels (relation/columnar.h):
+  // base() is row 0 of the span — or the whole flat buffer when a
+  // selection is set, in which case selection() holds absolute row
+  // indices into it. nullptr selection means the view is contiguous.
+  const Value* base() const { return base_; }
+  const int64_t* selection() const { return sel_; }
+
   // Materializes the viewed rows. A whole-relation view returns a
   // payload-sharing handle (no bytes move, COW); spans and selections
   // copy exactly the viewed rows.

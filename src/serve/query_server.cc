@@ -196,6 +196,7 @@ StatusOr<QueryResult> QueryServer::Execute(const std::string& query_text) {
 
   ClusterOptions cluster_options;
   cluster_options.morsel_rows = options_.morsel_rows;
+  cluster_options.layout = options_.layout;
   cluster_options.shared_pool = pool_;
   // seed + 1 for the cluster, seed + 2 for the algorithm Rng: the exact
   // derivation mpcqp_run uses, so served answers are bit-identical to the

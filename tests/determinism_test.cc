@@ -702,5 +702,98 @@ TEST(DeterminismTest, MorselBoundaryWriteCombiningCopy) {
       /*servers=*/kWideServers);
 }
 
+// --- Layout invariance ---
+//
+// The fourth axis of the contract: ClusterOptions::layout selects the
+// physical access pattern of the hot kernels (columnar route hashing,
+// compacted group-by scans) and must never change outputs, CostReports,
+// or strategy choices. The sweeps compare every layout x thread count x
+// morsel size against the row-layout single-threaded baseline.
+
+RunResult RunWithLayout(int threads, LayoutMode layout, int64_t morsel_rows,
+                        const std::function<DistRelation(Cluster&)>& body) {
+  ClusterOptions options;
+  options.num_threads = threads;
+  options.morsel_rows = morsel_rows;
+  options.layout = layout;
+  Cluster cluster(kServers, kSeed, options);
+  const DistRelation out = body(cluster);
+  RunResult result;
+  for (int s = 0; s < out.num_servers(); ++s) {
+    result.fragments.push_back(out.fragment(s));
+  }
+  result.report = cluster.cost_report();
+  return result;
+}
+
+void ExpectLayoutInvariant(
+    const std::function<DistRelation(Cluster&)>& body) {
+  const RunResult base = RunWithLayout(1, LayoutMode::kRow,
+                                       ClusterOptions{}.morsel_rows, body);
+  EXPECT_GT(base.report.num_rounds(), 0) << "body metered nothing";
+  for (const LayoutMode layout :
+       {LayoutMode::kRow, LayoutMode::kColumnar, LayoutMode::kAuto}) {
+    for (const int threads : kThreadCounts) {
+      for (const int64_t morsel : kMorselSizes) {
+        const RunResult got = RunWithLayout(threads, layout, morsel, body);
+        ASSERT_EQ(base.fragments.size(), got.fragments.size());
+        for (size_t s = 0; s < base.fragments.size(); ++s) {
+          EXPECT_EQ(base.fragments[s], got.fragments[s])
+              << "fragment " << s << " differs at layout="
+              << LayoutModeName(layout) << " threads=" << threads
+              << " morsel=" << morsel;
+        }
+        ExpectSameReport(base.report, got.report, threads);
+      }
+    }
+  }
+}
+
+// Wide-arity exchange: rows and arity cross the kAuto route thresholds,
+// so all three modes genuinely exercise the extracted-key-column router
+// (kRow the fused one), and the shuffled bytes must agree exactly.
+TEST(LayoutInvariance, WideExchangeRoute) {
+  Rng rng(kSeed);
+  const Relation wide = GenerateUniform(rng, 20000, 5, 500);
+  ExpectLayoutInvariant([&](Cluster& cluster) {
+    const HashFunction hash = cluster.NewHashFunction();
+    return HashPartition(cluster,
+                         DistRelation::Scatter(wide, kServers),
+                         {2}, hash, "layout sweep: route");
+  });
+}
+
+// Wide-arity group-by, both parallel strategies pinned: the columnar scan
+// compaction (tree-merge morsels, radix passes) must reproduce the row
+// path bit for bit, including the OutOfRange-free accumulators.
+TEST(LayoutInvariance, WideGroupByAggregate) {
+  Rng rng(kSeed + 1);
+  const Relation wide = GenerateZipf(rng, 12000, 6, 200, 1, 1.1);
+  for (const GroupByStrategy strategy :
+       {GroupByStrategy::kTreeMerge, GroupByStrategy::kRadix}) {
+    ExpectLayoutInvariant([&](Cluster& cluster) {
+      GroupByOptions options;
+      options.strategy = strategy;
+      return DistributedGroupByAggregate(
+                 cluster, DistRelation::Scatter(wide, kServers), {1}, 3,
+                 AggregateOp::kSum, options)
+          .value();
+    });
+  }
+}
+
+// Scalar-group COUNT over wide rows plus the adaptive strategy: layout
+// must not leak into the sampled strategy choice either.
+TEST(LayoutInvariance, AdaptiveStrategyUnaffectedByLayout) {
+  Rng rng(kSeed + 2);
+  const Relation wide = GenerateUniform(rng, 9000, 7, 4000);
+  ExpectLayoutInvariant([&](Cluster& cluster) {
+    return DistributedGroupByAggregate(
+               cluster, DistRelation::Scatter(wide, kServers), {0, 2}, 5,
+               AggregateOp::kMax)
+        .value();
+  });
+}
+
 }  // namespace
 }  // namespace mpcqp

@@ -1,9 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <span>
 #include <tuple>
 #include <vector>
 
 #include "common/random.h"
+#include "common/thread_pool.h"
+#include "relation/columnar.h"
 #include "relation/key_index.h"
 #include "relation/relation.h"
 #include "relation/relation_ops.h"
@@ -260,6 +264,163 @@ TEST(SemijoinTest, AntijoinAgainstEmptyRightKeepsAll) {
   const Relation right(2);
   EXPECT_EQ(AntijoinLocal(left, right, {1}, {0}).size(), 1);
   EXPECT_TRUE(SemijoinLocal(left, right, {1}, {0}).empty());
+}
+
+// ---------- Columnar layout ----------
+
+TEST(ColumnarTest, RoundTripsRowMajor) {
+  Rng rng(7);
+  const Relation rel = GenerateUniform(rng, 100, 5, 1000);
+  const ColumnarRelation col = ColumnarRelation::FromRowMajor(rel);
+  ASSERT_EQ(col.arity(), 5);
+  ASSERT_EQ(col.size(), 100);
+  for (int64_t r = 0; r < rel.size(); ++r) {
+    for (int c = 0; c < rel.arity(); ++c) {
+      EXPECT_EQ(col.at(r, c), rel.at(r, c));
+      EXPECT_EQ(col.column(c)[r], rel.at(r, c));
+    }
+  }
+  EXPECT_EQ(col.ToRowMajor(), rel);
+}
+
+TEST(ColumnarTest, ParallelTransposeMatchesSerial) {
+  Rng rng(8);
+  const Relation rel = GenerateUniform(rng, 500, 4, 1000);
+  ThreadPool pool(4);
+  // Every (pool, morsel) combination writes the same bytes, including
+  // morsels that do not divide the row count and single-row morsels.
+  for (const int64_t morsel : {1, 7, 64, 100000}) {
+    const ColumnarRelation col =
+        ColumnarRelation::FromRowMajor(rel, &pool, morsel);
+    EXPECT_EQ(col, ColumnarRelation::FromRowMajor(rel));
+    EXPECT_EQ(col.ToRowMajor(&pool, morsel), rel);
+  }
+}
+
+TEST(ColumnarTest, EmptyAndNullaryRoundTrip) {
+  const Relation empty(3);
+  EXPECT_EQ(ColumnarRelation::FromRowMajor(empty).ToRowMajor(), empty);
+  Relation nullary(0);
+  nullary.AppendNullaryRow();
+  nullary.AppendNullaryRow();
+  const ColumnarRelation col = ColumnarRelation::FromRowMajor(nullary);
+  EXPECT_EQ(col.size(), 2);
+  EXPECT_EQ(col.ToRowMajor(), nullary);
+}
+
+TEST(ColumnarTest, CopiesShareUntilMutableDetaches) {
+  const Relation rel = Relation::FromRows({{1, 2}, {3, 4}});
+  const ColumnarRelation a = ColumnarRelation::FromRowMajor(rel);
+  ColumnarRelation b = a;
+  EXPECT_TRUE(a.SharesPayloadWith(b));
+  b.Mutable()[0] = 99;  // Column 0, row 0.
+  EXPECT_FALSE(a.SharesPayloadWith(b));
+  EXPECT_EQ(a.at(0, 0), 1u);
+  EXPECT_EQ(b.at(0, 0), 99u);
+}
+
+TEST(ColumnarTest, GatherKeyColumnHonorsSelection) {
+  const Relation rel =
+      Relation::FromRows({{10, 0}, {11, 1}, {12, 2}, {13, 3}, {14, 4}});
+  const std::vector<int64_t> sel = {4, 0, 2};
+  const RelationView view(rel, sel);
+  std::vector<Value> out(3);
+  GatherKeyColumn(view, 0, 0, 3, out.data());
+  EXPECT_EQ(out, (std::vector<Value>{14, 10, 12}));
+  // Sub-range gathers offset into the selection, not the base rows.
+  GatherKeyColumn(view, 0, 1, 3, out.data());
+  EXPECT_EQ(out[0], 10u);
+  EXPECT_EQ(out[1], 12u);
+}
+
+TEST(ColumnarTest, SelectRangeAgreesAcrossLayouts) {
+  Rng rng(9);
+  const Relation rel = GenerateUniform(rng, 3000, 6, 100);
+  const Value lo = 10, hi = 60;
+  const std::vector<int64_t> reference =
+      SelectRange(rel, 2, lo, hi, nullptr, 0, LayoutMode::kRow);
+  // Serial reference is the plain predicate scan.
+  std::vector<int64_t> expected;
+  for (int64_t r = 0; r < rel.size(); ++r) {
+    if (rel.at(r, 2) >= lo && rel.at(r, 2) <= hi) expected.push_back(r);
+  }
+  EXPECT_EQ(reference, expected);
+  ThreadPool pool(4);
+  for (const LayoutMode layout :
+       {LayoutMode::kRow, LayoutMode::kColumnar, LayoutMode::kAuto}) {
+    for (const int64_t morsel : {1, 64, 100000}) {
+      EXPECT_EQ(SelectRange(rel, 2, lo, hi, &pool, morsel, layout),
+                reference);
+    }
+  }
+  const ColumnarRelation col = ColumnarRelation::FromRowMajor(rel);
+  EXPECT_EQ(SelectRange(col, 2, lo, hi), reference);
+  EXPECT_EQ(SelectRange(col, 2, lo, hi, &pool, 64), reference);
+}
+
+TEST(ColumnarTest, SelectRangeOverSelectionViews) {
+  const Relation rel =
+      Relation::FromRows({{5, 0}, {50, 1}, {15, 2}, {99, 3}, {20, 4}});
+  const std::vector<int64_t> sel = {3, 2, 0, 4};
+  const RelationView view(rel, sel);
+  // Indices are view positions, ascending: view rows 1 (=15) and 3 (=20).
+  const std::vector<int64_t> hits = SelectRange(view, 0, 10, 40);
+  EXPECT_EQ(hits, (std::vector<int64_t>{1, 3}));
+  // Empty selection: no rows, no matches, every layout.
+  const std::vector<int64_t> empty_sel;
+  const Relation nonempty = Relation::FromRows({{1, 2}});
+  const RelationView empty_view(nonempty, empty_sel);
+  EXPECT_TRUE(SelectRange(empty_view, 0, 0, ~Value{0}).empty());
+  // Single-row fragment.
+  const RelationView single(rel, 2, 3);
+  EXPECT_EQ(SelectRange(single, 0, 10, 40),
+            (std::vector<int64_t>{0}));
+}
+
+TEST(ColumnarTest, SemijoinColumnarProbeSurvivesForcedCollisions) {
+  // A constant test hash forces every distinct key into one directory
+  // chain; batched HashKeys + LookupWithHash must still verify exact keys.
+  Rng rng(11);
+  const Relation left = GenerateUniform(rng, 400, 2, 40);
+  const Relation right = GenerateUniform(rng, 50, 2, 40);
+  const KeyIndex normal(right, {0});
+  const KeyIndex colliding(
+      right, {0}, [](const Value*, int) -> uint64_t { return 42; });
+  for (Value k = 0; k < 40; ++k) {
+    const std::span<const int64_t> a = normal.Lookup(&k);
+    const std::span<const int64_t> b = colliding.Lookup(&k);
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+    uint64_t h = 0;
+    colliding.HashKeys(&k, 1, &h);
+    EXPECT_EQ(h, 42u);
+    const std::span<const int64_t> c = colliding.LookupWithHash(h, &k);
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), c.begin(), c.end()));
+  }
+  // End-to-end: the probe loop in Semijoin matches the reference filter.
+  const Relation semi = SemijoinLocal(left, right, {0}, {0});
+  const KeyIndex ref_index(right, {0});
+  Relation expected(2);
+  for (int64_t i = 0; i < left.size(); ++i) {
+    if (ref_index.Contains(left.row(i))) expected.AppendRow(left.row(i));
+  }
+  EXPECT_EQ(semi, expected);
+}
+
+TEST(ColumnarTest, KeyIndexBuildMatchesAcrossThreadCounts) {
+  Rng rng(13);
+  const Relation rel = GenerateUniform(rng, 2000, 8, 100);
+  const KeyIndex serial(rel, {3});
+  for (const int threads : {2, 8}) {
+    ThreadPool pool(threads);
+    const KeyIndex parallel(rel, {3}, &pool);
+    for (Value k = 0; k < 100; ++k) {
+      const std::span<const int64_t> a = serial.Lookup(&k);
+      const std::span<const int64_t> b = parallel.Lookup(&k);
+      ASSERT_EQ(a.size(), b.size());
+      EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+    }
+  }
 }
 
 }  // namespace
