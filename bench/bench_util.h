@@ -7,6 +7,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/simd.h"
+
 namespace mpcqp::bench {
 
 // Fixed-width console table, one per reproduced deck table/figure. Collect
@@ -118,7 +120,9 @@ class BenchJson {
     entries_.push_back({key, std::move(json)});
   }
 
-  // Writes BENCH_<name>.json and echoes the path to the console.
+  // Writes BENCH_<name>.json and echoes the path to the console. Every
+  // bench records the dispatched SIMD level next to its name: wall-time
+  // trajectories are only comparable between runs at the same level.
   void Write() const {
     const std::string path = "BENCH_" + name_ + ".json";
     std::FILE* f = std::fopen(path.c_str(), "w");
@@ -126,7 +130,8 @@ class BenchJson {
       std::printf("(could not write %s)\n", path.c_str());
       return;
     }
-    std::fprintf(f, "{\n  \"name\": \"%s\"", name_.c_str());
+    std::fprintf(f, "{\n  \"name\": \"%s\",\n  \"simd_isa\": \"%s\"",
+                 name_.c_str(), simd::IsaLevelName(simd::DispatchedIsa()));
     for (const auto& [key, value] : entries_) {
       std::fprintf(f, ",\n  \"%s\": %s", key.c_str(), value.c_str());
     }

@@ -7,7 +7,9 @@
 
 #include "common/check.h"
 #include "common/flat_counter.h"
+#include "common/hash.h"
 #include "common/parallel_sort.h"
+#include "common/simd.h"
 #include "common/status.h"
 #include "common/trace.h"
 
@@ -18,8 +20,9 @@ namespace {
 // Radix fan-out: 256 partitions from the top hash byte. Enough that the
 // per-partition table builds keep every worker busy, few enough that the
 // per-chunk counting matrix (chunks x partitions) stays tiny.
-constexpr int kRadixPartitions = 256;
-constexpr int kRadixShift = 64 - 8;
+constexpr int kRadixBits = 8;
+constexpr int kRadixPartitions = 1 << kRadixBits;
+constexpr int kRadixShift = 64 - kRadixBits;
 
 // Adaptive thresholds (rationale in DESIGN.md "Aggregation engine"):
 // inputs at or below kSmallInputRows keep the seed sorted-map path (the
@@ -31,21 +34,18 @@ constexpr int64_t kSmallInputRows = 4096;
 constexpr int64_t kSampleRowsPerInput = 2048;
 constexpr int64_t kTreeMergeDensity = 16;
 
-// splitmix64 finalizer — the same full-avalanche mix FlatCounter and the
-// exchange hashing use. Fixed (data-only) seeds keep the engine's routing
-// independent of thread count and morsel size.
-uint64_t Mix(uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
+// The group-key seed, folded with the shared SplitMix64 (the same
+// full-avalanche mix FlatCounter and the exchange hashing use). Fixed
+// (data-only) seeds keep the engine's routing independent of thread count
+// and morsel size.
+constexpr uint64_t kGroupHashSeed = 0x9e3779b97f4a7c15ULL;
 
 // Hash of a contiguous `width`-column group key (width 0 = the scalar
-// group: a fixed constant, so every row lands in one group).
+// group: a fixed constant, so every row lands in one group). Width-1 keys
+// match simd::GroupHashMany, which the columnar scans batch through.
 uint64_t HashKey(const Value* key, int width) {
-  uint64_t h = 0x9e3779b97f4a7c15ULL;
-  for (int k = 0; k < width; ++k) h = Mix(h ^ Mix(key[k]));
+  uint64_t h = kGroupHashSeed;
+  for (int k = 0; k < width; ++k) h = SplitMix64(h ^ SplitMix64(key[k]));
   return h;
 }
 
@@ -303,9 +303,18 @@ StatusOr<Relation> RunTreeMerge(const std::vector<RelationView>& inputs,
         std::vector<Value> vals(value_col >= 0 ? static_cast<size_t>(n) : 0);
         CompactScanColumns(in, group_cols, value_col, begin, end,
                            keys.data(), vals.data());
+        // Single-column keys hash as one SIMD pass over the compacted
+        // column (bit-identical to HashKey by the splitmix identity).
+        std::vector<uint64_t> hashes;
+        if (width == 1) {
+          hashes.resize(static_cast<size_t>(n));
+          simd::GroupHashMany(keys.data(), n, kGroupHashSeed, hash_mask,
+                              hashes.data());
+        }
         for (int64_t i = 0; i < n; ++i) {
           const Value* key = keys.data() + i * width;
-          const uint64_t h = HashKey(key, width) & hash_mask;
+          const uint64_t h =
+              width == 1 ? hashes[i] : HashKey(key, width) & hash_mask;
           auto [acc, inserted] = table.Upsert(h, key);
           const Value value = value_col >= 0 ? vals[i] : 0;
           if (!AccumulateRow(acc, inserted, value, op)) {
@@ -424,11 +433,17 @@ StatusOr<Relation> RunRadix(const std::vector<RelationView>& inputs,
       Value* vals = value_col >= 0 ? all_vals.data() + ch.offset : nullptr;
       CompactScanColumns(*ch.input, group_cols, value_col, ch.begin, ch.end,
                          keys, vals);
-      for (int64_t i = 0; i < n; ++i) {
-        const uint64_t h = HashKey(keys + i * width, width) & hash_mask;
-        hashes[static_cast<size_t>(ch.offset + i)] = h;
-        ++my_counts[h >> kRadixShift];
+      // Batched: one SIMD hash pass over the compacted keys (width 1),
+      // then the shared top-byte histogram kernel for the radix counts.
+      uint64_t* my_hashes = hashes.data() + ch.offset;
+      if (width == 1) {
+        simd::GroupHashMany(keys, n, kGroupHashSeed, hash_mask, my_hashes);
+      } else {
+        for (int64_t i = 0; i < n; ++i) {
+          my_hashes[i] = HashKey(keys + i * width, width) & hash_mask;
+        }
       }
+      simd::HistogramTopBits(my_hashes, n, kRadixBits, my_counts);
       return;
     }
     std::vector<Value> key(width);

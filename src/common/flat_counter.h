@@ -6,6 +6,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/hash.h"
+
 namespace mpcqp {
 
 // An open-addressing uint64 -> int64 counter for the statistics hot paths
@@ -75,14 +77,9 @@ class FlatCounter {
     bool used = false;
   };
 
-  // splitmix64 finalizer: full avalanche, so linear probing stays short
-  // even on structured keys (sequential ids, strided values).
-  static uint64_t Mix(uint64_t x) {
-    x += 0x9e3779b97f4a7c15ULL;
-    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-    return x ^ (x >> 31);
-  }
+  // SplitMix64's full avalanche keeps linear probing short even on
+  // structured keys (sequential ids, strided values).
+  static uint64_t Mix(uint64_t x) { return SplitMix64(x); }
 
   SlotEntry* Slot(uint64_t key) {
     if (2 * (num_keys_ + 1) > static_cast<int64_t>(slots_.size())) Grow();

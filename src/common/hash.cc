@@ -1,26 +1,15 @@
 #include "common/hash.h"
 
 #include "common/check.h"
+#include "common/simd.h"
 
 namespace mpcqp {
 
-namespace {
-
-// splitmix64 finalizer; full-avalanche 64-bit mixer.
-uint64_t Mix64(uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
-
-}  // namespace
-
 HashFunction::HashFunction(uint64_t seed)
-    : seed_(seed), xor_(Mix64(seed ^ 0xa0761d6478bd642fULL)) {}
+    : seed_(seed), xor_(SplitMix64(seed ^ 0xa0761d6478bd642fULL)) {}
 
 uint64_t HashFunction::Hash(uint64_t value) const {
-  return Mix64(value ^ xor_);
+  return SplitMix64(value ^ xor_);
 }
 
 int HashFunction::Bucket(uint64_t value, int num_buckets) const {
@@ -32,26 +21,19 @@ int HashFunction::Bucket(uint64_t value, int num_buckets) const {
 
 void HashFunction::HashMany(const uint64_t* values, int64_t count,
                             uint64_t* out) const {
-  const uint64_t x = xor_;
-  for (int64_t i = 0; i < count; ++i) {
-    out[i] = Mix64(values[i] ^ x);
-  }
+  simd::HashMany(values, count, xor_, out);
 }
 
 void HashFunction::BucketMany(const uint64_t* values, int64_t count,
                               int num_buckets, int32_t* out) const {
   MPCQP_CHECK_GT(num_buckets, 0);
-  const uint64_t x = xor_;
-  const auto p = static_cast<unsigned __int128>(num_buckets);
-  for (int64_t i = 0; i < count; ++i) {
-    out[i] = static_cast<int32_t>((Mix64(values[i] ^ x) * p) >> 64);
-  }
+  simd::BucketMany(values, count, xor_, num_buckets, out);
 }
 
 uint64_t HashFunction::HashSpan(const uint64_t* values, int count) const {
   uint64_t acc = xor_;
   for (int i = 0; i < count; ++i) {
-    acc = Mix64(acc ^ values[i]);
+    acc = SplitMix64(acc ^ values[i]);
   }
   return acc;
 }
@@ -60,7 +42,8 @@ HashFamily::HashFamily(uint64_t base_seed, int count) {
   MPCQP_CHECK_GE(count, 0);
   functions_.reserve(count);
   for (int i = 0; i < count; ++i) {
-    functions_.emplace_back(Mix64(base_seed + 0x9e3779b97f4a7c15ULL * (i + 1)));
+    functions_.emplace_back(
+        SplitMix64(base_seed + 0x9e3779b97f4a7c15ULL * (i + 1)));
   }
 }
 

@@ -6,6 +6,18 @@
 
 namespace mpcqp {
 
+// The splitmix64 finalizer: a full-avalanche 64-bit mixer. This is THE
+// shared definition — HashFunction, FlatCounter, the group-by engine's key
+// hash, and the SIMD scalar fallbacks all mix with exactly these constants,
+// and the vectorized kernels in common/simd.cc must stay bit-identical to
+// this function. Keeping one copy means the constants can never drift.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 // A seeded family of 64-bit hash functions over 64-bit values, used to
 // partition tuples across servers. Different seeds give (empirically)
 // independent functions, which the HyperCube algorithm requires, one per

@@ -1,0 +1,143 @@
+#ifndef MPCQP_COMMON_SIMD_H_
+#define MPCQP_COMMON_SIMD_H_
+
+#include <cstdint>
+#include <string>
+
+// Runtime-dispatched SIMD kernels for the columnar hot loops.
+//
+// The columnar data plane (PR 9) turned the hottest loops — route hashing,
+// bucket routing, predicate filters, key gathers, group-by scans — into
+// contiguous single-column passes. This library supplies explicitly
+// vectorized implementations of exactly those loop shapes, behind a
+// one-time runtime ISA dispatch:
+//
+//   - the instruction-set level is detected once at first use (CPUID via
+//     __builtin_cpu_supports on x86; NEON is baseline on aarch64),
+//   - the `MPCQP_SIMD` environment variable (scalar|sse4|avx2|neon) caps
+//     the dispatched level below what the hardware supports,
+//   - the CMake cache variable `MPCQP_SIMD_LEVEL` caps it at compile time
+//     (and compiles the higher-ISA code paths out entirely), which is how
+//     CI keeps the portable fallback green on machines without AVX2.
+//
+// Determinism contract: every kernel is BIT-IDENTICAL to its scalar
+// reference for every input. All operations are exact integer arithmetic
+// (splitmix64 mixing is element-wise, filters emit match indices in
+// ascending order, gathers and histograms are pure data movement), so the
+// dispatched level can never change outputs, CostReports, adaptive
+// strategy choices, or plan goldens — only wall time. The determinism
+// suite locks this with a {scalar, best-detected} ISA axis on top of the
+// existing thread-count/morsel/layout sweeps.
+//
+// Adding a kernel (see DESIGN.md "SIMD kernels"): write the scalar
+// reference, add a function pointer to KernelTable, implement per-ISA
+// variants guarded by MPCQP_SIMD_LEVEL_CAP, and extend simd_test's
+// cross-level parity sweep plus bench_simd's embedded-baseline gate.
+
+namespace mpcqp::simd {
+
+// Instruction-set levels. Numeric values are ranks: a level is eligible
+// when its rank is <= the detected hardware's rank, the compile-time
+// MPCQP_SIMD_LEVEL_CAP, and the MPCQP_SIMD env cap. The two architecture
+// families never coexist on one box, so the cross-family ordering only
+// matters for cap semantics (capping at "sse4" on aarch64 yields scalar).
+enum class IsaLevel {
+  kScalar = 0,
+  kSse4 = 1,  // x86 SSE4.2 (128-bit lanes).
+  kNeon = 2,  // aarch64 NEON (128-bit lanes; baseline on AArch64).
+  kAvx2 = 3,  // x86 AVX2 (256-bit lanes).
+};
+
+const char* IsaLevelName(IsaLevel level);
+// Parses "scalar" / "sse4" / "avx2" / "neon"; returns false otherwise.
+bool ParseIsaLevel(const std::string& text, IsaLevel* out);
+
+// The best level this hardware supports (ignoring every cap). Detected
+// once; constant for the process lifetime.
+IsaLevel DetectedIsa();
+
+// The level the kernels below actually run at: DetectedIsa() capped by
+// the compile-time MPCQP_SIMD_LEVEL and the MPCQP_SIMD env var (both read
+// once, at first kernel use). Reported by --stats and BENCH_*.json so
+// measurements are comparable across boxes.
+IsaLevel DispatchedIsa();
+
+// ---- Kernels ----
+// All counts may be zero; tails shorter than one SIMD lane are handled
+// inside each kernel. Input and output spans must not overlap.
+
+// out[i] = SplitMix64(values[i] ^ whitening) — the exchange route pass's
+// hash loop (HashFunction::HashMany with whitening = the seed-derived
+// xor constant).
+void HashMany(const uint64_t* values, int64_t count, uint64_t whitening,
+              uint64_t* out);
+
+// out[i] = high 64 bits of (SplitMix64(values[i] ^ whitening) *
+// num_buckets) — the multiply-shift bucket reduce of
+// HashFunction::BucketMany. num_buckets must be in [1, 2^31).
+void BucketMany(const uint64_t* values, int64_t count, uint64_t whitening,
+                int num_buckets, int32_t* out);
+
+// out[i] = SplitMix64(seed ^ SplitMix64(keys[i])) & mask — the group-by
+// engine's single-column key hash (HashKey over width-1 keys), fused into
+// one pass over the compacted key column.
+void GroupHashMany(const uint64_t* keys, int64_t count, uint64_t seed,
+                   uint64_t mask, uint64_t* out);
+
+// Number of i in [0, count) with lo <= values[i] <= hi (unsigned
+// comparisons) — the counting pass of SelectRange.
+int64_t CountInRange(const uint64_t* values, int64_t count, uint64_t lo,
+                     uint64_t hi);
+
+// Writes index_base + i, in ascending i order, for every i in [0, count)
+// with lo <= values[i] <= hi; returns the number written. `capacity` MUST
+// be the exact match count (from CountInRange over the same range): the
+// vector path compresses matches with full-width stores while more than
+// one vector of slack remains and finishes scalar, so it never writes
+// past out + capacity.
+int64_t FillInRange(const uint64_t* values, int64_t count, int64_t index_base,
+                    uint64_t lo, uint64_t hi, int64_t* out, int64_t capacity);
+
+// out[i] = base[i * stride] — the strided key-column gather behind
+// GatherKeyColumn. stride >= 1 (stride 1 is a plain copy).
+void GatherStride(const uint64_t* base, int64_t stride, int64_t count,
+                  uint64_t* out);
+
+// out[i] = base[indices[i] * stride + offset] — the selection-vector
+// gather (GatherKeyColumn over a selection view).
+void GatherIndexed(const uint64_t* base, const int64_t* indices,
+                   int64_t count, int64_t stride, int64_t offset,
+                   uint64_t* out);
+
+// counts[hashes[i] >> (64 - bits)] += 1 for every i — the radix top-byte
+// histogram of the group-by engine (bits = 8) and the KeyIndex partition
+// count (bits = part_bits). bits must be in [1, 8]; counts has (1 << bits)
+// entries and is accumulated into, not overwritten. Interleaved
+// sub-histograms break the store-to-load dependency chain on repeated
+// buckets; the final per-bucket sums are order-independent, so the result
+// equals the naive sequential loop exactly.
+void HistogramTopBits(const uint64_t* hashes, int64_t count, int bits,
+                      int64_t* counts);
+
+// Test/bench hook: forces the dispatched level for the current process
+// until destruction (clamped to what the hardware and compile cap allow —
+// requesting more than DetectedIsa() is safe and clamps down). Install
+// before spawning parallel work and restore after it drains; overrides
+// must not overlap concurrent kernel calls from unrelated threads. The
+// determinism suite's ISA axis and bench_simd's per-level timings use
+// this; production code never should.
+class ScopedIsaOverride {
+ public:
+  explicit ScopedIsaOverride(IsaLevel level);
+  ~ScopedIsaOverride();
+
+  ScopedIsaOverride(const ScopedIsaOverride&) = delete;
+  ScopedIsaOverride& operator=(const ScopedIsaOverride&) = delete;
+
+ private:
+  const void* prev_;  // The KernelTable in effect before the override.
+};
+
+}  // namespace mpcqp::simd
+
+#endif  // MPCQP_COMMON_SIMD_H_

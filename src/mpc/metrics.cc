@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "common/check.h"
+#include "common/simd.h"
 #include "common/trace.h"
 #include "mpc/cluster.h"
 #include "relation/relation.h"
@@ -190,6 +191,7 @@ StatsReport BuildStatsReport(const Cluster& cluster) {
   report.planning_ms = metrics.planning_ms();
   report.plan_cache_hits = metrics.plan_cache_hits();
   report.plan_cache_misses = metrics.plan_cache_misses();
+  report.simd_isa = simd::IsaLevelName(simd::DispatchedIsa());
   return report;
 }
 
@@ -229,6 +231,7 @@ std::string StatsReport::ToJson() const {
   }
   AppendKv(out, "cow_detaches", cow_detaches, "  ");
   AppendKv(out, "peak_fragment_rows", peak_fragment_rows, "  ");
+  out += "  \"simd_isa\": \"" + JsonEscape(simd_isa) + "\",\n";
   out += "  \"rounds\": [";
   for (size_t i = 0; i < rounds.size(); ++i) {
     const Round& round = rounds[i];

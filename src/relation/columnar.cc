@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/exec_context.h"
+#include "common/simd.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
 
@@ -71,10 +72,7 @@ bool UseColumnarScan(LayoutMode mode, int arity, int columns_read) {
 void GatherKeyColumn(const Value* base, int arity, int col, int64_t begin,
                      int64_t end, Value* out) {
   const Value* src = base + static_cast<size_t>(begin) * arity + col;
-  const int64_t n = end - begin;
-  for (int64_t i = 0; i < n; ++i) {
-    out[i] = src[static_cast<size_t>(i) * arity];
-  }
+  simd::GatherStride(src, arity, end - begin, out);
 }
 
 void GatherKeyColumn(RelationView view, int col, int64_t begin, int64_t end,
@@ -88,9 +86,7 @@ void GatherKeyColumn(RelationView view, int col, int64_t begin, int64_t end,
   const int arity = view.arity();
   const Value* base = view.base();
   if (const int64_t* sel = view.selection(); sel != nullptr) {
-    for (int64_t i = begin; i < end; ++i) {
-      out[i - begin] = base[static_cast<size_t>(sel[i]) * arity + col];
-    }
+    simd::GatherIndexed(base, sel + begin, end - begin, arity, col, out);
     return;
   }
   GatherKeyColumn(base, arity, col, begin, end, out);

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/hash.h"
+#include "common/simd.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
 #include "relation/columnar.h"
@@ -96,8 +97,11 @@ void KeyIndex::Build(ThreadPool* pool) {
       std::vector<Value> keys(static_cast<size_t>(end - begin));
       GatherKeyColumn(view_, key_cols_[0], begin, end, keys.data());
       IndexHash().HashMany(keys.data(), end - begin, hashes.data() + begin);
-      for (int64_t r = begin; r < end; ++r) {
-        ++my_counts[part_of(hashes[r])];
+      if (part_bits_ == 0) {
+        my_counts[0] += end - begin;
+      } else {
+        simd::HistogramTopBits(hashes.data() + begin, end - begin, part_bits_,
+                               my_counts);
       }
       return;
     }

@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "common/flat_counter.h"
 #include "common/parallel_sort.h"
+#include "common/simd.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
 #include "relation/key_index.h"
@@ -134,18 +135,22 @@ namespace {
 
 // Shared two-pass driver for the SelectRange overloads: `count` returns
 // the number of matches in a row range, `fill` writes their (ascending)
-// row indices at a given cursor. Morsels cover disjoint ranges and land
-// at exact prefix-summed offsets, so the output is the ascending match
-// list for every (pool, morsel_rows).
+// row indices at a given cursor, never more than `capacity` of them (the
+// exact match count from the counting pass — the SIMD fill kernel needs
+// it because its compressed stores are full-width, and morsel output
+// regions are adjacent and filled concurrently). Morsels cover disjoint
+// ranges and land at exact prefix-summed offsets, so the output is the
+// ascending match list for every (pool, morsel_rows).
 std::vector<int64_t> SelectByRange(
     int64_t rows, ThreadPool* pool, int64_t morsel_rows,
     const std::function<int64_t(int64_t, int64_t)>& count,
-    const std::function<void(int64_t, int64_t, int64_t*)>& fill) {
+    const std::function<void(int64_t, int64_t, int64_t*, int64_t)>& fill) {
   const bool parallel =
       pool != nullptr && morsel_rows > 0 && rows > morsel_rows;
   if (!parallel) {
-    std::vector<int64_t> out(static_cast<size_t>(count(0, rows)));
-    fill(0, rows, out.data());
+    const int64_t total = count(0, rows);
+    std::vector<int64_t> out(static_cast<size_t>(total));
+    fill(0, rows, out.data(), total);
     return out;
   }
   const int64_t morsels = (rows + morsel_rows - 1) / morsel_rows;
@@ -161,26 +166,10 @@ std::vector<int64_t> SelectByRange(
   std::vector<int64_t> out(static_cast<size_t>(offsets[morsels]));
   pool->ParallelForGrained(
       rows, morsel_rows, [&](int64_t begin, int64_t end) {
-        fill(begin, end, out.data() + offsets[begin / morsel_rows]);
+        const int64_t m = begin / morsel_rows;
+        fill(begin, end, out.data() + offsets[m], counts[m]);
       });
   return out;
-}
-
-// Tight unit-stride predicate kernels over a contiguous column slice
-// (values[i] holds row begin + i).
-int64_t CountInRange(const Value* values, int64_t n, Value lo, Value hi) {
-  int64_t hits = 0;
-  for (int64_t i = 0; i < n; ++i) {
-    hits += values[i] >= lo && values[i] <= hi;
-  }
-  return hits;
-}
-
-void FillInRange(const Value* values, int64_t begin, int64_t n, Value lo,
-                 Value hi, int64_t* out) {
-  for (int64_t i = 0; i < n; ++i) {
-    if (values[i] >= lo && values[i] <= hi) *out++ = begin + i;
-  }
 }
 
 }  // namespace
@@ -193,17 +182,19 @@ std::vector<int64_t> SelectRange(RelationView rel, int col, Value lo,
   MPCQP_TRACE_SCOPE_ARG("select range", "compute", rel.size());
   if (UseColumnarScan(layout, rel.arity(), 1) || rel.selection() != nullptr) {
     // Compact the column out of the wide rows (the shared gather kernel),
-    // then run the unit-stride predicate. Selection views always take
+    // then run the unit-stride SIMD predicate. Selection views always take
     // this path: their rows are not contiguous to begin with.
     const auto count = [&](int64_t begin, int64_t end) {
       std::vector<Value> keys(static_cast<size_t>(end - begin));
       GatherKeyColumn(rel, col, begin, end, keys.data());
-      return CountInRange(keys.data(), end - begin, lo, hi);
+      return simd::CountInRange(keys.data(), end - begin, lo, hi);
     };
-    const auto fill = [&](int64_t begin, int64_t end, int64_t* out) {
+    const auto fill = [&](int64_t begin, int64_t end, int64_t* out,
+                          int64_t capacity) {
       std::vector<Value> keys(static_cast<size_t>(end - begin));
       GatherKeyColumn(rel, col, begin, end, keys.data());
-      FillInRange(keys.data(), begin, end - begin, lo, hi, out);
+      simd::FillInRange(keys.data(), end - begin, begin, lo, hi, out,
+                        capacity);
     };
     return SelectByRange(rel.size(), pool, morsel_rows, count, fill);
   }
@@ -217,7 +208,9 @@ std::vector<int64_t> SelectRange(RelationView rel, int col, Value lo,
     }
     return hits;
   };
-  const auto fill = [&](int64_t begin, int64_t end, int64_t* out) {
+  const auto fill = [&](int64_t begin, int64_t end, int64_t* out,
+                        int64_t capacity) {
+    (void)capacity;
     const Value* p = base + static_cast<size_t>(begin) * arity + col;
     for (int64_t r = begin; r < end; ++r, p += arity) {
       if (*p >= lo && *p <= hi) *out++ = r;
@@ -235,10 +228,12 @@ std::vector<int64_t> SelectRange(const ColumnarRelation& rel, int col,
   if (rel.empty()) return {};
   const Value* column = rel.column(col);
   const auto count = [&](int64_t begin, int64_t end) {
-    return CountInRange(column + begin, end - begin, lo, hi);
+    return simd::CountInRange(column + begin, end - begin, lo, hi);
   };
-  const auto fill = [&](int64_t begin, int64_t end, int64_t* out) {
-    FillInRange(column + begin, begin, end - begin, lo, hi, out);
+  const auto fill = [&](int64_t begin, int64_t end, int64_t* out,
+                        int64_t capacity) {
+    simd::FillInRange(column + begin, end - begin, begin, lo, hi, out,
+                      capacity);
   };
   return SelectByRange(rel.size(), pool, morsel_rows, count, fill);
 }

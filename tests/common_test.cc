@@ -161,6 +161,49 @@ TEST(HashTest, BucketManyMatchesScalarBucket) {
   }
 }
 
+// Edge cases the vectorized rewrite introduced: empty batches, batches
+// smaller than one SIMD lane, non-multiple-of-lane tails, and the
+// degenerate single-bucket reduce must all match the scalar calls (and
+// must not touch memory past the requested count).
+TEST(HashTest, HashManyEdgeCountsMatchScalar) {
+  const HashFunction h(23);
+  const uint64_t values[] = {0,  ~uint64_t{0}, 1ull << 63, 5, 6,
+                             7,  8,            9,          10, 11};
+  for (int64_t count : {0, 1, 2, 3, 5, 7, 9}) {
+    std::vector<uint64_t> out(10, 0xfeed);
+    h.HashMany(values, count, out.data());
+    for (int64_t i = 0; i < count; ++i) {
+      ASSERT_EQ(out[static_cast<size_t>(i)], h.Hash(values[i]))
+          << "count " << count << " index " << i;
+    }
+    for (size_t i = static_cast<size_t>(count); i < out.size(); ++i) {
+      ASSERT_EQ(out[i], 0xfeedu) << "wrote past count " << count;
+    }
+  }
+}
+
+TEST(HashTest, BucketManyEdgeCountsAndSingleBucket) {
+  const HashFunction h(29);
+  const uint64_t values[] = {0,  ~uint64_t{0}, 1ull << 63, 5, 6,
+                             7,  8,            9,          10, 11};
+  for (int64_t count : {0, 1, 2, 3, 5, 7, 9}) {
+    for (int buckets : {1, 3, 1024}) {
+      std::vector<int32_t> out(10, -42);
+      h.BucketMany(values, count, buckets, out.data());
+      for (int64_t i = 0; i < count; ++i) {
+        ASSERT_EQ(out[static_cast<size_t>(i)], h.Bucket(values[i], buckets))
+            << "count " << count << " buckets " << buckets << " index " << i;
+        if (buckets == 1) {
+          ASSERT_EQ(out[static_cast<size_t>(i)], 0);
+        }
+      }
+      for (size_t i = static_cast<size_t>(count); i < out.size(); ++i) {
+        ASSERT_EQ(out[i], -42) << "wrote past count " << count;
+      }
+    }
+  }
+}
+
 TEST(HashFamilyTest, MembersIndependent) {
   const HashFamily family(99, 3);
   ASSERT_EQ(family.size(), 3);

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "acyclic/gym.h"
+#include "common/simd.h"
 #include "agg/aggregate.h"
 #include "join/broadcast_join.h"
 #include "join/cartesian.h"
@@ -793,6 +794,157 @@ TEST(LayoutInvariance, AdaptiveStrategyUnaffectedByLayout) {
                AggregateOp::kMax)
         .value();
   });
+}
+
+// --- SIMD ISA invariance ---
+//
+// The fifth axis of the contract: the dispatched SIMD level (scalar vs
+// the best this hardware offers) selects the instruction sequence of the
+// hot kernels — route hashing, range filters, gathers, group hashes,
+// radix histograms — and every kernel is bit-identical to its scalar
+// reference by construction. These sweeps prove it end to end: outputs
+// and CostReports from MPCQP_SIMD=scalar-equivalent runs must match the
+// best-ISA runs across exchange, SelectRange, group-by, and semijoin
+// paths x thread counts x morsel sizes.
+
+// Both interesting levels: the scalar reference and whatever the box
+// actually dispatches (deduped — on a scalar-only box the sweep still
+// runs, trivially).
+std::vector<simd::IsaLevel> IsaAxis() {
+  std::vector<simd::IsaLevel> axis = {simd::IsaLevel::kScalar};
+  const simd::IsaLevel best = [] {
+    simd::ScopedIsaOverride best_over(simd::DetectedIsa());
+    return simd::DispatchedIsa();
+  }();
+  if (best != simd::IsaLevel::kScalar) axis.push_back(best);
+  return axis;
+}
+
+void ExpectSimdInvariant(const std::function<DistRelation(Cluster&)>& body,
+                         LayoutMode layout = LayoutMode::kAuto) {
+  const RunResult base = [&] {
+    simd::ScopedIsaOverride over(simd::IsaLevel::kScalar);
+    return RunWithLayout(1, layout, ClusterOptions{}.morsel_rows, body);
+  }();
+  EXPECT_GT(base.report.num_rounds(), 0) << "body metered nothing";
+  for (const simd::IsaLevel level : IsaAxis()) {
+    simd::ScopedIsaOverride over(level);
+    for (const int threads : kThreadCounts) {
+      for (const int64_t morsel : kMorselSizes) {
+        const RunResult got = RunWithLayout(threads, layout, morsel, body);
+        ASSERT_EQ(base.fragments.size(), got.fragments.size());
+        for (size_t s = 0; s < base.fragments.size(); ++s) {
+          EXPECT_EQ(base.fragments[s], got.fragments[s])
+              << "fragment " << s << " differs at isa="
+              << simd::IsaLevelName(level) << " threads=" << threads
+              << " morsel=" << morsel;
+        }
+        ExpectSameReport(base.report, got.report, threads);
+      }
+    }
+  }
+}
+
+// Every exchange router over a wide relation: HashMany/BucketMany run
+// under the single-destination, broadcast, multicast, and gather paths,
+// and the shuffled bytes (hence destinations) must agree exactly.
+TEST(SimdInvariance, ExchangeAllRouters) {
+  Rng rng(kSeed + 10);
+  const Relation wide = GenerateUniform(rng, 20000, 5, 500);
+  ExpectSimdInvariant([&](Cluster& cluster) {
+    return ExerciseAllRouters(cluster,
+                              DistRelation::Scatter(wide, kServers));
+  });
+}
+
+// Semijoin probes: batched KeyIndex hashing (HashMany), the partition
+// histogram, and the block gathers all sit under DistributedSemijoin.
+TEST(SimdInvariance, Semijoin) {
+  Relation left, right;
+  MakeJoinInputs(&left, &right);
+  ExpectSimdInvariant([&](Cluster& cluster) {
+    return DistributedSemijoin(cluster, DistRelation::Scatter(left, kServers),
+                               DistRelation::Scatter(right, kServers), {0},
+                               {0});
+  });
+}
+
+// Group-by under forced-columnar layout with a single group column: the
+// compacted scans batch their hashes through GroupHashMany and the radix
+// count pass through HistogramTopBits; both pinned strategies plus the
+// adaptive chooser must reproduce the scalar run bit for bit.
+TEST(SimdInvariance, GroupByColumnarScans) {
+  Rng rng(kSeed + 11);
+  const Relation wide = GenerateZipf(rng, 12000, 6, 200, 1, 1.1);
+  for (const GroupByStrategy strategy :
+       {GroupByStrategy::kTreeMerge, GroupByStrategy::kRadix}) {
+    ExpectSimdInvariant(
+        [&](Cluster& cluster) {
+          GroupByOptions options;
+          options.strategy = strategy;
+          return DistributedGroupByAggregate(
+                     cluster, DistRelation::Scatter(wide, kServers), {1}, 3,
+                     AggregateOp::kSum, options)
+              .value();
+        },
+        LayoutMode::kColumnar);
+  }
+  ExpectSimdInvariant([&](Cluster& cluster) {
+    return DistributedGroupByAggregate(cluster,
+                                       DistRelation::Scatter(wide, kServers),
+                                       {1}, 3, AggregateOp::kSum)
+        .value();
+  });
+}
+
+// SelectRange is a local kernel, so the ISA sweep compares it directly:
+// all three entry points (wide row view with the columnar-scan gather, a
+// non-contiguous selection view, and a true ColumnarRelation column)
+// against the forced-scalar result, across threads x morsel sizes.
+TEST(SimdInvariance, SelectRangeAllOverloads) {
+  Rng rng(kSeed + 12);
+  const Relation wide = GenerateUniform(rng, 30000, 5, 2000);
+  const Value lo = 150, hi = 1200;
+  const ColumnarRelation columnar = ColumnarRelation::FromRowMajor(wide);
+  // A non-contiguous selection over the wide rows (every third row).
+  std::vector<int64_t> sel;
+  for (int64_t i = 0; i < wide.size(); i += 3) sel.push_back(i);
+  const RelationView sel_view(wide, sel);
+
+  const auto run_all = [&](ThreadPool* pool, int64_t morsel) {
+    std::vector<std::vector<int64_t>> outs;
+    outs.push_back(
+        SelectRange(wide, 2, lo, hi, pool, morsel, LayoutMode::kColumnar));
+    outs.push_back(
+        SelectRange(wide, 2, lo, hi, pool, morsel, LayoutMode::kRow));
+    outs.push_back(
+        SelectRange(sel_view, 2, lo, hi, pool, morsel, LayoutMode::kAuto));
+    outs.push_back(SelectRange(columnar, 2, lo, hi, pool, morsel));
+    return outs;
+  };
+
+  const std::vector<std::vector<int64_t>> base = [&] {
+    simd::ScopedIsaOverride over(simd::IsaLevel::kScalar);
+    return run_all(nullptr, ClusterOptions{}.morsel_rows);
+  }();
+  ASSERT_FALSE(base[0].empty());
+  EXPECT_EQ(base[0], base[1]);  // Layout never changes the match list.
+  EXPECT_EQ(base[0], base[3]);
+  for (const simd::IsaLevel level : IsaAxis()) {
+    simd::ScopedIsaOverride over(level);
+    for (const int threads : kThreadCounts) {
+      ThreadPool pool(threads);
+      for (const int64_t morsel : kMorselSizes) {
+        const auto got = run_all(&pool, morsel);
+        for (size_t k = 0; k < base.size(); ++k) {
+          EXPECT_EQ(base[k], got[k])
+              << "overload " << k << " differs at isa="
+              << simd::IsaLevelName(level) << " threads=" << threads
+              << " morsel=" << morsel;
+        }
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -29,6 +29,7 @@
 #include "agg/aggregate.h"
 #include "common/flags.h"
 #include "common/parse.h"
+#include "common/simd.h"
 #include "common/trace.h"
 #include "join/hash_join.h"
 #include "mpc/cluster.h"
@@ -499,7 +500,8 @@ int Run(const Options& options) {
       std::fprintf(stderr, "stats: %s\n", written.ToString().c_str());
       return 1;
     }
-    std::printf("wrote stats %s\n", options.stats_path.c_str());
+    std::printf("wrote stats %s (simd: %s)\n", options.stats_path.c_str(),
+                simd::IsaLevelName(simd::DispatchedIsa()));
   }
 
   if (options.verify) {
