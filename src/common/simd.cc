@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 
 #include "common/check.h"
@@ -577,11 +578,11 @@ inline int64_t CountInRange(const uint64_t* values, int64_t count, uint64_t lo,
   int64_t i = 0;
   for (; i + 2 <= count; i += 2) {
     const uint64x2_t v = vld1q_u64(values + i);
-    // NEON has native unsigned 64-bit compares; the all-ones lanes are
-    // accumulated as -1 and negated once at the end.
+    // NEON has native unsigned 64-bit compares; each matching lane is
+    // all-ones == -1, so subtracting the mask adds 1 per match.
     const uint64x2_t in =
         vandq_u64(vcgeq_u64(v, lo_v), vcleq_u64(v, hi_v));
-    acc = vsubq_u64(acc, vshrq_n_u64(in, 63));
+    acc = vsubq_u64(acc, in);
   }
   int64_t hits = static_cast<int64_t>(vgetq_lane_u64(acc, 0) +
                                       vgetq_lane_u64(acc, 1));
@@ -677,26 +678,37 @@ const KernelTable* TableFor(IsaLevel requested) {
   return &kScalarTable;
 }
 
-// The level the MPCQP_SIMD env var caps dispatch to (best if unset or
-// unparsable). Read once at first kernel use.
+// The level the MPCQP_SIMD env var caps dispatch to. Read once at first
+// kernel use. An unparsable value gets a loud warning and no cap —
+// silently falling back to best-detected would let a benchmark run the
+// user believes is ISA-pinned float to whatever the box supports.
 IsaLevel EnvRequestedLevel() {
   const char* env = std::getenv("MPCQP_SIMD");
   IsaLevel level = IsaLevel::kAvx2;  // Highest rank == "no env cap".
-  if (env != nullptr && *env != '\0') {
-    ParseIsaLevel(env, &level);  // Invalid values mean no cap.
+  if (env != nullptr && *env != '\0' && !ParseIsaLevel(env, &level)) {
+    std::fprintf(stderr,
+                 "mpcqp: invalid MPCQP_SIMD=\"%s\" (expected scalar|sse4|"
+                 "neon|avx2); dispatching at best detected level\n",
+                 env);
   }
   return level;
 }
 
 std::atomic<const KernelTable*> g_table{nullptr};
 
-// One-time lazy resolution. The race on first use is benign: every thread
-// computes the same pointer from the same detection + caps.
+// One-time lazy resolution. compare_exchange (not a plain store) so a
+// thread that loaded nullptr before a ScopedIsaOverride was installed can
+// never publish the default table over the override afterward; whichever
+// table lands first wins, and losers adopt it.
 const KernelTable* Table() {
   const KernelTable* table = g_table.load(std::memory_order_acquire);
   if (table == nullptr) {
-    table = TableFor(EnvRequestedLevel());
-    g_table.store(table, std::memory_order_release);
+    const KernelTable* resolved = TableFor(EnvRequestedLevel());
+    if (g_table.compare_exchange_strong(table, resolved,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+      table = resolved;
+    }
   }
   return table;
 }
@@ -783,8 +795,13 @@ void HistogramTopBits(const uint64_t* hashes, int64_t count, int bits,
   Table()->histogram_top_bits(hashes, count, bits, counts);
 }
 
-ScopedIsaOverride::ScopedIsaOverride(IsaLevel level)
-    : prev_(g_table.exchange(TableFor(level), std::memory_order_acq_rel)) {}
+ScopedIsaOverride::ScopedIsaOverride(IsaLevel level) {
+  // Force lazy resolution first: paired with the compare_exchange in
+  // Table(), this guarantees no concurrent first-use can publish the
+  // default table over the override we are about to install.
+  Table();
+  prev_ = g_table.exchange(TableFor(level), std::memory_order_acq_rel);
+}
 
 ScopedIsaOverride::~ScopedIsaOverride() {
   g_table.store(static_cast<const KernelTable*>(prev_),

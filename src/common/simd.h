@@ -121,11 +121,15 @@ void HistogramTopBits(const uint64_t* hashes, int64_t count, int bits,
 
 // Test/bench hook: forces the dispatched level for the current process
 // until destruction (clamped to what the hardware and compile cap allow —
-// requesting more than DetectedIsa() is safe and clamps down). Install
-// before spawning parallel work and restore after it drains; overrides
-// must not overlap concurrent kernel calls from unrelated threads. The
-// determinism suite's ISA axis and bench_simd's per-level timings use
-// this; production code never should.
+// requesting more than DetectedIsa() is safe and clamps down). The
+// constructor forces dispatch resolution first, so a concurrent
+// first-use Table() call can never publish the default table over an
+// installed override. Kernel calls from unrelated threads during the
+// override's lifetime are safe (every level is bit-identical) but run at
+// the overridden level, so install before spawning parallel work and
+// restore after it drains when per-level timing matters. The determinism
+// suite's ISA axis and bench_simd's per-level timings use this;
+// production code never should.
 class ScopedIsaOverride {
  public:
   explicit ScopedIsaOverride(IsaLevel level);
